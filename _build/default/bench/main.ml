@@ -1,0 +1,600 @@
+open Sympiler_sparse
+open Sympiler_symbolic
+open Sympiler_kernels
+
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (§4), plus the §1.1 motivating numbers and two ablations.
+
+   Default mode follows the paper's methodology: each timing is the median
+   of 5 measurements (each measurement averages enough repetitions to fill
+   a minimum wall-clock window). `--bechamel` instead runs one
+   Bechamel.Test.make per experiment. `--quick` shrinks the measurement
+   window, `--only SECTION` runs one section (table2, fig6, fig7, fig8,
+   fig9, intro, ablation-threshold, ablation-lowlevel). *)
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let use_bechamel = Array.exists (( = ) "--bechamel") Sys.argv
+
+let only =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--only" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let run_section name = match only with None -> true | Some s -> s = name
+
+let min_window = if quick then 0.05 else 0.2
+let reps_outer = if quick then 3 else 5
+
+(* Median-of-[reps_outer]; each measurement averages enough inner
+   repetitions to occupy [min_window] seconds. *)
+let measure (f : unit -> unit) : float =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let once = Unix.gettimeofday () -. t0 in
+  let inner = max 1 (int_of_float (min_window /. Float.max once 1e-7)) in
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to inner do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int inner
+  in
+  let ts = Array.init reps_outer (fun _ -> one ()) in
+  Array.sort compare ts;
+  ts.(reps_outer / 2)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let section_note s = print_string s
+
+(* ---------------------------------------------------------------- *)
+(* Shared per-problem data, built lazily and cached.                  *)
+
+type prob_data = {
+  p : Sympiler.Suite.prepared;
+  l_factor : Csc.t; (* numeric Cholesky factor, input for trisolve benches *)
+  rhs : Vector.sparse;
+  tri_compiled : Trisolve_sympiler.compiled;
+  tri_flops : float;
+}
+
+let prob_cache : (int, prob_data) Hashtbl.t = Hashtbl.create 16
+
+let prob id =
+  match Hashtbl.find_opt prob_cache id with
+  | Some d -> d
+  | None ->
+      let p = Sympiler.Suite.problem id in
+      let t = Sympiler.Cholesky.compile p.Sympiler.Suite.a_lower in
+      let l_factor = Sympiler.Cholesky.factor t p.Sympiler.Suite.a_lower in
+      let rhs = Sympiler.Suite.rhs_for p in
+      let tri_compiled = Trisolve_sympiler.compile l_factor rhs in
+      let d =
+        {
+          p;
+          l_factor;
+          rhs;
+          tri_compiled;
+          tri_flops = tri_compiled.Trisolve_sympiler.flops;
+        }
+      in
+      Hashtbl.replace prob_cache id d;
+      d
+
+let ids = List.init 11 (fun i -> i + 1)
+
+(* ---------------------------------------------------------------- *)
+(* Table 2 *)
+
+let table2 () =
+  header "Table 2: matrix set (synthetic stand-ins, see DESIGN.md)";
+  Printf.printf "%-3s %-15s %9s %10s %-22s %s\n" "ID" "Name" "n" "nnz(A)"
+    "ordering" "structure";
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let a = d.p.Sympiler.Suite.a_full in
+      Printf.printf "%-3d %-15s %9d %10d %-22s %s\n" id d.p.Sympiler.Suite.name
+        a.Csc.ncols (Csc.nnz a) d.p.Sympiler.Suite.ordering
+        d.p.Sympiler.Suite.descr)
+    ids;
+  section_note
+    "(paper: 11 SuiteSparse SPD matrices, n 13.7k-1M, nnz 0.68M-5.1M;\n\
+    \ scaled down ~8-16x to fit the single-core container - DESIGN.md)\n"
+
+(* ---------------------------------------------------------------- *)
+(* Figure 6: triangular solve GFLOP/s *)
+
+let fig6 () =
+  header "Figure 6: sparse triangular solve GFLOP/s (sparse RHS)";
+  Printf.printf "%-3s %-15s %8s | %8s %8s %8s %8s | %s\n" "ID" "Name" "flops"
+    "Eigen" "VS-Blk" "+VIPrune" "+LowLvl" "Sympiler/Eigen";
+  let speedups = ref [] in
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let l = d.l_factor and b = d.rhs in
+      let x = Vector.sparse_to_dense b in
+      let load () =
+        Array.iteri (fun i _ -> x.(i) <- 0.0) x;
+        Array.iteri (fun k i -> x.(i) <- b.Vector.values.(k)) b.Vector.indices
+      in
+      let bench f =
+        measure (fun () ->
+            load ();
+            f ())
+      in
+      let t_eigen = bench (fun () -> Trisolve_ref.library_ip l x) in
+      let c = d.tri_compiled in
+      let t_vs = bench (fun () -> Trisolve_sympiler.solve_vs_block_ip c x) in
+      let t_vsvi = bench (fun () -> Trisolve_sympiler.solve_vs_vi_ip c x) in
+      let t_full = bench (fun () -> Trisolve_sympiler.solve_full_ip c x) in
+      let gf t = d.tri_flops /. t /. 1e9 in
+      let sp = t_eigen /. t_full in
+      speedups := sp :: !speedups;
+      Printf.printf "%-3d %-15s %8.0f | %8.3f %8.3f %8.3f %8.3f | %.2fx\n" id
+        d.p.Sympiler.Suite.name d.tri_flops (gf t_eigen) (gf t_vs) (gf t_vsvi)
+        (gf t_full) sp)
+    ids;
+  let sp = !speedups in
+  let avg = List.fold_left ( +. ) 0.0 sp /. float_of_int (List.length sp) in
+  Printf.printf "Sympiler(full)/Eigen speedup: min %.2fx avg %.2fx max %.2fx\n"
+    (List.fold_left Float.min infinity sp)
+    avg
+    (List.fold_left Float.max 0.0 sp);
+  section_note "(paper: 1.2x-1.7x over Eigen, average 1.49x)\n"
+
+(* ---------------------------------------------------------------- *)
+(* Figure 7: Cholesky GFLOP/s *)
+
+let fig7 () =
+  header "Figure 7: Cholesky factorization GFLOP/s (numeric phase)";
+  Printf.printf "%-3s %-15s %9s %6s | %8s %8s %8s %8s | %s\n" "ID" "Name"
+    "flops(M)" "avgw" "Eigen" "CHOLMOD" "VS-Blk" "+LowLvl" "variant";
+  let sp_cholmod = ref [] and sp_eigen = ref [] in
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let al = d.p.Sympiler.Suite.a_lower in
+      let an_e = Cholesky_ref.Eigen.analyze al in
+      let t_eigen =
+        measure (fun () -> ignore (Cholesky_ref.Eigen.factor an_e al))
+      in
+      let an_c = Cholesky_supernodal.Cholmod.analyze al in
+      let t_cholmod =
+        measure (fun () -> ignore (Cholesky_supernodal.Cholmod.factor an_c al))
+      in
+      let avgw = Supernodes.avg_width an_c.Cholesky_supernodal.sn in
+      (* Sympiler: the facade decides supernodal vs simplicial by the
+         VS-Block threshold, as the paper's Sympiler skips VS-Block for
+         matrices with small supernodes (3,4,5,7 there). *)
+      let t_sym = Sympiler.Cholesky.compile al in
+      let variant =
+        match t_sym.Sympiler.Cholesky.variant with
+        | Sympiler.Cholesky.Supernodal -> "supernodal"
+        | Sympiler.Cholesky.Simplicial -> "simplicial"
+      in
+      let t_vsblk, t_full =
+        match t_sym.Sympiler.Cholesky.variant with
+        | Sympiler.Cholesky.Supernodal ->
+            let cg =
+              Cholesky_supernodal.Sympiler.compile ~specialized:false al
+            in
+            ( measure (fun () ->
+                  ignore (Cholesky_supernodal.Sympiler.factor cg al)),
+              measure (fun () -> ignore (Sympiler.Cholesky.factor t_sym al)) )
+        | Sympiler.Cholesky.Simplicial ->
+            let t =
+              measure (fun () -> ignore (Sympiler.Cholesky.factor t_sym al))
+            in
+            (t, t)
+      in
+      let fl = t_sym.Sympiler.Cholesky.flops in
+      let gf t = fl /. t /. 1e9 in
+      sp_cholmod := (t_cholmod /. t_full) :: !sp_cholmod;
+      sp_eigen := (t_eigen /. t_full) :: !sp_eigen;
+      Printf.printf "%-3d %-15s %9.1f %6.2f | %8.3f %8.3f %8.3f %8.3f | %s\n" id
+        d.p.Sympiler.Suite.name (fl /. 1e6) avgw (gf t_eigen) (gf t_cholmod)
+        (gf t_vsblk) (gf t_full) variant)
+    ids;
+  let avg l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  Printf.printf
+    "Sympiler speedup: vs Eigen avg %.2fx (max %.2fx), vs CHOLMOD avg %.2fx (max %.2fx)\n"
+    (avg !sp_eigen)
+    (List.fold_left Float.max 0.0 !sp_eigen)
+    (avg !sp_cholmod)
+    (List.fold_left Float.max 0.0 !sp_cholmod);
+  section_note
+    "(paper: up to 6.3x over Eigen, up to 2.4x over CHOLMOD; avg 3.8x / 1.5x)\n"
+
+(* ---------------------------------------------------------------- *)
+(* Figure 8: triangular solve symbolic+numeric, normalized to Eigen *)
+
+let fig8 () =
+  header "Figure 8: trisolve symbolic+numeric time / Eigen time (lower=better)";
+  Printf.printf "%-3s %-15s | %9s %9s %9s |\n" "ID" "Name" "numeric" "symbolic"
+    "sym+num";
+  let totals = ref [] in
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let l = d.l_factor and b = d.rhs in
+      let x = Vector.sparse_to_dense b in
+      let load () =
+        Array.iteri (fun i _ -> x.(i) <- 0.0) x;
+        Array.iteri (fun k i -> x.(i) <- b.Vector.values.(k)) b.Vector.indices
+      in
+      let t_eigen =
+        measure (fun () ->
+            load ();
+            Trisolve_ref.library_ip l x)
+      in
+      (* Paper accounting (§4.3): the symbolic inspector is the reach-set
+         DFS; everything else in [compile] (supernode detection, planning)
+         is code generation, reported separately as a multiple of the
+         numeric solve (paper: 6-197x). *)
+      let t_symbolic =
+        measure (fun () -> ignore (Dep_graph.reach l b.Vector.indices))
+      in
+      let t0 = Unix.gettimeofday () in
+      let c = Trisolve_sympiler.compile l b in
+      let t_compile = Unix.gettimeofday () -. t0 in
+      let t_codegen = Float.max 0.0 (t_compile -. t_symbolic) in
+      let t_numeric =
+        measure (fun () ->
+            load ();
+            Trisolve_sympiler.solve_full_ip c x)
+      in
+      let r_num = t_numeric /. t_eigen in
+      let r_sym = t_symbolic /. t_eigen in
+      totals := (r_num +. r_sym) :: !totals;
+      Printf.printf "%-3d %-15s | %9.2f %9.2f %9.2f |  codegen = %5.0fx solve\n"
+        id d.p.Sympiler.Suite.name r_num r_sym (r_num +. r_sym)
+        (t_codegen /. t_numeric))
+    ids;
+  let avg = List.fold_left ( +. ) 0.0 !totals /. 11.0 in
+  Printf.printf "average symbolic+numeric / Eigen: %.2fx\n" avg;
+  section_note
+    "(paper: Sympiler sym+num averages 1.27x Eigen's time, and code\n\
+    \ generation + compilation costs 6-197x the numeric solve; both\n\
+    \ amortize across repeated solves with a fixed pattern)\n"
+
+(* ---------------------------------------------------------------- *)
+(* Figure 9: Cholesky symbolic+numeric, normalized to Eigen total *)
+
+let fig9 () =
+  header
+    "Figure 9: Cholesky symbolic+numeric time / Eigen total (lower=better)";
+  Printf.printf "%-3s %-15s | %7s %7s | %7s %7s | %7s %7s | %s\n" "ID" "Name"
+    "Eig.num" "Eig.sym" "Chm.num" "Chm.sym" "Sym.num" "Sym.sym" "totals";
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let al = d.p.Sympiler.Suite.a_lower in
+      let sym_time f =
+        let ts =
+          Array.init 3 (fun _ ->
+              let t0 = Unix.gettimeofday () in
+              ignore (Sys.opaque_identity (f ()));
+              Unix.gettimeofday () -. t0)
+        in
+        Array.sort compare ts;
+        ts.(1)
+      in
+      let an_e = Cholesky_ref.Eigen.analyze al in
+      let eig_sym = sym_time (fun () -> Cholesky_ref.Eigen.analyze al) in
+      let eig_num =
+        measure (fun () -> ignore (Cholesky_ref.Eigen.factor an_e al))
+      in
+      let an_c = Cholesky_supernodal.Cholmod.analyze al in
+      let chm_sym = sym_time (fun () -> Cholesky_supernodal.Cholmod.analyze al) in
+      let chm_num =
+        measure (fun () -> ignore (Cholesky_supernodal.Cholmod.factor an_c al))
+      in
+      let t_sym = Sympiler.Cholesky.compile al in
+      let sym_sym = sym_time (fun () -> Sympiler.Cholesky.compile al) in
+      let sym_num =
+        measure (fun () -> ignore (Sympiler.Cholesky.factor t_sym al))
+      in
+      let base = eig_num +. eig_sym in
+      let r v = v /. base in
+      Printf.printf
+        "%-3d %-15s | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f | eig %.2f chm %.2f sym %.2f\n"
+        id d.p.Sympiler.Suite.name (r eig_num) (r eig_sym) (r chm_num)
+        (r chm_sym) (r sym_num) (r sym_sym)
+        (r (eig_num +. eig_sym))
+        (r (chm_num +. chm_sym))
+        (r (sym_num +. sym_sym)))
+    ids;
+  section_note
+    "(paper: Sympiler's accumulated symbolic+numeric time beats both\n\
+    \ libraries in nearly all cases)\n"
+
+(* ---------------------------------------------------------------- *)
+(* §1.1 motivating numbers *)
+
+let intro () =
+  header
+    "Section 1.1: trisolve speedup vs naive (Fig 1b) and library (Fig 1c)";
+  Printf.printf "%-3s %-15s | %10s %10s\n" "ID" "Name" "vs naive" "vs library";
+  let vs_naive = ref [] and vs_lib = ref [] in
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let l = d.l_factor and b = d.rhs in
+      let x = Vector.sparse_to_dense b in
+      let load () =
+        Array.iteri (fun i _ -> x.(i) <- 0.0) x;
+        Array.iteri (fun k i -> x.(i) <- b.Vector.values.(k)) b.Vector.indices
+      in
+      let t_naive =
+        measure (fun () ->
+            load ();
+            Trisolve_ref.naive_ip l x)
+      in
+      let t_lib =
+        measure (fun () ->
+            load ();
+            Trisolve_ref.library_ip l x)
+      in
+      let c = d.tri_compiled in
+      let t_full =
+        measure (fun () ->
+            load ();
+            Trisolve_sympiler.solve_full_ip c x)
+      in
+      vs_naive := (t_naive /. t_full) :: !vs_naive;
+      vs_lib := (t_lib /. t_full) :: !vs_lib;
+      Printf.printf "%-3d %-15s | %9.1fx %9.2fx\n" id d.p.Sympiler.Suite.name
+        (t_naive /. t_full) (t_lib /. t_full))
+    ids;
+  let stats l =
+    ( List.fold_left Float.min infinity l,
+      List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l),
+      List.fold_left Float.max 0.0 l )
+  in
+  let n0, n1, n2 = stats !vs_naive and l0, l1, l2 = stats !vs_lib in
+  Printf.printf
+    "vs naive:   min %.1fx avg %.1fx max %.1fx  (paper: 8.4x / 13.6x / 19x)\n"
+    n0 n1 n2;
+  Printf.printf
+    "vs library: min %.2fx avg %.2fx max %.2fx (paper: 1.2x / 1.3x / 1.7x)\n"
+    l0 l1 l2
+
+(* ---------------------------------------------------------------- *)
+(* Ablation A1: the VS-Block threshold (§4.2; width-based here). *)
+
+let ablation_threshold () =
+  header "Ablation A1: supernodal vs simplicial Cholesky by avg supernode width";
+  Printf.printf "%-3s %-15s %6s | %9s %9s | %s\n" "ID" "Name" "avgw" "supern."
+    "simplic." "winner";
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let al = d.p.Sympiler.Suite.a_lower in
+      let cs = Cholesky_supernodal.Sympiler.compile al in
+      let t_sn =
+        measure (fun () -> ignore (Cholesky_supernodal.Sympiler.factor cs al))
+      in
+      let cd = Cholesky_ref.Decoupled.compile al in
+      let t_si =
+        measure (fun () -> ignore (Cholesky_ref.Decoupled.factor cd al))
+      in
+      let avgw =
+        Supernodes.avg_width
+          cs.Cholesky_supernodal.Sympiler.an.Cholesky_supernodal.sn
+      in
+      Printf.printf "%-3d %-15s %6.2f | %8.1fms %8.1fms | %s\n" id
+        d.p.Sympiler.Suite.name avgw (t_sn *. 1e3) (t_si *. 1e3)
+        (if t_sn < t_si then "supernodal" else "simplicial"))
+    ids;
+  section_note
+    "(motivates the facade's vs_block_threshold: VS-Block pays off only\n\
+    \ above a minimum average supernode width, mirroring the paper's\n\
+    \ hand-tuned threshold of 160)\n"
+
+(* Ablation A2: low-level transformations on/off. *)
+
+let ablation_lowlevel () =
+  header "Ablation A2: effect of specialized kernels + peeling";
+  Printf.printf "%-3s %-15s | %10s %10s %7s | %10s %10s %7s\n" "ID" "Name"
+    "tri-gen" "tri-spec" "gain" "chol-gen" "chol-spec" "gain";
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let l = d.l_factor and b = d.rhs in
+      ignore l;
+      let x = Vector.sparse_to_dense b in
+      let load () =
+        Array.iteri (fun i _ -> x.(i) <- 0.0) x;
+        Array.iteri (fun k i -> x.(i) <- b.Vector.values.(k)) b.Vector.indices
+      in
+      let c = d.tri_compiled in
+      let t_gen =
+        measure (fun () ->
+            load ();
+            Trisolve_sympiler.solve_vs_vi_ip c x)
+      in
+      let t_spec =
+        measure (fun () ->
+            load ();
+            Trisolve_sympiler.solve_full_ip c x)
+      in
+      let al = d.p.Sympiler.Suite.a_lower in
+      let cg = Cholesky_supernodal.Sympiler.compile ~specialized:false al in
+      let cspec = Cholesky_supernodal.Sympiler.compile ~specialized:true al in
+      let t_cg =
+        measure (fun () -> ignore (Cholesky_supernodal.Sympiler.factor cg al))
+      in
+      let t_cs =
+        measure (fun () ->
+            ignore (Cholesky_supernodal.Sympiler.factor cspec al))
+      in
+      Printf.printf
+        "%-3d %-15s | %8.2fus %8.2fus %6.2fx | %8.1fms %8.1fms %6.2fx\n" id
+        d.p.Sympiler.Suite.name (t_gen *. 1e6) (t_spec *. 1e6)
+        (t_gen /. t_spec) (t_cg *. 1e3) (t_cs *. 1e3) (t_cg /. t_cs))
+    ids
+
+(* ---------------------------------------------------------------- *)
+(* Extensions: §3.3 methods beyond the paper's figures. *)
+
+let extensions () =
+  header "Extensions: rank-1 update, factorization variants, parallel trisolve";
+  (* Rank-1 update vs full refactorization: the method's entire point. *)
+  Printf.printf "%-3s %-15s | %10s %10s %8s | %8s
+" "ID" "Name" "refactor"
+    "rank-1 upd" "speedup" "path len";
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let al = d.p.Sympiler.Suite.a_lower in
+      let fill = Fill_pattern.analyze al in
+      let parent = fill.Fill_pattern.parent in
+      let t_sym = Sympiler.Cholesky.compile al in
+      let l = Sympiler.Cholesky.factor t_sym al in
+      let w = Rank_update.vector_like l ~j:(al.Csc.ncols / 3) ~scale:0.3 in
+      let cu = Rank_update.compile ~parent w in
+      let t_refactor =
+        measure (fun () -> ignore (Sympiler.Cholesky.factor t_sym al))
+      in
+      let t_update =
+        measure (fun () ->
+            Rank_update.apply cu l w;
+            Rank_update.apply ~sigma:(-1.0) cu l w)
+      in
+      (* one update+downdate pair = 2 rank-1 operations *)
+      let per_op = t_update /. 2.0 in
+      Printf.printf "%-3d %-15s | %8.2fms %8.3fms %7.0fx | %8d
+" id
+        d.p.Sympiler.Suite.name (t_refactor *. 1e3) (per_op *. 1e3)
+        (t_refactor /. per_op)
+        (Array.length cu.Rank_update.path))
+    ids;
+  (* Factorization variants on one representative problem. *)
+  let d = prob 6 in
+  let al = d.p.Sympiler.Suite.a_lower in
+  let cl = Cholesky_leftlooking.compile al in
+  let t_left = measure (fun () -> ignore (Cholesky_leftlooking.factor cl al)) in
+  let cd = Cholesky_ref.Decoupled.compile al in
+  let t_up = measure (fun () -> ignore (Cholesky_ref.Decoupled.factor cd al)) in
+  let fl = cl.Cholesky_leftlooking.flops in
+  Printf.printf
+    "
+Figure 4 left-looking vs up-looking (msc23052): %.3f vs %.3f GFLOP/s
+"
+    (fl /. t_left /. 1e9) (fl /. t_up /. 1e9);
+  (* Level-set statistics for the parallel trisolve. *)
+  Printf.printf "
+Level-set trisolve schedules (wavefront parallelism):
+";
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let c = Trisolve_parallel.compile d.l_factor in
+      let widths =
+        Array.init c.Trisolve_parallel.nlevels (fun l ->
+            c.Trisolve_parallel.level_ptr.(l + 1)
+            - c.Trisolve_parallel.level_ptr.(l))
+      in
+      let maxw = Array.fold_left max 0 widths in
+      Printf.printf
+        "  %-15s n=%6d levels=%5d max width=%6d avg width=%7.1f
+"
+        d.p.Sympiler.Suite.name d.l_factor.Csc.ncols
+        c.Trisolve_parallel.nlevels maxw
+        (float_of_int d.l_factor.Csc.ncols
+        /. float_of_int c.Trisolve_parallel.nlevels))
+    ids
+
+(* ---------------------------------------------------------------- *)
+(* Bechamel variant: one Test.make per experiment. *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let d = prob 1 in
+  let al = d.p.Sympiler.Suite.a_lower in
+  let b = d.rhs in
+  let x = Vector.sparse_to_dense b in
+  let load () =
+    Array.iteri (fun i _ -> x.(i) <- 0.0) x;
+    Array.iteri (fun k i -> x.(i) <- b.Vector.values.(k)) b.Vector.indices
+  in
+  let an_e = Cholesky_ref.Eigen.analyze al in
+  let an_c = Cholesky_supernodal.Cholmod.analyze al in
+  let cs = Cholesky_supernodal.Sympiler.compile al in
+  let c = d.tri_compiled in
+  let l = d.l_factor in
+  Test.make_grouped ~name:"sympiler"
+    [
+      Test.make ~name:"fig6/trisolve-eigen"
+        (Staged.stage (fun () ->
+             load ();
+             Trisolve_ref.library_ip l x));
+      Test.make ~name:"fig6/trisolve-sympiler"
+        (Staged.stage (fun () ->
+             load ();
+             Trisolve_sympiler.solve_full_ip c x));
+      Test.make ~name:"fig7/cholesky-eigen"
+        (Staged.stage (fun () -> ignore (Cholesky_ref.Eigen.factor an_e al)));
+      Test.make ~name:"fig7/cholesky-cholmod"
+        (Staged.stage (fun () ->
+             ignore (Cholesky_supernodal.Cholmod.factor an_c al)));
+      Test.make ~name:"fig7/cholesky-sympiler"
+        (Staged.stage (fun () ->
+             ignore (Cholesky_supernodal.Sympiler.factor cs al)));
+      Test.make ~name:"fig8/trisolve-symbolic"
+        (Staged.stage (fun () -> ignore (Trisolve_sympiler.compile l b)));
+      Test.make ~name:"fig9/cholesky-symbolic"
+        (Staged.stage (fun () ->
+             ignore (Cholesky_supernodal.Sympiler.compile al)));
+      Test.make ~name:"table2/generator"
+        (Staged.stage (fun () ->
+             ignore
+               (Generators.clique_chain ~seed:11 ~n:400 ~clique:16 ~overlap:4
+                  ())));
+    ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun name tbl ->
+      Hashtbl.iter
+        (fun test result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "%-40s %-18s %14.1f ns/run\n" test name est
+          | _ -> ())
+        tbl)
+    merged
+
+let () =
+  if use_bechamel then run_bechamel ()
+  else begin
+    Printf.printf
+      "Sympiler reproduction benchmarks (median of %d, window %.2fs%s)\n"
+      reps_outer min_window
+      (if quick then ", --quick" else "");
+    if run_section "table2" then table2 ();
+    if run_section "fig6" then fig6 ();
+    if run_section "fig7" then fig7 ();
+    if run_section "fig8" then fig8 ();
+    if run_section "fig9" then fig9 ();
+    if run_section "intro" then intro ();
+    if run_section "ablation-threshold" then ablation_threshold ();
+    if run_section "ablation-lowlevel" then ablation_lowlevel ();
+    if run_section "extensions" then extensions ()
+  end

@@ -1,0 +1,127 @@
+(* Command-line front end: read a matrix (Matrix Market) or pick a suite
+   problem, run Sympiler's symbolic analysis, and emit specialized C code or
+   an analysis report.
+
+     sympiler_cli analyze  --matrix m.mtx
+     sympiler_cli cholesky --matrix m.mtx -o chol.c
+     sympiler_cli trisolve --matrix m.mtx --rhs-fill 0.03 -o tri.c
+     sympiler_cli analyze  --problem ecology2 *)
+
+open Cmdliner
+open Sympiler_sparse
+open Sympiler_symbolic
+
+let load ~matrix ~problem =
+  match (matrix, problem) with
+  | Some path, _ ->
+      let a = Matrix_market.read path in
+      if a.Csc.nrows <> a.Csc.ncols then failwith "matrix must be square";
+      a
+  | None, Some name ->
+      (Sympiler.Suite.problem
+         (Generators.problem_by_name name).Generators.id)
+        .Sympiler.Suite.a_full
+  | None, None -> failwith "pass --matrix FILE or --problem NAME"
+
+let output o s =
+  match o with
+  | None -> print_string s
+  | Some path ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc s);
+      Printf.eprintf "wrote %s (%d bytes)\n" path (String.length s)
+
+(* ---- analyze ---- *)
+
+let analyze matrix problem =
+  let a = load ~matrix ~problem in
+  let al = Csc.lower a in
+  let t0 = Unix.gettimeofday () in
+  let fill = Fill_pattern.analyze al in
+  let sn =
+    Supernodes.detect_etree ~counts:fill.Fill_pattern.counts
+      ~parent:fill.Fill_pattern.parent ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "n                : %d\n" a.Csc.ncols;
+  Printf.printf "nnz(A)           : %d\n" (Csc.nnz a);
+  Printf.printf "nnz(L)           : %d (fill ratio %.2f)\n"
+    (Csc.nnz fill.Fill_pattern.l_pattern)
+    (float_of_int (Csc.nnz fill.Fill_pattern.l_pattern)
+    /. float_of_int (Csc.nnz al));
+  Printf.printf "factor flops     : %.3e\n" (Fill_pattern.flops fill);
+  Printf.printf "supernodes       : %d (avg width %.2f, max %d)\n"
+    (Supernodes.nsuper sn) (Supernodes.avg_width sn)
+    (Array.fold_left max 0 (Supernodes.widths sn));
+  Printf.printf "etree roots      : %d\n"
+    (List.length (Etree.roots fill.Fill_pattern.parent));
+  Printf.printf "symbolic time    : %.1f ms\n" (dt *. 1e3);
+  0
+
+(* ---- cholesky codegen ---- *)
+
+let cholesky matrix problem out =
+  let a = load ~matrix ~problem in
+  let al = Csc.lower a in
+  let t = Sympiler.Cholesky.compile al in
+  Printf.eprintf "variant: %s, nnz(L)=%d, symbolic %.1f ms\n"
+    (match t.Sympiler.Cholesky.variant with
+    | Sympiler.Cholesky.Supernodal -> "supernodal"
+    | Sympiler.Cholesky.Simplicial -> "simplicial")
+    t.Sympiler.Cholesky.nnz_l
+    (t.Sympiler.Cholesky.symbolic_seconds *. 1e3);
+  output out (Sympiler.Cholesky.c_code t);
+  0
+
+(* ---- trisolve codegen ---- *)
+
+let trisolve matrix problem rhs_fill out =
+  let a = load ~matrix ~problem in
+  let l =
+    if Csc.is_lower_triangular a then a
+    else begin
+      Printf.eprintf "input not triangular: factoring and using its L\n";
+      let t = Sympiler.Cholesky.compile (Csc.lower a) in
+      Sympiler.Cholesky.factor t (Csc.lower a)
+    end
+  in
+  let b = Generators.sparse_rhs ~seed:1 ~n:l.Csc.ncols ~fill:rhs_fill () in
+  let t = Sympiler.Trisolve.compile l b in
+  Printf.eprintf "reach-set: %d of %d columns, symbolic %.1f ms\n"
+    (Array.length t.Sympiler.Trisolve.reach)
+    l.Csc.ncols
+    (t.Sympiler.Trisolve.symbolic_seconds *. 1e3);
+  output out (Sympiler.Trisolve.c_code t);
+  0
+
+(* ---- cmdliner wiring ---- *)
+
+let matrix_arg =
+  Arg.(value & opt (some string) None & info [ "matrix"; "m" ] ~doc:"Matrix Market file")
+
+let problem_arg =
+  Arg.(value & opt (some string) None & info [ "problem"; "p" ] ~doc:"Suite problem name (Table 2)")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file (default stdout)")
+
+let rhs_fill_arg =
+  Arg.(value & opt float 0.03 & info [ "rhs-fill" ] ~doc:"RHS fill fraction")
+
+let analyze_cmd =
+  Cmd.v (Cmd.info "analyze" ~doc:"Report symbolic analysis of a matrix")
+    Term.(const analyze $ matrix_arg $ problem_arg)
+
+let cholesky_cmd =
+  Cmd.v (Cmd.info "cholesky" ~doc:"Emit specialized Cholesky C code")
+    Term.(const cholesky $ matrix_arg $ problem_arg $ out_arg)
+
+let trisolve_cmd =
+  Cmd.v (Cmd.info "trisolve" ~doc:"Emit specialized triangular-solve C code")
+    Term.(const trisolve $ matrix_arg $ problem_arg $ rhs_fill_arg $ out_arg)
+
+let () =
+  let doc = "Sympiler: sparsity-specific code generation for sparse kernels" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "sympiler_cli" ~doc)
+          [ analyze_cmd; cholesky_cmd; trisolve_cmd ]))

@@ -1,0 +1,1 @@
+examples/active_set.ml: Array Csc Fill_pattern Generators Printf Rank_update Sympiler Sympiler_kernels Sympiler_sparse Sympiler_symbolic Unix Utils

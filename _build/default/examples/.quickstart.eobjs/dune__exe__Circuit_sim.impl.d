@@ -1,0 +1,1 @@
+examples/circuit_sim.ml: Array Csc Generators Printf Sympiler Sympiler_sparse Unix Utils Vector

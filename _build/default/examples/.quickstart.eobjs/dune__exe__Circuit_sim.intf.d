@@ -1,0 +1,1 @@
+examples/circuit_sim.mli:

@@ -1,0 +1,1 @@
+examples/fem_poisson.ml: Array Cholesky_ref Csc Generators Perm Printf Sympiler Sympiler_kernels Sympiler_sparse Unix

@@ -1,0 +1,1 @@
+examples/fem_poisson.mli:

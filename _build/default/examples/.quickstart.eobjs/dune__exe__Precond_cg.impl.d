@@ -1,0 +1,1 @@
+examples/precond_cg.ml: Array Csc Generators Ic0 Printf Sympiler_kernels Sympiler_sparse Trisolve_ref Unix Vector

@@ -1,0 +1,1 @@
+examples/precond_cg.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Csc Generators List Printf String Sympiler Sympiler_sparse Vector

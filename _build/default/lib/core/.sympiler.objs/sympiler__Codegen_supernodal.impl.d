@@ -1,0 +1,1 @@
+lib/core/codegen_supernodal.ml: Array Buffer Cholesky_supernodal Csc Printf Sympiler_kernels Sympiler_sparse Sympiler_symbolic

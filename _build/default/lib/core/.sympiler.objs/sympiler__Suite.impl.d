@@ -1,0 +1,1 @@
+lib/core/suite.ml: Array Csc Etree Generators Hashtbl Lazy List Ordering Perm Postorder Sympiler_sparse Sympiler_symbolic Utils Vector

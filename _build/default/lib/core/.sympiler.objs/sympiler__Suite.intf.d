@@ -1,0 +1,1 @@
+lib/core/suite.mli: Csc Generators Perm Sympiler_sparse Vector

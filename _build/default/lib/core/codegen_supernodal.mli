@@ -1,0 +1,15 @@
+open Sympiler_sparse
+open Sympiler_kernels
+
+(** Direct C emission for the supernodal (VS-Block) Cholesky executor. The
+    VS-Block lowering is heavily domain-specific (§2.3.2), so instead of
+    the generic AST this emitter specializes the supernodal left-looking
+    driver with every inspection set — supernode boundaries, the update
+    schedule, L's pattern — baked in as static data. The only runtime
+    parameters of the generated function are [Ax] (input values) and [Lx]
+    (output factor values). Generated files compile with [gcc -O2 -lm];
+    the test suite runs them and compares factors bit-for-bit with the
+    OCaml executor. *)
+
+val to_c : Cholesky_supernodal.Sympiler.compiled -> Csc.t -> string
+(** [to_c compiled a_lower]: the complete C translation unit. *)

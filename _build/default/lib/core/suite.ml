@@ -1,0 +1,81 @@
+open Sympiler_sparse
+open Sympiler_symbolic
+
+(* The benchmark suite: Table 2's eleven problems, prepared the way the
+   paper's libraries see them. Eigen and CHOLMOD apply a fill-reducing
+   ordering in their recommended default configuration, so the mesh/grid
+   problems are pre-permuted with minimum degree followed by an elimination
+   tree postorder (which makes supernodes contiguous); the generators whose
+   natural ordering already is the physical/structural one (cliques, block
+   structures, banded) are used as-is. The same prepared matrix is given to
+   every implementation. *)
+
+type prepared = {
+  id : int;
+  name : string;
+  descr : string;
+  ordering : string;
+  a_full : Csc.t; (* full symmetric matrix, prepared ordering *)
+  a_lower : Csc.t; (* lower-triangular part (input to factorizations) *)
+}
+
+let min_degree_postorder (a : Csc.t) : Perm.t =
+  let p = Ordering.min_degree a in
+  let ap = Perm.symmetric_permute p a in
+  let parent = Etree.compute (Csc.lower ap) in
+  let post = Postorder.compute parent in
+  Perm.compose post p
+
+let prepare (p : Generators.problem) : prepared =
+  let a = Lazy.force p.Generators.matrix in
+  let reorder =
+    (* Grid/mesh problems get the fill-reducing treatment. *)
+    match p.Generators.name with
+    | "Pres_Poisson" | "Dubcova2" | "Dubcova3" | "parabolic_fem" | "ecology2"
+    | "tmt_sym" ->
+        true
+    | _ -> false
+  in
+  let a_full, ordering =
+    if reorder then
+      (Perm.symmetric_permute (min_degree_postorder a) a, "min-degree+postorder")
+    else (a, "natural")
+  in
+  {
+    id = p.Generators.id;
+    name = p.Generators.name;
+    descr = p.Generators.descr;
+    ordering;
+    a_full;
+    a_lower = Csc.lower a_full;
+  }
+
+let cache : (int, prepared) Hashtbl.t = Hashtbl.create 16
+
+let problem (id : int) : prepared =
+  match Hashtbl.find_opt cache id with
+  | Some p -> p
+  | None ->
+      let g = List.find (fun g -> g.Generators.id = id) Generators.suite in
+      let p = prepare g in
+      Hashtbl.replace cache id p;
+      p
+
+let all () : prepared list =
+  List.map (fun g -> problem g.Generators.id) Generators.suite
+
+(* A sparse RHS in the paper's setting: the triangular solve is a sub-kernel
+   of factorization / rank-update methods, so b's pattern is the pattern of
+   a matrix column ("typically the sparsity of the RHS is close to the
+   sparsity of the columns of a sparse matrix", §4.2; all columns have fill
+   below 5%). We take the pattern of a mid-matrix column of lower(A), which
+   by Gilbert-Peierls makes the reach-set equal the pattern of L's column. *)
+let rhs_for (p : prepared) : Vector.sparse =
+  let al = p.a_lower in
+  let n = al.Csc.ncols in
+  let j = n / 4 in
+  let lo = al.Csc.colptr.(j) and hi = al.Csc.colptr.(j + 1) in
+  let indices = Array.sub al.Csc.rowind lo (hi - lo) in
+  let rng = Utils.Rng.create (100 + p.id) in
+  let values = Array.map (fun _ -> Utils.Rng.float_range rng 0.5 1.5) indices in
+  { Vector.n; indices; values }

@@ -1,0 +1,158 @@
+open Sympiler_sparse
+open Sympiler_kernels
+
+(* Public facade: Sympiler as the paper presents it. [Trisolve.compile] and
+   [Cholesky.compile] run all symbolic analysis and code generation once for
+   a fixed sparsity structure; the returned handles expose numeric routines
+   that contain no symbolic work, the generated C source, and the time the
+   symbolic phase took (reported in the paper's Figures 8 and 9). *)
+
+(* Re-export the companion modules: since this module shares the library's
+   name it is the library's sole interface. *)
+module Suite = Suite
+module Codegen_supernodal = Codegen_supernodal
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+module Trisolve = struct
+  type t = {
+    l : Csc.t;
+    b_pattern : int array;
+    compiled : Trisolve_sympiler.compiled;
+    symbolic_seconds : float;
+    reach : int array;
+    flops : float;
+  }
+
+  (* Symbolic inspection + inspector-guided planning for L x = b with the
+     given RHS pattern. The numeric values of L and b may change afterwards;
+     only the patterns are compiled in. *)
+  let compile ?vs_block_threshold ?max_width (l : Csc.t) (b : Vector.sparse) :
+      t =
+    if not (Csc.is_lower_triangular l) then
+      invalid_arg "Sympiler.Trisolve.compile: L must be lower triangular";
+    let compiled, symbolic_seconds =
+      time_it (fun () ->
+          Trisolve_sympiler.compile ?vs_block_threshold ?max_width l b)
+    in
+    {
+      l;
+      b_pattern = b.Vector.indices;
+      compiled;
+      symbolic_seconds;
+      reach = compiled.Trisolve_sympiler.reach;
+      flops = compiled.Trisolve_sympiler.flops;
+    }
+
+  (* Numeric solve (no symbolic work): x such that L x = b. [b] must have
+     the pattern given at compile time (values free to differ). *)
+  let solve (t : t) (b : Vector.sparse) : float array =
+    Trisolve_sympiler.solve_full t.compiled b
+
+  (* In-place numeric solve: [x] holds b on entry, the solution on exit. *)
+  let solve_ip (t : t) (x : float array) : unit =
+    Trisolve_sympiler.solve_full_ip t.compiled x
+
+  (* Generated C source implementing the same specialized solve
+     (VS-Block + VI-Prune + low-level transformations). *)
+  let c_code (t : t) : string =
+    let b =
+      {
+        Vector.n = t.l.Csc.ncols;
+        indices = t.b_pattern;
+        values = Array.map (fun _ -> 1.0) t.b_pattern;
+      }
+    in
+    (Sympiler_ir.Pipeline.trisolve t.l b).Sympiler_ir.Pipeline.c_code
+end
+
+module Cholesky = struct
+  type variant = Supernodal | Simplicial
+
+  type t = {
+    variant : variant;
+    supernodal : Cholesky_supernodal.Sympiler.compiled option;
+    simplicial : Cholesky_ref.Decoupled.compiled option;
+    pattern : Csc.t; (* lower(A) pattern compiled against *)
+    symbolic_seconds : float;
+    flops : float;
+    nnz_l : int;
+  }
+
+  (* Compile Cholesky for the pattern of lower-triangular [a_lower]. The
+     supernodal variant (VS-Block + low-level) is the default; [Simplicial]
+     gives the column (VI-Prune-only) code. [vs_block_threshold]: minimum
+     average supernode width for VS-Block to pay off (paper §4.2) — below
+     it compilation falls back to the simplicial variant automatically. *)
+  let compile ?(variant = Supernodal) ?(specialized = true)
+      ?(vs_block_threshold = 2.0) ?max_width (a_lower : Csc.t) : t =
+    if not (Csc.is_lower_triangular a_lower) then
+      invalid_arg "Sympiler.Cholesky.compile: pass lower(A)";
+    let (sup, simp, flops, nnz_l), symbolic_seconds =
+      time_it (fun () ->
+          (* One shared symbolic factorization; the variant decision (the
+             paper's VS-Block threshold) is taken on the cheap supernode
+             statistics before any variant-specific planning is built. *)
+          let fill = Sympiler_symbolic.Fill_pattern.analyze a_lower in
+          let flops = Sympiler_symbolic.Fill_pattern.flops fill in
+          let nnz_l =
+            fill.Sympiler_symbolic.Fill_pattern.l_pattern.Csc.colptr.(a_lower
+                                                                        .Csc
+                                                                        .ncols)
+          in
+          let go_supernodal =
+            match variant with
+            | Simplicial -> false
+            | Supernodal ->
+                let sn =
+                  Sympiler_symbolic.Supernodes.detect_etree ?max_width
+                    ~counts:fill.Sympiler_symbolic.Fill_pattern.counts
+                    ~parent:fill.Sympiler_symbolic.Fill_pattern.parent ()
+                in
+                Sympiler_symbolic.Supernodes.avg_width sn >= vs_block_threshold
+          in
+          if go_supernodal then
+            let c =
+              Cholesky_supernodal.Sympiler.compile ~fill ?max_width
+                ~specialized a_lower
+            in
+            (Some c, None, flops, nnz_l)
+          else
+            let d = Cholesky_ref.Decoupled.compile ~fill a_lower in
+            (None, Some d, flops, nnz_l))
+    in
+    let variant = if sup = None then Simplicial else variant in
+    {
+      variant;
+      supernodal = sup;
+      simplicial = simp;
+      pattern = a_lower;
+      symbolic_seconds;
+      flops;
+      nnz_l;
+    }
+
+  (* Numeric factorization: A = L L^T for any [a_lower] sharing the compiled
+     pattern. *)
+  let factor (t : t) (a_lower : Csc.t) : Csc.t =
+    match (t.supernodal, t.simplicial) with
+    | Some c, _ -> Cholesky_supernodal.Sympiler.factor c a_lower
+    | None, Some d -> Cholesky_ref.Decoupled.factor d a_lower
+    | None, None -> assert false
+
+  (* Solve A x = b: numeric factorization + two triangular solves. *)
+  let solve (t : t) (a_lower : Csc.t) (b : float array) : float array =
+    let l = factor t a_lower in
+    Cholesky_ref.solve_with_factor l b
+
+  (* Generated C source: the supernodal driver with baked-in schedule, or
+     the fully specialized simplicial kernel from the AST pipeline. *)
+  let c_code (t : t) : string =
+    match t.supernodal with
+    | Some c -> Codegen_supernodal.to_c c t.pattern
+    | None ->
+        (Sympiler_ir.Pipeline.cholesky t.pattern).Sympiler_ir.Pipeline.c_code
+end

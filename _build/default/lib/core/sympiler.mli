@@ -1,0 +1,82 @@
+open Sympiler_sparse
+open Sympiler_kernels
+
+(** Public facade: Sympiler as the paper presents it. [compile] runs all
+    symbolic analysis (and can emit specialized C) once for a fixed
+    sparsity structure; the returned handles expose numeric routines that
+    contain no symbolic work, plus the time the symbolic phase took
+    (the quantity of Figures 8 and 9). *)
+
+module Suite = Suite
+(** The prepared Table 2 benchmark suite. *)
+
+module Codegen_supernodal = Codegen_supernodal
+(** C emission for the supernodal Cholesky executor. *)
+
+(** Sparse triangular solve [L x = b] with a sparse right-hand side. *)
+module Trisolve : sig
+  type t = {
+    l : Csc.t;
+    b_pattern : int array;
+    compiled : Trisolve_sympiler.compiled;
+    symbolic_seconds : float;  (** one-time inspection + planning cost *)
+    reach : int array;  (** the reach-set (VI-Prune inspection set) *)
+    flops : float;  (** useful flops of the pruned numeric solve *)
+  }
+
+  val compile : ?vs_block_threshold:float -> ?max_width:int -> Csc.t -> Vector.sparse -> t
+  (** Symbolic inspection and inspector-guided planning for the patterns of
+      [l] and [b]; numeric values are free to change afterwards. Raises
+      [Invalid_argument] when [l] is not lower triangular. *)
+
+  val solve : t -> Vector.sparse -> float array
+  (** Numeric-only solve; [b] must have the compiled pattern. *)
+
+  val solve_ip : t -> float array -> unit
+  (** In-place: [x] holds b on entry, the solution on exit. *)
+
+  val c_code : t -> string
+  (** Specialized C implementing the same solve (VS-Block + VI-Prune +
+      low-level transformations), from the {!Sympiler_ir.Pipeline}. *)
+end
+
+(** Sparse Cholesky factorization [A = L L^T]. *)
+module Cholesky : sig
+  type variant = Supernodal | Simplicial
+
+  type t = {
+    variant : variant;  (** what [compile] actually chose *)
+    supernodal : Cholesky_supernodal.Sympiler.compiled option;
+    simplicial : Cholesky_ref.Decoupled.compiled option;
+    pattern : Csc.t;
+    symbolic_seconds : float;
+    flops : float;
+    nnz_l : int;
+  }
+
+  val compile :
+    ?variant:variant ->
+    ?specialized:bool ->
+    ?vs_block_threshold:float ->
+    ?max_width:int ->
+    Csc.t ->
+    t
+  (** Compile for the pattern of lower-triangular [a_lower]. The supernodal
+      (VS-Block) variant is requested by default but applied only when the
+      average supernode width reaches [vs_block_threshold] (default 2.0) —
+      the paper's hand-tuned profitability threshold (§4.2); below it
+      compilation falls back to the simplicial (VI-Prune-only) code, as
+      Sympiler does for matrices 3,4,5,7. Raises [Invalid_argument] on
+      non-lower-triangular input. *)
+
+  val factor : t -> Csc.t -> Csc.t
+  (** Numeric-only factorization for any values sharing the compiled
+      pattern. *)
+
+  val solve : t -> Csc.t -> float array -> float array
+  (** [A x = b]: numeric factorization + two triangular solves. *)
+
+  val c_code : t -> string
+  (** Specialized C: the supernodal driver with its baked-in schedule, or
+      the fully specialized simplicial kernel from the AST pipeline. *)
+end

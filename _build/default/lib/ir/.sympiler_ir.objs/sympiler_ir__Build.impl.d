@@ -1,0 +1,1 @@
+lib/ir/build.ml: Array Ast Csc Sympiler_sparse Sympiler_symbolic

@@ -1,0 +1,1 @@
+lib/ir/build.mli: Ast Csc Sympiler_sparse

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Ast Float Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/ir/lowlevel.ml: Ast List Printf

@@ -1,0 +1,1 @@
+lib/ir/pipeline.ml: Array Ast Build Csc Fill_pattern Inspector Interp List Lowlevel Pretty_c Supernodes Sympiler_sparse Sympiler_symbolic Vector Vi_prune Vs_block

@@ -1,0 +1,1 @@
+lib/ir/pipeline.mli: Ast Csc Sympiler_sparse Vector

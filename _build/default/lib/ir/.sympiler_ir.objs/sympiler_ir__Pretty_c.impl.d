@@ -1,0 +1,1 @@
+lib/ir/pretty_c.ml: Array Ast Buffer List Printf String

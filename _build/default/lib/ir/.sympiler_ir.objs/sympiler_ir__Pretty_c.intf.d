@@ -1,0 +1,1 @@
+lib/ir/pretty_c.mli: Ast

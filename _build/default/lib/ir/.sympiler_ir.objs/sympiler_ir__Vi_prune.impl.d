@@ -1,0 +1,1 @@
+lib/ir/vi_prune.ml: Array Ast List Printf

@@ -1,0 +1,1 @@
+lib/ir/vi_prune.mli: Ast

@@ -1,0 +1,1 @@
+lib/ir/vs_block.ml: Array Ast Csc List Supernodes Sympiler_sparse Sympiler_symbolic

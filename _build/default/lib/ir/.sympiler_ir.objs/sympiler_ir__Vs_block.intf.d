@@ -1,0 +1,1 @@
+lib/ir/vs_block.mli: Ast Csc Supernodes Sympiler_sparse Sympiler_symbolic

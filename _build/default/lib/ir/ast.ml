@@ -1,0 +1,187 @@
+(* The domain-specific AST Sympiler lowers numerical methods into
+   (Figure 2). Loops carry annotations: inspector-guided transformation
+   sites placed during lowering, and low-level transformation hints placed
+   by the inspector-guided passes for later stages to consume. *)
+
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string (* scalar variable (loop index or let-bound) *)
+  | Idx of string * expr (* integer array access: index arrays, sets *)
+  | Load of string * expr (* float array access *)
+  | Binop of binop * expr * expr
+  | Sqrt of expr
+
+type lvalue =
+  | Scalar of string
+  | Arr of string * expr (* float array element *)
+
+type annot =
+  | Vi_prune_site (* lowering marks the loop VI-Prune may transform *)
+  | Vs_block_site (* lowering marks the loop VS-Block may transform *)
+  | Pruned (* left by VI-Prune *)
+  | Blocked (* left by VS-Block *)
+  | Peel of int list (* hint: peel these iteration positions *)
+  | Unroll of int (* hint: fully unroll when trip count <= the bound *)
+  | Vectorize (* hint: safe and profitable to vectorize *)
+  | Distribute (* hint: split this loop's body into separate loops *)
+
+type stmt =
+  | Let of string * expr (* bind a scalar *)
+  | Assign of lvalue * expr
+  | Update of lvalue * binop * expr (* lv op= e *)
+  | For of loop
+  | If of expr * stmt list * stmt list
+  | Comment of string
+
+and loop = {
+  index : string;
+  lo : expr;
+  hi : expr; (* exclusive upper bound *)
+  body : stmt list;
+  annots : annot list;
+}
+
+(* Parameter/declaration types for kernels. *)
+type ty = Int | Float | Int_array | Float_array
+
+type kernel = {
+  kname : string;
+  params : (string * ty) list; (* runtime inputs (numeric values) *)
+  consts : (string * int array) list; (* compile-time sets baked as data *)
+  body : stmt list;
+}
+
+(* ---- constructors ---- *)
+
+let int_ i = Int_lit i
+let var v = Var v
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+
+let for_ ?(annots = []) index lo hi body = For { index; lo; hi; body; annots }
+
+(* ---- traversal / substitution ---- *)
+
+let rec map_expr f e =
+  let e =
+    match e with
+    | Int_lit _ | Float_lit _ | Var _ -> e
+    | Idx (a, i) -> Idx (a, map_expr f i)
+    | Load (a, i) -> Load (a, map_expr f i)
+    | Binop (op, a, b) -> Binop (op, map_expr f a, map_expr f b)
+    | Sqrt a -> Sqrt (map_expr f a)
+  in
+  f e
+
+(* Substitute variable [v] with expression [by] everywhere. *)
+let subst_expr v by e =
+  map_expr (function Var x when x = v -> by | e -> e) e
+
+let subst_lvalue v by = function
+  | Scalar x -> Scalar x
+  | Arr (a, i) -> Arr (a, subst_expr v by i)
+
+let rec subst_stmt v by s =
+  match s with
+  | Let (x, e) -> Let (x, subst_expr v by e)
+  | Assign (lv, e) -> Assign (subst_lvalue v by lv, subst_expr v by e)
+  | Update (lv, op, e) -> Update (subst_lvalue v by lv, op, subst_expr v by e)
+  | For l ->
+      (* Bounds are evaluated before the index is (re)bound, so they live in
+         the outer scope; the body is shadowed when the loop redefines v. *)
+      let lo = subst_expr v by l.lo and hi = subst_expr v by l.hi in
+      if l.index = v then For { l with lo; hi }
+      else For { l with lo; hi; body = List.map (subst_stmt v by) l.body }
+  | If (c, a, b) ->
+      If
+        ( subst_expr v by c,
+          List.map (subst_stmt v by) a,
+          List.map (subst_stmt v by) b )
+  | Comment _ -> s
+
+(* Constant folding of integer arithmetic, used after substitution so peeled
+   iterations read like Figure 1e (e.g. Lp[3]+1 with Lp known). *)
+let rec fold_expr consts e =
+  match e with
+  | Int_lit _ | Float_lit _ | Var _ -> e
+  | Idx (a, i) -> (
+      let i = fold_expr consts i in
+      match (List.assoc_opt a consts, i) with
+      | Some arr, Int_lit k when k >= 0 && k < Array.length arr ->
+          Int_lit arr.(k)
+      | _ -> Idx (a, i))
+  | Load (a, i) -> Load (a, fold_expr consts i)
+  | Binop (op, a, b) -> (
+      let a = fold_expr consts a and b = fold_expr consts b in
+      match (op, a, b) with
+      | Add, Int_lit x, Int_lit y -> Int_lit (x + y)
+      | Sub, Int_lit x, Int_lit y -> Int_lit (x - y)
+      | Mul, Int_lit x, Int_lit y -> Int_lit (x * y)
+      | Div, Int_lit x, Int_lit y when y <> 0 -> Int_lit (x / y)
+      | _ -> Binop (op, a, b))
+  | Sqrt a -> Sqrt (fold_expr consts a)
+
+let rec fold_stmt consts s =
+  match s with
+  | Let (x, e) -> Let (x, fold_expr consts e)
+  | Assign (lv, e) -> Assign (fold_lvalue consts lv, fold_expr consts e)
+  | Update (lv, op, e) -> Update (fold_lvalue consts lv, op, fold_expr consts e)
+  | For l ->
+      For
+        {
+          l with
+          lo = fold_expr consts l.lo;
+          hi = fold_expr consts l.hi;
+          body = List.map (fold_stmt consts) l.body;
+        }
+  | If (c, a, b) ->
+      If
+        ( fold_expr consts c,
+          List.map (fold_stmt consts) a,
+          List.map (fold_stmt consts) b )
+  | Comment _ -> s
+
+and fold_lvalue consts = function
+  | Scalar x -> Scalar x
+  | Arr (a, i) -> Arr (a, fold_expr consts i)
+
+(* Arrays written by a statement (for the loop-distribution legality
+   check). *)
+let rec written_arrays s =
+  match s with
+  | Let _ | Comment _ -> []
+  | Assign (Arr (a, _), _) | Update (Arr (a, _), _, _) -> [ a ]
+  | Assign (Scalar _, _) | Update (Scalar _, _, _) -> []
+  | For l -> List.concat_map written_arrays l.body
+  | If (_, a, b) -> List.concat_map written_arrays (a @ b)
+
+let rec read_arrays_expr e =
+  match e with
+  | Int_lit _ | Float_lit _ | Var _ -> []
+  | Idx (a, i) -> a :: read_arrays_expr i
+  | Load (a, i) -> a :: read_arrays_expr i
+  | Binop (_, a, b) -> read_arrays_expr a @ read_arrays_expr b
+  | Sqrt a -> read_arrays_expr a
+
+let rec read_arrays s =
+  match s with
+  | Let (_, e) -> read_arrays_expr e
+  | Comment _ -> []
+  | Assign (lv, e) -> read_arrays_lv lv @ read_arrays_expr e
+  | Update (lv, _, e) ->
+      (* op= both reads and writes the target *)
+      (match lv with Arr (a, i) -> (a :: read_arrays_expr i) | Scalar _ -> [])
+      @ read_arrays_lv lv @ read_arrays_expr e
+  | For l ->
+      read_arrays_expr l.lo @ read_arrays_expr l.hi
+      @ List.concat_map read_arrays l.body
+  | If (c, a, b) -> read_arrays_expr c @ List.concat_map read_arrays (a @ b)
+
+and read_arrays_lv = function
+  | Scalar _ -> []
+  | Arr (_, i) -> read_arrays_expr i

@@ -1,0 +1,97 @@
+(** The domain-specific AST Sympiler lowers numerical methods into
+    (Figure 2). Loops carry annotations: inspector-guided transformation
+    sites placed during lowering, and low-level hints placed by the
+    inspector-guided passes for later stages to consume. Scoping is flat
+    (a [Let] rebinds globally), matching the interpreter's environment and
+    the generated C's top-level declarations. *)
+
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string  (** scalar variable (loop index or let-bound) *)
+  | Idx of string * expr  (** integer array access: index arrays, sets *)
+  | Load of string * expr  (** float array access *)
+  | Binop of binop * expr * expr
+  | Sqrt of expr
+
+type lvalue = Scalar of string | Arr of string * expr
+
+type annot =
+  | Vi_prune_site  (** lowering marks the loop VI-Prune may transform *)
+  | Vs_block_site  (** lowering marks the loop VS-Block may transform *)
+  | Pruned  (** left behind by VI-Prune *)
+  | Blocked  (** left behind by VS-Block *)
+  | Peel of int list  (** hint: peel these iteration positions *)
+  | Unroll of int  (** hint: fully unroll when trip count <= bound *)
+  | Vectorize  (** hint: safe and profitable to vectorize *)
+  | Distribute  (** hint: split this loop's body into separate loops *)
+
+type stmt =
+  | Let of string * expr
+  | Assign of lvalue * expr
+  | Update of lvalue * binop * expr  (** [lv op= e] *)
+  | For of loop
+  | If of expr * stmt list * stmt list
+  | Comment of string
+
+and loop = {
+  index : string;
+  lo : expr;
+  hi : expr;  (** exclusive *)
+  body : stmt list;
+  annots : annot list;
+}
+
+type ty = Int | Float | Int_array | Float_array
+
+type kernel = {
+  kname : string;
+  params : (string * ty) list;  (** runtime inputs (numeric values) *)
+  consts : (string * int array) list;
+      (** compile-time sets baked in as static data: matrix pattern,
+          inspection sets *)
+  body : stmt list;
+}
+
+(** {2 Constructors} *)
+
+val int_ : int -> expr
+val var : string -> expr
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val for_ : ?annots:annot list -> string -> expr -> expr -> stmt list -> stmt
+
+(** {2 Traversal and rewriting} *)
+
+val map_expr : (expr -> expr) -> expr -> expr
+(** Bottom-up expression rewriting. *)
+
+val subst_expr : string -> expr -> expr -> expr
+(** Substitute a variable by an expression. *)
+
+val subst_lvalue : string -> expr -> lvalue -> lvalue
+
+val subst_stmt : string -> expr -> stmt -> stmt
+(** Capture-aware statement substitution: loop bounds are rewritten even
+    when the loop index shadows the variable (bounds evaluate in the outer
+    scope); shadowed bodies are left alone. *)
+
+val fold_expr : (string * int array) list -> expr -> expr
+(** Constant folding of integer arithmetic, including loads from the
+    kernel's constant arrays — what makes peeled iterations read like
+    Figure 1e. *)
+
+val fold_stmt : (string * int array) list -> stmt -> stmt
+val fold_lvalue : (string * int array) list -> lvalue -> lvalue
+
+val written_arrays : stmt -> string list
+(** Arrays written (directly or in nested constructs); legality input for
+    loop distribution and scalar replacement. *)
+
+val read_arrays_expr : expr -> string list
+val read_arrays : stmt -> string list
+val read_arrays_lv : lvalue -> string list

@@ -1,0 +1,127 @@
+(* Reference interpreter for the domain-specific AST. Slow and simple by
+   design: it is the semantic oracle that every transformation pass is
+   tested against (transformed code must compute exactly what the initial
+   lowered code computes). *)
+
+type value =
+  | VInt of int
+  | VFloat of float
+  | VIntArr of int array
+  | VFloatArr of float array
+
+type env = (string, value) Hashtbl.t
+
+exception Runtime_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let lookup env x =
+  match Hashtbl.find_opt env x with
+  | Some v -> v
+  | None -> err "unbound variable %s" x
+
+let to_int = function
+  | VInt i -> i
+  | VFloat f when Float.is_integer f -> int_of_float f
+  | _ -> err "expected int"
+
+let to_float = function
+  | VInt i -> float_of_int i
+  | VFloat f -> f
+  | _ -> err "expected float"
+
+let rec eval env (e : Ast.expr) : value =
+  match e with
+  | Ast.Int_lit i -> VInt i
+  | Ast.Float_lit f -> VFloat f
+  | Ast.Var x -> lookup env x
+  | Ast.Idx (a, i) -> (
+      let i = to_int (eval env i) in
+      match lookup env a with
+      | VIntArr arr ->
+          if i < 0 || i >= Array.length arr then err "%s[%d] out of bounds" a i;
+          VInt arr.(i)
+      | _ -> err "%s is not an int array" a)
+  | Ast.Load (a, i) -> (
+      let i = to_int (eval env i) in
+      match lookup env a with
+      | VFloatArr arr ->
+          if i < 0 || i >= Array.length arr then err "%s[%d] out of bounds" a i;
+          VFloat arr.(i)
+      | _ -> err "%s is not a float array" a)
+  | Ast.Binop (op, a, b) -> (
+      let va = eval env a and vb = eval env b in
+      match (va, vb) with
+      | VInt x, VInt y ->
+          VInt
+            (match op with
+            | Ast.Add -> x + y
+            | Ast.Sub -> x - y
+            | Ast.Mul -> x * y
+            | Ast.Div -> x / y)
+      | _ ->
+          let x = to_float va and y = to_float vb in
+          VFloat
+            (match op with
+            | Ast.Add -> x +. y
+            | Ast.Sub -> x -. y
+            | Ast.Mul -> x *. y
+            | Ast.Div -> x /. y))
+  | Ast.Sqrt a -> VFloat (sqrt (to_float (eval env a)))
+
+let apply_binop op cur v =
+  match op with
+  | Ast.Add -> cur +. v
+  | Ast.Sub -> cur -. v
+  | Ast.Mul -> cur *. v
+  | Ast.Div -> cur /. v
+
+let rec exec env (s : Ast.stmt) : unit =
+  match s with
+  | Ast.Comment _ -> ()
+  | Ast.Let (x, e) -> Hashtbl.replace env x (eval env e)
+  | Ast.Assign (lv, e) -> assign env lv (eval env e)
+  | Ast.Update (lv, op, e) ->
+      let v = to_float (eval env e) in
+      let cur =
+        match lv with
+        | Ast.Scalar x -> to_float (lookup env x)
+        | Ast.Arr (a, i) -> (
+            let i = to_int (eval env i) in
+            match lookup env a with
+            | VFloatArr arr -> arr.(i)
+            | _ -> err "%s is not a float array" a)
+      in
+      assign env lv (VFloat (apply_binop op cur v))
+  | Ast.For l ->
+      let lo = to_int (eval env l.Ast.lo) and hi = to_int (eval env l.Ast.hi) in
+      for i = lo to hi - 1 do
+        Hashtbl.replace env l.Ast.index (VInt i);
+        List.iter (exec env) l.Ast.body
+      done
+  | Ast.If (c, a, b) ->
+      let v = eval env c in
+      let truthy =
+        match v with VInt i -> i <> 0 | VFloat f -> f <> 0.0 | _ -> err "bad condition"
+      in
+      List.iter (exec env) (if truthy then a else b)
+
+and assign env lv v =
+  match lv with
+  | Ast.Scalar x -> Hashtbl.replace env x v
+  | Ast.Arr (a, i) -> (
+      let i = to_int (eval env i) in
+      match lookup env a with
+      | VFloatArr arr ->
+          if i < 0 || i >= Array.length arr then err "%s[%d] out of bounds" a i;
+          arr.(i) <- to_float v
+      | _ -> err "%s is not a float array" a)
+
+(* Run a kernel: bind its compile-time constant arrays and the given runtime
+   arguments, then execute the body. Mutations are visible through the
+   argument arrays. *)
+let run_kernel (k : Ast.kernel) (args : (string * value) list) : unit =
+  let env : env = Hashtbl.create 64 in
+  List.iter (fun (name, arr) -> Hashtbl.replace env name (VIntArr arr)) k.Ast.consts;
+  List.iter (fun (name, v) -> Hashtbl.replace env name v) args;
+  List.iter (exec env) k.Ast.body

@@ -1,0 +1,23 @@
+(** Reference interpreter for the domain-specific AST — slow and simple by
+    design: the semantic oracle every transformation pass is tested
+    against (transformed code must compute exactly what the initial
+    lowered code computes). *)
+
+type value =
+  | VInt of int
+  | VFloat of float
+  | VIntArr of int array
+  | VFloatArr of float array
+
+type env = (string, value) Hashtbl.t
+
+exception Runtime_error of string
+(** Unbound variables, type confusion, out-of-bounds accesses. *)
+
+val eval : env -> Ast.expr -> value
+val exec : env -> Ast.stmt -> unit
+
+val run_kernel : Ast.kernel -> (string * value) list -> unit
+(** Bind the kernel's constant arrays and the given runtime arguments,
+    then execute the body; mutations are visible through the argument
+    arrays. *)

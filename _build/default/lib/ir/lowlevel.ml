@@ -1,0 +1,271 @@
+open Ast
+
+(* Enabled conventional low-level transformations (§2.4): these passes
+   consume the hints the inspector-guided transformations annotate loops
+   with. Because inspection sets are compile-time constants, loop bounds
+   become known and peeling/unrolling are straightforward and provably
+   safe (the reach-set is topologically ordered, so peeled iterations keep
+   their relative order). *)
+
+let rec expr_contains_var v = function
+  | Int_lit _ | Float_lit _ -> false
+  | Var x -> x = v
+  | Idx (_, i) | Load (_, i) | Sqrt i -> expr_contains_var v i
+  | Binop (_, a, b) -> expr_contains_var v a || expr_contains_var v b
+
+(* Variables bound inside a statement (lets and loop indices): loads whose
+   index mentions any of these cannot be hoisted past it. *)
+let rec bound_vars s =
+  match s with
+  | Let (x, _) -> [ x ]
+  | For l -> l.index :: List.concat_map bound_vars l.body
+  | If (_, a, b) -> List.concat_map bound_vars (a @ b)
+  | Assign _ | Update _ | Comment _ -> []
+
+(* ------------------------------ Peeling ------------------------------ *)
+
+(* Peel the iterations listed in a [Peel] annotation out of a
+   constant-bound loop, inlining their bodies as straight-line code with
+   the index substituted and constants folded (Figure 1e). *)
+let rec peel_stmt consts s : stmt list =
+  match s with
+  | For l -> (
+      let body = List.concat_map (peel_stmt consts) l.body in
+      let l = { l with body } in
+      let peels =
+        List.concat_map (function Peel ps -> ps | _ -> []) l.annots
+      in
+      match (peels, l.lo, l.hi) with
+      | [], _, _ -> [ For l ]
+      | _, Int_lit lo, Int_lit hi ->
+          let peels =
+            List.sort_uniq compare (List.filter (fun p -> p >= lo && p < hi) peels)
+          in
+          let annots = List.filter (function Peel _ -> false | _ -> true) l.annots in
+          let inline_iteration k =
+            Comment (Printf.sprintf "peeled iteration %s = %d" l.index k)
+            :: List.map
+                 (fun s -> fold_stmt consts (subst_stmt l.index (Int_lit k) s))
+                 l.body
+          in
+          let segment lo hi =
+            if lo >= hi then []
+            else [ For { l with lo = Int_lit lo; hi = Int_lit hi; annots } ]
+          in
+          let rec go cur = function
+            | [] -> segment cur hi
+            | p :: rest -> segment cur p @ inline_iteration p @ go (p + 1) rest
+          in
+          go lo peels
+      | _ -> [ For l ])
+  | If (c, a, b) ->
+      [ If (c, List.concat_map (peel_stmt consts) a, List.concat_map (peel_stmt consts) b) ]
+  | Let _ | Assign _ | Update _ | Comment _ -> [ s ]
+
+(* ------------------------------ Unrolling ---------------------------- *)
+
+(* Fully unroll constant-trip loops whose trip count is at most the bound
+   of their [Unroll] annotation. *)
+let rec unroll_stmt consts s : stmt list =
+  match s with
+  | For l -> (
+      let body = List.concat_map (unroll_stmt consts) l.body in
+      let l = { l with body } in
+      let bound =
+        List.fold_left
+          (fun acc a -> match a with Unroll u -> max acc u | _ -> acc)
+          0 l.annots
+      in
+      match (fold_expr consts l.lo, fold_expr consts l.hi) with
+      | Int_lit lo, Int_lit hi when bound > 0 && hi - lo <= bound ->
+          List.concat_map
+            (fun k ->
+              List.map
+                (fun s -> fold_stmt consts (subst_stmt l.index (Int_lit k) s))
+                l.body)
+            (List.init (max 0 (hi - lo)) (fun i -> lo + i))
+      | _ -> [ For l ])
+  | If (c, a, b) ->
+      [ If (c, List.concat_map (unroll_stmt consts) a, List.concat_map (unroll_stmt consts) b) ]
+  | Let _ | Assign _ | Update _ | Comment _ -> [ s ]
+
+(* -------------------------- Scalar replacement ------------------------ *)
+
+let fresh = ref 0
+
+let fresh_temp () =
+  incr fresh;
+  Printf.sprintf "t%d" !fresh
+
+(* Hoist loop-invariant float loads out of a loop: a [Load (a, e)] whose
+   index [e] mentions neither the loop index nor any variable bound in the
+   body, and whose array [a] is not written inside the loop, is bound to a
+   scalar before the loop. *)
+let rec scalar_replace_stmt s : stmt list =
+  match s with
+  | For l ->
+      let body = List.concat_map scalar_replace_stmt l.body in
+      let l = { l with body } in
+      let written = List.concat_map written_arrays l.body in
+      let bound = l.index :: List.concat_map bound_vars l.body in
+      let invariant = function
+        | Load (a, e) ->
+            (not (List.mem a written))
+            && (not (List.exists (fun v -> expr_contains_var v e) bound))
+            && (match e with Int_lit _ -> true | _ -> true)
+        | _ -> false
+      in
+      (* Collect distinct invariant loads appearing in the body. *)
+      let loads = ref [] in
+      let collect e =
+        ignore
+          (map_expr
+             (fun e ->
+               if invariant e && not (List.mem e !loads) then loads := e :: !loads;
+               e)
+             e)
+      in
+      let rec collect_stmt s =
+        match s with
+        | Let (_, e) -> collect e
+        | Assign (lv, e) | Update (lv, _, e) ->
+            (match lv with Arr (_, i) -> collect i | Scalar _ -> ());
+            collect e
+        | For l ->
+            collect l.lo;
+            collect l.hi;
+            List.iter collect_stmt l.body
+        | If (c, a, b) ->
+            collect c;
+            List.iter collect_stmt (a @ b)
+        | Comment _ -> ()
+      in
+      List.iter collect_stmt l.body;
+      let loads = List.rev !loads in
+      if loads = [] then [ For l ]
+      else begin
+        let bindings = List.map (fun e -> (e, fresh_temp ())) loads in
+        let rewrite e =
+          map_expr
+            (fun e ->
+              match List.assoc_opt e bindings with
+              | Some t -> Var t
+              | None -> e)
+            e
+        in
+        let rec rw s =
+          match s with
+          | Let (x, e) -> Let (x, rewrite e)
+          | Assign (lv, e) -> Assign (rw_lv lv, rewrite e)
+          | Update (lv, op, e) -> Update (rw_lv lv, op, rewrite e)
+          | For l ->
+              For { l with lo = rewrite l.lo; hi = rewrite l.hi; body = List.map rw l.body }
+          | If (c, a, b) -> If (rewrite c, List.map rw a, List.map rw b)
+          | Comment _ -> s
+        and rw_lv = function
+          | Scalar x -> Scalar x
+          | Arr (a, i) -> Arr (a, rewrite i)
+        in
+        List.map (fun (e, t) -> Let (t, e)) bindings
+        @ [ For { l with body = List.map rw l.body } ]
+      end
+  | If (c, a, b) ->
+      [ If (c, List.concat_map scalar_replace_stmt a, List.concat_map scalar_replace_stmt b) ]
+  | Let _ | Assign _ | Update _ | Comment _ -> [ s ]
+
+(* ------------------------- Constant propagation ----------------------- *)
+
+(* Propagate integer-literal lets (which peeling and unrolling create in
+   abundance) and fold the results, so peeled iterations become fully
+   specialized straight-line code with literal indices, as in Figure 1e.
+   The interpreter's environment is flat, so a variable constant-folded
+   here must not be rebound later: bindings are dropped from the
+   propagation environment at any construct that rebinds them. *)
+let rec propagate_stmts consts env (stmts : stmt list) : stmt list =
+  match stmts with
+  | [] -> []
+  | s :: rest -> (
+      let subst_env e = List.fold_left (fun e (v, c) -> subst_expr v c e) e env in
+      let fold e = fold_expr consts (subst_env e) in
+      match s with
+      | Let (x, e) -> (
+          let e = fold e in
+          let env = List.remove_assoc x env in
+          match e with
+          | Int_lit _ -> propagate_stmts consts ((x, e) :: env) rest
+          | _ -> Let (x, e) :: propagate_stmts consts env rest)
+      | Assign (lv, e) ->
+          Assign (fold_lv consts env lv, fold e) :: propagate_stmts consts env rest
+      | Update (lv, op, e) ->
+          Update (fold_lv consts env lv, op, fold e)
+          :: propagate_stmts consts env rest
+      | Comment _ -> s :: propagate_stmts consts env rest
+      | For l -> (
+          let inner_bound = l.index :: List.concat_map bound_vars l.body in
+          let env_in = List.filter (fun (v, _) -> not (List.mem v inner_bound)) env in
+          let body = propagate_stmts consts env_in l.body in
+          let l = { l with lo = fold l.lo; hi = fold l.hi; body } in
+          let env' = List.filter (fun (v, _) -> not (List.mem v inner_bound)) env in
+          (* Peeling can expose zero-trip loops; drop them. *)
+          match (l.lo, l.hi) with
+          | Int_lit lo, Int_lit hi when hi <= lo -> propagate_stmts consts env' rest
+          | _ -> For l :: propagate_stmts consts env' rest)
+      | If (c, a, b) ->
+          let inner_bound = List.concat_map bound_vars (a @ b) in
+          let env_in = List.filter (fun (v, _) -> not (List.mem v inner_bound)) env in
+          let a = propagate_stmts consts env_in a in
+          let b = propagate_stmts consts env_in b in
+          let env' = env_in in
+          If (fold c, a, b) :: propagate_stmts consts env' rest)
+
+and fold_lv consts env = function
+  | Scalar x -> Scalar x
+  | Arr (a, i) ->
+      Arr (a, fold_expr consts (List.fold_left (fun e (v, c) -> subst_expr v c e) i env))
+
+(* --------------------------- Loop distribution ------------------------ *)
+
+let touched s = written_arrays s @ read_arrays s
+
+let disjoint a b = not (List.exists (fun x -> List.mem x b) a)
+
+(* Split a [Distribute]-annotated loop's body into one loop per statement
+   when no pair of statements shares a written array (conservative
+   legality: distribution cannot then reorder any dependent accesses). *)
+let rec distribute_stmt s : stmt list =
+  match s with
+  | For l when List.mem Distribute l.annots ->
+      let body = List.concat_map distribute_stmt l.body in
+      let stmts = List.filter (function Comment _ -> false | _ -> true) body in
+      let legal =
+        let rec pairs = function
+          | [] -> true
+          | x :: rest ->
+              List.for_all
+                (fun y ->
+                  disjoint (written_arrays x) (touched y)
+                  && disjoint (written_arrays y) (touched x))
+                rest
+              && pairs rest
+        in
+        pairs stmts
+        && List.for_all (function Let _ -> false | _ -> true) stmts
+      in
+      let annots = List.filter (fun a -> a <> Distribute) l.annots in
+      if legal && List.length stmts > 1 then
+        List.map (fun s -> For { l with body = [ s ]; annots }) stmts
+      else [ For { l with body; annots } ]
+  | For l -> [ For { l with body = List.concat_map distribute_stmt l.body } ]
+  | If (c, a, b) ->
+      [ If (c, List.concat_map distribute_stmt a, List.concat_map distribute_stmt b) ]
+  | Let _ | Assign _ | Update _ | Comment _ -> [ s ]
+
+(* Run every low-level pass over a kernel in the standard order. *)
+let apply (k : kernel) : kernel =
+  let run f body = List.concat_map f body in
+  let body = run distribute_stmt k.body in
+  let body = run (peel_stmt k.consts) body in
+  let body = run (unroll_stmt k.consts) body in
+  let body = propagate_stmts k.consts [] body in
+  let body = run scalar_replace_stmt body in
+  { k with body }

@@ -1,0 +1,38 @@
+(** Enabled conventional low-level transformations (§2.4): these passes
+    consume the hints the inspector-guided transformations leave behind.
+    Because inspection sets are compile-time constants, loop bounds are
+    known and peeling/unrolling are safe — the reach-set's topological
+    order guarantees peeled iterations keep their relative order. *)
+
+val expr_contains_var : string -> Ast.expr -> bool
+val bound_vars : Ast.stmt -> string list
+
+val peel_stmt : (string * int array) list -> Ast.stmt -> Ast.stmt list
+(** Peel the positions in a [Peel] annotation out of a constant-bound loop,
+    inlining the iterations as straight-line code with the index
+    substituted and constants folded (Figure 1e). *)
+
+val unroll_stmt : (string * int array) list -> Ast.stmt -> Ast.stmt list
+(** Fully unroll constant-trip loops whose trip count fits the [Unroll]
+    bound. *)
+
+val scalar_replace_stmt : Ast.stmt -> Ast.stmt list
+(** Hoist loop-invariant float loads into scalars before the loop
+    (classical scalar replacement), conservatively: only loads from arrays
+    not written in the loop whose index mentions no bound variable. *)
+
+val propagate_stmts :
+  (string * int array) list ->
+  (string * Ast.expr) list ->
+  Ast.stmt list ->
+  Ast.stmt list
+(** Propagate integer-literal lets and fold; drops zero-trip loops. This is
+    what specializes peeled iterations down to literal indices. *)
+
+val distribute_stmt : Ast.stmt -> Ast.stmt list
+(** Split a [Distribute]-annotated loop into one loop per body statement
+    when no pair of statements shares a written array. *)
+
+val apply : Ast.kernel -> Ast.kernel
+(** Run all passes in the standard order:
+    distribute, peel, unroll, constant propagation, scalar replacement. *)

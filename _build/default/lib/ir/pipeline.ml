@@ -1,0 +1,132 @@
+open Sympiler_sparse
+open Sympiler_symbolic
+
+(* The Sympiler phase pipeline of Figure 2: symbolic inspection, lowering,
+   inspector-guided transformations, low-level transformations, code
+   generation. Produces both the transformed kernel AST (executable through
+   [Interp]) and the final C source. *)
+
+type result = {
+  kernel : Ast.kernel;
+  c_code : string;
+  inspectors : string list; (* human-readable inspector descriptions *)
+  tmp_size : int; (* required scratch size for the "tmp" parameter, if any *)
+}
+
+(* Triangular solve: choose any of the three transformation layers; the
+   defaults build the full Figure 1e pipeline. VS-Block is applied before
+   VI-Prune, the ordering §4.2 finds superior. *)
+let trisolve ?(vs_block = true) ?(vi_prune = true) ?(low_level = true)
+    ?(peel_threshold = 2) ?max_width (l : Csc.t) (b : Vector.sparse) : result =
+  let kernel = Build.lower_trisolve l in
+  let inspectors = ref [] in
+  let kernel, tmp_size, prune_set, peel =
+    if vs_block then begin
+      let insp = Inspector.trisolve_vs_block ?max_width l in
+      inspectors := Inspector.describe insp :: !inspectors;
+      let sn =
+        match insp.Inspector.run () with
+        | Inspector.Block_set sn -> sn
+        | _ -> assert false
+      in
+      let kernel = Vs_block.apply_trisolve l sn kernel in
+      (* Prune set over blocks: supernodes hit by the reach-set. *)
+      let insp2 = Inspector.trisolve_vi_prune l b in
+      inspectors := Inspector.describe insp2 :: !inspectors;
+      let reach =
+        match insp2.Inspector.run () with
+        | Inspector.Prune_set r -> r
+        | _ -> assert false
+      in
+      let hit = Array.make (Supernodes.nsuper sn) false in
+      Array.iter (fun j -> hit.(sn.Supernodes.col_to_sn.(j)) <- true) reach;
+      let seq = ref [] in
+      for s = Supernodes.nsuper sn - 1 downto 0 do
+        if hit.(s) then seq := s :: !seq
+      done;
+      let prune_set = Array.of_list !seq in
+      (* Peel width-1 blocks: they reduce to the scalar column update. *)
+      let peel =
+        Vi_prune.peel_positions
+          ~col_nnz:(fun s -> Supernodes.width sn s)
+          ~threshold:1 prune_set
+        |> List.filter (fun _ -> low_level)
+      in
+      (kernel, Vs_block.max_below l sn, prune_set, peel)
+    end
+    else begin
+      let insp = Inspector.trisolve_vi_prune l b in
+      inspectors := Inspector.describe insp :: !inspectors;
+      let reach =
+        match insp.Inspector.run () with
+        | Inspector.Prune_set r -> r
+        | _ -> assert false
+      in
+      (* Figure 1e peels reach-set iterations whose column count exceeds
+         the threshold. *)
+      let peel =
+        if low_level then
+          Vi_prune.peel_positions ~col_nnz:(Csc.col_nnz l)
+            ~threshold:peel_threshold reach
+        else []
+      in
+      (kernel, 0, reach, peel)
+    end
+  in
+  let kernel =
+    if vi_prune then
+      Vi_prune.apply ~set_name:"pruneSet" ~peel ~vectorize:low_level prune_set
+        kernel
+    else kernel
+  in
+  let kernel = if low_level then Lowlevel.apply kernel else kernel in
+  {
+    kernel;
+    c_code = Pretty_c.kernel_to_c kernel;
+    inspectors = List.rev !inspectors;
+    tmp_size;
+  }
+
+(* Cholesky: the lowered code is already VI-Pruned (prune-sets baked in by
+   [Build.lower_cholesky], matching the paper's Figure 7 baseline); the
+   low-level stage applies scalar replacement and distribution. *)
+let cholesky ?(low_level = true) (a_lower : Csc.t) : result =
+  let fill = Fill_pattern.analyze a_lower in
+  let insp = Inspector.cholesky_vi_prune fill in
+  let kernel = Build.lower_cholesky a_lower in
+  let kernel = if low_level then Lowlevel.apply kernel else kernel in
+  {
+    kernel;
+    c_code = Pretty_c.kernel_to_c kernel;
+    inspectors = [ Inspector.describe insp ];
+    tmp_size = 0;
+  }
+
+(* ---- Interpreter-backed execution of pipeline results (used by tests
+   and examples; benchmarks use the native executors in
+   [Sympiler_kernels]). ---- *)
+
+let run_trisolve (r : result) (l : Csc.t) (b : Vector.sparse) : float array =
+  let x = Vector.sparse_to_dense b in
+  let args =
+    [
+      ("Lx", Interp.VFloatArr l.Csc.values);
+      ("x", Interp.VFloatArr x);
+      ("tmp", Interp.VFloatArr (Array.make (max 1 r.tmp_size) 0.0));
+    ]
+  in
+  Interp.run_kernel r.kernel args;
+  x
+
+let run_cholesky (r : result) (a_lower : Csc.t) ~(nnz_l : int) : float array =
+  let n = a_lower.Csc.ncols in
+  let lx = Array.make nnz_l 0.0 in
+  let args =
+    [
+      ("Ax", Interp.VFloatArr a_lower.Csc.values);
+      ("Lx", Interp.VFloatArr lx);
+      ("f", Interp.VFloatArr (Array.make n 0.0));
+    ]
+  in
+  Interp.run_kernel r.kernel args;
+  lx

@@ -1,0 +1,75 @@
+open Ast
+
+(* Variable Iteration Space Pruning (Figure 3 top): rewrite the loop marked
+   [Vi_prune_site] from
+
+     for (Ik < m) { ... a[idx(..., Ik, ...)] ... }
+
+   into
+
+     for (Ip < pruneSetSize) { Ik = pruneSet[Ip]; ... }
+
+   The prune set is compile-time data (an inspection set), so it is added to
+   the kernel's constant pool. When [peel] positions are supplied (decided
+   from sparsity-related parameters such as column counts, §2.4), the new
+   loop is annotated for the later peeling stage; iteration counts below
+   [unroll_threshold] get an unroll hint and [vectorize] adds the
+   vectorization hint for the code generator. *)
+
+let fresh_counter = ref 0
+
+let fresh_index () =
+  incr fresh_counter;
+  Printf.sprintf "p%d" !fresh_counter
+
+let rec transform_stmt ~set_name ~set ~hints s =
+  match s with
+  | For l when List.mem Vi_prune_site l.annots ->
+      let ip = fresh_index () in
+      let body =
+        Let (l.index, Idx (set_name, Var ip))
+        :: List.map (transform_stmt ~set_name ~set ~hints) l.body
+      in
+      let annots =
+        Pruned :: hints
+        @ List.filter (fun a -> a <> Vi_prune_site) l.annots
+      in
+      For
+        {
+          index = ip;
+          lo = Int_lit 0;
+          hi = Int_lit (Array.length set);
+          body;
+          annots;
+        }
+  | For l -> For { l with body = List.map (transform_stmt ~set_name ~set ~hints) l.body }
+  | If (c, a, b) ->
+      If
+        ( c,
+          List.map (transform_stmt ~set_name ~set ~hints) a,
+          List.map (transform_stmt ~set_name ~set ~hints) b )
+  | Let _ | Assign _ | Update _ | Comment _ -> s
+
+(* Apply VI-Prune to the kernel using inspection set [set] (e.g. the
+   reach-set for triangular solve). [peel] lists iteration positions of the
+   pruned loop to peel later; both hints are recorded as annotations. *)
+let apply ?(set_name = "pruneSet") ?(peel = []) ?(vectorize = false)
+    (set : int array) (k : kernel) : kernel =
+  let hints =
+    (if peel = [] then [] else [ Peel peel ])
+    @ (if vectorize then [ Vectorize ] else [])
+  in
+  {
+    k with
+    consts = (set_name, set) :: k.consts;
+    body = List.map (transform_stmt ~set_name ~set ~hints) k.body;
+  }
+
+(* Decide which iterations of the pruned triangular-solve loop to peel: the
+   paper's Figure 1e peels iterations whose column count exceeds a
+   threshold, replacing them with straight-line specialized code. *)
+let peel_positions ~(col_nnz : int -> int) ~(threshold : int)
+    (set : int array) : int list =
+  let acc = ref [] in
+  Array.iteri (fun pos j -> if col_nnz j > threshold then acc := pos :: !acc) set;
+  List.rev !acc

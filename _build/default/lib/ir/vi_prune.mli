@@ -1,0 +1,20 @@
+(** Variable Iteration Space Pruning (Figure 3, top): rewrite the loop
+    marked [Vi_prune_site] from [for (Ik < m)] into
+    [for (Ip < pruneSetSize) { Ik = pruneSet\[Ip\]; ... }], with the prune
+    set added to the kernel's compile-time constant pool. *)
+
+val apply :
+  ?set_name:string ->
+  ?peel:int list ->
+  ?vectorize:bool ->
+  int array ->
+  Ast.kernel ->
+  Ast.kernel
+(** [apply set k] transforms the annotated loop using inspection set [set]
+    (e.g. the reach-set). [peel] positions and [vectorize] are recorded as
+    annotations for the low-level stage (§2.4's enabled transformations). *)
+
+val peel_positions :
+  col_nnz:(int -> int) -> threshold:int -> int array -> int list
+(** Which pruned-loop iterations to peel: those whose column count exceeds
+    [threshold], as in Figure 1e (threshold 2 there). *)

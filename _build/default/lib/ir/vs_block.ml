@@ -1,0 +1,107 @@
+open Sympiler_sparse
+open Sympiler_symbolic
+open Ast
+
+(* 2D Variable-Sized Blocking (Figure 3 bottom) for the triangular-solve
+   kernel: the column loop marked [Vs_block_site] becomes a loop over the
+   block-set (supernodes). Each block is processed as a dense diagonal
+   triangular solve followed by a below-block GEMV accumulated in temporary
+   block storage [tmp] and scattered once — the transformed code of §3.1.
+
+   The three VS-Block challenges of §2.3.2 and how they appear here:
+   - variable block sizes: bounds come from the blockSet constant array;
+   - non-consecutive storage: tmp buffering plus the final scatter;
+   - operation change: the division of the scalar code becomes a dense
+     lower-triangular solve on the diagonal block.
+
+   The transformed outer loop keeps a [Vi_prune_site] so that VI-Prune can
+   subsequently prune whole blocks (Sympiler applies VS-Block before
+   VI-Prune, §4.2). *)
+
+let blocked_trisolve_body (l : Csc.t) (sn : Supernodes.t) : stmt =
+  ignore l;
+  let blk b = Idx ("blockSet", b) in
+  (* width of block b = blockSet[b+1] - blockSet[b]; c0/c1 bound columns. *)
+  let c0 = blk (var "b") and c1 = blk (var "b" +: int_ 1) in
+  (* nb = Lp[c0+1] - Lp[c0] - width *)
+  let nb =
+    Idx ("Lp", c0 +: int_ 1) -: Idx ("Lp", c0) -: (c1 -: c0)
+  in
+  For
+    {
+      index = "b";
+      lo = int_ 0;
+      hi = int_ (Supernodes.nsuper sn);
+      annots = [ Blocked; Vi_prune_site ];
+      body =
+        [
+          Comment "dense diagonal-block forward solve";
+          for_ "j1" c0 c1
+            [
+              Update (Arr ("x", var "j1"), Div, Load ("Lx", Idx ("Lp", var "j1")));
+              for_ "i" (var "j1" +: int_ 1) c1
+                [
+                  Update
+                    ( Arr ("x", var "i"),
+                      Sub,
+                      Load ("Lx", Idx ("Lp", var "j1") +: (var "i" -: var "j1"))
+                      *: Load ("x", var "j1") );
+                ];
+            ];
+          Comment "below-block GEMV into temporary block storage";
+          for_ "j2" c0 c1
+            [
+              for_ ~annots:[ Vectorize ] "t" (int_ 0) nb
+                [
+                  Update
+                    ( Arr ("tmp", var "t"),
+                      Add,
+                      Load
+                        ( "Lx",
+                          Idx ("Lp", var "j2") +: (c1 -: var "j2") +: var "t" )
+                      *: Load ("x", var "j2") );
+                ];
+            ];
+          Comment "scatter and reset the temporary";
+          for_ "t" (int_ 0) nb
+            [
+              Update
+                ( Arr ("x", Idx ("Li", Idx ("Lp", c0) +: (c1 -: c0) +: var "t")),
+                  Sub,
+                  Load ("tmp", var "t") );
+              Assign (Arr ("tmp", var "t"), Float_lit 0.0);
+            ];
+        ];
+    }
+
+let rec replace_site ~replacement s =
+  match s with
+  | For l when List.mem Vs_block_site l.annots -> replacement
+  | For l -> For { l with body = List.map (replace_site ~replacement) l.body }
+  | If (c, a, b) ->
+      If
+        ( c,
+          List.map (replace_site ~replacement) a,
+          List.map (replace_site ~replacement) b )
+  | Let _ | Assign _ | Update _ | Comment _ -> s
+
+(* Apply VS-Block to the triangular-solve kernel using the supernode
+   block-set. Adds the [tmp] block storage parameter (sized by the caller
+   to the maximum below-block height, zero-initialized). *)
+let apply_trisolve (l : Csc.t) (sn : Supernodes.t) (k : kernel) : kernel =
+  let replacement = blocked_trisolve_body l sn in
+  {
+    k with
+    params = k.params @ [ ("tmp", Float_array) ];
+    consts = ("blockSet", sn.Supernodes.sn_ptr) :: k.consts;
+    body = List.map (replace_site ~replacement) k.body;
+  }
+
+let max_below (l : Csc.t) (sn : Supernodes.t) =
+  let m = ref 0 in
+  for s = 0 to Supernodes.nsuper sn - 1 do
+    let c0 = sn.Supernodes.sn_ptr.(s) in
+    let w = Supernodes.width sn s in
+    m := max !m (Csc.col_nnz l c0 - w)
+  done;
+  !m

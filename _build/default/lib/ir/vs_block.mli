@@ -1,0 +1,22 @@
+open Sympiler_sparse
+open Sympiler_symbolic
+
+(** 2D Variable-Sized Blocking (Figure 3, bottom) for the triangular-solve
+    kernel: the column loop marked [Vs_block_site] becomes a loop over the
+    block-set (supernodes); each block is a dense diagonal triangular
+    solve plus a below-block GEMV buffered through temporary block storage
+    — addressing the three VS-Block challenges of §2.3.2 (variable sizes,
+    non-consecutive storage, operation change). The new outer loop keeps a
+    [Vi_prune_site] so VI-Prune can subsequently prune whole blocks
+    (VS-Block before VI-Prune, the ordering §4.2 prefers). *)
+
+val blocked_trisolve_body : Csc.t -> Supernodes.t -> Ast.stmt
+(** The replacement loop nest (exposed for tests). *)
+
+val apply_trisolve : Csc.t -> Supernodes.t -> Ast.kernel -> Ast.kernel
+(** Apply the transformation; adds the [blockSet] constant and the [tmp]
+    block-storage parameter (size it with {!max_below}, zero it before the
+    call). *)
+
+val max_below : Csc.t -> Supernodes.t -> int
+(** Largest below-block height: required scratch size. *)

@@ -1,0 +1,1 @@
+lib/kernels/cholesky_parallel.ml: Array Cholesky_supernodal Csc Domain List Supernodes Sympiler_sparse Sympiler_symbolic Utils

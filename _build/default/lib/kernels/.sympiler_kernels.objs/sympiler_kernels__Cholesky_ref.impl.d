@@ -1,0 +1,1 @@
+lib/kernels/cholesky_ref.ml: Array Csc Ereach Etree Fill_pattern Sympiler_sparse Sympiler_symbolic Trisolve_ref Utils

@@ -1,0 +1,1 @@
+lib/kernels/cholesky_ref.mli: Csc Fill_pattern Sympiler_sparse Sympiler_symbolic

@@ -1,0 +1,1 @@
+lib/kernels/cholesky_supernodal.ml: Array Csc Dense_blas Fill_pattern List Supernodes Sympiler_sparse Sympiler_symbolic

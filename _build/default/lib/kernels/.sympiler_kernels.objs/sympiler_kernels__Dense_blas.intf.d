@@ -1,0 +1,1 @@
+lib/kernels/dense_blas.mli:

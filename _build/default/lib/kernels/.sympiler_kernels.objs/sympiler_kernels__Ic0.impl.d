@@ -1,0 +1,1 @@
+lib/kernels/ic0.ml: Array Csc Sympiler_sparse Utils

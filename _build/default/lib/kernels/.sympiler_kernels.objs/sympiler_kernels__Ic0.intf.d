@@ -1,0 +1,1 @@
+lib/kernels/ic0.mli: Csc Sympiler_sparse

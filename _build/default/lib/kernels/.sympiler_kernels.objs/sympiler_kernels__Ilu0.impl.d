@@ -1,0 +1,1 @@
+lib/kernels/ilu0.ml: Array Csc Sympiler_sparse

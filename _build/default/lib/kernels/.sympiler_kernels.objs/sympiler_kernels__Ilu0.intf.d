@@ -1,0 +1,1 @@
+lib/kernels/ilu0.mli: Csc Sympiler_sparse

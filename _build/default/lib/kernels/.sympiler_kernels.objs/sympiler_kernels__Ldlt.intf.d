@@ -1,0 +1,1 @@
+lib/kernels/ldlt.mli: Csc Sympiler_sparse

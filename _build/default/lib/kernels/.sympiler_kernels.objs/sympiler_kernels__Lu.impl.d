@@ -1,0 +1,1 @@
+lib/kernels/lu.ml: Array Csc List Seq Sympiler_sparse Triplet Utils

@@ -1,0 +1,1 @@
+lib/kernels/lu.mli: Csc Sympiler_sparse

@@ -1,0 +1,1 @@
+lib/kernels/qr.ml: Array Csc Fill_pattern Float Sympiler_sparse Sympiler_symbolic Triplet

@@ -1,0 +1,1 @@
+lib/kernels/qr.mli: Csc Sympiler_sparse

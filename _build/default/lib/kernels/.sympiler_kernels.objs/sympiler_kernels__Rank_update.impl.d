@@ -1,0 +1,1 @@
+lib/kernels/rank_update.ml: Array Csc List Sympiler_sparse Vector

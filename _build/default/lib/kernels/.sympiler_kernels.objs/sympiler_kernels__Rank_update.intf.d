@@ -1,0 +1,1 @@
+lib/kernels/rank_update.mli: Csc Sympiler_sparse Vector

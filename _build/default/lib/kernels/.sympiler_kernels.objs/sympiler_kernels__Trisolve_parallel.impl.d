@@ -1,0 +1,1 @@
+lib/kernels/trisolve_parallel.ml: Array Csc Domain List Sympiler_sparse Utils

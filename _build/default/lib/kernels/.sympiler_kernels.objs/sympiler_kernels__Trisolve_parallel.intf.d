@@ -1,0 +1,1 @@
+lib/kernels/trisolve_parallel.mli: Csc Sympiler_sparse

@@ -1,0 +1,1 @@
+lib/kernels/trisolve_ref.ml: Array Csc Sympiler_sparse Sympiler_symbolic Vector

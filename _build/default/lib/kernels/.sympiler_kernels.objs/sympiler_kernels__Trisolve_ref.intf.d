@@ -1,0 +1,1 @@
+lib/kernels/trisolve_ref.mli: Csc Sympiler_sparse Vector

@@ -1,0 +1,1 @@
+lib/kernels/trisolve_sympiler.ml: Array Csc Dense_blas Dep_graph Float Supernodes Sympiler_sparse Sympiler_symbolic Trisolve_ref Vector

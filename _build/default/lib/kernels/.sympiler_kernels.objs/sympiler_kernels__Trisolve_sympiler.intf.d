@@ -1,0 +1,1 @@
+lib/kernels/trisolve_sympiler.mli: Csc Supernodes Sympiler_sparse Sympiler_symbolic Vector

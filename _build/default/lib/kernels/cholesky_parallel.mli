@@ -1,0 +1,28 @@
+open Sympiler_sparse
+
+(** Level-set parallel supernodal Cholesky on OCaml 5 domains — the
+    shared-memory direction of the paper's conclusion, in the style of its
+    ParSy follow-on: the supernodal dependency DAG is levelized at compile
+    time and each level's target supernodes factor in parallel. Race-free
+    without atomics: a left-looking target writes only its own panel and
+    reads descendant panels finalized at earlier levels. On the single-core
+    evaluation container the parallel path shows no speedup; correctness is
+    exercised with several domains regardless. *)
+
+type compiled = {
+  sym : Cholesky_supernodal.Sympiler.compiled;
+  nlevels : int;
+  level_ptr : int array;
+  level_sn : int array;  (** supernodes ordered by level *)
+}
+
+val compile :
+  ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> Csc.t -> compiled
+(** Supernodal compilation plus DAG levelization (one more inspection
+    set). *)
+
+val factor : ?ndomains:int -> compiled -> Csc.t -> Csc.t
+(** Numeric factorization; levels narrower than 8 supernodes run inline. *)
+
+val valid_schedule : compiled -> bool
+(** Every update dependency crosses levels forward (test helper). *)

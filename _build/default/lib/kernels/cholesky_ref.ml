@@ -1,0 +1,192 @@
+open Sympiler_sparse
+open Sympiler_symbolic
+
+(* Non-supernodal (simplicial) sparse Cholesky, A = L L^T, A given by its
+   lower-triangular part in CSC form.
+
+   Two variants:
+   - [Eigen]-like baseline: the symbolic phase ("analyzePattern") computes
+     only the elimination tree and column counts; the numeric phase, like
+     Eigen's SimplicialLLT, still transposes A and recomputes every row
+     pattern with an etree up-traversal — the coupled symbolic work the
+     paper calls out in §4.2.
+   - [Decoupled] Sympiler variant (the Cholesky VI-Prune baseline of
+     Figure 7): row patterns (prune-sets), the full pattern of L, and a
+     transpose gather map are all precomputed, so the numeric phase touches
+     numbers only. *)
+
+exception Not_positive_definite of int
+
+(* ------------------------- Eigen-like baseline ------------------------- *)
+
+module Eigen = struct
+  type analysis = {
+    n : int;
+    parent : int array;
+    l_colptr : int array; (* storage allocation for L *)
+  }
+
+  (* Symbolic phase: etree + column counts (allocation only). *)
+  let analyze (a_lower : Csc.t) : analysis =
+    let n = a_lower.Csc.ncols in
+    let parent = Etree.compute a_lower in
+    let upper = Csc.transpose a_lower in
+    let work = Ereach.make_workspace n in
+    let counts = Array.make (n + 1) 0 in
+    for k = 0 to n - 1 do
+      let row = Ereach.row_pattern ~upper ~parent ~work k in
+      counts.(k) <- counts.(k) + 1;
+      Array.iter (fun j -> counts.(j) <- counts.(j) + 1) row
+    done;
+    let l_colptr = counts in
+    let _ = Utils.cumsum l_colptr in
+    { n; parent; l_colptr }
+
+  (* Numeric phase: up-looking factorization. Recomputes the transpose of A
+     and every row pattern (mark/stack up-traversals), as Eigen does. *)
+  let factor (an : analysis) (a_lower : Csc.t) : Csc.t =
+    let n = an.n in
+    let parent = an.parent in
+    let upper = Csc.transpose a_lower (* numeric-phase transpose *) in
+    let lp = Array.copy an.l_colptr in
+    let nnz_l = lp.(n) in
+    let li = Array.make nnz_l 0 in
+    let lx = Array.make nnz_l 0.0 in
+    let nzcount = Array.make n 0 in
+    let x = Array.make n 0.0 in
+    let mark = Array.make n (-1) in
+    let stack = Array.make n 0 in
+    let pstack = Array.make n 0 in
+    for k = 0 to n - 1 do
+      (* Scatter column k of the upper triangle and build the row pattern
+         stack (topological order) by climbing the etree. *)
+      let top = ref n in
+      let d = ref 0.0 in
+      mark.(k) <- k;
+      for p = upper.Csc.colptr.(k) to upper.Csc.colptr.(k + 1) - 1 do
+        let i = upper.Csc.rowind.(p) in
+        if i <= k then begin
+          if i = k then d := upper.Csc.values.(p)
+          else begin
+            x.(i) <- upper.Csc.values.(p);
+            let len = ref 0 in
+            let j = ref i in
+            while !j <> -1 && !j < k && mark.(!j) <> k do
+              pstack.(!len) <- !j;
+              incr len;
+              mark.(!j) <- k;
+              j := parent.(!j)
+            done;
+            while !len > 0 do
+              decr len;
+              decr top;
+              stack.(!top) <- pstack.(!len)
+            done
+          end
+        end
+      done;
+      (* Sparse up-looking solve along the pattern. *)
+      for t = !top to n - 1 do
+        let j = stack.(t) in
+        let lkj = x.(j) /. lx.(lp.(j)) in
+        x.(j) <- 0.0;
+        for p = lp.(j) + 1 to lp.(j) + nzcount.(j) - 1 do
+          x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. lkj)
+        done;
+        d := !d -. (lkj *. lkj);
+        let p = lp.(j) + nzcount.(j) in
+        li.(p) <- k;
+        lx.(p) <- lkj;
+        nzcount.(j) <- nzcount.(j) + 1
+      done;
+      if !d <= 0.0 then raise (Not_positive_definite k);
+      li.(lp.(k)) <- k;
+      lx.(lp.(k)) <- sqrt !d;
+      nzcount.(k) <- 1
+    done;
+    Csc.create ~nrows:n ~ncols:n ~colptr:lp ~rowind:li ~values:lx
+end
+
+(* -------------------- Decoupled (Sympiler) variant --------------------- *)
+
+module Decoupled = struct
+  type compiled = {
+    n : int;
+    row_patterns : int array array; (* prune-sets, ascending per row *)
+    l_colptr : int array;
+    l_rowind : int array; (* full precomputed pattern of L *)
+    up_colptr : int array;
+    up_rowind : int array;
+    up_map : int array; (* gather map into a_lower.values *)
+    flops : float;
+  }
+
+  (* "Compile time": full symbolic factorization + transpose gather map.
+     [fill] lets callers share an already-computed symbolic analysis. *)
+  let compile ?fill (a_lower : Csc.t) : compiled =
+    let fill =
+      match fill with Some f -> f | None -> Fill_pattern.analyze a_lower
+    in
+    let up_colptr, up_rowind, up_map = Csc.transpose_map a_lower in
+    {
+      n = fill.Fill_pattern.n;
+      row_patterns = fill.Fill_pattern.row_patterns;
+      l_colptr = fill.Fill_pattern.l_pattern.Csc.colptr;
+      l_rowind = fill.Fill_pattern.l_pattern.Csc.rowind;
+      up_colptr;
+      up_rowind;
+      up_map;
+      flops = Fill_pattern.flops fill;
+    }
+
+  (* Numeric phase: identical arithmetic to [Eigen.factor] but with zero
+     symbolic work — no transpose, no etree traversals, no pattern stacks:
+     the reach function and matrix transpose are gone from the numeric
+     code, exactly as §4.2 describes. *)
+  let factor (c : compiled) (a_lower : Csc.t) : Csc.t =
+    let n = c.n in
+    let av = a_lower.Csc.values in
+    let lp = c.l_colptr in
+    let li = c.l_rowind in
+    let lx = Array.make lp.(n) 0.0 in
+    let nzcount = Array.make n 0 in
+    let x = Array.make n 0.0 in
+    for k = 0 to n - 1 do
+      (* Gather column k of the upper triangle through the precomputed map. *)
+      let d = ref 0.0 in
+      for p = c.up_colptr.(k) to c.up_colptr.(k + 1) - 1 do
+        let i = c.up_rowind.(p) in
+        if i = k then d := av.(c.up_map.(p))
+        else if i < k then x.(i) <- av.(c.up_map.(p))
+      done;
+      let pattern = c.row_patterns.(k) in
+      for t = 0 to Array.length pattern - 1 do
+        let j = pattern.(t) in
+        let lkj = x.(j) /. lx.(lp.(j)) in
+        x.(j) <- 0.0;
+        for p = lp.(j) + 1 to lp.(j) + nzcount.(j) - 1 do
+          x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. lkj)
+        done;
+        d := !d -. (lkj *. lkj);
+        let p = lp.(j) + nzcount.(j) in
+        lx.(p) <- lkj;
+        nzcount.(j) <- nzcount.(j) + 1
+      done;
+      if !d <= 0.0 then raise (Not_positive_definite k);
+      lx.(lp.(k)) <- sqrt !d;
+      nzcount.(k) <- 1
+    done;
+    Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy lp) ~rowind:(Array.copy li)
+      ~values:lx
+end
+
+(* Dense-oracle-friendly wrapper: factor with the Eigen baseline. *)
+let factor_simple (a_lower : Csc.t) : Csc.t =
+  Eigen.factor (Eigen.analyze a_lower) a_lower
+
+(* Solve A x = b given the factor L (forward then backward substitution). *)
+let solve_with_factor (l : Csc.t) (b : float array) : float array =
+  let x = Array.copy b in
+  Trisolve_ref.naive_ip l x;
+  Trisolve_ref.transpose_ip l x;
+  x

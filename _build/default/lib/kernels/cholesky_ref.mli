@@ -1,0 +1,55 @@
+open Sympiler_sparse
+open Sympiler_symbolic
+
+(** Non-supernodal (simplicial) sparse Cholesky [A = L L^T], input given as
+    the lower-triangular part of A in CSC form. Two variants: the
+    Eigen-like library baseline whose numeric phase still performs coupled
+    symbolic work, and the fully decoupled Sympiler form. *)
+
+exception Not_positive_definite of int
+(** Raised at the offending column. *)
+
+(** Eigen-style baseline: the symbolic phase ("analyzePattern") computes
+    only the elimination tree and column counts; the numeric phase, like
+    Eigen's SimplicialLLT, transposes A and recomputes every row pattern
+    with etree up-traversals — the residual symbolic work §4.2 calls out. *)
+module Eigen : sig
+  type analysis = { n : int; parent : int array; l_colptr : int array }
+
+  val analyze : Csc.t -> analysis
+  (** Symbolic phase: etree + counts (storage allocation only). *)
+
+  val factor : analysis -> Csc.t -> Csc.t
+  (** Numeric phase (up-looking), including the transpose and the pattern
+      up-traversals. *)
+end
+
+(** Decoupled Sympiler variant (the Cholesky VI-Prune baseline of
+    Figure 7): prune-sets, the full pattern of L, and a transpose gather
+    map are precomputed, so the numeric phase touches numbers only. *)
+module Decoupled : sig
+  type compiled = {
+    n : int;
+    row_patterns : int array array;
+    l_colptr : int array;
+    l_rowind : int array;
+    up_colptr : int array;
+    up_rowind : int array;
+    up_map : int array;
+    flops : float;
+  }
+
+  val compile : ?fill:Fill_pattern.t -> Csc.t -> compiled
+  (** Compile-time symbolic factorization; pass [fill] to share an
+      already-computed analysis. *)
+
+  val factor : compiled -> Csc.t -> Csc.t
+  (** Numeric-only factorization: identical arithmetic to [Eigen.factor]
+      with zero symbolic work. *)
+end
+
+val factor_simple : Csc.t -> Csc.t
+(** One-shot convenience: [Eigen.analyze] + [Eigen.factor]. *)
+
+val solve_with_factor : Csc.t -> float array -> float array
+(** [A x = b] given the factor L: forward then backward substitution. *)

@@ -1,0 +1,92 @@
+open Sympiler_sparse
+open Sympiler_symbolic
+
+(** Supernodal left-looking Cholesky. One engine serves both the
+    CHOLMOD-style library baseline and Sympiler's VS-Block executor; L is
+    stored in plain CSC whose per-supernode panels are jagged dense blocks
+    (see {!Dense_blas}). *)
+
+type analysis = {
+  n : int;
+  sn : Supernodes.t;
+  l_colptr : int array;
+  l_rowind : int array;
+  parent : int array;
+  nb : int array;  (** below-block height per supernode *)
+  flops : float;
+  nnz_l : int;
+}
+
+(** One descendant update: supernode [d] contributes to the current target
+    starting at index [first] of its below-block; the first [t] of its
+    remaining [m] rows land in the target's diagonal block. [coff >= 0]
+    records compile-time-proven contiguity of the target offsets. *)
+type update = { d : int; first : int; t : int; m : int; coff : int }
+
+val analyze : ?fill:Fill_pattern.t -> ?max_width:int -> Csc.t -> analysis
+(** Symbolic analysis: fill pattern, supernodes, panel geometry. *)
+
+val below_rows_start : analysis -> int -> int
+(** Index into [l_rowind] of a supernode's below-block row list. *)
+
+val compute_schedule : analysis -> update list array
+(** The full compile-time update schedule, per target supernode, with
+    per-update contiguity detection. *)
+
+(** {2 Numeric building blocks} (shared with {!Cholesky_parallel}) *)
+
+val init_panel_from_a :
+  analysis -> Csc.t -> float array -> int array -> int -> unit
+(** Scatter A's values into the (zeroed) panel of one supernode, filling the
+    row-offset scratch [relpos]. *)
+
+val apply_update_generic :
+  analysis -> float array -> int array -> s:int -> update -> float array -> unit
+(** CHOLMOD-style update: GEMM into the work buffer, then scatter. *)
+
+val apply_update_fused :
+  analysis -> float array -> int array -> s:int -> update -> unit
+(** Sympiler-style update: fused accumulation straight into the target
+    panel; pure contiguous AXPY when the schedule proved [coff >= 0]. *)
+
+val factor_panel_generic : analysis -> float array -> int -> unit
+(** Jagged potrf + trsm (generic loops). *)
+
+val factor_panel_blas : analysis -> float array -> int -> unit
+(** Merged contiguous panel kernel (models a well-tuned BLAS pair). *)
+
+val factor_panel_specialized : analysis -> float array -> int -> unit
+(** Peeled width-1 path + fused kernel otherwise. *)
+
+(** Library baseline: numeric phase transposes A (the residual symbolic
+    work of §4.2), discovers descendant lists with linked-list bookkeeping
+    at numeric time, and applies updates through a GEMM work buffer +
+    scatter (the BLAS calling convention). *)
+module Cholmod : sig
+  type t = analysis
+
+  val analyze : ?fill:Fill_pattern.t -> ?max_width:int -> Csc.t -> t
+  val factor : t -> Csc.t -> Csc.t
+end
+
+(** Sympiler's VS-Block executor: the schedule, row offsets and contiguity
+    flags are baked in at compile time; the specialized variant fuses
+    updates into the target panel and peels width-1 supernodes. *)
+module Sympiler : sig
+  type compiled = {
+    an : analysis;
+    schedule : update array array;
+    specialized : bool;  (** apply the low-level transformations *)
+  }
+
+  val compile :
+    ?fill:Fill_pattern.t ->
+    ?max_width:int ->
+    ?specialized:bool ->
+    Csc.t ->
+    compiled
+
+  val factor : compiled -> Csc.t -> Csc.t
+  (** Numeric phase: no transpose, no list maintenance, just arithmetic
+      driven by the baked-in schedule. *)
+end

@@ -1,0 +1,101 @@
+open Sympiler_sparse
+
+(* Incomplete Cholesky with zero fill, IC(0): the factor keeps exactly the
+   pattern of lower(A). One of the §3.3 methods whose symbolic needs (the
+   dependence-graph machinery, static patterns) Sympiler's inspectors
+   already cover. Used as a preconditioner in the CG example.
+
+   Left-looking column algorithm restricted to A's pattern: identical
+   arithmetic to full Cholesky except updates landing outside the pattern
+   are dropped. On a matrix whose exact factor has no fill (e.g. a
+   tridiagonal matrix) IC(0) equals the exact factor. *)
+
+exception Not_positive_definite of int
+
+(* Positions of L(j, r): for the update pass we need, per column j, the
+   list of columns r < j with A(j, r) <> 0 — i.e. the row pattern of
+   lower(A) — together with the position of that entry. Precomputed from
+   the transpose, making the numeric phase decoupled (Sympiler-style). *)
+type compiled = {
+  n : int;
+  colptr : int array;
+  rowind : int array;
+  (* Flattened row lists: for row j, [row_ptr.(j), row_ptr.(j+1)) indexes
+     (row_col, row_pos): the columns r < j with A(j,r) <> 0 and the storage
+     position of that entry. *)
+  row_ptr : int array;
+  row_col : int array;
+  row_pos : int array;
+}
+
+let compile (a_lower : Csc.t) : compiled =
+  let n = a_lower.Csc.ncols in
+  let row_ptr = Array.make (n + 1) 0 in
+  Csc.iter a_lower (fun i j _ -> if i > j then row_ptr.(i) <- row_ptr.(i) + 1);
+  let _ = Utils.cumsum row_ptr in
+  let nrow = row_ptr.(n) in
+  let row_col = Array.make (max 1 nrow) 0 in
+  let row_pos = Array.make (max 1 nrow) 0 in
+  let next = Array.make n 0 in
+  Array.blit row_ptr 0 next 0 n;
+  for j = 0 to n - 1 do
+    for p = a_lower.Csc.colptr.(j) to a_lower.Csc.colptr.(j + 1) - 1 do
+      let i = a_lower.Csc.rowind.(p) in
+      if i > j then begin
+        row_col.(next.(i)) <- j;
+        row_pos.(next.(i)) <- p;
+        next.(i) <- next.(i) + 1
+      end
+    done
+  done;
+  {
+    n;
+    colptr = a_lower.Csc.colptr;
+    rowind = a_lower.Csc.rowind;
+    row_ptr;
+    row_col;
+    row_pos;
+  }
+
+(* Numeric IC(0) factorization; values of [a_lower] may change between
+   calls as long as the pattern matches the compiled one. *)
+let factor (c : compiled) (a_lower : Csc.t) : Csc.t =
+  let n = c.n in
+  let lp = c.colptr and li = c.rowind in
+  let lx = Array.copy a_lower.Csc.values in
+  (* Dense map row -> position in the current column, for pattern-limited
+     scattering. *)
+  let pos = Array.make n (-1) in
+  for j = 0 to n - 1 do
+    (* Update column j by every column r with L(j, r) <> 0. *)
+    for p = lp.(j) to lp.(j + 1) - 1 do
+      pos.(li.(p)) <- p
+    done;
+    for q = c.row_ptr.(j) to c.row_ptr.(j + 1) - 1 do
+      let r = c.row_col.(q) in
+      let ljr = lx.(c.row_pos.(q)) in
+      if ljr <> 0.0 then
+        (* Subtract ljr * L(j:n, r), keeping only entries inside column
+           j's pattern (the IC(0) dropping rule). *)
+        let start = c.row_pos.(q) in
+        for t = start to lp.(r + 1) - 1 do
+          let i = li.(t) in
+          if pos.(i) >= 0 then lx.(pos.(i)) <- lx.(pos.(i)) -. (lx.(t) *. ljr)
+        done
+    done;
+    let d = lx.(lp.(j)) in
+    if d <= 0.0 then raise (Not_positive_definite j);
+    let djj = sqrt d in
+    lx.(lp.(j)) <- djj;
+    for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+      lx.(p) <- lx.(p) /. djj
+    done;
+    for p = lp.(j) to lp.(j + 1) - 1 do
+      pos.(li.(p)) <- -1
+    done
+  done;
+  Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy lp) ~rowind:(Array.copy li)
+    ~values:lx
+
+(* Convenience: compile + factor in one call. *)
+let factorize (a_lower : Csc.t) : Csc.t = factor (compile a_lower) a_lower

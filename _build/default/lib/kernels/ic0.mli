@@ -1,0 +1,30 @@
+open Sympiler_sparse
+
+(** Incomplete Cholesky with zero fill, IC(0): the factor keeps exactly the
+    pattern of lower(A) (updates landing outside it are dropped). A §3.3
+    method used as the preconditioner in [examples/precond_cg.ml]. On a
+    matrix whose exact factor has no fill, IC(0) equals the exact factor. *)
+
+exception Not_positive_definite of int
+
+type compiled = {
+  n : int;
+  colptr : int array;
+  rowind : int array;
+  row_ptr : int array;
+      (** flattened row lists: row [j]'s update sources occupy
+          [\[row_ptr.(j), row_ptr.(j+1))] *)
+  row_col : int array;  (** columns [r < j] with [A(j,r) <> 0] *)
+  row_pos : int array;  (** storage position of each such entry *)
+}
+
+val compile : Csc.t -> compiled
+(** Precompute row lists and positions from the lower part of A, making the
+    numeric phase decoupled. *)
+
+val factor : compiled -> Csc.t -> Csc.t
+(** Numeric IC(0); the input's values may change as long as the pattern
+    matches the compiled one. *)
+
+val factorize : Csc.t -> Csc.t
+(** [compile] + [factor]. *)

@@ -1,0 +1,111 @@
+open Sympiler_sparse
+open Sympiler_symbolic
+
+(* LDL^T factorization: A = L D L^T with unit-diagonal L and diagonal D.
+   Handles symmetric *indefinite* (but factorizable without pivoting)
+   matrices that plain Cholesky rejects — one of the "other matrix methods"
+   of §3.3 whose symbolic analysis (etree + row patterns) is exactly the
+   Cholesky inspector's. The decoupled numeric phase below is the
+   up-looking algorithm of Davis's LDL package driven entirely by
+   precomputed prune-sets. *)
+
+exception Zero_pivot of int
+
+type compiled = {
+  n : int;
+  row_patterns : int array array; (* prune-sets (ascending per row) *)
+  l_colptr : int array;
+  l_rowind : int array;
+  up_colptr : int array;
+  up_rowind : int array;
+  up_map : int array; (* transpose gather map, computed symbolically *)
+}
+
+type factors = {
+  l : Csc.t; (* unit lower triangular; unit diagonal stored explicitly *)
+  d : float array;
+}
+
+(* Symbolic phase: identical inspection sets to Cholesky's. *)
+let compile (a_lower : Csc.t) : compiled =
+  let fill = Fill_pattern.analyze a_lower in
+  let up_colptr, up_rowind, up_map = Csc.transpose_map a_lower in
+  {
+    n = fill.Fill_pattern.n;
+    row_patterns = fill.Fill_pattern.row_patterns;
+    l_colptr = fill.Fill_pattern.l_pattern.Csc.colptr;
+    l_rowind = fill.Fill_pattern.l_pattern.Csc.rowind;
+    up_colptr;
+    up_rowind;
+    up_map;
+  }
+
+(* Numeric phase: up-looking, no symbolic work. Row k solves
+   L(0:k-1,0:k-1) D y = A(0:k-1,k) along the precomputed pattern. *)
+let factor (c : compiled) (a_lower : Csc.t) : factors =
+  let n = c.n in
+  let av = a_lower.Csc.values in
+  let lp = c.l_colptr in
+  let li = c.l_rowind in
+  let lx = Array.make lp.(n) 0.0 in
+  let d = Array.make n 0.0 in
+  let nzcount = Array.make n 0 in
+  let y = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    let dk = ref 0.0 in
+    for p = c.up_colptr.(k) to c.up_colptr.(k + 1) - 1 do
+      let i = c.up_rowind.(p) in
+      if i = k then dk := av.(c.up_map.(p))
+      else if i < k then y.(i) <- av.(c.up_map.(p))
+    done;
+    let pattern = c.row_patterns.(k) in
+    for t = 0 to Array.length pattern - 1 do
+      let j = pattern.(t) in
+      let yj = y.(j) in
+      y.(j) <- 0.0;
+      let lkj = yj /. d.(j) in
+      (* subtract L(:,j) * yj from the sparse accumulator *)
+      for p = lp.(j) + 1 to lp.(j) + nzcount.(j) - 1 do
+        y.(li.(p)) <- y.(li.(p)) -. (lx.(p) *. yj)
+      done;
+      dk := !dk -. (lkj *. yj);
+      let p = lp.(j) + nzcount.(j) in
+      lx.(p) <- lkj;
+      nzcount.(j) <- nzcount.(j) + 1
+    done;
+    if !dk = 0.0 then raise (Zero_pivot k);
+    d.(k) <- !dk;
+    lx.(lp.(k)) <- 1.0;
+    nzcount.(k) <- 1
+  done;
+  {
+    l =
+      Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy lp)
+        ~rowind:(Array.copy li) ~values:lx;
+    d;
+  }
+
+let factorize (a_lower : Csc.t) : factors = factor (compile a_lower) a_lower
+
+(* Solve A x = b: forward (unit L), diagonal scale, backward (L^T). *)
+let solve (f : factors) (b : float array) : float array =
+  let n = Array.length f.d in
+  let x = Array.copy b in
+  let lp = f.l.Csc.colptr and li = f.l.Csc.rowind and lx = f.l.Csc.values in
+  for j = 0 to n - 1 do
+    let xj = x.(j) in
+    for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+      x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. xj)
+    done
+  done;
+  for j = 0 to n - 1 do
+    x.(j) <- x.(j) /. f.d.(j)
+  done;
+  for j = n - 1 downto 0 do
+    let s = ref x.(j) in
+    for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+      s := !s -. (lx.(p) *. x.(li.(p)))
+    done;
+    x.(j) <- !s
+  done;
+  x

@@ -1,0 +1,37 @@
+open Sympiler_sparse
+
+(** [A = L D L^T] factorization (unit-diagonal L, diagonal D): handles
+    symmetric {e indefinite} but strongly regular matrices that plain
+    Cholesky rejects — one of the "other matrix methods" of §3.3 whose
+    symbolic analysis is exactly the Cholesky inspectors'. Decoupled:
+    {!compile} precomputes prune-sets, L's pattern, and the transpose
+    gather map; {!factor} is numeric-only up-looking. *)
+
+exception Zero_pivot of int
+
+type compiled = {
+  n : int;
+  row_patterns : int array array;
+  l_colptr : int array;
+  l_rowind : int array;
+  up_colptr : int array;
+  up_rowind : int array;
+  up_map : int array;
+}
+
+type factors = {
+  l : Csc.t;  (** unit lower triangular, unit diagonal stored *)
+  d : float array;  (** the diagonal of D (may contain negative pivots) *)
+}
+
+val compile : Csc.t -> compiled
+(** Symbolic phase over the lower-triangular part of A. *)
+
+val factor : compiled -> Csc.t -> factors
+(** Numeric phase; raises {!Zero_pivot} on a structurally unlucky zero. *)
+
+val factorize : Csc.t -> factors
+(** [compile] + [factor] in one call. *)
+
+val solve : factors -> float array -> float array
+(** [A x = b]: forward solve, diagonal scaling, backward solve. *)

@@ -1,0 +1,43 @@
+open Sympiler_sparse
+
+(** Sparse QR factorization by Givens rotations (George & Heath) — the
+    orthogonal-factorization method of §3.3. The symbolic phase derives R's
+    static structure as the Cholesky pattern of [A^T A]; the numeric phase
+    rotates A's rows into that structure while applying [Q^T] to the
+    right-hand side (Q is never formed), which suffices for least-squares
+    solving. [m >= n] with full column rank is required. *)
+
+exception Rank_deficient of int
+(** A structural pivot row stayed empty. *)
+
+type compiled = {
+  m : int;
+  n : int;
+  rt_colptr : int array;  (** R stored as CSC of R^T (slot j = row j) *)
+  rt_rowind : int array;
+  a_rowptr : int array;  (** CSR view of A with a value gather map *)
+  a_colind : int array;
+  a_map : int array;
+}
+
+type factors = {
+  c : compiled;
+  r_values : float array;
+  z : float array;  (** [Q^T b] restricted to R's rows *)
+  residual_norm : float;  (** norm of the annihilated rhs components *)
+}
+
+val compile : Csc.t -> compiled
+(** Symbolic phase (pattern of [A^T A] + symbolic Cholesky + row maps). *)
+
+val factor_with_rhs : compiled -> Csc.t -> float array -> factors
+(** Numeric phase for any values matching the compiled pattern. *)
+
+val solve_r : factors -> float array
+(** Back substitution [R x = z]. *)
+
+val lstsq : compiled -> Csc.t -> float array -> float array
+(** [min ||A x - b||] in one call. *)
+
+val r_matrix : factors -> Csc.t
+(** R as an upper-triangular CSC matrix (tests: [R^T R = A^T A]). *)

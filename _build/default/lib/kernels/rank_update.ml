@@ -1,0 +1,99 @@
+open Sympiler_sparse
+
+(* Sparse rank-1 update/downdate of a Cholesky factorization:
+   given L with A = L L^T, compute the factor of A ± w w^T in place,
+   touching only the columns on the elimination-tree path from w's first
+   nonzero to the root — the rank-update method of §3.3 (Davis & Hager;
+   CSparse's cs_updown), whose required symbolic analysis is a single-node
+   etree up-traversal, i.e. exactly one of Sympiler's inspection
+   strategies.
+
+   Requirement (as in CSparse): the pattern of w must be a subset of the
+   pattern of L's column jmin, where jmin is w's first nonzero — then the
+   factor's pattern does not change and the numeric phase is decoupled. *)
+
+exception Not_positive_definite of int
+exception Pattern_violation of int
+
+type compiled = {
+  path : int array; (* etree path from jmin to the root *)
+}
+
+(* Symbolic phase: the update path. *)
+let compile ~(parent : int array) (w : Vector.sparse) : compiled =
+  match Array.length w.Vector.indices with
+  | 0 -> { path = [||] }
+  | _ ->
+      let jmin = w.Vector.indices.(0) in
+      let acc = ref [] in
+      let j = ref jmin in
+      while !j <> -1 do
+        acc := !j :: !acc;
+        j := parent.(!j)
+      done;
+      { path = Array.of_list (List.rev !acc) }
+
+(* Check the CSparse precondition; raises [Pattern_violation] otherwise. *)
+let check_pattern (l : Csc.t) (w : Vector.sparse) =
+  match Array.length w.Vector.indices with
+  | 0 -> ()
+  | _ ->
+      let jmin = w.Vector.indices.(0) in
+      Array.iter
+        (fun i -> if not (Csc.mem l i jmin) then raise (Pattern_violation i))
+        w.Vector.indices
+
+(* Numeric phase: in-place update of [l]'s values along the path.
+   [sigma] is [+1.0] (update) or [-1.0] (downdate). *)
+let apply ?(sigma = 1.0) (c : compiled) (l : Csc.t) (w : Vector.sparse) : unit
+    =
+  if Array.length c.path > 0 then begin
+    let lp = l.Csc.colptr and li = l.Csc.rowind and lx = l.Csc.values in
+    let wx = Array.make l.Csc.ncols 0.0 in
+    Array.iteri
+      (fun k i -> wx.(i) <- w.Vector.values.(k))
+      w.Vector.indices;
+    let beta = ref 1.0 in
+    Array.iter
+      (fun j ->
+        let p0 = lp.(j) in
+        let alpha = wx.(j) /. lx.(p0) in
+        let beta2_sq = (!beta *. !beta) +. (sigma *. alpha *. alpha) in
+        if beta2_sq <= 0.0 then raise (Not_positive_definite j);
+        let beta2 = sqrt beta2_sq in
+        let delta =
+          if sigma > 0.0 then !beta /. beta2 else beta2 /. !beta
+        in
+        let gamma = sigma *. alpha /. (beta2 *. !beta) in
+        lx.(p0) <-
+          (delta *. lx.(p0))
+          +. (if sigma > 0.0 then gamma *. wx.(j) else 0.0);
+        beta := beta2;
+        for p = p0 + 1 to lp.(j + 1) - 1 do
+          let i = li.(p) in
+          let w1 = wx.(i) in
+          let w2 = w1 -. (alpha *. lx.(p)) in
+          wx.(i) <- w2;
+          lx.(p) <-
+            (delta *. lx.(p)) +. (gamma *. (if sigma > 0.0 then w1 else w2))
+        done)
+      c.path
+  end
+
+(* Convenience: symbolic + numeric in one call, with the pattern check. *)
+let update ?(sigma = 1.0) ~(parent : int array) (l : Csc.t)
+    (w : Vector.sparse) : unit =
+  check_pattern l w;
+  apply ~sigma (compile ~parent w) l w
+
+(* A sparse vector with the pattern of column [j] of [l] (below and
+   including the diagonal), scaled by [scale] — always a legal update
+   vector for [l]. Handy for tests and for the rank-update use cases the
+   paper cites (column additions/removals in optimization solvers). *)
+let vector_like (l : Csc.t) ~(j : int) ~(scale : float) : Vector.sparse =
+  let lo = l.Csc.colptr.(j) and hi = l.Csc.colptr.(j + 1) in
+  {
+    Vector.n = l.Csc.ncols;
+    indices = Array.sub l.Csc.rowind lo (hi - lo);
+    values = Array.init (hi - lo) (fun t -> scale *. l.Csc.values.(lo + t));
+  }

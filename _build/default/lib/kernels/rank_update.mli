@@ -1,0 +1,37 @@
+open Sympiler_sparse
+
+(** Sparse rank-1 update/downdate of a Cholesky factorization: rewrite L in
+    place so that [L L^T] becomes [A ± w w^T], touching only the columns on
+    the elimination-tree path from w's first nonzero to the root — the
+    rank-update method of §3.3 (Davis & Hager / CSparse [cs_updown]). The
+    required symbolic analysis is a single-node etree up-traversal, one of
+    Sympiler's inspection strategies (Table 1).
+
+    Precondition (as in CSparse): the pattern of [w] must be a subset of
+    the pattern of L's column [jmin] (its first nonzero); then L's pattern
+    is unchanged and the numeric phase is fully decoupled. *)
+
+exception Not_positive_definite of int
+(** A downdate destroyed positive definiteness. *)
+
+exception Pattern_violation of int
+(** [w] has a nonzero outside the allowed pattern (offending row given). *)
+
+type compiled = { path : int array }
+(** The etree path the update walks (symbolic inspection set). *)
+
+val compile : parent:int array -> Vector.sparse -> compiled
+(** Symbolic phase: walk the etree from w's first nonzero to the root. *)
+
+val check_pattern : Csc.t -> Vector.sparse -> unit
+(** Validate the precondition; raises {!Pattern_violation}. *)
+
+val apply : ?sigma:float -> compiled -> Csc.t -> Vector.sparse -> unit
+(** Numeric phase, in place on [l]'s values. [sigma] is [+1.] (update,
+    default) or [-1.] (downdate). *)
+
+val update : ?sigma:float -> parent:int array -> Csc.t -> Vector.sparse -> unit
+(** [check_pattern] + [compile] + [apply]. *)
+
+val vector_like : Csc.t -> j:int -> scale:float -> Vector.sparse
+(** A legal update vector: column [j] of [l] scaled by [scale]. *)

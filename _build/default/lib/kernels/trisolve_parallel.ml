@@ -1,0 +1,159 @@
+open Sympiler_sparse
+
+(* Level-set (wavefront) parallel sparse triangular solve on OCaml 5
+   domains. The paper's conclusion argues its single-core transformations
+   "should extend to improve performance on shared ... memory systems", and
+   its follow-on work (ParSy) builds exactly this: the dependence graph
+   DG_L is levelized at compile time — level l holds the columns whose
+   longest dependence chain has length l — and the numeric solve processes
+   levels sequentially but each level's columns in parallel, with no
+   synchronization finer than a per-level barrier.
+
+   The level sets are one more inspection set: computed once symbolically,
+   consumed by a numeric phase with no symbolic work. On the single-core
+   evaluation container the parallel path cannot show speedups; the
+   correctness tests exercise it with several domains regardless. *)
+
+type compiled = {
+  l : Csc.t;
+  nlevels : int;
+  level_ptr : int array; (* level l = level_cols.[level_ptr.(l), level_ptr.(l+1)) *)
+  level_cols : int array; (* columns ordered by level, ascending inside *)
+}
+
+(* Levelize the full matrix (dense-RHS case): level.(j) =
+   1 + max over incoming edges (i.e. over k with L(j,k) <> 0, k < j). *)
+let compile (l : Csc.t) : compiled =
+  let n = l.Csc.ncols in
+  let level = Array.make n 0 in
+  for j = 0 to n - 1 do
+    (* edges j -> i for below-diagonal entries: i depends on j *)
+    for p = l.Csc.colptr.(j) + 1 to l.Csc.colptr.(j + 1) - 1 do
+      let i = l.Csc.rowind.(p) in
+      if level.(i) < level.(j) + 1 then level.(i) <- level.(j) + 1
+    done
+  done;
+  let nlevels = 1 + Array.fold_left max 0 level in
+  let counts = Array.make (nlevels + 1) 0 in
+  Array.iter (fun lv -> counts.(lv) <- counts.(lv) + 1) level;
+  let _ = Utils.cumsum counts in
+  let level_ptr = Array.copy counts in
+  let next = Array.sub counts 0 nlevels in
+  let level_cols = Array.make n 0 in
+  for j = 0 to n - 1 do
+    (* ascending j within each level: deterministic and cache-friendly *)
+    level_cols.(next.(level.(j))) <- j;
+    next.(level.(j)) <- next.(level.(j)) + 1
+  done;
+  { l; nlevels; level_ptr; level_cols }
+
+(* The column update of the forward solve. Columns within one level never
+   touch the same x entries as sources (their diagonals are independent),
+   but two columns of a level may both update a common later row; those
+   updates are combined with an atomic-free split: each domain owns a
+   contiguous chunk of the level and updates x directly — safe because a
+   row updated by two columns of the same level is, by construction, in a
+   LATER level than both, and reads of x.(j) only happen at j's own level.
+   The only hazard would be two simultaneous read-modify-writes of the same
+   x.(i); we serialize those with per-domain accumulation buffers merged at
+   the level barrier. *)
+let solve_level_sequential (c : compiled) (x : float array) ~lo ~hi =
+  let l = c.l in
+  let lp = l.Csc.colptr and li = l.Csc.rowind and lx = l.Csc.values in
+  for t = lo to hi - 1 do
+    let j = c.level_cols.(t) in
+    let xj = x.(j) /. lx.(lp.(j)) in
+    x.(j) <- xj;
+    for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+      x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. xj)
+    done
+  done
+
+(* Sequential reference over the level schedule (validates the schedule
+   itself). *)
+let solve_ip_sequential (c : compiled) (x : float array) =
+  for lv = 0 to c.nlevels - 1 do
+    solve_level_sequential c x ~lo:c.level_ptr.(lv) ~hi:c.level_ptr.(lv + 1)
+  done
+
+(* Parallel solve with [ndomains] worker domains. Each level is split into
+   chunks; every domain accumulates its below-diagonal updates into a
+   private buffer, and buffers are merged (sequentially) at the barrier, so
+   no two domains ever write the same location concurrently. *)
+let solve_ip_parallel ?(ndomains = 2) (c : compiled) (x : float array) =
+  if ndomains <= 1 then solve_ip_sequential c x
+  else begin
+    let l = c.l in
+    let n = l.Csc.ncols in
+    let lp = l.Csc.colptr and li = l.Csc.rowind and lx = l.Csc.values in
+    let bufs = Array.init ndomains (fun _ -> Array.make n 0.0) in
+    let chunk_of lv d =
+      let lo = c.level_ptr.(lv) and hi = c.level_ptr.(lv + 1) in
+      let w = hi - lo in
+      let per = (w + ndomains - 1) / ndomains in
+      (min hi (lo + (d * per)), min hi (lo + ((d + 1) * per)))
+    in
+    for lv = 0 to c.nlevels - 1 do
+      let width = c.level_ptr.(lv + 1) - c.level_ptr.(lv) in
+      if width < 64 then
+        (* Narrow level: spawn/merge overhead (O(n) buffer sweep) cannot
+           pay off; run it inline. *)
+        solve_level_sequential c x ~lo:c.level_ptr.(lv)
+          ~hi:c.level_ptr.(lv + 1)
+      else begin
+      let work d () =
+        let buf = bufs.(d) in
+        let lo, hi = chunk_of lv d in
+        for t = lo to hi - 1 do
+          let j = c.level_cols.(t) in
+          (* x.(j) is final: all updates to j merged at earlier barriers *)
+          let xj = x.(j) /. lx.(lp.(j)) in
+          x.(j) <- xj;
+          for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+            buf.(li.(p)) <- buf.(li.(p)) +. (lx.(p) *. xj)
+          done
+        done
+      in
+      let domains =
+        List.init (ndomains - 1) (fun d -> Domain.spawn (work (d + 1)))
+      in
+      work 0 ();
+      List.iter Domain.join domains;
+      (* Merge: subtract each domain's accumulated updates. Touch only rows
+         that can still change (levels are processed in order, so a simple
+         full sweep is correct; cost is O(n) per level and the buffers are
+         reused). *)
+      for d = 0 to ndomains - 1 do
+        let buf = bufs.(d) in
+        for i = 0 to n - 1 do
+          if buf.(i) <> 0.0 then begin
+            x.(i) <- x.(i) -. buf.(i);
+            buf.(i) <- 0.0
+          end
+        done
+      done
+      end
+    done
+  end
+
+let solve ?ndomains (c : compiled) (b : float array) : float array =
+  let x = Array.copy b in
+  (match ndomains with
+  | Some k when k > 1 -> solve_ip_parallel ~ndomains:k c x
+  | _ -> solve_ip_sequential c x);
+  x
+
+(* Schedule validation used by tests: every dependence edge crosses levels
+   forward. *)
+let valid_schedule (c : compiled) : bool =
+  let n = c.l.Csc.ncols in
+  let level_of = Array.make n 0 in
+  for lv = 0 to c.nlevels - 1 do
+    for t = c.level_ptr.(lv) to c.level_ptr.(lv + 1) - 1 do
+      level_of.(c.level_cols.(t)) <- lv
+    done
+  done;
+  let ok = ref true in
+  Csc.iter c.l (fun i j _ ->
+      if i <> j && level_of.(i) <= level_of.(j) then ok := false);
+  !ok

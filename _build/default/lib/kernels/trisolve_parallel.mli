@@ -1,0 +1,34 @@
+open Sympiler_sparse
+
+(** Level-set (wavefront) parallel sparse triangular solve on OCaml 5
+    domains — the shared-memory extension the paper's conclusion points to
+    (and its ParSy follow-on builds). The dependence graph is levelized at
+    compile time; the numeric solve runs levels sequentially with each
+    wide level's columns processed by several domains, using per-domain
+    accumulation buffers merged at the level barrier (no data races, no
+    atomics). *)
+
+type compiled = {
+  l : Csc.t;
+  nlevels : int;
+  level_ptr : int array;
+      (** level [l] = [level_cols.\[level_ptr.(l), level_ptr.(l+1))] *)
+  level_cols : int array;  (** columns ordered by level, ascending inside *)
+}
+
+val compile : Csc.t -> compiled
+(** Levelization: [level j = 1 + max] over dependencies — one more
+    inspection set, computed once. *)
+
+val solve_ip_sequential : compiled -> float array -> unit
+(** Sequential execution of the level schedule (validates the schedule). *)
+
+val solve_ip_parallel : ?ndomains:int -> compiled -> float array -> unit
+(** Parallel execution with [ndomains] domains; levels narrower than 64
+    columns run inline. *)
+
+val solve : ?ndomains:int -> compiled -> float array -> float array
+(** Functional wrapper over the in-place solvers. *)
+
+val valid_schedule : compiled -> bool
+(** Every dependence edge crosses levels forward (test helper). *)

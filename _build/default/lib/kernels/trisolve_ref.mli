@@ -1,0 +1,34 @@
+open Sympiler_sparse
+
+(** The four sparse triangular-solve variants of the paper's Figure 1 for
+    [L x = b], L lower-triangular in CSC form. The [_ip] versions take [x]
+    already holding b and overwrite it with the solution; the functional
+    wrappers copy. *)
+
+val naive_ip : Csc.t -> float array -> unit
+(** Figure 1b: naive forward substitution — visits every column. *)
+
+val library_ip : Csc.t -> float array -> unit
+(** Figure 1c: the library (Eigen-style) code — scans all columns but skips
+    the work when the solution entry is zero. *)
+
+val decoupled_ip : Csc.t -> int array -> float array -> unit
+(** Figure 1d: decoupled code iterating only over the precomputed reach-set
+    (topological order), O(|b| + f). *)
+
+val transpose_ip : Csc.t -> float array -> unit
+(** Solve [L^T x = b] using L's CSC storage (backward substitution), to
+    complete [A = L L^T] solves. *)
+
+val naive : Csc.t -> float array -> float array
+val library : Csc.t -> float array -> float array
+
+val decoupled : Csc.t -> Vector.sparse -> float array
+(** Computes the reach-set itself, then runs {!decoupled_ip}. *)
+
+val transpose_solve : Csc.t -> float array -> float array
+
+val flops : Csc.t -> int array -> float
+(** Useful floating-point operations of the pruned solve
+    ([sum over reach of 2 nnz(col) - 1]) — the common GFLOP/s numerator for
+    all variants in Figure 6. *)

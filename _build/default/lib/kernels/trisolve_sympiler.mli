@@ -1,0 +1,57 @@
+open Sympiler_sparse
+open Sympiler_symbolic
+
+(** Sympiler's triangular-solve executors (the generated code of
+    Figure 1e): the reach-set, supernodes, supernode sequence, and the
+    block-vs-column strategy decision are all computed once at compile time
+    and baked into a {!compiled} value whose numeric routines contain no
+    symbolic work.
+
+    The three solve variants mirror the stacked bars of Figure 6:
+    VS-Block alone, VS-Block + VI-Prune, and the full pipeline with
+    low-level transformations. *)
+
+type compiled = {
+  l : Csc.t;
+  reach : int array;  (** reach-set, sorted ascending (a dependence order) *)
+  sn : Supernodes.t;  (** block-set (VS-Block inspection set) *)
+  sn_sequence : int array;  (** supernodes hit by the reach-set, ascending *)
+  all_sn : int array;  (** every supernode (for the VS-Block-only variant) *)
+  max_below : int;  (** max below-block height, sizes the scratch buffer *)
+  tmp : float array;  (** shared block scratch *)
+  flops : float;  (** useful numeric flops of the pruned solve *)
+  columnwise : bool;
+      (** compile-time decision: process the reach-set column by column
+          instead of block by block — taken when supernodes are too narrow
+          or block processing would waste too much work on unreached
+          columns (the paper's VS-Block profitability threshold, §4.2) *)
+}
+
+val compile :
+  ?vs_block_threshold:float ->
+  ?waste_threshold:float ->
+  ?max_width:int ->
+  Csc.t ->
+  Vector.sparse ->
+  compiled
+(** Symbolic inspection + planning for [L x = b] with the given RHS
+    pattern. Numeric values of L and b are free to change afterwards.
+    [vs_block_threshold] (default 1.6): minimum average width of reached
+    supernodes for block processing; [waste_threshold] (default 0.1):
+    maximum tolerated fraction of extra flops from unreached columns inside
+    hit supernodes. *)
+
+val solve_vs_block_ip : compiled -> float array -> unit
+(** VS-Block only: every supernode, generic block kernels. *)
+
+val solve_vs_vi_ip : compiled -> float array -> unit
+(** VS-Block + VI-Prune: only supernodes hit by the reach-set. *)
+
+val solve_full_ip : compiled -> float array -> unit
+(** Full Figure 1e pipeline: + peeled width-1 path, specialized narrow
+    kernels, or the flat column loop when compilation chose
+    [columnwise]. *)
+
+val solve_vs_block : compiled -> Vector.sparse -> float array
+val solve_vs_vi : compiled -> Vector.sparse -> float array
+val solve_full : compiled -> Vector.sparse -> float array

@@ -1,0 +1,1 @@
+lib/sparse/csc.ml: Array Fmt Triplet Utils

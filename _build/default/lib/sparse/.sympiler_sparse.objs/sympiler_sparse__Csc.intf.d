@@ -1,0 +1,1 @@
+lib/sparse/csc.mli: Format Triplet

@@ -1,0 +1,1 @@
+lib/sparse/dense.ml: Array Csc Float

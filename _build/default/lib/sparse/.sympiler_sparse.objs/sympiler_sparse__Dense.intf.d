@@ -1,0 +1,1 @@
+lib/sparse/dense.mli: Csc

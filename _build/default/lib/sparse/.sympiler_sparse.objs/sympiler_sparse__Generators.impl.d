@@ -1,0 +1,1 @@
+lib/sparse/generators.ml: Array Csc Float Lazy List Triplet Utils Vector

@@ -1,0 +1,1 @@
+lib/sparse/generators.mli: Csc Lazy Vector

@@ -1,0 +1,1 @@
+lib/sparse/matrix_market.ml: Buffer Csc In_channel List Out_channel Printf String Triplet

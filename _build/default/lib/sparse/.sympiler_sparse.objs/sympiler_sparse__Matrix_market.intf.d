@@ -1,0 +1,1 @@
+lib/sparse/matrix_market.mli: Buffer Csc

@@ -1,0 +1,1 @@
+lib/sparse/ordering.ml: Array Csc Int List Perm Queue Set

@@ -1,0 +1,1 @@
+lib/sparse/perm.ml: Array Csc Triplet Utils

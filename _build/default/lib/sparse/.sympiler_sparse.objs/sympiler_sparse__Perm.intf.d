@@ -1,0 +1,1 @@
+lib/sparse/perm.mli: Csc Utils

@@ -1,0 +1,1 @@
+lib/sparse/utils.mli:

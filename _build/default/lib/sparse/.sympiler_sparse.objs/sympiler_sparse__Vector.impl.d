@@ -1,0 +1,1 @@
+lib/sparse/vector.ml: Array Float

@@ -1,0 +1,114 @@
+(* Small column-major dense matrices. Used as test oracles (dense Cholesky,
+   dense triangular solve) and as the temporary block storage that VS-Block
+   copies supernode panels into. *)
+
+type t = { nrows : int; ncols : int; data : float array }
+
+let create nrows ncols = { nrows; ncols; data = Array.make (nrows * ncols) 0.0 }
+let get t i j = t.data.((j * t.nrows) + i)
+let set t i j v = t.data.((j * t.nrows) + i) <- v
+let update t i j f = t.data.((j * t.nrows) + i) <- f t.data.((j * t.nrows) + i)
+let copy t = { t with data = Array.copy t.data }
+
+let of_rows rows =
+  let nrows = Array.length rows in
+  let ncols = if nrows = 0 then 0 else Array.length rows.(0) in
+  let t = create nrows ncols in
+  for i = 0 to nrows - 1 do
+    for j = 0 to ncols - 1 do
+      set t i j rows.(i).(j)
+    done
+  done;
+  t
+
+let to_rows t =
+  Array.init t.nrows (fun i -> Array.init t.ncols (fun j -> get t i j))
+
+let of_csc (m : Csc.t) =
+  let t = create m.Csc.nrows m.Csc.ncols in
+  Csc.iter m (fun i j v -> set t i j v);
+  t
+
+let matmul a b =
+  if a.ncols <> b.nrows then invalid_arg "Dense.matmul: dims";
+  let c = create a.nrows b.ncols in
+  for j = 0 to b.ncols - 1 do
+    for k = 0 to a.ncols - 1 do
+      let bkj = get b k j in
+      if bkj <> 0.0 then
+        for i = 0 to a.nrows - 1 do
+          update c i j (fun x -> x +. (get a i k *. bkj))
+        done
+    done
+  done;
+  c
+
+let transpose a =
+  let t = create a.ncols a.nrows in
+  for j = 0 to a.ncols - 1 do
+    for i = 0 to a.nrows - 1 do
+      set t j i (get a i j)
+    done
+  done;
+  t
+
+(* In-place unblocked Cholesky of the leading n x n block; returns the lower
+   factor with the strict upper triangle zeroed. Raises [Failure] when the
+   matrix is not positive definite. Oracle for all sparse factorizations. *)
+let cholesky a =
+  if a.nrows <> a.ncols then invalid_arg "Dense.cholesky: square";
+  let n = a.nrows in
+  let l = copy a in
+  for j = 0 to n - 1 do
+    let d = ref (get l j j) in
+    for k = 0 to j - 1 do
+      d := !d -. (get l j k *. get l j k)
+    done;
+    if !d <= 0.0 then failwith "Dense.cholesky: not positive definite";
+    let djj = sqrt !d in
+    set l j j djj;
+    for i = j + 1 to n - 1 do
+      let s = ref (get l i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (get l i k *. get l j k)
+      done;
+      set l i j (!s /. djj)
+    done;
+    for i = 0 to j - 1 do
+      set l i j 0.0
+    done
+  done;
+  l
+
+(* Solve L x = b with L lower triangular (forward substitution). *)
+let lower_solve l b =
+  let n = l.nrows in
+  let x = Array.copy b in
+  for j = 0 to n - 1 do
+    x.(j) <- x.(j) /. get l j j;
+    for i = j + 1 to n - 1 do
+      x.(i) <- x.(i) -. (get l i j *. x.(j))
+    done
+  done;
+  x
+
+(* Solve L^T x = b with L lower triangular (backward substitution). *)
+let upper_solve_transposed l b =
+  let n = l.nrows in
+  let x = Array.copy b in
+  for j = n - 1 downto 0 do
+    for i = j + 1 to n - 1 do
+      x.(j) <- x.(j) -. (get l i j *. x.(i))
+    done;
+    x.(j) <- x.(j) /. get l j j
+  done;
+  x
+
+let max_abs_diff a b =
+  if a.nrows <> b.nrows || a.ncols <> b.ncols then
+    invalid_arg "Dense.max_abs_diff: dims";
+  let d = ref 0.0 in
+  for k = 0 to Array.length a.data - 1 do
+    d := Float.max !d (Float.abs (a.data.(k) -. b.data.(k)))
+  done;
+  !d

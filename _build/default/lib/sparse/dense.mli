@@ -1,0 +1,45 @@
+(** Small column-major dense matrices: test oracles (dense Cholesky and
+    triangular solves) and temporary block storage for VS-Block. Not
+    intended for large data — the sparse structures are the product. *)
+
+type t = { nrows : int; ncols : int; data : float array }
+(** Column-major: element [(i, j)] lives at [data.(j * nrows + i)]. *)
+
+val create : int -> int -> t
+(** Zero-initialized matrix. *)
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val update : t -> int -> int -> (float -> float) -> unit
+(** Apply a function to one element in place. *)
+
+val copy : t -> t
+
+val of_rows : float array array -> t
+(** From row-major nested arrays. *)
+
+val to_rows : t -> float array array
+
+val of_csc : Csc.t -> t
+(** Densify a sparse matrix. *)
+
+val matmul : t -> t -> t
+(** Dense product; raises on dimension mismatch. *)
+
+val transpose : t -> t
+
+val cholesky : t -> t
+(** Unblocked dense Cholesky: returns the lower factor with the strict
+    upper triangle zeroed. Raises [Failure] when the input is not positive
+    definite. The correctness oracle for every sparse factorization in the
+    test suite. *)
+
+val lower_solve : t -> float array -> float array
+(** Forward substitution [L x = b] for lower-triangular [L]. *)
+
+val upper_solve_transposed : t -> float array -> float array
+(** Backward substitution [L^T x = b] given lower-triangular [L]. *)
+
+val max_abs_diff : t -> t -> float
+(** Infinity-norm elementwise difference. *)

@@ -1,0 +1,364 @@
+(* Synthetic SPD matrix generators. These substitute for the SuiteSparse
+   matrices of the paper's Table 2 (see DESIGN.md): each generator controls
+   the property the experiments actually depend on — problem size, fill, and
+   the supernode-size distribution of the Cholesky factor L.
+
+   All generators return the FULL symmetric matrix in CSC form; callers that
+   need lower-triangular storage apply [Csc.lower]. SPD-ness comes either
+   from the Laplacian stencil (plus a diagonal shift) or from strict diagonal
+   dominance. *)
+
+let shift_diag_dominant tr n =
+  (* Returns per-row absolute off-diagonal sums so callers can build a
+     strictly dominant diagonal. *)
+  let rowsum = Array.make n 0.0 in
+  for k = 0 to Triplet.length tr - 1 do
+    let i = tr.Triplet.rows.(k) and j = tr.Triplet.cols.(k) in
+    if i <> j then rowsum.(i) <- rowsum.(i) +. Float.abs tr.Triplet.vals.(k)
+  done;
+  rowsum
+
+(* 2D grid Laplacian, 5-point (stencil=`Five) or 9-point (`Nine) stencil.
+   n = nx * ny unknowns, natural (row-major) ordering. SPD after the +shift
+   on the diagonal. Models the FEM/finite-difference matrices of Table 2
+   (Dubcova*, parabolic_fem, ecology2, tmt_sym, Pres_Poisson). *)
+let grid2d ?(stencil = `Five) ?(shift = 1e-2) nx ny =
+  let n = nx * ny in
+  let idx x y = (y * nx) + x in
+  let tr = Triplet.create ~nrows:n ~ncols:n ~capacity:(9 * n) () in
+  let neighbors =
+    match stencil with
+    | `Five -> [ (1, 0); (0, 1) ]
+    | `Nine -> [ (1, 0); (0, 1); (1, 1); (1, -1) ]
+  in
+  for y = 0 to ny - 1 do
+    for x = 0 to nx - 1 do
+      let i = idx x y in
+      let deg = ref 0.0 in
+      List.iter
+        (fun (dx, dy) ->
+          let x' = x + dx and y' = y + dy in
+          if x' >= 0 && x' < nx && y' >= 0 && y' < ny then begin
+            let j = idx x' y' in
+            Triplet.add tr i j (-1.0);
+            Triplet.add tr j i (-1.0);
+            deg := !deg +. 2.0
+          end)
+        neighbors;
+      ignore !deg
+    done
+  done;
+  (* Diagonal = full stencil degree + shift (count both directions). *)
+  let degree = Array.make n 0.0 in
+  for k = 0 to Triplet.length tr - 1 do
+    let i = tr.Triplet.rows.(k) in
+    degree.(i) <- degree.(i) +. 1.0
+  done;
+  for i = 0 to n - 1 do
+    Triplet.add tr i i (degree.(i) +. shift)
+  done;
+  Csc.of_triplet tr
+
+(* 3D grid Laplacian, 7-point stencil. *)
+let grid3d ?(shift = 1e-2) nx ny nz =
+  let n = nx * ny * nz in
+  let idx x y z = (z * nx * ny) + (y * nx) + x in
+  let tr = Triplet.create ~nrows:n ~ncols:n ~capacity:(7 * n) () in
+  for z = 0 to nz - 1 do
+    for y = 0 to ny - 1 do
+      for x = 0 to nx - 1 do
+        let i = idx x y z in
+        let link x' y' z' =
+          if x' < nx && y' < ny && z' < nz then begin
+            let j = idx x' y' z' in
+            Triplet.add tr i j (-1.0);
+            Triplet.add tr j i (-1.0)
+          end
+        in
+        link (x + 1) y z;
+        link x (y + 1) z;
+        link x y (z + 1)
+      done
+    done
+  done;
+  let degree = Array.make n 0.0 in
+  for k = 0 to Triplet.length tr - 1 do
+    degree.(tr.Triplet.rows.(k)) <- degree.(tr.Triplet.rows.(k)) +. 1.0
+  done;
+  for i = 0 to n - 1 do
+    Triplet.add tr i i (degree.(i) +. shift)
+  done;
+  Csc.of_triplet tr
+
+(* Dense-band SPD matrix of half-bandwidth [band]: L stays inside the band
+   and is dense there, so supernodes are large. Models structural-mechanics
+   matrices (cbuckle, msc23052). *)
+let banded ?(seed = 1) ~n ~band () =
+  let rng = Utils.Rng.create seed in
+  let tr = Triplet.create ~nrows:n ~ncols:n ~capacity:(n * (band + 1)) () in
+  for j = 0 to n - 1 do
+    for i = j + 1 to min (n - 1) (j + band) do
+      let v = -.Utils.Rng.float_range rng 0.1 1.0 in
+      Triplet.add tr i j v;
+      Triplet.add tr j i v
+    done
+  done;
+  let rowsum = shift_diag_dominant tr n in
+  for i = 0 to n - 1 do
+    Triplet.add tr i i (rowsum.(i) +. 1.0 +. Utils.Rng.float rng)
+  done;
+  Csc.of_triplet tr
+
+(* Block-tridiagonal SPD with dense blocks of size [block] and full coupling
+   between consecutive blocks: the factor's column patterns nest within each
+   block, so supernodes have width = [block]. *)
+let block_tridiagonal ?(seed = 2) ~nblocks ~block () =
+  let rng = Utils.Rng.create seed in
+  let n = nblocks * block in
+  let tr = Triplet.create ~nrows:n ~ncols:n () in
+  let add_sym i j v =
+    if i > j then begin
+      Triplet.add tr i j v;
+      Triplet.add tr j i v
+    end
+  in
+  for b = 0 to nblocks - 1 do
+    let base = b * block in
+    for i = 0 to block - 1 do
+      for j = 0 to i - 1 do
+        add_sym (base + i) (base + j) (-.Utils.Rng.float_range rng 0.1 1.0)
+      done
+    done;
+    if b + 1 < nblocks then
+      for i = 0 to block - 1 do
+        for j = 0 to block - 1 do
+          add_sym (base + block + i) (base + j)
+            (-.Utils.Rng.float_range rng 0.1 1.0)
+        done
+      done
+  done;
+  let rowsum = shift_diag_dominant tr n in
+  for i = 0 to n - 1 do
+    Triplet.add tr i i (rowsum.(i) +. 1.0 +. Utils.Rng.float rng)
+  done;
+  Csc.of_triplet tr
+
+(* Chain of overlapping dense cliques on consecutive index ranges — the
+   structure of FEM assembly with contiguous node numbering. The factor has
+   large supernodes (roughly clique-sized), the structural-mechanics
+   character of cbuckle/msc23052. *)
+let clique_chain ?(seed = 7) ~n ~clique ~overlap () =
+  if overlap >= clique then invalid_arg "clique_chain: overlap < clique";
+  let rng = Utils.Rng.create seed in
+  let tr = Triplet.create ~nrows:n ~ncols:n () in
+  let add_sym i j v =
+    Triplet.add tr i j v;
+    Triplet.add tr j i v
+  in
+  let step = clique - overlap in
+  let s = ref 0 in
+  while !s < n - 1 do
+    let hi = min (n - 1) (!s + clique - 1) in
+    for i = !s to hi do
+      for j = !s to i - 1 do
+        add_sym i j (-.Utils.Rng.float_range rng 0.1 1.0)
+      done
+    done;
+    s := !s + step
+  done;
+  let rowsum = shift_diag_dominant tr n in
+  for i = 0 to n - 1 do
+    Triplet.add tr i i (rowsum.(i) +. 1.0 +. Utils.Rng.float rng)
+  done;
+  Csc.of_triplet tr
+
+(* Random entries scattered inside a band of half-width [band] with the
+   given per-entry [density]: fill stays inside the band, supernodes stay
+   tiny, and the pattern is irregular — circuit / MEMS-like structure. *)
+let random_banded ?(seed = 8) ~n ~band ~density () =
+  let rng = Utils.Rng.create seed in
+  let tr = Triplet.create ~nrows:n ~ncols:n () in
+  for j = 0 to n - 1 do
+    for i = j + 1 to min (n - 1) (j + band) do
+      if Utils.Rng.float rng < density then begin
+        let v = -.Utils.Rng.float_range rng 0.1 1.0 in
+        Triplet.add tr i j v;
+        Triplet.add tr j i v
+      end
+    done
+  done;
+  (* Sub/super-diagonal chain keeps the matrix irreducible. *)
+  for i = 1 to n - 1 do
+    Triplet.add tr i (i - 1) (-0.5);
+    Triplet.add tr (i - 1) i (-0.5)
+  done;
+  let rowsum = shift_diag_dominant tr n in
+  for i = 0 to n - 1 do
+    Triplet.add tr i i (rowsum.(i) +. 1.0 +. Utils.Rng.float rng)
+  done;
+  Csc.of_triplet tr
+
+(* Irregular random SPD with bounded average degree: circuit-simulation-like
+   structure with tiny supernodes (gyro, thermomech_dM stand-ins). *)
+let random_spd ?(seed = 3) ~n ~avg_degree () =
+  let rng = Utils.Rng.create seed in
+  let tr = Triplet.create ~nrows:n ~ncols:n () in
+  let edges = n * avg_degree / 2 in
+  for _ = 1 to edges do
+    let i = Utils.Rng.int rng n and j = Utils.Rng.int rng n in
+    if i <> j then begin
+      let v = -.Utils.Rng.float_range rng 0.1 1.0 in
+      Triplet.add tr (max i j) (min i j) v;
+      Triplet.add tr (min i j) (max i j) v
+    end
+  done;
+  (* Nearest-neighbor chain keeps the graph connected so the etree is a
+     single tree; circuits are connected too. *)
+  for i = 1 to n - 1 do
+    let v = -0.5 in
+    Triplet.add tr i (i - 1) v;
+    Triplet.add tr (i - 1) i v
+  done;
+  let rowsum = shift_diag_dominant tr n in
+  for i = 0 to n - 1 do
+    Triplet.add tr i i (rowsum.(i) +. 1.0 +. Utils.Rng.float rng)
+  done;
+  Csc.of_triplet tr
+
+(* Small dense-ish random SPD used by property tests: A = B B^T + n*I with B
+   a random sparse matrix, guaranteed SPD. *)
+let random_spd_dense ?(seed = 4) n =
+  let rng = Utils.Rng.create seed in
+  let b = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Utils.Rng.float rng < 0.4 then
+        b.(i).(j) <- Utils.Rng.float_range rng (-1.0) 1.0
+    done;
+    b.(i).(i) <- b.(i).(i) +. 1.0
+  done;
+  let a = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        s := !s +. (b.(i).(k) *. b.(j).(k))
+      done;
+      a.(i).(j) <- !s
+    done;
+    a.(i).(i) <- a.(i).(i) +. float_of_int n
+  done;
+  Csc.of_dense a
+
+(* Random lower-triangular matrix with unit-magnitude-ish diagonal: direct
+   input for triangular-solve tests. [density] is the probability of each
+   below-diagonal entry. *)
+let random_lower ?(seed = 5) ~n ~density () =
+  let rng = Utils.Rng.create seed in
+  let tr = Triplet.create ~nrows:n ~ncols:n () in
+  for j = 0 to n - 1 do
+    Triplet.add tr j j (1.0 +. Utils.Rng.float rng);
+    for i = j + 1 to n - 1 do
+      if Utils.Rng.float rng < density then
+        Triplet.add tr i j (Utils.Rng.float_range rng (-1.0) 1.0)
+    done
+  done;
+  Csc.of_triplet tr
+
+(* Sparse right-hand side with the given fill fraction (paper: < 5%).
+   Mirrors the paper's setting where RHS sparsity matches the sparsity of a
+   matrix column. *)
+let sparse_rhs ?(seed = 6) ~n ~fill () =
+  let rng = Utils.Rng.create seed in
+  let k = max 1 (int_of_float (fill *. float_of_int n)) in
+  let perm = Array.init n (fun i -> i) in
+  Utils.Rng.shuffle rng perm;
+  let indices = Array.sub perm 0 k in
+  Array.sort compare indices;
+  let values =
+    Array.map (fun _ -> Utils.Rng.float_range rng 0.5 1.5) indices
+  in
+  { Vector.n; indices; values }
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 suite. Scaled-down stand-ins for the paper's 11 SuiteSparse
+   problems; each keeps the structural character (see DESIGN.md). *)
+
+type problem = {
+  id : int;
+  name : string;
+  matrix : Csc.t Lazy.t;
+  descr : string;
+}
+
+let suite : problem list =
+  [
+    {
+      id = 1;
+      name = "cbuckle";
+      matrix = lazy (clique_chain ~seed:11 ~n:1600 ~clique:32 ~overlap:8 ());
+      descr = "structural buckling: overlapping cliques, large supernodes";
+    };
+    {
+      id = 2;
+      name = "Pres_Poisson";
+      matrix = lazy (grid2d ~stencil:`Nine 40 40);
+      descr = "pressure Poisson: 9-point 2D grid";
+    };
+    {
+      id = 3;
+      name = "gyro";
+      matrix = lazy (random_banded ~seed:13 ~n:2000 ~band:40 ~density:0.08 ());
+      descr = "MEMS gyro: irregular banded, tiny supernodes";
+    };
+    {
+      id = 4;
+      name = "gyro_k";
+      matrix = lazy (random_banded ~seed:14 ~n:2000 ~band:40 ~density:0.08 ());
+      descr = "MEMS gyro (stiffness): irregular banded, tiny supernodes";
+    };
+    {
+      id = 5;
+      name = "Dubcova2";
+      matrix = lazy (grid2d ~stencil:`Five 50 50);
+      descr = "FEM: 5-point 2D grid, small supernodes";
+    };
+    {
+      id = 6;
+      name = "msc23052";
+      matrix = lazy (block_tridiagonal ~seed:16 ~nblocks:100 ~block:25 ());
+      descr = "structural: dense blocks, very large supernodes";
+    };
+    {
+      id = 7;
+      name = "thermomech_dM";
+      matrix = lazy (random_banded ~seed:17 ~n:6000 ~band:30 ~density:0.08 ());
+      descr = "thermal: large irregular banded, tiny supernodes";
+    };
+    {
+      id = 8;
+      name = "Dubcova3";
+      matrix = lazy (grid2d ~stencil:`Nine 70 70);
+      descr = "FEM: 9-point 2D grid, moderate supernodes";
+    };
+    {
+      id = 9;
+      name = "parabolic_fem";
+      matrix = lazy (grid2d ~stencil:`Five 90 90);
+      descr = "parabolic FEM: large 5-point 2D grid";
+    };
+    {
+      id = 10;
+      name = "ecology2";
+      matrix = lazy (grid2d ~stencil:`Five 100 100);
+      descr = "ecology: largest 5-point 2D grid";
+    };
+    {
+      id = 11;
+      name = "tmt_sym";
+      matrix = lazy (grid2d ~stencil:`Nine 90 90);
+      descr = "electromagnetics: large 9-point 2D grid";
+    };
+  ]
+
+let problem_by_name name = List.find (fun p -> p.name = name) suite

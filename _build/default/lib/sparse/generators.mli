@@ -1,0 +1,70 @@
+(** Synthetic SPD matrix generators — the substitute for the paper's
+    SuiteSparse matrices (Table 2); see DESIGN.md for the substitution
+    argument. Each generator controls the properties the experiments
+    depend on: problem size, fill, and the supernode-size distribution of
+    the Cholesky factor. All generators are deterministic given their
+    [seed] and return the FULL symmetric matrix in CSC form; apply
+    {!Csc.lower} for factorization inputs. *)
+
+val grid2d : ?stencil:[ `Five | `Nine ] -> ?shift:float -> int -> int -> Csc.t
+(** [grid2d nx ny]: 2D grid Laplacian with a 5- or 9-point stencil and a
+    [+shift] diagonal regularization (default [1e-2]), natural row-major
+    ordering. Models the FEM/finite-difference matrices of Table 2
+    (Dubcova*, parabolic_fem, ecology2, tmt_sym, Pres_Poisson). *)
+
+val grid3d : ?shift:float -> int -> int -> int -> Csc.t
+(** 3D 7-point grid Laplacian. *)
+
+val banded : ?seed:int -> n:int -> band:int -> unit -> Csc.t
+(** Dense-band SPD matrix of half-bandwidth [band] (diagonally dominant
+    random values). *)
+
+val block_tridiagonal : ?seed:int -> nblocks:int -> block:int -> unit -> Csc.t
+(** Block-tridiagonal SPD with dense blocks and full coupling between
+    consecutive blocks: the factor's columns nest within each block, giving
+    supernodes of width [block]. *)
+
+val clique_chain :
+  ?seed:int -> n:int -> clique:int -> overlap:int -> unit -> Csc.t
+(** Chain of overlapping dense cliques on consecutive index ranges — FEM
+    assembly with contiguous node numbering; large supernodes
+    (structural-mechanics character: cbuckle, msc23052). Requires
+    [overlap < clique]. *)
+
+val random_banded :
+  ?seed:int -> n:int -> band:int -> density:float -> unit -> Csc.t
+(** Random entries scattered inside a band: fill stays inside the band,
+    supernodes stay tiny, the pattern is irregular — circuit / MEMS-like
+    (gyro, thermomech_dM). *)
+
+val random_spd : ?seed:int -> n:int -> avg_degree:int -> unit -> Csc.t
+(** Unstructured random SPD graph with bounded average degree plus a
+    connecting chain. Beware: natural-ordered factorization of such
+    patterns can fill catastrophically; intended for small sizes. *)
+
+val random_spd_dense : ?seed:int -> int -> Csc.t
+(** Dense-ish random SPD ([B B^T + n I]) for property tests. *)
+
+val random_lower : ?seed:int -> n:int -> density:float -> unit -> Csc.t
+(** Random lower-triangular matrix with a safe diagonal: direct input for
+    triangular-solve tests. [density] is the below-diagonal fill
+    probability. *)
+
+val sparse_rhs : ?seed:int -> n:int -> fill:float -> unit -> Vector.sparse
+(** Sparse right-hand side with the given fill fraction (the paper's
+    setting keeps it below 5%). *)
+
+(** One entry of the Table 2 suite. *)
+type problem = {
+  id : int;  (** 1..11, the paper's problem IDs *)
+  name : string;  (** the paper's matrix name *)
+  matrix : Csc.t Lazy.t;  (** built on first use *)
+  descr : string;  (** structural character *)
+}
+
+val suite : problem list
+(** The 11-problem stand-in for Table 2 (see {!Sympiler.Suite} for the
+    prepared/ordered form used by the benchmarks). *)
+
+val problem_by_name : string -> problem
+(** Lookup; raises [Not_found]. *)

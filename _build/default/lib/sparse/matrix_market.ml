@@ -1,0 +1,114 @@
+(* Matrix Market coordinate-format reader/writer. Supports the subset used by
+   the SuiteSparse collection the paper draws from: real or pattern entries,
+   general or symmetric storage. Symmetric files store the lower triangle;
+   on read we expand to the full matrix unless [expand] is false. *)
+
+type symmetry = General | Symmetric
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_header line =
+  match String.split_on_char ' ' (String.lowercase_ascii (String.trim line)) with
+  | bang :: "matrix" :: "coordinate" :: field :: sym :: _
+    when bang = "%%matrixmarket" ->
+      let pattern =
+        match field with
+        | "real" | "integer" -> false
+        | "pattern" -> true
+        | f -> fail "unsupported field %s" f
+      in
+      let symmetry =
+        match sym with
+        | "general" -> General
+        | "symmetric" -> Symmetric
+        | s -> fail "unsupported symmetry %s" s
+      in
+      (pattern, symmetry)
+  | _ -> fail "bad MatrixMarket header: %s" line
+
+let read_lines ic =
+  let rec go acc =
+    match In_channel.input_line ic with
+    | None -> List.rev acc
+    | Some l -> go (l :: acc)
+  in
+  go []
+
+let of_lines ?(expand = true) lines =
+  match lines with
+  | [] -> fail "empty file"
+  | header :: rest ->
+      let pattern, symmetry = parse_header header in
+      let rest =
+        List.filter
+          (fun l ->
+            let l = String.trim l in
+            String.length l > 0 && l.[0] <> '%')
+          rest
+      in
+      let parse_size l =
+        match
+          String.split_on_char ' ' (String.trim l)
+          |> List.filter (fun s -> s <> "")
+        with
+        | [ m; n; nz ] -> (int_of_string m, int_of_string n, int_of_string nz)
+        | _ -> fail "bad size line: %s" l
+      in
+      (match rest with
+      | [] -> fail "missing size line"
+      | size_line :: entries ->
+          let nrows, ncols, nz = parse_size size_line in
+          let tr = Triplet.create ~nrows ~ncols ~capacity:(max nz 1) () in
+          let add_entry l =
+            match
+              String.split_on_char ' ' (String.trim l)
+              |> List.filter (fun s -> s <> "")
+            with
+            | i :: j :: restv ->
+                let i = int_of_string i - 1 and j = int_of_string j - 1 in
+                let v =
+                  if pattern then 1.0
+                  else
+                    match restv with
+                    | v :: _ -> float_of_string v
+                    | [] -> fail "missing value: %s" l
+                in
+                Triplet.add tr i j v;
+                if symmetry = Symmetric && expand && i <> j then
+                  Triplet.add tr j i v
+            | _ -> fail "bad entry line: %s" l
+          in
+          List.iter add_entry entries;
+          if Triplet.length tr < nz then fail "fewer entries than declared";
+          Csc.of_triplet tr)
+
+let of_string ?expand s = of_lines ?expand (String.split_on_char '\n' s)
+
+let read ?expand path =
+  In_channel.with_open_text path (fun ic -> of_lines ?expand (read_lines ic))
+
+let to_buffer ?(symmetric = false) buf (m : Csc.t) =
+  let sym = if symmetric then "symmetric" else "general" in
+  Buffer.add_string buf
+    (Printf.sprintf "%%%%MatrixMarket matrix coordinate real %s\n" sym);
+  let entries = ref [] in
+  Csc.iter m (fun i j v ->
+      if (not symmetric) || i >= j then entries := (i, j, v) :: !entries);
+  let entries = List.rev !entries in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d\n" m.Csc.nrows m.Csc.ncols (List.length entries));
+  List.iter
+    (fun (i, j, v) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d %.17g\n" (i + 1) (j + 1) v))
+    entries
+
+let to_string ?symmetric m =
+  let buf = Buffer.create 1024 in
+  to_buffer ?symmetric buf m;
+  Buffer.contents buf
+
+let write ?symmetric path m =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ?symmetric m))

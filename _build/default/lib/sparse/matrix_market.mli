@@ -1,0 +1,27 @@
+(** Matrix Market coordinate-format reader/writer, covering the subset used
+    by the SuiteSparse collection the paper draws its matrices from: [real]
+    or [pattern] entries, [general] or [symmetric] storage. *)
+
+type symmetry = General | Symmetric
+
+exception Parse_error of string
+(** Raised on malformed input, with a human-readable reason. *)
+
+val of_lines : ?expand:bool -> string list -> Csc.t
+(** Parse the lines of a Matrix Market file. Symmetric inputs store the
+    lower triangle; with [expand] (default true) the full matrix is
+    reconstructed. Pattern entries read as [1.0]. *)
+
+val of_string : ?expand:bool -> string -> Csc.t
+
+val read : ?expand:bool -> string -> Csc.t
+(** Read and parse a file. *)
+
+val to_string : ?symmetric:bool -> Csc.t -> string
+(** Render a matrix; with [symmetric] only the lower triangle is emitted
+    under the [symmetric] qualifier. *)
+
+val to_buffer : ?symmetric:bool -> Buffer.t -> Csc.t -> unit
+
+val write : ?symmetric:bool -> string -> Csc.t -> unit
+(** Write a file. *)

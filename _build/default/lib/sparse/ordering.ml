@@ -1,0 +1,119 @@
+(* Fill-reducing orderings. CHOLMOD applies AMD before factorizing; we
+   provide reverse Cuthill-McKee (bandwidth reduction) and a plain greedy
+   minimum-degree ordering as portable substitutes, usable through
+   [Perm.symmetric_permute]. Input is the full symmetric matrix. *)
+
+(* Adjacency lists (excluding self loops) of the symmetric pattern. *)
+let adjacency (a : Csc.t) =
+  let n = a.Csc.ncols in
+  let adj = Array.make n [] in
+  Csc.iter a (fun i j _ -> if i <> j then adj.(j) <- i :: adj.(j));
+  Array.map (fun l -> List.sort_uniq compare l) adj
+
+(* Reverse Cuthill-McKee. BFS from a pseudo-peripheral vertex of each
+   connected component, visiting neighbors in increasing-degree order, then
+   reverse. Returns a permutation in the [Perm] new->old convention. *)
+let rcm (a : Csc.t) : Perm.t =
+  let n = a.Csc.ncols in
+  let adj = adjacency a in
+  let degree = Array.map List.length adj in
+  let visited = Array.make n false in
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let bfs_levels root =
+    (* Returns (farthest vertex, eccentricity) of the BFS tree from root. *)
+    let dist = Array.make n (-1) in
+    let q = Queue.create () in
+    Queue.add root q;
+    dist.(root) <- 0;
+    let far = ref root in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      if dist.(u) > dist.(!far) then far := u;
+      List.iter
+        (fun v ->
+          if dist.(v) < 0 && not visited.(v) then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        adj.(u)
+    done;
+    (!far, dist.(!far))
+  in
+  let pseudo_peripheral root =
+    let rec go root ecc =
+      let far, ecc' = bfs_levels root in
+      if ecc' > ecc then go far ecc' else root
+    in
+    go root (-1)
+  in
+  for seed = 0 to n - 1 do
+    if not visited.(seed) then begin
+      let root = pseudo_peripheral seed in
+      let q = Queue.create () in
+      visited.(root) <- true;
+      Queue.add root q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        order.(!pos) <- u;
+        incr pos;
+        let nbrs =
+          List.filter (fun v -> not visited.(v)) adj.(u)
+          |> List.sort (fun x y -> compare degree.(x) degree.(y))
+        in
+        List.iter
+          (fun v ->
+            visited.(v) <- true;
+            Queue.add v q)
+          nbrs
+      done
+    end
+  done;
+  assert (!pos = n);
+  (* Reverse for RCM. *)
+  let p = Array.make n 0 in
+  for k = 0 to n - 1 do
+    p.(k) <- order.(n - 1 - k)
+  done;
+  p
+
+module Iset = Set.Make (Int)
+
+(* Greedy minimum-degree ordering on the elimination graph. Quadratic-ish in
+   the worst case (no quotient-graph machinery), intended for the moderate
+   problem sizes in this repo; see DESIGN.md. *)
+let min_degree (a : Csc.t) : Perm.t =
+  let n = a.Csc.ncols in
+  let adj = Array.map Iset.of_list (adjacency a) in
+  let eliminated = Array.make n false in
+  let order = Array.make n 0 in
+  for k = 0 to n - 1 do
+    (* Pick the uneliminated vertex of minimum current degree. *)
+    let best = ref (-1) and best_deg = ref max_int in
+    for v = 0 to n - 1 do
+      if not eliminated.(v) then begin
+        let d = Iset.cardinal adj.(v) in
+        if d < !best_deg then begin
+          best := v;
+          best_deg := d
+        end
+      end
+    done;
+    let v = !best in
+    order.(k) <- v;
+    eliminated.(v) <- true;
+    (* Eliminate v: its neighbors become a clique. *)
+    let nbrs = adj.(v) in
+    Iset.iter
+      (fun u ->
+        adj.(u) <- Iset.remove v (Iset.union adj.(u) (Iset.remove u nbrs)))
+      nbrs;
+    adj.(v) <- Iset.empty
+  done;
+  order
+
+(* Bandwidth of the symmetric pattern: used to test that RCM reduces it. *)
+let bandwidth (a : Csc.t) =
+  let b = ref 0 in
+  Csc.iter a (fun i j _ -> b := max !b (abs (i - j)));
+  !b

@@ -1,0 +1,22 @@
+(** Fill-reducing and bandwidth-reducing orderings. CHOLMOD and Eigen apply
+    a fill-reducing ordering (AMD) in their default configurations; these
+    are the portable stand-ins used when preparing the benchmark suite.
+    Inputs are full symmetric matrices; outputs use the {!Perm} new->old
+    convention. *)
+
+val adjacency : Csc.t -> int list array
+(** Sorted adjacency lists of the symmetric pattern, self-loops removed. *)
+
+val rcm : Csc.t -> Perm.t
+(** Reverse Cuthill-McKee: BFS from a pseudo-peripheral vertex per
+    connected component, neighbors in increasing-degree order, reversed.
+    Reduces bandwidth. *)
+
+val min_degree : Csc.t -> Perm.t
+(** Greedy minimum-degree on the elimination graph (no quotient-graph
+    machinery, so quadratic-ish in the worst case — fine for the moderate
+    sizes in this repository). Reduces fill substantially on mesh
+    problems. *)
+
+val bandwidth : Csc.t -> int
+(** Maximum [|i - j|] over stored entries. *)

@@ -1,0 +1,56 @@
+(* Permutations. Convention: a permutation [p] maps new index -> old index,
+   so applying p to a vector x gives y with y.(k) = x.(p.(k)), i.e. y = P x
+   where row k of P has its 1 in column p.(k). Fill-reducing orderings in
+   [Ordering] return permutations in this convention. *)
+
+type t = int array
+
+let identity n = Array.init n (fun i -> i)
+
+let is_valid p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let ok = ref true in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then ok := false else seen.(i) <- true)
+    p;
+  !ok
+
+let inverse p =
+  let n = Array.length p in
+  let q = Array.make n 0 in
+  for k = 0 to n - 1 do
+    q.(p.(k)) <- k
+  done;
+  q
+
+(* y.(k) = x.(p.(k)) *)
+let apply_vec p x =
+  if Array.length p <> Array.length x then invalid_arg "Perm.apply_vec";
+  Array.map (fun i -> x.(i)) p
+
+(* Inverse application: y.(p.(k)) = x.(k). *)
+let apply_inv_vec p x =
+  if Array.length p <> Array.length x then invalid_arg "Perm.apply_inv_vec";
+  let y = Array.make (Array.length x) 0.0 in
+  Array.iteri (fun k i -> y.(i) <- x.(k)) p;
+  y
+
+let compose p q = Array.map (fun i -> q.(i)) p
+
+(* B = P A P^T for a square matrix stored in full (not triangular) form:
+   B.(knew, jnew) = A.(p.(knew), p.(jnew)). *)
+let symmetric_permute p (a : Csc.t) =
+  if a.Csc.nrows <> a.Csc.ncols then invalid_arg "Perm.symmetric_permute";
+  let n = a.Csc.nrows in
+  if Array.length p <> n then invalid_arg "Perm.symmetric_permute: size";
+  let pinv = inverse p in
+  let tr = Triplet.create ~nrows:n ~ncols:n () in
+  Csc.iter a (fun i j v -> Triplet.add tr pinv.(i) pinv.(j) v);
+  Csc.of_triplet tr
+
+let random rng n =
+  let p = identity n in
+  Utils.Rng.shuffle rng p;
+  p

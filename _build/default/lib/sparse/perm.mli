@@ -1,0 +1,32 @@
+(** Permutations, in the new-index -> old-index convention: applying [p] to
+    a vector [x] yields [y] with [y.(k) = x.(p.(k))] (i.e. [y = P x] where
+    row [k] of [P] has its 1 in column [p.(k)]). Fill-reducing orderings in
+    {!Ordering} return permutations in this convention. *)
+
+type t = int array
+
+val identity : int -> t
+
+val is_valid : t -> bool
+(** True when the array is a bijection on [\[0, n)]. *)
+
+val inverse : t -> t
+(** [inverse p] satisfies [(inverse p).(p.(k)) = k]. *)
+
+val apply_vec : t -> float array -> float array
+(** [apply_vec p x] is [y] with [y.(k) = x.(p.(k))]. *)
+
+val apply_inv_vec : t -> float array -> float array
+(** Inverse application: returns [y] with [y.(p.(k)) = x.(k)]. *)
+
+val compose : t -> t -> t
+(** [(compose p q).(k) = q.(p.(k))]: apply [q] after [p]'s relabeling (used
+    to chain a fill-reducing ordering with an etree postorder). *)
+
+val symmetric_permute : t -> Csc.t -> Csc.t
+(** [symmetric_permute p a] is [P A P^T] for a square matrix stored in full
+    (not triangular) form: entry [(k, j)] of the result is
+    [a.(p.(k), p.(j))]. *)
+
+val random : Utils.Rng.t -> int -> t
+(** Uniformly random permutation (deterministic given the RNG state). *)

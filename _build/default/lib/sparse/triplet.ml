@@ -1,0 +1,110 @@
+(* Coordinate-format (COO) builder used to assemble matrices entry by entry
+   before conversion to CSC. Duplicate entries are summed on conversion, the
+   convention used by FEM assembly and by Matrix Market readers. *)
+
+type t = {
+  nrows : int;
+  ncols : int;
+  mutable len : int;
+  mutable rows : int array;
+  mutable cols : int array;
+  mutable vals : float array;
+}
+
+let create ?(capacity = 16) ~nrows ~ncols () =
+  if nrows < 0 || ncols < 0 then invalid_arg "Triplet.create: negative dims";
+  let capacity = max capacity 1 in
+  {
+    nrows;
+    ncols;
+    len = 0;
+    rows = Array.make capacity 0;
+    cols = Array.make capacity 0;
+    vals = Array.make capacity 0.0;
+  }
+
+let length t = t.len
+
+let ensure_capacity t =
+  if t.len >= Array.length t.rows then begin
+    let cap = 2 * Array.length t.rows in
+    let grow a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 t.len;
+      b
+    in
+    t.rows <- grow t.rows 0;
+    t.cols <- grow t.cols 0;
+    t.vals <- grow t.vals 0.0
+  end
+
+let add t i j v =
+  if i < 0 || i >= t.nrows || j < 0 || j >= t.ncols then
+    invalid_arg
+      (Printf.sprintf "Triplet.add: entry (%d,%d) out of %dx%d" i j t.nrows
+         t.ncols);
+  ensure_capacity t;
+  t.rows.(t.len) <- i;
+  t.cols.(t.len) <- j;
+  t.vals.(t.len) <- v;
+  t.len <- t.len + 1
+
+(* Counting-sort by column then stable insertion by row, summing duplicates.
+   Produces the (colptr, rowind, values) arrays of a CSC matrix with row
+   indices strictly increasing within each column. *)
+let to_csc_arrays t =
+  let n = t.ncols in
+  let counts = Array.make (n + 1) 0 in
+  for k = 0 to t.len - 1 do
+    counts.(t.cols.(k)) <- counts.(t.cols.(k)) + 1
+  done;
+  let _total = Utils.cumsum counts in
+  let colptr = Array.copy counts in
+  let rowind = Array.make t.len 0 in
+  let values = Array.make t.len 0.0 in
+  let next = Array.make n 0 in
+  Array.blit colptr 0 next 0 n;
+  for k = 0 to t.len - 1 do
+    let j = t.cols.(k) in
+    let p = next.(j) in
+    rowind.(p) <- t.rows.(k);
+    values.(p) <- t.vals.(k);
+    next.(j) <- p + 1
+  done;
+  (* Sort each column segment by row index (insertion sort: segments are
+     short and often nearly sorted after assembly). *)
+  for j = 0 to n - 1 do
+    let lo = colptr.(j) and hi = colptr.(j + 1) in
+    for p = lo + 1 to hi - 1 do
+      let r = rowind.(p) and v = values.(p) in
+      let q = ref p in
+      while !q > lo && rowind.(!q - 1) > r do
+        rowind.(!q) <- rowind.(!q - 1);
+        values.(!q) <- values.(!q - 1);
+        decr q
+      done;
+      rowind.(!q) <- r;
+      values.(!q) <- v
+    done
+  done;
+  (* Compact duplicates, summing their values. *)
+  let out = ref 0 in
+  let new_colptr = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    new_colptr.(j) <- !out;
+    let lo = colptr.(j) and hi = colptr.(j + 1) in
+    let p = ref lo in
+    while !p < hi do
+      let r = rowind.(!p) in
+      let v = ref 0.0 in
+      while !p < hi && rowind.(!p) = r do
+        v := !v +. values.(!p);
+        incr p
+      done;
+      rowind.(!out) <- r;
+      values.(!out) <- !v;
+      incr out
+    done
+  done;
+  new_colptr.(n) <- !out;
+  (new_colptr, Array.sub rowind 0 !out, Array.sub values 0 !out)

@@ -1,0 +1,42 @@
+(* Dense-vector helpers plus a sparse right-hand-side representation
+   (pattern + values), which is what the triangular-solve inspector consumes. *)
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Vector.dot: length";
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let axpy alpha x y =
+  if Array.length x <> Array.length y then invalid_arg "Vector.axpy: length";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 a
+
+let sub a b = Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+(* Sparse vector: indices sorted increasing, paired with values. *)
+type sparse = { n : int; indices : int array; values : float array }
+
+let sparse_of_dense x =
+  let idx = ref [] and vals = ref [] in
+  for i = Array.length x - 1 downto 0 do
+    if x.(i) <> 0.0 then begin
+      idx := i :: !idx;
+      vals := x.(i) :: !vals
+    end
+  done;
+  { n = Array.length x; indices = Array.of_list !idx; values = Array.of_list !vals }
+
+let sparse_to_dense s =
+  let x = Array.make s.n 0.0 in
+  Array.iteri (fun k i -> x.(i) <- s.values.(k)) s.indices;
+  x
+
+let sparse_nnz s = Array.length s.indices

@@ -1,0 +1,33 @@
+(** Dense-vector helpers and the sparse right-hand-side representation
+    consumed by the triangular-solve inspectors. *)
+
+val dot : float array -> float array -> float
+(** Inner product; raises on length mismatch. *)
+
+val axpy : float -> float array -> float array -> unit
+(** [axpy alpha x y] performs [y <- y + alpha * x] in place. *)
+
+val norm2 : float array -> float
+(** Euclidean norm. *)
+
+val norm_inf : float array -> float
+(** Infinity norm. *)
+
+val sub : float array -> float array -> float array
+(** Elementwise difference [a - b]. *)
+
+type sparse = {
+  n : int;  (** logical dimension *)
+  indices : int array;  (** nonzero positions, strictly increasing *)
+  values : float array;  (** matching values *)
+}
+(** A sparse vector: the pattern ([indices]) is the symbolic input to the
+    reach-set inspector; the values feed the numeric phase. *)
+
+val sparse_of_dense : float array -> sparse
+(** Extract the nonzero pattern and values of a dense vector. *)
+
+val sparse_to_dense : sparse -> float array
+(** Scatter into a fresh dense vector of length [n]. *)
+
+val sparse_nnz : sparse -> int

@@ -1,0 +1,1 @@
+lib/symbolic/dep_graph.ml: Array Csc Sympiler_sparse

@@ -1,0 +1,1 @@
+lib/symbolic/dep_graph.mli: Csc Sympiler_sparse

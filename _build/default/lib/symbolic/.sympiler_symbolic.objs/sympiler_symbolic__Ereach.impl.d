@@ -1,0 +1,1 @@
+lib/symbolic/ereach.ml: Array Csc Int Set Sympiler_sparse

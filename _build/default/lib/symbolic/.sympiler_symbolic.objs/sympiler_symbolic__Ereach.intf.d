@@ -1,0 +1,1 @@
+lib/symbolic/ereach.mli: Csc Sympiler_sparse

@@ -1,0 +1,1 @@
+lib/symbolic/etree.ml: Array Csc Int List Set Sympiler_sparse

@@ -1,0 +1,1 @@
+lib/symbolic/etree.mli: Csc Sympiler_sparse

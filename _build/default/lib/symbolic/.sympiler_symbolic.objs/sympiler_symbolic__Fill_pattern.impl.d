@@ -1,0 +1,1 @@
+lib/symbolic/fill_pattern.ml: Array Csc Ereach Etree Int Set Sympiler_sparse Triplet Utils

@@ -1,0 +1,1 @@
+lib/symbolic/fill_pattern.mli: Csc Sympiler_sparse

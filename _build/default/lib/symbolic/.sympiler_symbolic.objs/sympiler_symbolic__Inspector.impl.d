@@ -1,0 +1,1 @@
+lib/symbolic/inspector.ml: Csc Dep_graph Fill_pattern Printf Supernodes Sympiler_sparse Vector

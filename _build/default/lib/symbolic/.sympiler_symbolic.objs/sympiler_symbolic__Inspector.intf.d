@@ -1,0 +1,1 @@
+lib/symbolic/inspector.mli: Csc Fill_pattern Supernodes Sympiler_sparse Vector

@@ -1,0 +1,1 @@
+lib/symbolic/postorder.ml: Array

@@ -1,0 +1,1 @@
+lib/symbolic/supernodes.ml: Array Csc Etree List Sympiler_sparse

@@ -1,0 +1,1 @@
+lib/symbolic/supernodes.mli: Csc Sympiler_sparse

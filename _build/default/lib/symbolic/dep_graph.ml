@@ -1,0 +1,86 @@
+open Sympiler_sparse
+
+(* Dependence graph DG_L of a lower-triangular matrix L: vertices are
+   columns, with an edge j -> i for every off-diagonal nonzero L(i,j). By the
+   Gilbert-Peierls theorem the nonzero pattern of the solution of L x = b is
+   Reach_L(beta), beta = pattern of b — computed here with a non-recursive
+   depth-first search. *)
+
+(* Reach set in topological order: every column appears before any column
+   that depends on it, so a forward solve may process the set left to right.
+   O(|b| + number of edges traversed). *)
+let reach (l : Csc.t) (beta : int array) : int array =
+  let n = l.Csc.ncols in
+  let marked = Array.make n false in
+  let out = Array.make n 0 in
+  let out_top = ref n in
+  (* Explicit DFS stack of (vertex, next edge position) pairs. *)
+  let stack_v = Array.make n 0 in
+  let stack_p = Array.make n 0 in
+  let dfs start =
+    if not marked.(start) then begin
+      let top = ref 0 in
+      stack_v.(0) <- start;
+      stack_p.(0) <- l.Csc.colptr.(start);
+      marked.(start) <- true;
+      while !top >= 0 do
+        let v = stack_v.(!top) in
+        let p = ref stack_p.(!top) in
+        let hi = l.Csc.colptr.(v + 1) in
+        (* Skip the diagonal entry and already-marked successors. *)
+        while
+          !p < hi && (l.Csc.rowind.(!p) = v || marked.(l.Csc.rowind.(!p)))
+        do
+          incr p
+        done;
+        if !p < hi then begin
+          let w = l.Csc.rowind.(!p) in
+          stack_p.(!top) <- !p + 1;
+          incr top;
+          stack_v.(!top) <- w;
+          stack_p.(!top) <- l.Csc.colptr.(w);
+          marked.(w) <- true
+        end
+        else begin
+          (* Post-order: all of v's descendants are emitted below it. *)
+          decr out_top;
+          out.(!out_top) <- v;
+          decr top
+        end
+      done
+    end
+  in
+  Array.iter dfs beta;
+  Array.sub out !out_top (n - !out_top)
+
+(* Reference implementation used as an oracle in tests: the reach set as a
+   sorted list, computed by naive graph traversal. *)
+let reach_naive (l : Csc.t) (beta : int array) : int array =
+  let n = l.Csc.ncols in
+  let marked = Array.make n false in
+  let rec visit v =
+    if not marked.(v) then begin
+      marked.(v) <- true;
+      Csc.iter_col l v (fun i _ -> if i <> v then visit i)
+    end
+  in
+  Array.iter visit beta;
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if marked.(v) then acc := v :: !acc
+  done;
+  Array.of_list !acc
+
+(* Check that [order] is a valid topological order of DG_L restricted to the
+   given set: for every edge j -> i inside the set, j appears before i. *)
+let is_topological (l : Csc.t) (order : int array) : bool =
+  let n = l.Csc.ncols in
+  let pos = Array.make n (-1) in
+  Array.iteri (fun k v -> pos.(v) <- k) order;
+  let ok = ref true in
+  Array.iter
+    (fun j ->
+      Csc.iter_col l j (fun i _ ->
+          if i <> j && pos.(i) >= 0 && pos.(i) <= pos.(j) then ok := false))
+    order;
+  !ok

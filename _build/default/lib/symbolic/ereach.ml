@@ -1,0 +1,53 @@
+open Sympiler_sparse
+
+(* Row sparsity patterns of the Cholesky factor L via elimination-tree
+   up-traversal ("ereach", Davis, Direct Methods §4.2): the pattern of row k
+   of L is the set of nodes on paths in the etree from the nonzeros of
+   A(0:k-1, k) up towards k. Total cost over all rows is O(|L|).
+
+   [upper] is the upper triangle of A in CSC form (column k holds the row
+   indices i <= k of A(i,k)), i.e. the transpose of the stored lower part. *)
+
+type workspace = {
+  mark : int array; (* mark.(i) = k when i was visited while processing row k *)
+  stack : int array;
+}
+
+let make_workspace n = { mark = Array.make n (-1); stack = Array.make n 0 }
+
+(* Pattern of row k of L, diagonal excluded, sorted ascending (which is a
+   valid dependence order for lower-triangular systems). *)
+let row_pattern ~(upper : Csc.t) ~(parent : int array) ~(work : workspace) k :
+    int array =
+  let len = ref 0 in
+  Csc.iter_col upper k (fun i _ ->
+      let rec climb i =
+        if i < k && i >= 0 && work.mark.(i) <> k then begin
+          work.mark.(i) <- k;
+          work.stack.(!len) <- i;
+          incr len;
+          climb parent.(i)
+        end
+      in
+      climb i);
+  let out = Array.sub work.stack 0 !len in
+  Array.sort compare out;
+  out
+
+(* Naive oracle used by tests: row pattern from an explicitly computed dense
+   symbolic factorization. *)
+let row_pattern_naive (a_lower : Csc.t) k : int array =
+  let n = a_lower.Csc.ncols in
+  let module S = Set.Make (Int) in
+  let cols = Array.make n S.empty in
+  Csc.iter a_lower (fun i j _ -> if i > j then cols.(j) <- S.add i cols.(j));
+  for j = 0 to n - 1 do
+    match S.min_elt_opt cols.(j) with
+    | None -> ()
+    | Some p -> cols.(p) <- S.union cols.(p) (S.remove p cols.(j))
+  done;
+  let acc = ref [] in
+  for j = n - 1 downto 0 do
+    if j < k && S.mem k cols.(j) then acc := j :: !acc
+  done;
+  Array.of_list !acc

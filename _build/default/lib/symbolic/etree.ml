@@ -1,0 +1,83 @@
+open Sympiler_sparse
+
+(* Elimination tree of a symmetric positive definite matrix (Liu's algorithm
+   with path-compressed virtual ancestors, nearly O(|A|)). The parent of
+   column j is min{ i > j : L(i,j) <> 0 }. Input is the lower-triangular
+   part of A in CSC form. *)
+
+(* parent.(j) = parent column, or -1 for roots. *)
+let compute (a_lower : Csc.t) : int array =
+  let n = a_lower.Csc.ncols in
+  (* Row patterns of the lower triangle = column patterns of its transpose:
+     column k of [upper] lists the i <= k with A(k,i) <> 0. *)
+  let upper = Csc.transpose a_lower in
+  let parent = Array.make n (-1) in
+  let ancestor = Array.make n (-1) in
+  for k = 0 to n - 1 do
+    Csc.iter_col upper k (fun i _ ->
+        (* Walk from i up the current forest to its root, compressing. *)
+        let rec climb i =
+          if i < k && i >= 0 then begin
+            let next = ancestor.(i) in
+            ancestor.(i) <- k;
+            if next = -1 then parent.(i) <- k else climb next
+          end
+        in
+        climb i)
+  done;
+  parent
+
+(* Naive O(n^2)-ish oracle: build the filled pattern column by column with
+   explicit sets and read parents off it. Used only in tests. *)
+let compute_naive (a_lower : Csc.t) : int array =
+  let n = a_lower.Csc.ncols in
+  let module S = Set.Make (Int) in
+  let cols = Array.make n S.empty in
+  (* Start with pattern of A's lower triangle. *)
+  Csc.iter a_lower (fun i j _ -> if i > j then cols.(j) <- S.add i cols.(j));
+  let parent = Array.make n (-1) in
+  for j = 0 to n - 1 do
+    match S.min_elt_opt cols.(j) with
+    | None -> ()
+    | Some p ->
+        parent.(j) <- p;
+        (* Fill: the rest of column j's pattern joins column p. *)
+        cols.(p) <- S.union cols.(p) (S.remove p cols.(j))
+  done;
+  parent
+
+let children (parent : int array) : int list array =
+  let n = Array.length parent in
+  let ch = Array.make n [] in
+  for j = n - 1 downto 0 do
+    if parent.(j) >= 0 then ch.(parent.(j)) <- j :: ch.(parent.(j))
+  done;
+  ch
+
+let n_children (parent : int array) : int array =
+  let n = Array.length parent in
+  let c = Array.make n 0 in
+  Array.iter (fun p -> if p >= 0 then c.(p) <- c.(p) + 1) parent;
+  c
+
+let roots (parent : int array) : int list =
+  let acc = ref [] in
+  Array.iteri (fun j p -> if p = -1 then acc := j :: !acc) parent;
+  List.rev !acc
+
+(* Depth of each node (roots have depth 0). *)
+let depths (parent : int array) : int array =
+  let n = Array.length parent in
+  let depth = Array.make n (-1) in
+  let rec d j =
+    if depth.(j) >= 0 then depth.(j)
+    else begin
+      let v = if parent.(j) = -1 then 0 else 1 + d parent.(j) in
+      depth.(j) <- v;
+      v
+    end
+  in
+  for j = 0 to n - 1 do
+    ignore (d j)
+  done;
+  depth

@@ -1,0 +1,28 @@
+open Sympiler_sparse
+
+(** The elimination tree (etree) of a symmetric positive definite matrix —
+    the central graph structure of sparse factorization symbolic analysis
+    (§3.2): [parent j = min { i > j : L(i,j) <> 0 }], a spanning forest of
+    the filled graph. *)
+
+val compute : Csc.t -> int array
+(** [compute a_lower]: parent array of the etree ([-1] for roots), from the
+    lower-triangular part of A. Liu's algorithm with path-compressed
+    virtual ancestors, nearly O(|A|). *)
+
+val compute_naive : Csc.t -> int array
+(** Test oracle: parents read off an explicit set-based symbolic
+    factorization. Quadratic; small inputs only. *)
+
+val children : int array -> int list array
+(** Children lists (increasing order) from a parent array. *)
+
+val n_children : int array -> int array
+(** Child counts — the paper's supernode rule needs "j-1 is the only child
+    of j". *)
+
+val roots : int array -> int list
+(** Indices with no parent (one per connected component). *)
+
+val depths : int array -> int array
+(** Depth of each node; roots have depth 0. *)

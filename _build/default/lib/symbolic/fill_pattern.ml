@@ -1,0 +1,85 @@
+open Sympiler_sparse
+
+(* Symbolic Cholesky factorization: the full nonzero pattern of L (fill-ins
+   included) computed before any numeric work, so that storage for L can be
+   allocated once and no dynamic index arrays remain in the numeric phase —
+   the property Sympiler's code generation relies on. *)
+
+(* Result of symbolic analysis for A = L L^T. *)
+type t = {
+  n : int;
+  parent : int array; (* elimination tree *)
+  l_pattern : Csc.t; (* pattern of L, unit values; rows sorted ascending *)
+  counts : int array; (* counts.(j) = nnz(L(:,j)) including the diagonal *)
+  row_patterns : int array array;
+      (* row_patterns.(k) = columns j < k with L(k,j) <> 0, ascending — the
+         per-column prune-sets of the Cholesky VI-Prune transformation *)
+}
+
+(* O(|L|) analysis from the lower-triangular part of A via [Ereach]. *)
+let analyze (a_lower : Csc.t) : t =
+  let n = a_lower.Csc.ncols in
+  let parent = Etree.compute a_lower in
+  let upper = Csc.transpose a_lower in
+  let work = Ereach.make_workspace n in
+  let row_patterns = Array.make n [||] in
+  let counts = Array.make n 1 in
+  (* First pass: row patterns and column counts. *)
+  for k = 0 to n - 1 do
+    let row = Ereach.row_pattern ~upper ~parent ~work k in
+    row_patterns.(k) <- row;
+    Array.iter (fun j -> counts.(j) <- counts.(j) + 1) row
+  done;
+  (* Second pass: scatter into column-major storage. Row indices within a
+     column arrive in increasing k, hence sorted. *)
+  let colptr = Array.make (n + 1) 0 in
+  Array.blit counts 0 colptr 0 n;
+  let nnz = Utils.cumsum colptr in
+  let rowind = Array.make nnz 0 in
+  let next = Array.sub colptr 0 n in
+  for k = 0 to n - 1 do
+    (* Diagonal of column k. *)
+    rowind.(next.(k)) <- k;
+    next.(k) <- next.(k) + 1;
+    Array.iter
+      (fun j ->
+        rowind.(next.(j)) <- k;
+        next.(j) <- next.(j) + 1)
+      row_patterns.(k)
+  done;
+  let l_pattern =
+    Csc.create ~nrows:n ~ncols:n ~colptr ~rowind
+      ~values:(Array.make nnz 1.0)
+  in
+  { n; parent; l_pattern; counts; row_patterns }
+
+(* Independent oracle implementing the paper's equation (1):
+   Lj = Aj ∪ {j} ∪ (∪_{j = T(s)} Ls \ {s}). Exponentially simpler and
+   asymptotically worse; used in tests to cross-check [analyze]. *)
+let pattern_by_children (a_lower : Csc.t) : Csc.t =
+  let n = a_lower.Csc.ncols in
+  let parent = Etree.compute a_lower in
+  let module S = Set.Make (Int) in
+  let cols = Array.make n S.empty in
+  for j = 0 to n - 1 do
+    (* Aj (lower part) ∪ {j}. *)
+    Csc.iter_col a_lower j (fun i _ -> if i >= j then cols.(j) <- S.add i cols.(j));
+    cols.(j) <- S.add j cols.(j);
+    (* Union of children patterns minus their diagonals. *)
+    for s = 0 to j - 1 do
+      if parent.(s) = j then
+        cols.(j) <- S.union cols.(j) (S.remove s cols.(s))
+    done
+  done;
+  let tr = Triplet.create ~nrows:n ~ncols:n () in
+  Array.iteri (fun j set -> S.iter (fun i -> Triplet.add tr i j 1.0) set) cols;
+  Csc.of_triplet tr
+
+let nnz_l t = Csc.nnz t.l_pattern
+
+(* Number of floating point operations of the numeric factorization:
+   sum over columns of c*(c+2) with c = below-diagonal count (sqrt counted
+   once, division c times, update c*(c+1)). Standard flop model
+   sum (counts_j)^2 is used for GFLOP/s reporting, matching common practice. *)
+let flops t =
+  Array.fold_left (fun acc c -> acc +. (float_of_int c ** 2.0)) 0.0 t.counts

@@ -1,0 +1,34 @@
+open Sympiler_sparse
+
+(** Symbolic Cholesky factorization: the complete nonzero pattern of L
+    (fill-ins included), its column counts, and the per-row prune-sets —
+    everything the numeric phase needs so that no dynamic index arrays
+    remain, the property Sympiler's code generation relies on (§3.2). *)
+
+(** Result of analyzing [A = L L^T]. *)
+type t = {
+  n : int;
+  parent : int array;  (** elimination tree *)
+  l_pattern : Csc.t;
+      (** pattern of L (unit values), rows sorted ascending per column *)
+  counts : int array;  (** [counts.(j)] = nnz(L(:,j)), diagonal included *)
+  row_patterns : int array array;
+      (** [row_patterns.(k)] = columns [j < k] with [L(k,j) <> 0], ascending
+          — the per-column prune-sets of Cholesky's VI-Prune *)
+}
+
+val analyze : Csc.t -> t
+(** O(|L|) symbolic factorization of the lower-triangular part of A, via
+    {!Etree} + {!Ereach}. *)
+
+val pattern_by_children : Csc.t -> Csc.t
+(** Independent oracle implementing the paper's equation (1):
+    [Lj = Aj ∪ {j} ∪ (∪_{j = T(s)} Ls \ {s})]. Asymptotically worse; used
+    by tests to cross-check {!analyze}. *)
+
+val nnz_l : t -> int
+
+val flops : t -> float
+(** Flop count of the numeric factorization under the standard
+    [sum_j counts.(j)^2] model, used as the GFLOP/s numerator in the
+    benchmark figures. *)

@@ -1,0 +1,65 @@
+(* Post-ordering of an elimination forest. Children are visited in
+   increasing order, matching the convention of sparse direct solvers so
+   that supernodes stay contiguous after relabeling. *)
+
+(* post.(k) = node visited k-th. *)
+let compute (parent : int array) : int array =
+  let n = Array.length parent in
+  (* First-child / next-sibling with children in increasing order (build by
+     scanning nodes in decreasing order). *)
+  let first_child = Array.make n (-1) in
+  let next_sibling = Array.make n (-1) in
+  for j = n - 1 downto 0 do
+    let p = parent.(j) in
+    if p >= 0 then begin
+      next_sibling.(j) <- first_child.(p);
+      first_child.(p) <- j
+    end
+  done;
+  let post = Array.make n 0 in
+  let k = ref 0 in
+  (* Iterative DFS: stack entries are nodes; a node whose first_child has
+     been cleared is ready to be emitted. *)
+  let stack = Array.make n 0 in
+  let visit root =
+    let top = ref 0 in
+    stack.(0) <- root;
+    while !top >= 0 do
+      let v = stack.(!top) in
+      let c = first_child.(v) in
+      if c = -1 then begin
+        post.(!k) <- v;
+        incr k;
+        decr top
+      end
+      else begin
+        (* Advance v's child cursor and descend into c. *)
+        first_child.(v) <- next_sibling.(c);
+        incr top;
+        stack.(!top) <- c
+      end
+    done
+  in
+  for j = 0 to n - 1 do
+    if parent.(j) = -1 then visit j
+  done;
+  assert (!k = n);
+  post
+
+(* Is [post] a valid postorder of the forest? It must be a permutation in
+   which every node appears after all of its descendants. *)
+let is_valid (parent : int array) (post : int array) : bool =
+  let n = Array.length parent in
+  if Array.length post <> n then false
+  else begin
+    let pos = Array.make n (-1) in
+    let ok = ref true in
+    Array.iteri
+      (fun k v ->
+        if v < 0 || v >= n || pos.(v) >= 0 then ok := false else pos.(v) <- k)
+      post;
+    !ok
+    && Array.for_all
+         (fun j -> parent.(j) = -1 || pos.(j) < pos.(parent.(j)))
+         (Array.init n (fun i -> i))
+  end

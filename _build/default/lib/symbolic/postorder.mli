@@ -1,0 +1,12 @@
+(** Post-ordering of an elimination forest. Sparse solvers relabel columns
+    by a postorder so that subtrees — hence supernode candidates — occupy
+    consecutive indices; {!Sympiler.Suite} composes this with the
+    fill-reducing ordering when preparing benchmark matrices. *)
+
+val compute : int array -> int array
+(** [compute parent]: [post.(k)] is the node visited k-th by a depth-first
+    traversal that visits children in increasing order. *)
+
+val is_valid : int array -> int array -> bool
+(** [is_valid parent post]: [post] is a permutation in which every node
+    appears after all of its descendants. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Csc Dense Generators List Printf QCheck QCheck_alcotest Sympiler_sparse Triplet Utils Vector

@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Array Buffer Cholesky_supernodal Csc Dense Filename Generators Helpers List Out_channel Perm Printf String Sympiler Sympiler_kernels Sympiler_sparse Sys Unix Vector

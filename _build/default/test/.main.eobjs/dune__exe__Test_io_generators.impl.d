@@ -1,0 +1,1 @@
+test/test_io_generators.ml: Alcotest Array Csc Dense Filename Generators Helpers List Matrix_market Ordering Perm Printf Sympiler_sparse Sympiler_symbolic Sys Triplet Utils Vector

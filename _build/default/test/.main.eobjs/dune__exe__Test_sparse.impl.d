@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Csc Dense Float Generators Helpers Perm QCheck Sympiler_sparse Triplet Utils Vector

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Array Csc Dep_graph Ereach Etree Fill_pattern Generators Helpers Inspector List Postorder String Supernodes Sympiler_sparse Sympiler_symbolic Triplet Vector

@@ -1,0 +1,123 @@
+open Sympiler_sparse
+
+(* Shared test fixtures, oracles, and qcheck generators. *)
+
+let close ?(eps = 1e-8) a b = Utils.max_rel_diff a b < eps
+
+let check_close ?(eps = 1e-8) msg a b =
+  Alcotest.(check bool) msg true (close ~eps a b)
+
+(* The paper's Figure 1 example system (0-indexed): a 10x10 lower-triangular
+   matrix whose dependence graph reproduces the reach-set of §2.2,
+   Reach({1,6}) = {1,6,7,8,9,10} in the paper's 1-based numbering. *)
+let figure1_l : Csc.t =
+  let tr = Triplet.create ~nrows:10 ~ncols:10 () in
+  let cols =
+    [|
+      [ 0; 6 ];
+      [ 1; 4 ];
+      [ 2; 5 ];
+      [ 3; 5 ];
+      [ 4; 5; 8 ];
+      [ 5; 6; 8; 9 ];
+      [ 6; 7 ];
+      [ 7; 8; 9 ];
+      [ 8; 9 ];
+      [ 9 ];
+    |]
+  in
+  Array.iteri
+    (fun j rows ->
+      List.iter
+        (fun i -> Triplet.add tr i j (if i = j then 2.0 else -0.5))
+        rows)
+    cols;
+  Csc.of_triplet tr
+
+let figure1_beta = [| 0; 5 |]
+let figure1_reach_sorted = [| 0; 5; 6; 7; 8; 9 |]
+
+(* Dense-oracle triangular solve. *)
+let oracle_lower_solve l b = Dense.lower_solve (Dense.of_csc l) b
+
+(* Dense-oracle Cholesky of a full symmetric matrix. *)
+let oracle_cholesky a = Dense.cholesky (Dense.of_csc a)
+
+(* Small deterministic SPD matrices covering the structural classes. *)
+let spd_zoo () : (string * Csc.t) list =
+  [
+    ("grid5_8x8", Generators.grid2d ~stencil:`Five 8 8);
+    ("grid9_7x7", Generators.grid2d ~stencil:`Nine 7 7);
+    ("grid3d_4", Generators.grid3d 4 4 4);
+    ("clique", Generators.clique_chain ~seed:3 ~n:60 ~clique:8 ~overlap:2 ());
+    ("blocktri", Generators.block_tridiagonal ~seed:4 ~nblocks:5 ~block:6 ());
+    ("randband", Generators.random_banded ~seed:5 ~n:80 ~band:10 ~density:0.2 ());
+    ("dense-ish", Generators.random_spd_dense ~seed:6 25);
+    ("banded", Generators.banded ~seed:7 ~n:50 ~band:4 ());
+    ("tiny", Generators.grid2d ~stencil:`Five 2 2);
+    ("one", Csc.of_dense [| [| 4.0 |] |]);
+  ]
+
+(* ---- qcheck generators ---- *)
+
+let gen_lower : Csc.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let* n = int_range 1 80 in
+    let* seed = int_range 0 10000 in
+    let* dens = int_range 2 40 in
+    return
+      (Generators.random_lower ~seed ~n
+         ~density:(float_of_int dens /. 100.0)
+         ()))
+
+let arb_lower =
+  QCheck.make
+    ~print:(fun l -> Printf.sprintf "lower n=%d nnz=%d" l.Csc.ncols (Csc.nnz l))
+    gen_lower
+
+let gen_spd : Csc.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let* seed = int_range 0 10000 in
+    let* kind = int_range 0 4 in
+    return
+      (match kind with
+      | 0 -> Generators.grid2d ~stencil:`Five (3 + (seed mod 6)) (3 + (seed mod 5))
+      | 1 ->
+          Generators.clique_chain ~seed ~n:(20 + (seed mod 40))
+            ~clique:(4 + (seed mod 6))
+            ~overlap:(1 + (seed mod 3))
+            ()
+      | 2 ->
+          Generators.random_banded ~seed ~n:(20 + (seed mod 60))
+            ~band:(3 + (seed mod 8))
+            ~density:0.3 ()
+      | 3 -> Generators.random_spd_dense ~seed (5 + (seed mod 20))
+      | _ ->
+          Generators.block_tridiagonal ~seed
+            ~nblocks:(2 + (seed mod 5))
+            ~block:(2 + (seed mod 5))
+            ()))
+
+let arb_spd =
+  QCheck.make
+    ~print:(fun a -> Printf.sprintf "spd n=%d nnz=%d" a.Csc.ncols (Csc.nnz a))
+    gen_spd
+
+let gen_rhs_for (n : int) : Vector.sparse QCheck.Gen.t =
+  QCheck.Gen.(
+    let* seed = int_range 0 10000 in
+    let* fill = int_range 1 20 in
+    return (Generators.sparse_rhs ~seed ~n ~fill:(float_of_int fill /. 100.0) ()))
+
+let arb_lower_with_rhs =
+  QCheck.make
+    ~print:(fun (l, b) ->
+      Printf.sprintf "lower n=%d nnz=%d, rhs nnz=%d" l.Csc.ncols (Csc.nnz l)
+        (Vector.sparse_nnz b))
+    QCheck.Gen.(
+      let* l = gen_lower in
+      let* b = gen_rhs_for l.Csc.ncols in
+      return (l, b))
+
+let qtest ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)

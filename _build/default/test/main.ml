@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "sympiler"
+    [
+      ("sparse", Test_sparse.suite);
+      ("io+generators+ordering", Test_io_generators.suite);
+      ("symbolic", Test_symbolic.suite);
+      ("kernels", Test_kernels.suite);
+      ("extensions", Test_extensions.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("ir", Test_ir.suite);
+      ("api", Test_api.suite);
+    ]

@@ -1,0 +1,255 @@
+open Sympiler_sparse
+
+(* Unit + property tests for the sparse substrate: Utils, Triplet, Csc,
+   Dense, Vector, Perm. *)
+
+let test_cumsum () =
+  let a = [| 3; 1; 0; 2; 0 |] in
+  let total = Utils.cumsum a in
+  Alcotest.(check int) "total" 6 total;
+  Alcotest.(check (array int)) "offsets" [| 0; 3; 4; 4; 6 |] (Array.sub a 0 5)
+
+let test_rng_deterministic () =
+  let r1 = Utils.Rng.create 42 and r2 = Utils.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Utils.Rng.int r1 1000) (Utils.Rng.int r2 1000)
+  done
+
+let test_rng_range () =
+  let r = Utils.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Utils.Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0);
+    let i = Utils.Rng.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (i >= 0 && i < 17)
+  done
+
+let test_shuffle_is_permutation () =
+  let r = Utils.Rng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Utils.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_triplet_duplicates_summed () =
+  let tr = Triplet.create ~nrows:3 ~ncols:3 () in
+  Triplet.add tr 1 1 2.0;
+  Triplet.add tr 1 1 3.0;
+  Triplet.add tr 0 1 1.0;
+  Triplet.add tr 2 0 4.0;
+  let m = Csc.of_triplet tr in
+  Alcotest.(check int) "nnz after dedup" 3 (Csc.nnz m);
+  Alcotest.(check (float 1e-12)) "summed" 5.0 (Csc.get m 1 1);
+  Alcotest.(check (float 1e-12)) "other" 4.0 (Csc.get m 2 0)
+
+let test_triplet_bounds () =
+  let tr = Triplet.create ~nrows:2 ~ncols:2 () in
+  Alcotest.check_raises "row out of range"
+    (Invalid_argument "Triplet.add: entry (2,0) out of 2x2") (fun () ->
+      Triplet.add tr 2 0 1.0)
+
+let test_csc_of_to_dense () =
+  let d = [| [| 1.0; 0.0 |]; [| 0.0; 2.0 |]; [| 3.0; 0.0 |] |] in
+  let m = Csc.of_dense d in
+  Alcotest.(check int) "nnz" 3 (Csc.nnz m);
+  Alcotest.(check bool) "roundtrip" true (Csc.to_dense m = d)
+
+let test_csc_get_mem () =
+  let m = Csc.of_dense [| [| 1.0; 0.0 |]; [| 0.0; 2.0 |] |] in
+  Alcotest.(check (float 0.0)) "get hit" 2.0 (Csc.get m 1 1);
+  Alcotest.(check (float 0.0)) "get miss" 0.0 (Csc.get m 1 0);
+  Alcotest.(check bool) "mem" true (Csc.mem m 0 0);
+  Alcotest.(check bool) "not mem" false (Csc.mem m 0 1)
+
+let test_csc_identity_spmv () =
+  let i5 = Csc.identity 5 in
+  let x = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (array (float 0.0))) "I x = x" x (Csc.spmv i5 x)
+
+let test_csc_validate_rejects () =
+  Alcotest.check_raises "unsorted rows"
+    (Invalid_argument "Csc.validate: unsorted or duplicate rows in a column")
+    (fun () ->
+      ignore
+        (Csc.create ~nrows:2 ~ncols:1 ~colptr:[| 0; 2 |] ~rowind:[| 1; 0 |]
+           ~values:[| 1.0; 2.0 |]))
+
+let test_lower_upper_split () =
+  let a = Generators.grid2d ~stencil:`Five 4 4 in
+  let l = Csc.lower a and u = Csc.upper a in
+  Alcotest.(check int) "nnz split" (Csc.nnz a + a.Csc.ncols) (Csc.nnz l + Csc.nnz u);
+  Alcotest.(check bool) "lower is lower" true (Csc.is_lower_triangular l);
+  Alcotest.(check bool) "symmetrize recovers A" true
+    (Csc.equal (Csc.symmetrize_from_lower l) a)
+
+let prop_transpose_involution =
+  Helpers.qtest "transpose (transpose A) = A" Helpers.arb_lower (fun l ->
+      Csc.equal (Csc.transpose (Csc.transpose l)) l)
+
+let prop_spmv_matches_dense =
+  Helpers.qtest "spmv matches dense mat-vec" Helpers.arb_lower (fun l ->
+      let n = l.Csc.ncols in
+      let x = Array.init n (fun i -> cos (float_of_int i)) in
+      let y = Csc.spmv l x in
+      let d = Csc.to_dense l in
+      let yd =
+        Array.init n (fun i ->
+            let s = ref 0.0 in
+            for j = 0 to n - 1 do
+              s := !s +. (d.(i).(j) *. x.(j))
+            done;
+            !s)
+      in
+      Helpers.close y yd)
+
+let prop_transpose_map_consistent =
+  Helpers.qtest "transpose_map gathers the transpose" Helpers.arb_lower
+    (fun l ->
+      let colptr, rowind, map = Csc.transpose_map l in
+      let t = Csc.transpose l in
+      colptr = t.Csc.colptr && rowind = t.Csc.rowind
+      && Array.for_all2
+           (fun v p -> v = l.Csc.values.(p))
+           t.Csc.values map)
+
+let prop_add_commutes =
+  Helpers.qtest ~count:50 "A + A = 2A" Helpers.arb_lower (fun l ->
+      Csc.equal (Csc.add l l) (Csc.scale l 2.0))
+
+let test_dense_cholesky_known () =
+  (* [[4,2],[2,5]] = [[2,0],[1,2]] [[2,1],[0,2]] *)
+  let a = Dense.of_rows [| [| 4.0; 2.0 |]; [| 2.0; 5.0 |] |] in
+  let l = Dense.cholesky a in
+  Alcotest.(check (float 1e-12)) "l00" 2.0 (Dense.get l 0 0);
+  Alcotest.(check (float 1e-12)) "l10" 1.0 (Dense.get l 1 0);
+  Alcotest.(check (float 1e-12)) "l11" 2.0 (Dense.get l 1 1);
+  Alcotest.(check (float 1e-12)) "u zeroed" 0.0 (Dense.get l 0 1)
+
+let test_dense_cholesky_rejects_indefinite () =
+  let a = Dense.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Alcotest.check_raises "not PD" (Failure "Dense.cholesky: not positive definite")
+    (fun () -> ignore (Dense.cholesky a))
+
+let test_dense_solves () =
+  let a = Generators.random_spd_dense ~seed:9 12 in
+  let ad = Dense.of_csc a in
+  let l = Dense.cholesky ad in
+  let b = Array.init 12 (fun i -> float_of_int (i + 1)) in
+  let y = Dense.lower_solve l b in
+  let x = Dense.upper_solve_transposed l y in
+  let r = Vector.sub (Csc.spmv a x) b in
+  Alcotest.(check bool) "residual small" true (Vector.norm_inf r < 1e-9)
+
+let test_vector_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  Alcotest.(check (float 1e-12)) "dot" 32.0 (Vector.dot a b);
+  Alcotest.(check (float 1e-12)) "norm_inf" 3.0 (Vector.norm_inf a);
+  let y = Array.copy b in
+  Vector.axpy 2.0 a y;
+  Alcotest.(check (array (float 1e-12))) "axpy" [| 6.0; 9.0; 12.0 |] y
+
+let test_sparse_vector_roundtrip () =
+  let x = [| 0.0; 1.5; 0.0; 0.0; -2.0; 0.0 |] in
+  let s = Vector.sparse_of_dense x in
+  Alcotest.(check int) "nnz" 2 (Vector.sparse_nnz s);
+  Alcotest.(check (array int)) "indices" [| 1; 4 |] s.Vector.indices;
+  Alcotest.(check (array (float 0.0))) "roundtrip" x (Vector.sparse_to_dense s)
+
+let prop_perm_inverse =
+  Helpers.qtest "inverse (inverse p) = p"
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 1 50 in
+         let* seed = int_range 0 1000 in
+         return (Perm.random (Utils.Rng.create seed) n)))
+    (fun p ->
+      Perm.is_valid p && Perm.inverse (Perm.inverse p) = p
+      &&
+      let x = Array.init (Array.length p) float_of_int in
+      Perm.apply_inv_vec p (Perm.apply_vec p x) = x)
+
+let test_symmetric_permute_preserves_spd_values () =
+  let a = Generators.grid2d ~stencil:`Five 4 4 in
+  let rng = Utils.Rng.create 5 in
+  let p = Perm.random rng a.Csc.ncols in
+  let b = Perm.symmetric_permute p a in
+  Alcotest.(check int) "same nnz" (Csc.nnz a) (Csc.nnz b);
+  (* B(knew, jnew) = A(p knew, p jnew) *)
+  let ok = ref true in
+  for k = 0 to a.Csc.ncols - 1 do
+    for j = 0 to a.Csc.ncols - 1 do
+      if Csc.get b k j <> Csc.get a p.(k) p.(j) then ok := false
+    done
+  done;
+  Alcotest.(check bool) "entries permuted" true !ok
+
+let test_perm_compose () =
+  let p = [| 2; 0; 1 |] and q = [| 1; 2; 0 |] in
+  (* (compose p q).(k) = q.(p.(k)) *)
+  Alcotest.(check (array int)) "compose" [| 0; 1; 2 |] (Perm.compose p q)
+
+let suite =
+  [
+    ("cumsum", `Quick, test_cumsum);
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng ranges", `Quick, test_rng_range);
+    ("shuffle is permutation", `Quick, test_shuffle_is_permutation);
+    ("triplet duplicates summed", `Quick, test_triplet_duplicates_summed);
+    ("triplet bounds checked", `Quick, test_triplet_bounds);
+    ("csc of/to dense", `Quick, test_csc_of_to_dense);
+    ("csc get/mem", `Quick, test_csc_get_mem);
+    ("csc identity spmv", `Quick, test_csc_identity_spmv);
+    ("csc validate rejects unsorted", `Quick, test_csc_validate_rejects);
+    ("lower/upper split", `Quick, test_lower_upper_split);
+    prop_transpose_involution;
+    prop_spmv_matches_dense;
+    prop_transpose_map_consistent;
+    prop_add_commutes;
+    ("dense cholesky 2x2", `Quick, test_dense_cholesky_known);
+    ("dense cholesky rejects indefinite", `Quick, test_dense_cholesky_rejects_indefinite);
+    ("dense solve roundtrip", `Quick, test_dense_solves);
+    ("vector ops", `Quick, test_vector_ops);
+    ("sparse vector roundtrip", `Quick, test_sparse_vector_roundtrip);
+    prop_perm_inverse;
+    ("symmetric permute", `Quick, test_symmetric_permute_preserves_spd_values);
+    ("perm compose", `Quick, test_perm_compose);
+  ]
+
+let test_multiply_dims_checked () =
+  let a = Csc.zero ~nrows:2 ~ncols:3 in
+  let b = Csc.zero ~nrows:2 ~ncols:2 in
+  Alcotest.check_raises "dimension mismatch" (Invalid_argument "Csc.multiply: dims")
+    (fun () -> ignore (Csc.multiply a b))
+
+let test_strict_lower () =
+  let a = Generators.grid2d ~stencil:`Five 3 3 in
+  let sl = Csc.strict_lower a in
+  Alcotest.(check bool) "no diagonal" true
+    (let ok = ref true in
+     Csc.iter sl (fun i j _ -> if i <= j then ok := false);
+     !ok);
+  Alcotest.(check int) "lower = strict lower + diagonal"
+    (Csc.nnz (Csc.lower a))
+    (Csc.nnz sl + a.Csc.ncols)
+
+let test_filter_predicate () =
+  let a = Generators.random_lower ~seed:4 ~n:20 ~density:0.3 () in
+  let big = Csc.filter a (fun _ _ v -> Float.abs v > 0.5) in
+  let ok = ref true in
+  Csc.iter big (fun _ _ v -> if Float.abs v <= 0.5 then ok := false);
+  Alcotest.(check bool) "filtered values" true !ok
+
+let prop_multiply_associates_with_identity =
+  Helpers.qtest ~count:40 "(A I) I = A" Helpers.arb_lower (fun a ->
+      let i = Csc.identity a.Csc.ncols in
+      Csc.equal (Csc.multiply (Csc.multiply a i) i) a)
+
+let suite =
+  suite
+  @ [
+      ("multiply dims checked", `Quick, test_multiply_dims_checked);
+      ("strict lower", `Quick, test_strict_lower);
+      ("filter predicate", `Quick, test_filter_predicate);
+      prop_multiply_associates_with_identity;
+    ]
