@@ -1,6 +1,7 @@
 open Sympiler_sparse
 open Sympiler_symbolic
 open Sympiler_kernels
+open Sympiler_prof
 
 (* Benchmark harness regenerating every table and figure of the paper's
    evaluation (§4), plus the §1.1 motivating numbers and two ablations.
@@ -9,8 +10,11 @@ open Sympiler_kernels
    of 5 measurements (each measurement averages enough repetitions to fill
    a minimum wall-clock window). `--bechamel` instead runs one
    Bechamel.Test.make per experiment. `--quick` shrinks the measurement
-   window, `--only SECTION` runs one section (table2, fig6, fig7, fig8,
-   fig9, intro, ablation-threshold, ablation-lowlevel). *)
+   window, `--only SECTION` runs one section (phases, table2, fig6, fig7,
+   fig8, fig9, intro, ablation-threshold, ablation-lowlevel, extensions).
+   The `phases` section additionally writes BENCH_phases.json: per-problem
+   symbolic/numeric phase timings, kernel counters, and the amortization
+   ratio, via the sympiler_prof observability layer. *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let use_bechamel = Array.exists (( = ) "--bechamel") Sys.argv
@@ -512,6 +516,101 @@ Level-set trisolve schedules (wavefront parallelism):
     ids
 
 (* ---------------------------------------------------------------- *)
+(* Phase observability: per-problem symbolic vs numeric breakdown with
+   kernel counters, written to BENCH_phases.json. This is the measurement
+   substrate for the paper's central claim — symbolic analysis is paid once
+   and amortized over numeric executions — so the file records, for
+   triangular solve and Cholesky, both phase timings and the amortization
+   ratio (symbolic time / one numeric execution). *)
+
+let phase_ids = [ 2; 6; 9 ]
+
+let phases () =
+  header "Phase breakdown: symbolic vs numeric (writes BENCH_phases.json)";
+  Printf.printf "%-3s %-15s %-9s | %10s %10s %9s | %s\n" "ID" "Name" "kernel"
+    "symbolic" "numeric" "amortize" "counters";
+  let problems =
+    List.map
+      (fun id ->
+        let d = prob id in
+        let name = d.p.Sympiler.Suite.name in
+        let a = d.p.Sympiler.Suite.a_full in
+        let report kernel sym_s num_s counters =
+          let amort = sym_s /. num_s in
+          Printf.printf "%-3d %-15s %-9s | %9.1fus %9.2fus %8.0fx | %s\n" id
+            name kernel (sym_s *. 1e6) (num_s *. 1e6) amort
+            (Prof.Json.to_string counters);
+          Prof.Json.Obj
+            [
+              ("symbolic_seconds", Prof.Json.Float sym_s);
+              ("numeric_seconds", Prof.Json.Float num_s);
+              ("amortization_ratio", Prof.Json.Float amort);
+              ("counters", counters);
+            ]
+        in
+        (* Triangular solve: fresh compile under the profiler, one counted
+           numeric solve, then an unprofiled median for the timing. *)
+        let l = d.l_factor and b = d.rhs in
+        let x = Vector.sparse_to_dense b in
+        let load () =
+          Array.iteri (fun i _ -> x.(i) <- 0.0) x;
+          Array.iteri (fun k i -> x.(i) <- b.Vector.values.(k)) b.Vector.indices
+        in
+        Prof.reset ();
+        Prof.enable ();
+        let c = Prof.time "symbolic" (fun () -> Trisolve_sympiler.compile l b) in
+        let tri_sym = Prof.scope_seconds "symbolic" in
+        load ();
+        Prof.time "numeric" (fun () -> Trisolve_sympiler.solve_full_ip c x);
+        let tri_counters = Prof.counters_json () in
+        Prof.disable ();
+        let tri_num =
+          measure (fun () ->
+              load ();
+              Trisolve_sympiler.solve_full_ip c x)
+        in
+        let tri = report "trisolve" tri_sym tri_num tri_counters in
+        (* Cholesky: the facade times its own "symbolic"/"numeric" scopes. *)
+        let al = d.p.Sympiler.Suite.a_lower in
+        Prof.reset ();
+        Prof.enable ();
+        let t = Sympiler.Cholesky.compile al in
+        let chol_sym = Prof.scope_seconds "symbolic" in
+        ignore (Sympiler.Cholesky.factor t al);
+        let chol_counters = Prof.counters_json () in
+        Prof.disable ();
+        let chol_num =
+          measure (fun () -> ignore (Sympiler.Cholesky.factor t al))
+        in
+        let chol = report "cholesky" chol_sym chol_num chol_counters in
+        Prof.Json.Obj
+          [
+            ("id", Prof.Json.Int id);
+            ("name", Prof.Json.Str name);
+            ("n", Prof.Json.Int a.Csc.ncols);
+            ("nnz", Prof.Json.Int (Csc.nnz a));
+            ("trisolve", tri);
+            ("cholesky", chol);
+          ])
+      phase_ids
+  in
+  let doc =
+    Prof.Json.Obj
+      [
+        ("bench", Prof.Json.Str "phases");
+        ("quick", Prof.Json.Bool quick);
+        ("problems", Prof.Json.List problems);
+      ]
+  in
+  Out_channel.with_open_text "BENCH_phases.json" (fun oc ->
+      Out_channel.output_string oc (Prof.Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  section_note
+    "(amortize = symbolic time / one numeric execution: how many numeric\n\
+    \ runs repay the inspection; counters are per one profiled execution.\n\
+    \ Full data written to BENCH_phases.json)\n"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel variant: one Test.make per experiment. *)
 
 let bechamel_tests () =
@@ -588,6 +687,7 @@ let () =
       "Sympiler reproduction benchmarks (median of %d, window %.2fs%s)\n"
       reps_outer min_window
       (if quick then ", --quick" else "");
+    if run_section "phases" then phases ();
     if run_section "table2" then table2 ();
     if run_section "fig6" then fig6 ();
     if run_section "fig7" then fig7 ();

@@ -23,6 +23,19 @@ let load ~matrix ~problem =
         .Sympiler.Suite.a_full
   | None, None -> failwith "pass --matrix FILE or --problem NAME"
 
+(* With --profile, run [f] under the observability layer and print the
+   phase/counter table to stderr (stdout stays clean for emitted C). *)
+let with_profile profile f =
+  if not profile then f ()
+  else begin
+    Sympiler_prof.Prof.reset ();
+    Sympiler_prof.Prof.enable ();
+    let r = f () in
+    Sympiler_prof.Prof.disable ();
+    Printf.eprintf "%s" (Sympiler_prof.Prof.table ());
+    r
+  end
+
 let output o s =
   match o with
   | None -> print_string s
@@ -32,7 +45,8 @@ let output o s =
 
 (* ---- analyze ---- *)
 
-let analyze matrix problem =
+let analyze matrix problem profile =
+  with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
   let al = Csc.lower a in
   let t0 = Unix.gettimeofday () in
@@ -59,7 +73,8 @@ let analyze matrix problem =
 
 (* ---- cholesky codegen ---- *)
 
-let cholesky matrix problem out =
+let cholesky matrix problem out profile =
+  with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
   let al = Csc.lower a in
   let t = Sympiler.Cholesky.compile al in
@@ -74,7 +89,8 @@ let cholesky matrix problem out =
 
 (* ---- trisolve codegen ---- *)
 
-let trisolve matrix problem rhs_fill out =
+let trisolve matrix problem rhs_fill out profile =
+  with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
   let l =
     if Csc.is_lower_triangular a then a
@@ -107,17 +123,25 @@ let out_arg =
 let rhs_fill_arg =
   Arg.(value & opt float 0.03 & info [ "rhs-fill" ] ~doc:"RHS fill fraction")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Print phase timings and kernel counters to stderr")
+
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Report symbolic analysis of a matrix")
-    Term.(const analyze $ matrix_arg $ problem_arg)
+    Term.(const analyze $ matrix_arg $ problem_arg $ profile_arg)
 
 let cholesky_cmd =
   Cmd.v (Cmd.info "cholesky" ~doc:"Emit specialized Cholesky C code")
-    Term.(const cholesky $ matrix_arg $ problem_arg $ out_arg)
+    Term.(const cholesky $ matrix_arg $ problem_arg $ out_arg $ profile_arg)
 
 let trisolve_cmd =
   Cmd.v (Cmd.info "trisolve" ~doc:"Emit specialized triangular-solve C code")
-    Term.(const trisolve $ matrix_arg $ problem_arg $ rhs_fill_arg $ out_arg)
+    Term.(
+      const trisolve $ matrix_arg $ problem_arg $ rhs_fill_arg $ out_arg
+      $ profile_arg)
 
 let () =
   let doc = "Sympiler: sparsity-specific code generation for sparse kernels" in

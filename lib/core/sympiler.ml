@@ -1,5 +1,6 @@
 open Sympiler_sparse
 open Sympiler_kernels
+open Sympiler_prof
 
 (* Public facade: Sympiler as the paper presents it. [Trisolve.compile] and
    [Cholesky.compile] run all symbolic analysis and code generation once for
@@ -12,9 +13,12 @@ open Sympiler_kernels
 module Suite = Suite
 module Codegen_supernodal = Codegen_supernodal
 
-let time_it f =
+(* Wall-clock timing for the [symbolic_seconds] report fields, also fed to
+   the profiling layer's "symbolic" scope (reentrant, so the inspectors'
+   own "symbolic" spans nest without double counting). *)
+let time_symbolic f =
   let t0 = Unix.gettimeofday () in
-  let r = f () in
+  let r = Prof.time "symbolic" f in
   (r, Unix.gettimeofday () -. t0)
 
 module Trisolve = struct
@@ -35,7 +39,7 @@ module Trisolve = struct
     if not (Csc.is_lower_triangular l) then
       invalid_arg "Sympiler.Trisolve.compile: L must be lower triangular";
     let compiled, symbolic_seconds =
-      time_it (fun () ->
+      time_symbolic (fun () ->
           Trisolve_sympiler.compile ?vs_block_threshold ?max_width l b)
     in
     {
@@ -50,11 +54,11 @@ module Trisolve = struct
   (* Numeric solve (no symbolic work): x such that L x = b. [b] must have
      the pattern given at compile time (values free to differ). *)
   let solve (t : t) (b : Vector.sparse) : float array =
-    Trisolve_sympiler.solve_full t.compiled b
+    Prof.time "numeric" (fun () -> Trisolve_sympiler.solve_full t.compiled b)
 
   (* In-place numeric solve: [x] holds b on entry, the solution on exit. *)
   let solve_ip (t : t) (x : float array) : unit =
-    Trisolve_sympiler.solve_full_ip t.compiled x
+    Prof.time "numeric" (fun () -> Trisolve_sympiler.solve_full_ip t.compiled x)
 
   (* Generated C source implementing the same specialized solve
      (VS-Block + VI-Prune + low-level transformations). *)
@@ -92,7 +96,7 @@ module Cholesky = struct
     if not (Csc.is_lower_triangular a_lower) then
       invalid_arg "Sympiler.Cholesky.compile: pass lower(A)";
     let (sup, simp, flops, nnz_l), symbolic_seconds =
-      time_it (fun () ->
+      time_symbolic (fun () ->
           (* One shared symbolic factorization; the variant decision (the
              paper's VS-Block threshold) is taken on the cheap supernode
              statistics before any variant-specific planning is built. *)
@@ -138,6 +142,7 @@ module Cholesky = struct
   (* Numeric factorization: A = L L^T for any [a_lower] sharing the compiled
      pattern. *)
   let factor (t : t) (a_lower : Csc.t) : Csc.t =
+    Prof.time "numeric" @@ fun () ->
     match (t.supernodal, t.simplicial) with
     | Some c, _ -> Cholesky_supernodal.Sympiler.factor c a_lower
     | None, Some d -> Cholesky_ref.Decoupled.factor d a_lower

@@ -260,8 +260,11 @@ let rec distribute_stmt s : stmt list =
       [ If (c, List.concat_map distribute_stmt a, List.concat_map distribute_stmt b) ]
   | Let _ | Assign _ | Update _ | Comment _ -> [ s ]
 
-(* Run every low-level pass over a kernel in the standard order. *)
+(* Run every low-level pass over a kernel in the standard order. The temp
+   counter restarts per kernel so the emitted C for a given input is
+   byte-identical no matter how many kernels were compiled before. *)
 let apply (k : kernel) : kernel =
+  fresh := 0;
   let run f body = List.concat_map f body in
   let body = run distribute_stmt k.body in
   let body = run (peel_stmt k.consts) body in

@@ -1,10 +1,19 @@
 open Sympiler_sparse
 open Sympiler_symbolic
+open Sympiler_prof
 
 (* The Sympiler phase pipeline of Figure 2: symbolic inspection, lowering,
    inspector-guided transformations, low-level transformations, code
    generation. Produces both the transformed kernel AST (executable through
-   [Interp]) and the final C source. *)
+   [Interp]) and the final C source.
+
+   Every pass reports its time to the profiling layer: inspector runs under
+   the "symbolic" scope, AST work under "codegen" plus a per-pass
+   "codegen:<pass>" sub-scope — so `sympiler_cli --profile` and the phases
+   bench can attribute compile time to individual passes. *)
+
+let pass name f = Prof.time "codegen" (fun () -> Prof.time name f)
+let inspect f = Prof.time "symbolic" f
 
 type result = {
   kernel : Ast.kernel;
@@ -18,23 +27,25 @@ type result = {
    VI-Prune, the ordering §4.2 finds superior. *)
 let trisolve ?(vs_block = true) ?(vi_prune = true) ?(low_level = true)
     ?(peel_threshold = 2) ?max_width (l : Csc.t) (b : Vector.sparse) : result =
-  let kernel = Build.lower_trisolve l in
+  let kernel = pass "codegen:lower" (fun () -> Build.lower_trisolve l) in
   let inspectors = ref [] in
   let kernel, tmp_size, prune_set, peel =
     if vs_block then begin
       let insp = Inspector.trisolve_vs_block ?max_width l in
       inspectors := Inspector.describe insp :: !inspectors;
       let sn =
-        match insp.Inspector.run () with
+        match inspect insp.Inspector.run with
         | Inspector.Block_set sn -> sn
         | _ -> assert false
       in
-      let kernel = Vs_block.apply_trisolve l sn kernel in
+      let kernel =
+        pass "codegen:vs-block" (fun () -> Vs_block.apply_trisolve l sn kernel)
+      in
       (* Prune set over blocks: supernodes hit by the reach-set. *)
       let insp2 = Inspector.trisolve_vi_prune l b in
       inspectors := Inspector.describe insp2 :: !inspectors;
       let reach =
-        match insp2.Inspector.run () with
+        match inspect insp2.Inspector.run with
         | Inspector.Prune_set r -> r
         | _ -> assert false
       in
@@ -58,7 +69,7 @@ let trisolve ?(vs_block = true) ?(vi_prune = true) ?(low_level = true)
       let insp = Inspector.trisolve_vi_prune l b in
       inspectors := Inspector.describe insp :: !inspectors;
       let reach =
-        match insp.Inspector.run () with
+        match inspect insp.Inspector.run with
         | Inspector.Prune_set r -> r
         | _ -> assert false
       in
@@ -75,14 +86,18 @@ let trisolve ?(vs_block = true) ?(vi_prune = true) ?(low_level = true)
   in
   let kernel =
     if vi_prune then
-      Vi_prune.apply ~set_name:"pruneSet" ~peel ~vectorize:low_level prune_set
-        kernel
+      pass "codegen:vi-prune" (fun () ->
+          Vi_prune.apply ~set_name:"pruneSet" ~peel ~vectorize:low_level
+            prune_set kernel)
     else kernel
   in
-  let kernel = if low_level then Lowlevel.apply kernel else kernel in
+  let kernel =
+    if low_level then pass "codegen:low-level" (fun () -> Lowlevel.apply kernel)
+    else kernel
+  in
   {
     kernel;
-    c_code = Pretty_c.kernel_to_c kernel;
+    c_code = pass "codegen:emit" (fun () -> Pretty_c.kernel_to_c kernel);
     inspectors = List.rev !inspectors;
     tmp_size;
   }
@@ -93,11 +108,14 @@ let trisolve ?(vs_block = true) ?(vi_prune = true) ?(low_level = true)
 let cholesky ?(low_level = true) (a_lower : Csc.t) : result =
   let fill = Fill_pattern.analyze a_lower in
   let insp = Inspector.cholesky_vi_prune fill in
-  let kernel = Build.lower_cholesky a_lower in
-  let kernel = if low_level then Lowlevel.apply kernel else kernel in
+  let kernel = pass "codegen:lower" (fun () -> Build.lower_cholesky a_lower) in
+  let kernel =
+    if low_level then pass "codegen:low-level" (fun () -> Lowlevel.apply kernel)
+    else kernel
+  in
   {
     kernel;
-    c_code = Pretty_c.kernel_to_c kernel;
+    c_code = pass "codegen:emit" (fun () -> Pretty_c.kernel_to_c kernel);
     inspectors = [ Inspector.describe insp ];
     tmp_size = 0;
   }

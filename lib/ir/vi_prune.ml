@@ -16,19 +16,21 @@ open Ast
    [unroll_threshold] get an unroll hint and [vectorize] adds the
    vectorization hint for the code generator. *)
 
-let fresh_counter = ref 0
+(* The pruned-loop index counter is scoped to one [apply] call (passed down
+   as [counter]): a global counter made emitted C depend on how many kernels
+   had been compiled before, so recompiling the same kernel produced
+   different variable names. *)
+let fresh_index counter =
+  incr counter;
+  Printf.sprintf "p%d" !counter
 
-let fresh_index () =
-  incr fresh_counter;
-  Printf.sprintf "p%d" !fresh_counter
-
-let rec transform_stmt ~set_name ~set ~hints s =
+let rec transform_stmt ~counter ~set_name ~set ~hints s =
   match s with
   | For l when List.mem Vi_prune_site l.annots ->
-      let ip = fresh_index () in
+      let ip = fresh_index counter in
       let body =
         Let (l.index, Idx (set_name, Var ip))
-        :: List.map (transform_stmt ~set_name ~set ~hints) l.body
+        :: List.map (transform_stmt ~counter ~set_name ~set ~hints) l.body
       in
       let annots =
         Pruned :: hints
@@ -42,12 +44,12 @@ let rec transform_stmt ~set_name ~set ~hints s =
           body;
           annots;
         }
-  | For l -> For { l with body = List.map (transform_stmt ~set_name ~set ~hints) l.body }
+  | For l -> For { l with body = List.map (transform_stmt ~counter ~set_name ~set ~hints) l.body }
   | If (c, a, b) ->
       If
         ( c,
-          List.map (transform_stmt ~set_name ~set ~hints) a,
-          List.map (transform_stmt ~set_name ~set ~hints) b )
+          List.map (transform_stmt ~counter ~set_name ~set ~hints) a,
+          List.map (transform_stmt ~counter ~set_name ~set ~hints) b )
   | Let _ | Assign _ | Update _ | Comment _ -> s
 
 (* Apply VI-Prune to the kernel using inspection set [set] (e.g. the
@@ -59,10 +61,11 @@ let apply ?(set_name = "pruneSet") ?(peel = []) ?(vectorize = false)
     (if peel = [] then [] else [ Peel peel ])
     @ (if vectorize then [ Vectorize ] else [])
   in
+  let counter = ref 0 in
   {
     k with
     consts = (set_name, set) :: k.consts;
-    body = List.map (transform_stmt ~set_name ~set ~hints) k.body;
+    body = List.map (transform_stmt ~counter ~set_name ~set ~hints) k.body;
   }
 
 (* Decide which iterations of the pruned triangular-solve loop to peel: the

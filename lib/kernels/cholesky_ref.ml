@@ -176,6 +176,12 @@ module Decoupled = struct
       lx.(lp.(k)) <- sqrt !d;
       nzcount.(k) <- 1
     done;
+    (if Sympiler_prof.Prof.enabled () then
+       let k = Sympiler_prof.Prof.counters in
+       k.Sympiler_prof.Prof.flops <-
+         k.Sympiler_prof.Prof.flops + int_of_float c.flops;
+       k.Sympiler_prof.Prof.nnz_touched <-
+         k.Sympiler_prof.Prof.nnz_touched + lp.(n));
     Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy lp) ~rowind:(Array.copy li)
       ~values:lx
 end

@@ -1,5 +1,6 @@
 open Sympiler_sparse
 open Sympiler_symbolic
+open Sympiler_prof
 
 (* Supernodal left-looking Cholesky. One engine serves two roles:
 
@@ -260,6 +261,11 @@ let max_update_buf an =
   !m * !maxw
 
 let finish an lx =
+  if Prof.enabled () then begin
+    let k = Prof.counters in
+    k.Prof.flops <- k.Prof.flops + int_of_float an.flops;
+    k.Prof.nnz_touched <- k.Prof.nnz_touched + an.nnz_l
+  end;
   Csc.create ~nrows:an.n ~ncols:an.n ~colptr:(Array.copy an.l_colptr)
     ~rowind:(Array.copy an.l_rowind) ~values:lx
 

@@ -1,4 +1,5 @@
 open Sympiler_sparse
+open Sympiler_prof
 
 (* Incomplete Cholesky with zero fill, IC(0): the factor keeps exactly the
    pattern of lower(A). One of the §3.3 methods whose symbolic needs (the
@@ -94,6 +95,21 @@ let factor (c : compiled) (a_lower : Csc.t) : Csc.t =
       pos.(li.(p)) <- -1
     done
   done;
+  if Prof.enabled () then begin
+    (* Structure-driven operation count: updates attempted per prune-set
+       column plus the sqrt/divide pass (the IC(0) dropping rule makes the
+       exact executed count value-dependent; this is its pattern bound). *)
+    let k = Prof.counters in
+    let fl = ref 0 in
+    for j = 0 to n - 1 do
+      for q = c.row_ptr.(j) to c.row_ptr.(j + 1) - 1 do
+        fl := !fl + (2 * (lp.(c.row_col.(q) + 1) - c.row_pos.(q)))
+      done;
+      fl := !fl + (lp.(j + 1) - lp.(j))
+    done;
+    k.Prof.flops <- k.Prof.flops + !fl;
+    k.Prof.nnz_touched <- k.Prof.nnz_touched + lp.(n)
+  end;
   Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy lp) ~rowind:(Array.copy li)
     ~values:lx
 

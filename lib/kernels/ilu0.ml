@@ -1,4 +1,5 @@
 open Sympiler_sparse
+open Sympiler_prof
 
 (* Incomplete LU with zero fill, ILU(0): the factors keep exactly the
    pattern of A (L strictly below the diagonal with implicit unit diagonal,
@@ -72,6 +73,21 @@ let factor (c : compiled) (a : Csc.t) : factors =
       pos.(c.colind.(p)) <- -1
     done
   done;
+  if Prof.enabled () then begin
+    (* Pattern bound, as for IC(0): per row, each eliminating k < i costs a
+       divide plus up to 2*|U(k, k+1:)| update ops. *)
+    let k = Prof.counters in
+    let fl = ref 0 in
+    for i = 0 to c.n - 1 do
+      for p = c.rowptr.(i) to c.rowptr.(i + 1) - 1 do
+        let kk = c.colind.(p) in
+        if kk < i then
+          fl := !fl + 1 + (2 * (c.rowptr.(kk + 1) - c.diag.(kk) - 1))
+      done
+    done;
+    k.Prof.flops <- k.Prof.flops + !fl;
+    k.Prof.nnz_touched <- k.Prof.nnz_touched + c.rowptr.(c.n)
+  end;
   { c; values = v }
 
 let factorize (a : Csc.t) : factors = factor (compile a) a

@@ -1,4 +1,5 @@
 open Sympiler_sparse
+open Sympiler_prof
 
 (* Sparse LU factorization, left-looking Gilbert-Peierls, without pivoting
    (static pattern — the §3.3 extension enabled by Sympiler's dependency-
@@ -118,6 +119,12 @@ module Sympiler = struct
         x.(i) <- 0.0
       done
     done;
+    if Prof.enabled () then begin
+      let k = Prof.counters in
+      k.Prof.flops <- k.Prof.flops + int_of_float c.flops;
+      k.Prof.nnz_touched <-
+        k.Prof.nnz_touched + c.l_colptr.(n) + c.u_colptr.(n)
+    end;
     {
       l =
         Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy c.l_colptr)

@@ -1,4 +1,5 @@
 open Sympiler_sparse
+open Sympiler_prof
 
 (* Level-set (wavefront) parallel sparse triangular solve on OCaml 5
    domains. The paper's conclusion argues its single-core transformations
@@ -45,6 +46,15 @@ let compile (l : Csc.t) : compiled =
     level_cols.(next.(level.(j))) <- j;
     next.(level.(j)) <- next.(level.(j)) + 1
   done;
+  if Prof.enabled () then begin
+    let c = Prof.counters in
+    c.Prof.levels <- c.Prof.levels + nlevels;
+    let maxw = ref 0 in
+    for lv = 0 to nlevels - 1 do
+      maxw := max !maxw (level_ptr.(lv + 1) - level_ptr.(lv))
+    done;
+    c.Prof.max_level_width <- max c.Prof.max_level_width !maxw
+  end;
   { l; nlevels; level_ptr; level_cols }
 
 (* The column update of the forward solve. Columns within one level never
@@ -69,12 +79,23 @@ let solve_level_sequential (c : compiled) (x : float array) ~lo ~hi =
     done
   done
 
+(* The dense-RHS solve visits every column: 2*nnz - n flops. *)
+let record_solve (c : compiled) =
+  if Prof.enabled () then begin
+    let k = Prof.counters in
+    let n = c.l.Csc.ncols in
+    let nnz = c.l.Csc.colptr.(n) in
+    k.Prof.flops <- k.Prof.flops + ((2 * nnz) - n);
+    k.Prof.nnz_touched <- k.Prof.nnz_touched + nnz
+  end
+
 (* Sequential reference over the level schedule (validates the schedule
    itself). *)
 let solve_ip_sequential (c : compiled) (x : float array) =
   for lv = 0 to c.nlevels - 1 do
     solve_level_sequential c x ~lo:c.level_ptr.(lv) ~hi:c.level_ptr.(lv + 1)
-  done
+  done;
+  record_solve c
 
 (* Parallel solve with [ndomains] worker domains. Each level is split into
    chunks; every domain accumulates its below-diagonal updates into a
@@ -133,7 +154,8 @@ let solve_ip_parallel ?(ndomains = 2) (c : compiled) (x : float array) =
         done
       done
       end
-    done
+    done;
+    record_solve c
   end
 
 let solve ?ndomains (c : compiled) (b : float array) : float array =

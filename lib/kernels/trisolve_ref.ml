@@ -1,9 +1,14 @@
 open Sympiler_sparse
+open Sympiler_prof
 
 (* The four sparse triangular solve variants of the paper's Figure 1, for
    L x = b with L lower-triangular in CSC form. All in-place versions take
    [x] already holding b and overwrite it with the solution; the functional
-   wrappers copy. *)
+   wrappers copy.
+
+   Counter recording happens after the solve loops (closed-form counts) or
+   in a dedicated counted loop, always behind [Prof.enabled], so the hot
+   paths are untouched when profiling is off. *)
 
 (* Figure 1b: naive forward substitution — visits every column. *)
 let naive_ip (l : Csc.t) (x : float array) =
@@ -15,23 +20,53 @@ let naive_ip (l : Csc.t) (x : float array) =
     for p = lp.(j) + 1 to lp.(j + 1) - 1 do
       x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. xj)
     done
-  done
+  done;
+  if Prof.enabled () then begin
+    let c = Prof.counters in
+    let nnz = lp.(n) in
+    c.Prof.flops <- c.Prof.flops + ((2 * nnz) - n);
+    c.Prof.nnz_touched <- c.Prof.nnz_touched + nnz
+  end
 
 (* Figure 1c: library implementation (Eigen's sparse triangular solve) —
    skips columns whose solution entry is zero, but still scans all n
-   columns and tests each. *)
-let library_ip (l : Csc.t) (x : float array) =
+   columns and tests each. The exact work depends on runtime values, so the
+   profiled variant is a separate counted loop. *)
+let library_ip_counted (l : Csc.t) (x : float array) =
   let n = l.Csc.ncols in
   let lp = l.Csc.colptr and li = l.Csc.rowind and lx = l.Csc.values in
+  let flops = ref 0 and nnz = ref 0 in
   for j = 0 to n - 1 do
     if x.(j) <> 0.0 then begin
       let xj = x.(j) /. lx.(lp.(j)) in
       x.(j) <- xj;
       for p = lp.(j) + 1 to lp.(j + 1) - 1 do
         x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. xj)
-      done
+      done;
+      let cn = lp.(j + 1) - lp.(j) in
+      flops := !flops + (2 * cn) - 1;
+      nnz := !nnz + cn
     end
-  done
+  done;
+  let c = Prof.counters in
+  c.Prof.flops <- c.Prof.flops + !flops;
+  c.Prof.nnz_touched <- c.Prof.nnz_touched + !nnz
+
+let library_ip (l : Csc.t) (x : float array) =
+  if Prof.enabled () then library_ip_counted l x
+  else begin
+    let n = l.Csc.ncols in
+    let lp = l.Csc.colptr and li = l.Csc.rowind and lx = l.Csc.values in
+    for j = 0 to n - 1 do
+      if x.(j) <> 0.0 then begin
+        let xj = x.(j) /. lx.(lp.(j)) in
+        x.(j) <- xj;
+        for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+          x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. xj)
+        done
+      end
+    done
+  end
 
 (* Figure 1d: decoupled code — iterates only over the precomputed reach-set
    (in topological order), with no zero tests: O(|b| + f). *)
@@ -44,7 +79,14 @@ let decoupled_ip (l : Csc.t) (reach : int array) (x : float array) =
     for p = lp.(j) + 1 to lp.(j + 1) - 1 do
       x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. xj)
     done
-  done
+  done;
+  if Prof.enabled () then begin
+    let c = Prof.counters in
+    let nnz = ref 0 in
+    Array.iter (fun j -> nnz := !nnz + (lp.(j + 1) - lp.(j))) reach;
+    c.Prof.flops <- c.Prof.flops + ((2 * !nnz) - Array.length reach);
+    c.Prof.nnz_touched <- c.Prof.nnz_touched + !nnz
+  end
 
 (* Solve L^T x = b using the CSC storage of L (columns of L are rows of
    L^T): backward substitution. Used to complete A = L L^T solves. *)

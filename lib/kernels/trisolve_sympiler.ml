@@ -1,5 +1,6 @@
 open Sympiler_sparse
 open Sympiler_symbolic
+open Sympiler_prof
 
 (* Sympiler's triangular-solve executors (the code of Figure 1e): all
    symbolic information — reach-set, supernodes, the supernode sequence the
@@ -90,6 +91,12 @@ let compile ?(vs_block_threshold = 1.6) ?(waste_threshold = 0.1) ?max_width
     let w = Supernodes.width sn s in
     max_below := max !max_below (Csc.col_nnz l c0 - w)
   done;
+  if Prof.enabled () then begin
+    (* VI-Prune inspection removed the columns outside the reach-set. *)
+    let c = Prof.counters in
+    c.Prof.iters_pruned <-
+      c.Prof.iters_pruned + (l.Csc.ncols - Array.length reach)
+  end;
   {
     l;
     reach;
@@ -147,13 +154,28 @@ let process_supernode_specialized c x s =
     end
   end
 
+(* Useful work of the pruned solve, as compile-time closed forms: the
+   recorded flop count is [c.flops] (what every Figure 6 variant is
+   normalized by) and nnz touched follows from flops = sum(2*nnz_j - 1)
+   over the reach-set. Recording is a few integer adds per *solve*, not per
+   iteration, and only when profiling is enabled. *)
+let record_solve c =
+  if Prof.enabled () then begin
+    let k = Prof.counters in
+    let fl = int_of_float c.flops in
+    k.Prof.flops <- k.Prof.flops + fl;
+    k.Prof.nnz_touched <- k.Prof.nnz_touched + ((fl + Array.length c.reach) / 2)
+  end
+
 (* VS-Block only: every supernode, generic kernels. *)
 let solve_vs_block_ip c (x : float array) =
-  Array.iter (process_supernode_generic c x) c.all_sn
+  Array.iter (process_supernode_generic c x) c.all_sn;
+  record_solve c
 
 (* VS-Block + VI-Prune: only supernodes reached from the RHS pattern. *)
 let solve_vs_vi_ip c (x : float array) =
-  Array.iter (process_supernode_generic c x) c.sn_sequence
+  Array.iter (process_supernode_generic c x) c.sn_sequence;
+  record_solve c
 
 (* VS-Block + VI-Prune + low-level transformations (the Figure 1e code).
    When compilation decided on column granularity, the loop is the flat
@@ -171,9 +193,13 @@ let solve_full_ip c (x : float array) =
       for p = lp.(j) + 1 to lp.(j + 1) - 1 do
         x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. xj)
       done
-    done
+    done;
+    record_solve c
   end
-  else Array.iter (process_supernode_specialized c x) c.sn_sequence
+  else begin
+    Array.iter (process_supernode_specialized c x) c.sn_sequence;
+    record_solve c
+  end
 
 let run ip c (b : Vector.sparse) =
   let x = Vector.sparse_to_dense b in

@@ -1,0 +1,238 @@
+(* Observability layer: monotonic phase timers with named scopes, lightweight
+   kernel counters, and JSON / table emitters.
+
+   Design constraints (see DESIGN.md "Profiling layer"):
+   - Disabled is the default, and disabled must be free on kernel hot paths:
+     every recording site is guarded by [enabled ()], a single load of a
+     mutable bool, and the counters are mutable int fields bumped in place,
+     so no allocation happens whether profiling is on or off.
+   - Timers use the raw monotonic clock (CLOCK_MONOTONIC via the bechamel
+     stub, an [@@noalloc] external returning an unboxed int64), so scope
+     accounting survives NTP adjustments and never allocates either.
+   - Scopes are reentrant: nested [start]/[stop] of the same name count the
+     outermost span once, which lets a facade time "symbolic" around an
+     inspector that also times "symbolic" internally. *)
+
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+(* ------------------------------ Counters ------------------------------ *)
+
+type counters = {
+  mutable flops : int;  (** useful floating-point operations executed *)
+  mutable nnz_touched : int;  (** matrix nonzeros read/written by kernels *)
+  mutable iters_pruned : int;  (** loop iterations removed by VI-Prune *)
+  mutable supernodes : int;  (** supernodes produced by VS-Block detection *)
+  mutable supernode_cols : int;  (** columns covered by those supernodes *)
+  mutable levels : int;  (** level sets built by trisolve_parallel *)
+  mutable max_level_width : int;  (** widest level set seen *)
+}
+
+let counters =
+  {
+    flops = 0;
+    nnz_touched = 0;
+    iters_pruned = 0;
+    supernodes = 0;
+    supernode_cols = 0;
+    levels = 0;
+    max_level_width = 0;
+  }
+
+let avg_supernode_width () =
+  if counters.supernodes = 0 then 0.0
+  else float_of_int counters.supernode_cols /. float_of_int counters.supernodes
+
+(* ------------------------------- Timers ------------------------------- *)
+
+type scope = {
+  mutable total_ns : int64;
+  mutable entries : int;
+  mutable depth : int;
+  mutable started : int64;
+}
+
+let scopes_tbl : (string, scope) Hashtbl.t = Hashtbl.create 16
+
+let find name =
+  match Hashtbl.find_opt scopes_tbl name with
+  | Some s -> s
+  | None ->
+      let s = { total_ns = 0L; entries = 0; depth = 0; started = 0L } in
+      Hashtbl.add scopes_tbl name s;
+      s
+
+let now_ns () = Monotonic_clock.now ()
+
+let start name =
+  if !on then begin
+    let s = find name in
+    s.depth <- s.depth + 1;
+    if s.depth = 1 then s.started <- now_ns ()
+  end
+
+let stop name =
+  if !on then begin
+    let s = find name in
+    if s.depth > 0 then begin
+      s.depth <- s.depth - 1;
+      if s.depth = 0 then begin
+        s.total_ns <- Int64.add s.total_ns (Int64.sub (now_ns ()) s.started);
+        s.entries <- s.entries + 1
+      end
+    end
+  end
+
+let time name f =
+  if !on then begin
+    start name;
+    Fun.protect ~finally:(fun () -> stop name) f
+  end
+  else f ()
+
+let seconds_of_ns ns = Int64.to_float ns /. 1e9
+
+let scope_seconds name =
+  match Hashtbl.find_opt scopes_tbl name with
+  | None -> 0.0
+  | Some s -> seconds_of_ns s.total_ns
+
+let scope_entries name =
+  match Hashtbl.find_opt scopes_tbl name with None -> 0 | Some s -> s.entries
+
+let scopes () =
+  Hashtbl.fold
+    (fun name s acc -> (name, seconds_of_ns s.total_ns, s.entries) :: acc)
+    scopes_tbl []
+  |> List.sort compare
+
+let reset () =
+  counters.flops <- 0;
+  counters.nnz_touched <- 0;
+  counters.iters_pruned <- 0;
+  counters.supernodes <- 0;
+  counters.supernode_cols <- 0;
+  counters.levels <- 0;
+  counters.max_level_width <- 0;
+  Hashtbl.reset scopes_tbl
+
+(* ------------------------------ Emitters ------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        (* JSON has no inf/nan; emit null for non-finite values. *)
+        if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.9g" f)
+        else Buffer.add_string buf "null"
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\":";
+            emit buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    emit buf t;
+    Buffer.contents buf
+end
+
+let counters_json () =
+  Json.Obj
+    [
+      ("flops", Json.Int counters.flops);
+      ("nnz_touched", Json.Int counters.nnz_touched);
+      ("iters_pruned", Json.Int counters.iters_pruned);
+      ("supernodes", Json.Int counters.supernodes);
+      ("supernode_cols", Json.Int counters.supernode_cols);
+      ("avg_supernode_width", Json.Float (avg_supernode_width ()));
+      ("levels", Json.Int counters.levels);
+      ("max_level_width", Json.Int counters.max_level_width);
+    ]
+
+let phases_json () =
+  Json.Obj
+    (List.map
+       (fun (name, secs, entries) ->
+         ( name,
+           Json.Obj [ ("seconds", Json.Float secs); ("entries", Json.Int entries) ]
+         ))
+       (scopes ()))
+
+let to_json () =
+  Json.to_string
+    (Json.Obj
+       [
+         ("enabled", Json.Bool !on);
+         ("phases", phases_json ());
+         ("counters", counters_json ());
+       ])
+
+let table () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "phase                        seconds     entries\n";
+  List.iter
+    (fun (name, secs, entries) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %11.6f %11d\n" name secs entries))
+    (scopes ());
+  Buffer.add_string buf "counter                        value\n";
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%-24s %11s\n" name v))
+    [
+      ("flops", string_of_int counters.flops);
+      ("nnz_touched", string_of_int counters.nnz_touched);
+      ("iters_pruned", string_of_int counters.iters_pruned);
+      ("supernodes", string_of_int counters.supernodes);
+      ("avg_supernode_width", Printf.sprintf "%.2f" (avg_supernode_width ()));
+      ("levels", string_of_int counters.levels);
+      ("max_level_width", string_of_int counters.max_level_width);
+    ];
+  Buffer.contents buf

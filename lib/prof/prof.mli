@@ -1,0 +1,81 @@
+(** Observability layer: monotonic phase timers with named scopes
+    ([symbolic], [numeric], [codegen], [ordering], plus per-pass
+    sub-scopes), lightweight kernel counters, and JSON / table emitters.
+
+    Profiling is off by default. Every recording site in the kernels is
+    guarded by {!enabled}, a single boolean load, and counters are mutable
+    int fields bumped in place — so the disabled path performs no
+    allocation and no clock reads on kernel hot paths. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Zero all counters and forget all scopes (does not change {!enabled}). *)
+
+(** {1 Counters}
+
+    A single global accumulator. Kernels add to it only when {!enabled};
+    callers that want per-region values [reset] before and snapshot after.
+    [supernodes]/[supernode_cols] accumulate per VS-Block detection;
+    [levels] accumulates per level-set construction while
+    [max_level_width] takes the maximum over them. *)
+
+type counters = {
+  mutable flops : int;  (** useful floating-point operations executed *)
+  mutable nnz_touched : int;  (** matrix nonzeros read/written by kernels *)
+  mutable iters_pruned : int;  (** loop iterations removed by VI-Prune *)
+  mutable supernodes : int;  (** supernodes produced by VS-Block detection *)
+  mutable supernode_cols : int;  (** columns covered by those supernodes *)
+  mutable levels : int;  (** level sets built by trisolve_parallel *)
+  mutable max_level_width : int;  (** widest level set seen *)
+}
+
+val counters : counters
+val avg_supernode_width : unit -> float
+
+(** {1 Phase timers}
+
+    Named scopes over the monotonic clock. Scopes are reentrant: nested
+    [start]/[stop] of the same name count the outermost span once. All
+    timer operations are no-ops while disabled. *)
+
+val start : string -> unit
+val stop : string -> unit
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f] inside scope [name] (exception-safe); when
+    profiling is disabled it is just [f ()]. *)
+
+val scope_seconds : string -> float
+val scope_entries : string -> int
+
+val scopes : unit -> (string * float * int) list
+(** All scopes as [(name, total seconds, entries)], sorted by name. *)
+
+(** {1 Emitters} *)
+
+(** Minimal JSON document builder (no external dependency), used by the
+    bench harness to assemble [BENCH_*.json] files. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+end
+
+val counters_json : unit -> Json.t
+val phases_json : unit -> Json.t
+
+val to_json : unit -> string
+(** Full snapshot: [{"enabled":…,"phases":…,"counters":…}]. *)
+
+val table : unit -> string
+(** Human-readable phase/counter table. *)

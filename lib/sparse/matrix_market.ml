@@ -9,8 +9,15 @@ exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+(* MM files in the wild separate fields with tabs and runs of blanks, not
+   single spaces; split on any whitespace and drop empty fields. *)
+let tokens line =
+  String.split_on_char ' '
+    (String.map (function '\t' | '\r' -> ' ' | c -> c) line)
+  |> List.filter (fun s -> s <> "")
+
 let parse_header line =
-  match String.split_on_char ' ' (String.lowercase_ascii (String.trim line)) with
+  match tokens (String.lowercase_ascii line) with
   | bang :: "matrix" :: "coordinate" :: field :: sym :: _
     when bang = "%%matrixmarket" ->
       let pattern =
@@ -23,6 +30,7 @@ let parse_header line =
         match sym with
         | "general" -> General
         | "symmetric" -> Symmetric
+        | "skew-symmetric" -> fail "skew-symmetric matrices are not supported"
         | s -> fail "unsupported symmetry %s" s
       in
       (pattern, symmetry)
@@ -49,10 +57,7 @@ let of_lines ?(expand = true) lines =
           rest
       in
       let parse_size l =
-        match
-          String.split_on_char ' ' (String.trim l)
-          |> List.filter (fun s -> s <> "")
-        with
+        match tokens l with
         | [ m; n; nz ] -> (int_of_string m, int_of_string n, int_of_string nz)
         | _ -> fail "bad size line: %s" l
       in
@@ -62,10 +67,7 @@ let of_lines ?(expand = true) lines =
           let nrows, ncols, nz = parse_size size_line in
           let tr = Triplet.create ~nrows ~ncols ~capacity:(max nz 1) () in
           let add_entry l =
-            match
-              String.split_on_char ' ' (String.trim l)
-              |> List.filter (fun s -> s <> "")
-            with
+            match tokens l with
             | i :: j :: restv ->
                 let i = int_of_string i - 1 and j = int_of_string j - 1 in
                 let v =
@@ -80,8 +82,15 @@ let of_lines ?(expand = true) lines =
                   Triplet.add tr j i v
             | _ -> fail "bad entry line: %s" l
           in
+          (* Validate against the number of entry lines in the file, not
+             [Triplet.length tr]: symmetric expansion inflates the latter, so
+             an under-declared symmetric file used to slip through. *)
           List.iter add_entry entries;
-          if Triplet.length tr < nz then fail "fewer entries than declared";
+          let file_entries = List.length entries in
+          if file_entries < nz then
+            fail "fewer entries than declared (%d < %d)" file_entries nz;
+          if file_entries > nz then
+            fail "more entries than declared (%d > %d)" file_entries nz;
           Csc.of_triplet tr)
 
 let of_string ?expand s = of_lines ?expand (String.split_on_char '\n' s)

@@ -14,6 +14,7 @@ let adjacency (a : Csc.t) =
    connected component, visiting neighbors in increasing-degree order, then
    reverse. Returns a permutation in the [Perm] new->old convention. *)
 let rcm (a : Csc.t) : Perm.t =
+  Sympiler_prof.Prof.time "ordering" @@ fun () ->
   let n = a.Csc.ncols in
   let adj = adjacency a in
   let degree = Array.map List.length adj in
@@ -83,6 +84,7 @@ module Iset = Set.Make (Int)
    the worst case (no quotient-graph machinery), intended for the moderate
    problem sizes in this repo; see DESIGN.md. *)
 let min_degree (a : Csc.t) : Perm.t =
+  Sympiler_prof.Prof.time "ordering" @@ fun () ->
   let n = a.Csc.ncols in
   let adj = Array.map Iset.of_list (adjacency a) in
   let eliminated = Array.make n false in

@@ -50,11 +50,17 @@ module Rng = struct
     let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
     logxor z (shift_right_logical z 31)
 
-  (* Uniform in [0, bound). *)
-  let int t bound =
+  (* Uniform in [0, bound), by rejection sampling: a bare [r mod bound]
+     over-weights small residues whenever bound does not divide the draw
+     range. Draws land uniformly in [0, max_int] (62 random bits), so we
+     reject the top [((max_int mod bound) + 1) mod bound] values; for the
+     small bounds used here the rejection probability is ~bound/2^62, so
+     streams from existing seeds are unchanged in practice. *)
+  let rec int t bound =
     if bound <= 0 then invalid_arg "Rng.int: bound";
     let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-    r mod bound
+    let rem = ((max_int mod bound) + 1) mod bound in
+    if r > max_int - rem then int t bound else r mod bound
 
   (* Uniform in [0, 1). *)
   let float t =

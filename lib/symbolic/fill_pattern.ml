@@ -16,8 +16,11 @@ type t = {
          per-column prune-sets of the Cholesky VI-Prune transformation *)
 }
 
-(* O(|L|) analysis from the lower-triangular part of A via [Ereach]. *)
+(* O(|L|) analysis from the lower-triangular part of A via [Ereach]. Timed
+   under the "symbolic" profiling scope (reentrant, so facades may wrap a
+   larger "symbolic" region around it). *)
 let analyze (a_lower : Csc.t) : t =
+  Sympiler_prof.Prof.time "symbolic" @@ fun () ->
   let n = a_lower.Csc.ncols in
   let parent = Etree.compute a_lower in
   let upper = Csc.transpose a_lower in

@@ -52,7 +52,16 @@ let detect ?(max_width = max_int) ~mergeable n =
       cur_start := j
     end
   done;
-  of_boundaries ~n (List.rev !starts)
+  let t = of_boundaries ~n (List.rev !starts) in
+  if Sympiler_prof.Prof.enabled () then begin
+    (* VS-Block statistics: one block-set detection's supernode count and
+       covered columns (avg width = cols / supernodes in the aggregate). *)
+    let c = Sympiler_prof.Prof.counters in
+    c.Sympiler_prof.Prof.supernodes <-
+      c.Sympiler_prof.Prof.supernodes + nsuper t;
+    c.Sympiler_prof.Prof.supernode_cols <- c.Sympiler_prof.Prof.supernode_cols + n
+  end;
+  t
 
 let detect_exact ?max_width (l : Csc.t) : t =
   if l.Csc.ncols = 0 then { sn_ptr = [| 0 |]; col_to_sn = [||] }

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tier-1 verification: build, test suite, dune-file formatting.
+# Run from the repository root. Mirrors what reviewers run locally.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== dune build @fmt =="
+dune build @fmt
+
+echo "CI OK"

@@ -9,4 +9,6 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("ir", Test_ir.suite);
       ("api", Test_api.suite);
+      ("prof", Test_prof.suite);
+      ("regressions", Test_regressions.suite);
     ]

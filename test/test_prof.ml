@@ -1,0 +1,167 @@
+open Sympiler_sparse
+open Sympiler_kernels
+open Sympiler_prof
+open Helpers
+
+(* Tests for the observability layer: scope timers (reentrancy, reset),
+   kernel counters (recorded when enabled, untouched when disabled), and
+   the JSON/table emitters. *)
+
+let with_prof f =
+  Prof.reset ();
+  Prof.enable ();
+  Fun.protect ~finally:(fun () ->
+      Prof.disable ();
+      Prof.reset ())
+    f
+
+let fig1_rhs () =
+  { Vector.n = 10; indices = figure1_beta; values = [| 1.0; 1.0 |] }
+
+(* ---- timers ---- *)
+
+let test_timer_accumulates () =
+  with_prof @@ fun () ->
+  let spin () =
+    let s = ref 0.0 in
+    for i = 1 to 100_000 do
+      s := !s +. float_of_int i
+    done;
+    ignore (Sys.opaque_identity !s)
+  in
+  Prof.time "work" spin;
+  Prof.time "work" spin;
+  Alcotest.(check int) "entries" 2 (Prof.scope_entries "work");
+  Alcotest.(check bool) "positive time" true (Prof.scope_seconds "work" > 0.0);
+  Alcotest.(check int) "unknown scope entries" 0 (Prof.scope_entries "nope");
+  Alcotest.(check (float 0.0)) "unknown scope time" 0.0
+    (Prof.scope_seconds "nope")
+
+let test_timer_reentrant () =
+  with_prof @@ fun () ->
+  (* The facade wraps inspectors that open the same scope; the outermost
+     span must be counted exactly once. *)
+  Prof.time "symbolic" (fun () ->
+      Prof.time "symbolic" (fun () -> Prof.time "symbolic" ignore));
+  Alcotest.(check int) "outermost counted once" 1
+    (Prof.scope_entries "symbolic");
+  let outer = Prof.scope_seconds "symbolic" in
+  Alcotest.(check bool) "no double counting" true (outer >= 0.0 && outer < 1.0)
+
+let test_timer_exception_safe () =
+  with_prof @@ fun () ->
+  (try Prof.time "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "scope closed" 1 (Prof.scope_entries "boom");
+  (* A balanced stop must be possible again — depth went back to zero. *)
+  Prof.time "boom" ignore;
+  Alcotest.(check int) "still counting" 2 (Prof.scope_entries "boom")
+
+let test_disabled_is_passthrough () =
+  Prof.reset ();
+  Prof.disable ();
+  Alcotest.(check int) "time returns result" 3 (Prof.time "off" (fun () -> 3));
+  Alcotest.(check int) "no scope recorded" 0 (Prof.scope_entries "off");
+  Alcotest.(check (list (triple string (float 0.0) int))) "no scopes" []
+    (Prof.scopes ())
+
+(* ---- counters from real kernels ---- *)
+
+let test_trisolve_counters () =
+  let l = figure1_l in
+  let b = fig1_rhs () in
+  with_prof @@ fun () ->
+  let c = Trisolve_sympiler.compile l b in
+  Alcotest.(check int) "iters pruned = n - |reach|"
+    (l.Csc.ncols - Array.length c.Trisolve_sympiler.reach)
+    Prof.counters.Prof.iters_pruned;
+  Alcotest.(check bool) "supernodes detected" true
+    (Prof.counters.Prof.supernodes > 0);
+  let flops0 = Prof.counters.Prof.flops in
+  let x = Vector.sparse_to_dense b in
+  Trisolve_sympiler.solve_full_ip c x;
+  Alcotest.(check bool) "solve adds flops" true
+    (Prof.counters.Prof.flops > flops0);
+  Alcotest.(check bool) "nnz touched" true (Prof.counters.Prof.nnz_touched > 0)
+
+let test_levels_counter () =
+  with_prof @@ fun () ->
+  let c = Trisolve_parallel.compile figure1_l in
+  Alcotest.(check int) "levels" c.Trisolve_parallel.nlevels
+    Prof.counters.Prof.levels;
+  Alcotest.(check bool) "max level width" true
+    (Prof.counters.Prof.max_level_width >= 1)
+
+let test_counters_untouched_when_disabled () =
+  Prof.reset ();
+  Prof.disable ();
+  let l = figure1_l in
+  let b = fig1_rhs () in
+  let c = Trisolve_sympiler.compile l b in
+  let x = Vector.sparse_to_dense b in
+  Trisolve_sympiler.solve_full_ip c x;
+  ignore (Trisolve_parallel.compile l);
+  let k = Prof.counters in
+  Alcotest.(check int) "flops" 0 k.Prof.flops;
+  Alcotest.(check int) "nnz" 0 k.Prof.nnz_touched;
+  Alcotest.(check int) "pruned" 0 k.Prof.iters_pruned;
+  Alcotest.(check int) "supernodes" 0 k.Prof.supernodes;
+  Alcotest.(check int) "levels" 0 k.Prof.levels
+
+let test_reset () =
+  with_prof @@ fun () ->
+  Prof.time "s" ignore;
+  Prof.counters.Prof.flops <- 7;
+  Prof.reset ();
+  Alcotest.(check int) "scopes gone" 0 (Prof.scope_entries "s");
+  Alcotest.(check int) "counters zeroed" 0 Prof.counters.Prof.flops;
+  Alcotest.(check bool) "still enabled" true (Prof.enabled ())
+
+(* ---- emitters ---- *)
+
+let is_infix needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_json_emitter () =
+  let open Prof.Json in
+  Alcotest.(check string) "escaping" {|{"a\"b\n":[null,true,-3,"x"]}|}
+    (to_string (Obj [ ("a\"b\n", List [ Null; Bool true; Int (-3); Str "x" ]) ]));
+  Alcotest.(check string) "non-finite floats are null" {|[null,null,0.5]|}
+    (to_string (List [ Float nan; Float infinity; Float 0.5 ]));
+  with_prof @@ fun () ->
+  Prof.time "phase1" ignore;
+  Prof.counters.Prof.flops <- 12;
+  let s = Prof.to_json () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json has " ^ needle) true
+        (is_infix needle s))
+    [ {|"phases"|}; {|"phase1"|}; {|"counters"|}; {|"flops":12|} ]
+
+let test_table_emitter () =
+  with_prof @@ fun () ->
+  Prof.time "numeric" ignore;
+  Prof.counters.Prof.flops <- 99;
+  let t = Prof.table () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("table has " ^ needle) true
+        (is_infix needle t))
+    [ "numeric"; "flops"; "99" ]
+
+let suite =
+  [
+    ("timer accumulates", `Quick, test_timer_accumulates);
+    ("timer reentrant", `Quick, test_timer_reentrant);
+    ("timer exception-safe", `Quick, test_timer_exception_safe);
+    ("disabled = passthrough", `Quick, test_disabled_is_passthrough);
+    ("trisolve counters", `Quick, test_trisolve_counters);
+    ("level-set counters", `Quick, test_levels_counter);
+    ( "counters untouched when disabled",
+      `Quick,
+      test_counters_untouched_when_disabled );
+    ("reset", `Quick, test_reset);
+    ("json emitter", `Quick, test_json_emitter);
+    ("table emitter", `Quick, test_table_emitter);
+  ]

@@ -1,0 +1,193 @@
+open Sympiler_sparse
+open Sympiler_kernels
+open Helpers
+
+(* Regression tests for this round of parser/codegen bugfixes: Matrix
+   Market whitespace tolerance and entry-count validation, deterministic
+   code generation, modulo-bias-free Rng.int, and the parallel trisolve
+   against the reference kernel. *)
+
+let parse_fails msg lines =
+  match Matrix_market.of_lines lines with
+  | exception Matrix_market.Parse_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Parse_error" msg
+
+(* ---- Matrix Market whitespace tolerance ---- *)
+
+let test_mm_tabs_and_spaces () =
+  (* Header, size line and entries separated by tabs and runs of spaces,
+     with comments and blank lines interleaved — all legal in files found
+     in the wild. *)
+  let lines =
+    [
+      "%%MatrixMarket\tmatrix   coordinate\treal  general";
+      "% comment with\ttabs";
+      "";
+      "  3\t3   4";
+      "1\t1\t2.0";
+      "2   2\t3.0";
+      "  3\t 3  4.0";
+      "3 1\t-1.5";
+      "   ";
+    ]
+  in
+  let a = Matrix_market.of_lines lines in
+  Alcotest.(check int) "nrows" 3 a.Csc.nrows;
+  Alcotest.(check int) "nnz" 4 (Csc.nnz a);
+  let d = Dense.of_csc a in
+  Alcotest.(check (float 0.0)) "a(0,0)" 2.0 (Dense.get d 0 0);
+  Alcotest.(check (float 0.0)) "a(2,0)" (-1.5) (Dense.get d 2 0);
+  Alcotest.(check (float 0.0)) "a(2,2)" 4.0 (Dense.get d 2 2)
+
+let test_mm_roundtrip () =
+  List.iter
+    (fun (name, a) ->
+      let a' = Matrix_market.of_string (Matrix_market.to_string a) in
+      Alcotest.(check bool)
+        (name ^ " pattern")
+        true
+        (Utils.int_array_equal a.Csc.colptr a'.Csc.colptr
+        && Utils.int_array_equal a.Csc.rowind a'.Csc.rowind);
+      check_close (name ^ " values") a.Csc.values a'.Csc.values;
+      let s = Matrix_market.to_string ~symmetric:true a in
+      let a'' = Matrix_market.of_string s in
+      Alcotest.(check bool)
+        (name ^ " symmetric pattern")
+        true
+        (Utils.int_array_equal a.Csc.colptr a''.Csc.colptr
+        && Utils.int_array_equal a.Csc.rowind a''.Csc.rowind);
+      check_close (name ^ " symmetric values") a.Csc.values a''.Csc.values)
+    (spd_zoo ())
+
+let test_mm_skew_symmetric_rejected () =
+  parse_fails "skew-symmetric"
+    [
+      "%%MatrixMarket matrix coordinate real skew-symmetric";
+      "2 2 1";
+      "2 1 3.0";
+    ]
+
+(* ---- Matrix Market entry-count validation ---- *)
+
+let test_mm_symmetric_underdeclared_rejected () =
+  (* Two file entries, three declared. The broken validation counted the
+     symmetrically expanded triplets (here 3 >= 3) and accepted the file. *)
+  parse_fails "symmetric under-declared"
+    [
+      "%%MatrixMarket matrix coordinate real symmetric";
+      "2 2 3";
+      "1 1 4.0";
+      "2 1 1.0";
+    ]
+
+let test_mm_surplus_rejected () =
+  parse_fails "surplus entries"
+    [
+      "%%MatrixMarket matrix coordinate real general";
+      "2 2 1";
+      "1 1 4.0";
+      "2 2 5.0";
+    ]
+
+let test_mm_exact_count_accepted () =
+  let a =
+    Matrix_market.of_lines
+      [
+        "%%MatrixMarket matrix coordinate real symmetric";
+        "2 2 2";
+        "1 1 4.0";
+        "2 1 1.0";
+      ]
+  in
+  (* Off-diagonal expanded to both triangles. *)
+  Alcotest.(check int) "expanded nnz" 3 (Csc.nnz a)
+
+(* ---- Deterministic code generation ---- *)
+
+let test_codegen_deterministic () =
+  let l = figure1_l in
+  let b =
+    {
+      Vector.n = 10;
+      indices = figure1_beta;
+      values = [| 1.0; 1.0 |];
+    }
+  in
+  let tri () = (Sympiler_ir.Pipeline.trisolve l b).Sympiler_ir.Pipeline.c_code in
+  let chol a =
+    (Sympiler_ir.Pipeline.cholesky (Csc.lower a)).Sympiler_ir.Pipeline.c_code
+  in
+  let a = Sympiler_sparse.Generators.grid2d ~stencil:`Five 5 5 in
+  let c1 = tri () in
+  (* Interleave other compilations: with the old global name counters the
+     second trisolve compile emitted different variable names. *)
+  let k1 = chol a in
+  let c2 = tri () in
+  let k2 = chol a in
+  Alcotest.(check string) "trisolve C identical" c1 c2;
+  Alcotest.(check string) "cholesky C identical" k1 k2
+
+(* ---- Rng.int: range, determinism, no modulo starvation ---- *)
+
+let test_rng_int () =
+  let r1 = Utils.Rng.create 42 and r2 = Utils.Rng.create 42 in
+  for _ = 1 to 1000 do
+    let b = 1 + Utils.Rng.int r1 1000 in
+    let v = Utils.Rng.int r1 b in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < b);
+    (* Same seed, same draws. *)
+    let _ = Utils.Rng.int r2 1000 in
+    Alcotest.(check int) "deterministic" v (Utils.Rng.int r2 b)
+  done;
+  (* Every residue of a small non-power-of-two bound shows up. *)
+  let r = Utils.Rng.create 7 in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 7000 do
+    let v = Utils.Rng.int r 7 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "residue %d seen" i) true (c > 500))
+    counts
+
+(* ---- Parallel trisolve vs reference ---- *)
+
+let test_parallel_matches_reference () =
+  let check_l name (l : Csc.t) =
+    let n = l.Csc.ncols in
+    let rng = Utils.Rng.create 11 in
+    let b = Array.init n (fun _ -> Utils.Rng.float_range rng (-1.0) 1.0) in
+    let expect = Trisolve_ref.naive l b in
+    let c = Trisolve_parallel.compile l in
+    Alcotest.(check bool) (name ^ " schedule") true
+      (Trisolve_parallel.valid_schedule c);
+    List.iter
+      (fun nd ->
+        let got = Trisolve_parallel.solve ~ndomains:nd c b in
+        check_close (Printf.sprintf "%s ndomains=%d" name nd) expect got)
+      [ 1; 2; 4 ]
+  in
+  check_l "figure1" figure1_l;
+  List.iter
+    (fun (name, a) ->
+      let t = Sympiler.Cholesky.compile (Csc.lower a) in
+      check_l name (Sympiler.Cholesky.factor t (Csc.lower a)))
+    [ List.nth (spd_zoo ()) 0; List.nth (spd_zoo ()) 3 ]
+
+let suite =
+  [
+    ("MM tabs and space runs", `Quick, test_mm_tabs_and_spaces);
+    ("MM round-trip (zoo, general+symmetric)", `Quick, test_mm_roundtrip);
+    ("MM skew-symmetric rejected", `Quick, test_mm_skew_symmetric_rejected);
+    ( "MM symmetric under-declared nz rejected",
+      `Quick,
+      test_mm_symmetric_underdeclared_rejected );
+    ("MM surplus entries rejected", `Quick, test_mm_surplus_rejected);
+    ("MM exact count accepted", `Quick, test_mm_exact_count_accepted);
+    ("codegen byte-identical across compiles", `Quick, test_codegen_deterministic);
+    ("Rng.int range/determinism/coverage", `Quick, test_rng_int);
+    ( "parallel trisolve matches reference",
+      `Quick,
+      test_parallel_matches_reference );
+  ]
