@@ -10,11 +10,14 @@ open Sympiler_prof
    of 5 measurements (each measurement averages enough repetitions to fill
    a minimum wall-clock window). `--bechamel` instead runs one
    Bechamel.Test.make per experiment. `--quick` shrinks the measurement
-   window, `--only SECTION` runs one section (phases, table2, fig6, fig7,
-   fig8, fig9, intro, ablation-threshold, ablation-lowlevel, extensions).
-   The `phases` section additionally writes BENCH_phases.json: per-problem
-   symbolic/numeric phase timings, kernel counters, and the amortization
-   ratio, via the sympiler_prof observability layer. *)
+   window, `--only SECTION` runs one section (phases, steady, table2, fig6,
+   fig7, fig8, fig9, intro, ablation-threshold, ablation-lowlevel,
+   extensions). The `phases` section additionally writes BENCH_phases.json:
+   per-problem symbolic/numeric phase timings, kernel counters, and the
+   amortization ratio, via the sympiler_prof observability layer. The
+   `steady` section writes BENCH_steady.json: first-call vs steady-state
+   plan execution time, GC minor words per steady call, and the
+   compilation-cache hit rate. *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let use_bechamel = Array.exists (( = ) "--bechamel") Sys.argv
@@ -33,18 +36,19 @@ let min_window = if quick then 0.05 else 0.2
 let reps_outer = if quick then 3 else 5
 
 (* Median-of-[reps_outer]; each measurement averages enough inner
-   repetitions to occupy [min_window] seconds. *)
+   repetitions to occupy [min_window] seconds. Timed on the profiling
+   layer's monotonic clock (immune to NTP slews). *)
 let measure (f : unit -> unit) : float =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Prof.now_seconds () in
   f ();
-  let once = Unix.gettimeofday () -. t0 in
+  let once = Prof.now_seconds () -. t0 in
   let inner = max 1 (int_of_float (min_window /. Float.max once 1e-7)) in
   let one () =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Prof.now_seconds () in
     for _ = 1 to inner do
       f ()
     done;
-    (Unix.gettimeofday () -. t0) /. float_of_int inner
+    (Prof.now_seconds () -. t0) /. float_of_int inner
   in
   let ts = Array.init reps_outer (fun _ -> one ()) in
   Array.sort compare ts;
@@ -244,9 +248,9 @@ let fig8 () =
       let t_symbolic =
         measure (fun () -> ignore (Dep_graph.reach l b.Vector.indices))
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Prof.now_seconds () in
       let c = Trisolve_sympiler.compile l b in
-      let t_compile = Unix.gettimeofday () -. t0 in
+      let t_compile = Prof.now_seconds () -. t0 in
       let t_codegen = Float.max 0.0 (t_compile -. t_symbolic) in
       let t_numeric =
         measure (fun () ->
@@ -282,9 +286,9 @@ let fig9 () =
       let sym_time f =
         let ts =
           Array.init 3 (fun _ ->
-              let t0 = Unix.gettimeofday () in
+              let t0 = Prof.now_seconds () in
               ignore (Sys.opaque_identity (f ()));
-              Unix.gettimeofday () -. t0)
+              Prof.now_seconds () -. t0)
         in
         Array.sort compare ts;
         ts.(1)
@@ -611,6 +615,145 @@ let phases () =
     \ Full data written to BENCH_phases.json)\n"
 
 (* ---------------------------------------------------------------- *)
+(* Steady state: reusable plans + the compilation cache — the compile-once /
+   execute-many regime the paper's amortization argument assumes. For every
+   suite problem: first call (cached compile, a miss, + plan creation +
+   first in-place execution) vs the steady-state median; GC minor words per
+   steady call (must be 0: the plans own every numeric workspace); and the
+   pattern-keyed cache's hit rate after recompiling each problem. Writes
+   BENCH_steady.json. *)
+
+let steady () =
+  header "Steady state: plans + compilation cache (writes BENCH_steady.json)";
+  Printf.printf "%-3s %-15s %-9s | %10s %10s %7s | %s\n" "ID" "Name" "kernel"
+    "first" "steady" "words" "variant";
+  let gc_loops = if quick then 10 else 50 in
+  (* Warm twice (fills any lazy state), then measure the per-call minor-heap
+     delta over [gc_loops] calls; an allocation-free function yields 0. *)
+  let minor_words_per_call f =
+    f ();
+    f ();
+    let w0 = Gc.minor_words () in
+    for _ = 1 to gc_loops do
+      f ()
+    done;
+    let w1 = Gc.minor_words () in
+    int_of_float ((w1 -. w0) /. float_of_int gc_loops)
+  in
+  let chol_cache = Sympiler.Plan_cache.create () in
+  let tri_cache = Sympiler.Plan_cache.create () in
+  let all_zero = ref true and not_slower = ref true in
+  let problems =
+    List.map
+      (fun id ->
+        let d = prob id in
+        let name = d.p.Sympiler.Suite.name in
+        (* Cholesky: first call = cached compile (a miss: full symbolic
+           phase) + plan creation + first in-place factorization. *)
+        let al = d.p.Sympiler.Suite.a_lower in
+        let t0 = Prof.now_seconds () in
+        let h = Sympiler.Cholesky.compile_cached ~cache:chol_cache al in
+        let cp = Sympiler.Cholesky.plan h in
+        Sympiler.Cholesky.refactor_ip cp al;
+        let chol_first = Prof.now_seconds () -. t0 in
+        let chol_steady =
+          measure (fun () -> Sympiler.Cholesky.refactor_ip cp al)
+        in
+        let chol_words =
+          minor_words_per_call (fun () -> Sympiler.Cholesky.refactor_ip cp al)
+        in
+        (* Recompiling the same structure must hit and return the same
+           handle, with no symbolic work. *)
+        let h' = Sympiler.Cholesky.compile_cached ~cache:chol_cache al in
+        assert (h' == h);
+        let variant =
+          match h.Sympiler.Cholesky.variant with
+          | Sympiler.Cholesky.Supernodal -> "supernodal"
+          | Sympiler.Cholesky.Simplicial -> "simplicial"
+        in
+        (* Trisolve: same protocol against the plan-owned solution buffer. *)
+        let l = d.l_factor and b = d.rhs in
+        let t0 = Prof.now_seconds () in
+        let th = Sympiler.Trisolve.compile_cached ~cache:tri_cache l b in
+        let tp = Sympiler.Trisolve.plan th in
+        ignore (Sympiler.Trisolve.solve_plan tp b);
+        let tri_first = Prof.now_seconds () -. t0 in
+        let tri_steady =
+          measure (fun () -> ignore (Sympiler.Trisolve.solve_plan tp b))
+        in
+        let tri_words =
+          minor_words_per_call (fun () ->
+              ignore (Sympiler.Trisolve.solve_plan tp b))
+        in
+        let th' = Sympiler.Trisolve.compile_cached ~cache:tri_cache l b in
+        assert (th' == th);
+        all_zero := !all_zero && chol_words = 0 && tri_words = 0;
+        not_slower :=
+          !not_slower && chol_steady <= chol_first && tri_steady <= tri_first;
+        Printf.printf "%-3d %-15s %-9s | %8.2fms %8.3fms %7d | %s\n" id name
+          "cholesky" (chol_first *. 1e3) (chol_steady *. 1e3) chol_words
+          variant;
+        Printf.printf "%-3d %-15s %-9s | %8.2fus %8.3fus %7d |\n" id name
+          "trisolve" (tri_first *. 1e6) (tri_steady *. 1e6) tri_words;
+        Prof.Json.Obj
+          [
+            ("id", Prof.Json.Int id);
+            ("name", Prof.Json.Str name);
+            ("n", Prof.Json.Int al.Csc.ncols);
+            ( "cholesky",
+              Prof.Json.Obj
+                [
+                  ("variant", Prof.Json.Str variant);
+                  ("first_call_seconds", Prof.Json.Float chol_first);
+                  ("steady_seconds", Prof.Json.Float chol_steady);
+                  ("minor_words_per_call", Prof.Json.Int chol_words);
+                ] );
+            ( "trisolve",
+              Prof.Json.Obj
+                [
+                  ("first_call_seconds", Prof.Json.Float tri_first);
+                  ("steady_seconds", Prof.Json.Float tri_steady);
+                  ("minor_words_per_call", Prof.Json.Int tri_words);
+                ] );
+          ])
+      ids
+  in
+  let cs = Sympiler.Plan_cache.stats chol_cache in
+  let ts = Sympiler.Plan_cache.stats tri_cache in
+  let hits = cs.Sympiler.Plan_cache.hits + ts.Sympiler.Plan_cache.hits in
+  let misses = cs.Sympiler.Plan_cache.misses + ts.Sympiler.Plan_cache.misses in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  Printf.printf
+    "cache: %d hits / %d misses (hit rate %.2f)  all_zero_alloc=%b \
+     steady_not_slower=%b\n"
+    hits misses hit_rate !all_zero !not_slower;
+  let doc =
+    Prof.Json.Obj
+      [
+        ("bench", Prof.Json.Str "steady");
+        ("quick", Prof.Json.Bool quick);
+        ("all_zero_alloc", Prof.Json.Bool !all_zero);
+        ("steady_not_slower", Prof.Json.Bool !not_slower);
+        ( "cache",
+          Prof.Json.Obj
+            [
+              ("hits", Prof.Json.Int hits);
+              ("misses", Prof.Json.Int misses);
+              ("hit_rate", Prof.Json.Float hit_rate);
+            ] );
+        ("problems", Prof.Json.List problems);
+      ]
+  in
+  Out_channel.with_open_text "BENCH_steady.json" (fun oc ->
+      Out_channel.output_string oc (Prof.Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  section_note
+    "(first = cached compile (miss) + plan creation + first execution;\n\
+    \ steady = repeated in-place execution into the same plan; words =\n\
+    \ GC minor words per steady call, 0 = allocation-free. Full data\n\
+    \ written to BENCH_steady.json)\n"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel variant: one Test.make per experiment. *)
 
 let bechamel_tests () =
@@ -688,6 +831,7 @@ let () =
       reps_outer min_window
       (if quick then ", --quick" else "");
     if run_section "phases" then phases ();
+    if run_section "steady" then steady ();
     if run_section "table2" then table2 ();
     if run_section "fig6" then fig6 ();
     if run_section "fig7" then fig7 ();

@@ -5,7 +5,8 @@
      sympiler_cli analyze  --matrix m.mtx
      sympiler_cli cholesky --matrix m.mtx -o chol.c
      sympiler_cli trisolve --matrix m.mtx --rhs-fill 0.03 -o tri.c
-     sympiler_cli analyze  --problem ecology2 *)
+     sympiler_cli analyze  --problem ecology2
+     sympiler_cli steady   --problem ecology2 --repeat 100 *)
 
 open Cmdliner
 open Sympiler_sparse
@@ -49,13 +50,13 @@ let analyze matrix problem profile =
   with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
   let al = Csc.lower a in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sympiler_prof.Prof.now_seconds () in
   let fill = Fill_pattern.analyze al in
   let sn =
     Supernodes.detect_etree ~counts:fill.Fill_pattern.counts
       ~parent:fill.Fill_pattern.parent ()
   in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Sympiler_prof.Prof.now_seconds () -. t0 in
   Printf.printf "n                : %d\n" a.Csc.ncols;
   Printf.printf "nnz(A)           : %d\n" (Csc.nnz a);
   Printf.printf "nnz(L)           : %d (fill ratio %.2f)\n"
@@ -109,6 +110,51 @@ let trisolve matrix problem rhs_fill out profile =
   output out (Sympiler.Trisolve.c_code t);
   0
 
+(* ---- steady-state mode ---- *)
+
+(* Demonstrate the compile-once / execute-many regime on one matrix: one
+   cached compile + plan creation (the first call), then [repeat] in-place
+   refactorizations into the same plan, reporting steady-state time per
+   call, the GC minor-heap words each call allocates (0 = allocation-free),
+   and the compilation cache's behaviour on a recompile. *)
+let steady matrix problem repeat profile =
+  with_profile profile @@ fun () ->
+  let now = Sympiler_prof.Prof.now_seconds in
+  let a = load ~matrix ~problem in
+  let al = Csc.lower a in
+  let t0 = now () in
+  let h = Sympiler.Cholesky.compile_cached al in
+  let p = Sympiler.Cholesky.plan h in
+  Sympiler.Cholesky.refactor_ip p al;
+  let first = now () -. t0 in
+  let reps = max 1 repeat in
+  let w0 = Gc.minor_words () in
+  let t0 = now () in
+  for _ = 1 to reps do
+    Sympiler.Cholesky.refactor_ip p al
+  done;
+  let per_call = (now () -. t0) /. float_of_int reps in
+  let words =
+    int_of_float ((Gc.minor_words () -. w0) /. float_of_int reps)
+  in
+  let h' = Sympiler.Cholesky.compile_cached al in
+  let stats = Sympiler.Cholesky.cache_stats () in
+  Printf.printf "n                : %d\n" a.Csc.ncols;
+  Printf.printf "nnz(L)           : %d\n" h.Sympiler.Cholesky.nnz_l;
+  Printf.printf "variant          : %s\n"
+    (match h.Sympiler.Cholesky.variant with
+    | Sympiler.Cholesky.Supernodal -> "supernodal"
+    | Sympiler.Cholesky.Simplicial -> "simplicial");
+  Printf.printf "first call       : %.3f ms (compile + plan + factor)\n"
+    (first *. 1e3);
+  Printf.printf "steady state     : %.3f ms/call over %d calls\n"
+    (per_call *. 1e3) reps;
+  Printf.printf "minor words/call : %d%s\n" words
+    (if words = 0 then " (allocation-free)" else "");
+  Printf.printf "recompile hit    : %b (cache %d hits / %d misses)\n"
+    (h' == h) stats.Sympiler.Plan_cache.hits stats.Sympiler.Plan_cache.misses;
+  0
+
 (* ---- cmdliner wiring ---- *)
 
 let matrix_arg =
@@ -129,9 +175,22 @@ let profile_arg =
     & info [ "profile" ]
         ~doc:"Print phase timings and kernel counters to stderr")
 
+let repeat_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "repeat"; "n" ] ~doc:"Steady-state refactorization count")
+
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Report symbolic analysis of a matrix")
     Term.(const analyze $ matrix_arg $ problem_arg $ profile_arg)
+
+let steady_cmd =
+  Cmd.v
+    (Cmd.info "steady"
+       ~doc:
+         "Measure steady-state Cholesky refactorization through a reusable \
+          plan (compile once, execute many)")
+    Term.(const steady $ matrix_arg $ problem_arg $ repeat_arg $ profile_arg)
 
 let cholesky_cmd =
   Cmd.v (Cmd.info "cholesky" ~doc:"Emit specialized Cholesky C code")
@@ -148,4 +207,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "sympiler_cli" ~doc)
-          [ analyze_cmd; cholesky_cmd; trisolve_cmd ]))
+          [ analyze_cmd; cholesky_cmd; trisolve_cmd; steady_cmd ]))

@@ -12,14 +12,25 @@ open Sympiler_prof
    name it is the library's sole interface. *)
 module Suite = Suite
 module Codegen_supernodal = Codegen_supernodal
+module Plan_cache = Plan_cache
 
 (* Wall-clock timing for the [symbolic_seconds] report fields, also fed to
    the profiling layer's "symbolic" scope (reentrant, so the inspectors'
-   own "symbolic" spans nest without double counting). *)
+   own "symbolic" spans nest without double counting). The monotonic clock
+   keeps the report immune to NTP slews. *)
 let time_symbolic f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Prof.now_seconds () in
   let r = Prof.time "symbolic" f in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Prof.now_seconds () -. t0)
+
+(* Optional-argument encoding for cache fingerprints: configurations must
+   map to distinct integers, including "not given" vs "given the default
+   value" (the callee's default could change). *)
+let fp_option = function None -> min_int | Some w -> w
+
+let fp_threshold = function
+  | None -> min_int
+  | Some x -> int_of_float (x *. 1024.0)
 
 module Trisolve = struct
   type t = {
@@ -51,6 +62,25 @@ module Trisolve = struct
       flops = compiled.Trisolve_sympiler.flops;
     }
 
+  (* Compilation cache: keyed on L's structure plus the RHS pattern and
+     the compile options (the [extra] fingerprint) — a hit returns the
+     previously compiled handle, physically equal, with no symbolic work. *)
+  let default_cache : t Plan_cache.t = Plan_cache.create ()
+
+  let compile_cached ?(cache = default_cache) ?vs_block_threshold ?max_width
+      (l : Csc.t) (b : Vector.sparse) : t =
+    let nb = Array.length b.Vector.indices in
+    let extra = Array.make (3 + nb) 0 in
+    extra.(0) <- fp_threshold vs_block_threshold;
+    extra.(1) <- fp_option max_width;
+    extra.(2) <- b.Vector.n;
+    Array.blit b.Vector.indices 0 extra 3 nb;
+    Plan_cache.find_or_compile cache ~pattern:l ~extra (fun () ->
+        compile ?vs_block_threshold ?max_width l b)
+
+  let cache_stats () = Plan_cache.stats default_cache
+  let cache_clear () = Plan_cache.clear default_cache
+
   (* Numeric solve (no symbolic work): x such that L x = b. [b] must have
      the pattern given at compile time (values free to differ). *)
   let solve (t : t) (b : Vector.sparse) : float array =
@@ -59,6 +89,25 @@ module Trisolve = struct
   (* In-place numeric solve: [x] holds b on entry, the solution on exit. *)
   let solve_ip (t : t) (x : float array) : unit =
     Prof.time "numeric" (fun () -> Trisolve_sympiler.solve_full_ip t.compiled x)
+
+  (* Plans: allocate the numeric workspaces once, then solve repeatedly
+     with zero steady-state allocation. [Prof.start]/[stop] rather than
+     [Prof.time] keeps even the profiled path closure-free. *)
+  type plan = { handle : t; p : Trisolve_sympiler.plan }
+
+  let plan (t : t) : plan =
+    { handle = t; p = Trisolve_sympiler.make_plan t.compiled }
+
+  let solve_plan (p : plan) (b : Vector.sparse) : float array =
+    Prof.start "numeric";
+    let r =
+      try Trisolve_sympiler.solve_ip p.p b
+      with e ->
+        Prof.stop "numeric";
+        raise e
+    in
+    Prof.stop "numeric";
+    r
 
   (* Generated C source implementing the same specialized solve
      (VS-Block + VI-Prune + low-level transformations). *)
@@ -139,6 +188,28 @@ module Cholesky = struct
       nnz_l;
     }
 
+  (* Compilation cache: keyed on lower(A)'s structure plus the compile
+     options — a hit returns the previously compiled handle, physically
+     equal, skipping the symbolic phase entirely. *)
+  let default_cache : t Plan_cache.t = Plan_cache.create ()
+
+  let compile_cached ?(cache = default_cache) ?(variant = Supernodal)
+      ?(specialized = true) ?(vs_block_threshold = 2.0) ?max_width
+      (a_lower : Csc.t) : t =
+    let extra =
+      [|
+        (match variant with Supernodal -> 0 | Simplicial -> 1);
+        (if specialized then 1 else 0);
+        fp_threshold (Some vs_block_threshold);
+        fp_option max_width;
+      |]
+    in
+    Plan_cache.find_or_compile cache ~pattern:a_lower ~extra (fun () ->
+        compile ~variant ~specialized ~vs_block_threshold ?max_width a_lower)
+
+  let cache_stats () = Plan_cache.stats default_cache
+  let cache_clear () = Plan_cache.clear default_cache
+
   (* Numeric factorization: A = L L^T for any [a_lower] sharing the compiled
      pattern. *)
   let factor (t : t) (a_lower : Csc.t) : Csc.t =
@@ -146,6 +217,51 @@ module Cholesky = struct
     match (t.supernodal, t.simplicial) with
     | Some c, _ -> Cholesky_supernodal.Sympiler.factor c a_lower
     | None, Some d -> Cholesky_ref.Decoupled.factor d a_lower
+    | None, None -> assert false
+
+  (* Plans: allocate the factor storage and numeric scratch once, then
+     refactorize repeatedly with zero steady-state allocation.
+     [Prof.start]/[stop] rather than [Prof.time] keeps even the profiled
+     path closure-free. *)
+  type plan = {
+    handle : t;
+    sup : Cholesky_supernodal.Sympiler.plan option;
+    simp : Cholesky_ref.Decoupled.plan option;
+  }
+
+  let plan (t : t) : plan =
+    match (t.supernodal, t.simplicial) with
+    | Some c, _ ->
+        {
+          handle = t;
+          sup = Some (Cholesky_supernodal.Sympiler.make_plan c);
+          simp = None;
+        }
+    | None, Some d ->
+        {
+          handle = t;
+          sup = None;
+          simp = Some (Cholesky_ref.Decoupled.make_plan d);
+        }
+    | None, None -> assert false
+
+  let refactor_ip (p : plan) (a_lower : Csc.t) : unit =
+    Prof.start "numeric";
+    (try
+       match (p.sup, p.simp) with
+       | Some sp, _ -> Cholesky_supernodal.Sympiler.factor_ip sp a_lower
+       | None, Some sp -> Cholesky_ref.Decoupled.factor_ip sp a_lower
+       | None, None -> assert false
+     with e ->
+       Prof.stop "numeric";
+       raise e);
+    Prof.stop "numeric"
+
+  (* The plan's factor view: refreshed in place by each [refactor_ip]. *)
+  let plan_factor (p : plan) : Csc.t =
+    match (p.sup, p.simp) with
+    | Some sp, _ -> sp.Cholesky_supernodal.Sympiler.l
+    | None, Some sp -> sp.Cholesky_ref.Decoupled.l
     | None, None -> assert false
 
   (* Solve A x = b: numeric factorization + two triangular solves. *)

@@ -13,6 +13,10 @@ module Suite = Suite
 module Codegen_supernodal = Codegen_supernodal
 (** C emission for the supernodal Cholesky executor. *)
 
+module Plan_cache = Plan_cache
+(** Pattern-keyed LRU cache of compiled handles (see
+    {!Trisolve.compile_cached} and {!Cholesky.compile_cached}). *)
+
 (** Sparse triangular solve [L x = b] with a sparse right-hand side. *)
 module Trisolve : sig
   type t = {
@@ -29,11 +33,38 @@ module Trisolve : sig
       [l] and [b]; numeric values are free to change afterwards. Raises
       [Invalid_argument] when [l] is not lower triangular. *)
 
+  val compile_cached :
+    ?cache:t Plan_cache.t ->
+    ?vs_block_threshold:float ->
+    ?max_width:int ->
+    Csc.t ->
+    Vector.sparse ->
+    t
+  (** [compile] through a pattern-keyed cache: a hit (same structure of
+      [l], same RHS pattern, same options) returns the earlier handle
+      physically equal, with no symbolic work. Uses a module-wide default
+      cache unless [cache] is given. *)
+
+  val cache_stats : unit -> Plan_cache.stats
+  (** Hit/miss/length counters of the default cache. *)
+
+  val cache_clear : unit -> unit
+
   val solve : t -> Vector.sparse -> float array
   (** Numeric-only solve; [b] must have the compiled pattern. *)
 
   val solve_ip : t -> float array -> unit
   (** In-place: [x] holds b on entry, the solution on exit. *)
+
+  type plan = { handle : t; p : Trisolve_sympiler.plan }
+  (** Reusable numeric workspaces for the compile-once / execute-many
+      regime. *)
+
+  val plan : t -> plan
+
+  val solve_plan : plan -> Vector.sparse -> float array
+  (** Solve into the plan's buffer (valid until the next call on the same
+      plan); zero allocation in steady state. *)
 
   val c_code : t -> string
   (** Specialized C implementing the same solve (VS-Block + VI-Prune +
@@ -69,9 +100,48 @@ module Cholesky : sig
       Sympiler does for matrices 3,4,5,7. Raises [Invalid_argument] on
       non-lower-triangular input. *)
 
+  val compile_cached :
+    ?cache:t Plan_cache.t ->
+    ?variant:variant ->
+    ?specialized:bool ->
+    ?vs_block_threshold:float ->
+    ?max_width:int ->
+    Csc.t ->
+    t
+  (** [compile] through a pattern-keyed cache: a hit (same structure of
+      [a_lower], same options) returns the earlier handle physically
+      equal, skipping the symbolic phase entirely. Uses a module-wide
+      default cache unless [cache] is given. *)
+
+  val cache_stats : unit -> Plan_cache.stats
+  (** Hit/miss/length counters of the default cache. *)
+
+  val cache_clear : unit -> unit
+
   val factor : t -> Csc.t -> Csc.t
   (** Numeric-only factorization for any values sharing the compiled
-      pattern. *)
+      pattern. Allocates a fresh factor per call; use a {!plan} for
+      allocation-free steady state. *)
+
+  type plan = {
+    handle : t;
+    sup : Cholesky_supernodal.Sympiler.plan option;
+    simp : Cholesky_ref.Decoupled.plan option;
+  }
+  (** Reusable numeric workspaces (factor storage + scratch) for the
+      compile-once / execute-many regime; which side is populated follows
+      the handle's [variant]. *)
+
+  val plan : t -> plan
+
+  val refactor_ip : plan -> Csc.t -> unit
+  (** Numeric factorization into the plan's storage for any values sharing
+      the compiled pattern; zero allocation in steady state. Read the
+      result through {!plan_factor}. *)
+
+  val plan_factor : plan -> Csc.t
+  (** The plan's factor view, refreshed in place by each {!refactor_ip}
+      (valid until the next call on the same plan). *)
 
   val solve : t -> Csc.t -> float array -> float array
   (** [A x = b]: numeric factorization + two triangular solves. *)

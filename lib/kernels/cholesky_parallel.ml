@@ -60,10 +60,40 @@ let process_target (c : compiled) (a_lower : Csc.t) (lx : float array)
   done;
   Cholesky_supernodal.factor_panel_specialized an lx s
 
-let factor ?(ndomains = 2) (c : compiled) (a_lower : Csc.t) : Csc.t =
+(* A plan owns the factor values, one relpos scratch per domain, and a CSC
+   view [l] over those values; repeated [factor_ip] calls reuse all numeric
+   storage (the parallel path allocates only what [Domain.spawn] itself
+   requires; with one domain the steady state is allocation-free). *)
+type plan = {
+  c : compiled;
+  lx : float array; (* values of L, plan-owned *)
+  relpos : int array array; (* per-domain row-offset scratch *)
+  l : Csc.t; (* factor view over [lx] *)
+}
+
+let make_plan ?(ndomains = 2) (c : compiled) : plan =
   let an = c.sym.Cholesky_supernodal.Sympiler.an in
   let lx = Array.make an.Cholesky_supernodal.nnz_l 0.0 in
-  let relpos = Array.init (max 1 ndomains) (fun _ -> Array.make an.Cholesky_supernodal.n 0) in
+  let l =
+    Csc.create ~nrows:an.Cholesky_supernodal.n ~ncols:an.Cholesky_supernodal.n
+      ~colptr:(Array.copy an.Cholesky_supernodal.l_colptr)
+      ~rowind:(Array.copy an.Cholesky_supernodal.l_rowind)
+      ~values:lx
+  in
+  {
+    c;
+    lx;
+    relpos =
+      Array.init (max 1 ndomains) (fun _ ->
+          Array.make an.Cholesky_supernodal.n 0);
+    l;
+  }
+
+let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+  let c = p.c in
+  let lx = p.lx in
+  let relpos = p.relpos in
+  let ndomains = Array.length relpos in
   for lv = 0 to c.nlevels - 1 do
     let lo = c.level_ptr.(lv) and hi = c.level_ptr.(lv + 1) in
     let width = hi - lo in
@@ -85,11 +115,13 @@ let factor ?(ndomains = 2) (c : compiled) (a_lower : Csc.t) : Csc.t =
       work 0 ();
       List.iter Domain.join domains
     end
-  done;
-  Csc.create ~nrows:an.Cholesky_supernodal.n ~ncols:an.Cholesky_supernodal.n
-    ~colptr:(Array.copy an.Cholesky_supernodal.l_colptr)
-    ~rowind:(Array.copy an.Cholesky_supernodal.l_rowind)
-    ~values:lx
+  done
+
+(* One-shot allocating wrapper (fresh plan = fresh factor arrays). *)
+let factor ?(ndomains = 2) (c : compiled) (a_lower : Csc.t) : Csc.t =
+  let p = make_plan ~ndomains c in
+  factor_ip p a_lower;
+  p.l
 
 (* Schedule validation for tests: every update dependency crosses levels
    forward. *)

@@ -22,7 +22,25 @@ val compile :
     set). *)
 
 val factor : ?ndomains:int -> compiled -> Csc.t -> Csc.t
-(** Numeric factorization; levels narrower than 8 supernodes run inline. *)
+(** Numeric factorization; levels narrower than 8 supernodes run inline.
+    Allocates a fresh factor per call; use a {!plan} for steady state. *)
+
+(** {2 Plans} *)
+
+type plan = {
+  c : compiled;
+  lx : float array;  (** values of L, plan-owned *)
+  relpos : int array array;  (** per-domain row-offset scratch *)
+  l : Csc.t;  (** factor view sharing [lx]; refreshed by {!factor_ip} *)
+}
+
+val make_plan : ?ndomains:int -> compiled -> plan
+(** [ndomains] defaults to 2; pass 1 for the allocation-free sequential
+    steady state. *)
+
+val factor_ip : plan -> Csc.t -> unit
+(** Numeric factorization into the plan's storage; reuses all numeric
+    workspaces (only [Domain.spawn] itself allocates when parallel). *)
 
 val valid_schedule : compiled -> bool
 (** Every update dependency crosses levels forward (test helper). *)

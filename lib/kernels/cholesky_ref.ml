@@ -139,18 +139,44 @@ module Decoupled = struct
       flops = Fill_pattern.flops fill;
     }
 
+  (* A plan owns the factor values, the per-column fill cursors, and the
+     sparse accumulator, plus a CSC view [l] over those values; repeated
+     [factor_ip] calls then allocate nothing. *)
+  type plan = {
+    c : compiled;
+    lx : float array; (* values of L, plan-owned *)
+    nzcount : int array; (* per-column fill cursor *)
+    x : float array; (* sparse accumulator (all-zero between calls) *)
+    l : Csc.t; (* factor view over [lx] *)
+  }
+
+  let make_plan (c : compiled) : plan =
+    let n = c.n in
+    let lx = Array.make c.l_colptr.(n) 0.0 in
+    let l =
+      Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy c.l_colptr)
+        ~rowind:(Array.copy c.l_rowind) ~values:lx
+    in
+    { c; lx; nzcount = Array.make n 0; x = Array.make n 0.0; l }
+
   (* Numeric phase: identical arithmetic to [Eigen.factor] but with zero
      symbolic work — no transpose, no etree traversals, no pattern stacks:
      the reach function and matrix transpose are gone from the numeric
      code, exactly as §4.2 describes. *)
-  let factor (c : compiled) (a_lower : Csc.t) : Csc.t =
+  let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+    let c = p.c in
     let n = c.n in
     let av = a_lower.Csc.values in
     let lp = c.l_colptr in
     let li = c.l_rowind in
-    let lx = Array.make lp.(n) 0.0 in
-    let nzcount = Array.make n 0 in
-    let x = Array.make n 0.0 in
+    let lx = p.lx in
+    let nzcount = p.nzcount in
+    let x = p.x in
+    (* The accumulator is all-zero after a completed run, but a prior run
+       aborted by [Not_positive_definite] leaves it dirty; the fills make
+       the plan reusable after any outcome, allocation-free. *)
+    Array.fill nzcount 0 n 0;
+    Array.fill x 0 n 0.0;
     for k = 0 to n - 1 do
       (* Gather column k of the upper triangle through the precomputed map. *)
       let d = ref 0.0 in
@@ -176,14 +202,19 @@ module Decoupled = struct
       lx.(lp.(k)) <- sqrt !d;
       nzcount.(k) <- 1
     done;
-    (if Sympiler_prof.Prof.enabled () then
-       let k = Sympiler_prof.Prof.counters in
-       k.Sympiler_prof.Prof.flops <-
-         k.Sympiler_prof.Prof.flops + int_of_float c.flops;
-       k.Sympiler_prof.Prof.nnz_touched <-
-         k.Sympiler_prof.Prof.nnz_touched + lp.(n));
-    Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy lp) ~rowind:(Array.copy li)
-      ~values:lx
+    if Sympiler_prof.Prof.enabled () then begin
+      let k = Sympiler_prof.Prof.counters in
+      k.Sympiler_prof.Prof.flops <-
+        k.Sympiler_prof.Prof.flops + int_of_float c.flops;
+      k.Sympiler_prof.Prof.nnz_touched <-
+        k.Sympiler_prof.Prof.nnz_touched + lp.(n)
+    end
+
+  (* One-shot allocating wrapper (fresh plan = fresh factor arrays). *)
+  let factor (c : compiled) (a_lower : Csc.t) : Csc.t =
+    let p = make_plan c in
+    factor_ip p a_lower;
+    p.l
 end
 
 (* Dense-oracle-friendly wrapper: factor with the Eigen baseline. *)

@@ -45,7 +45,24 @@ module Decoupled : sig
 
   val factor : compiled -> Csc.t -> Csc.t
   (** Numeric-only factorization: identical arithmetic to [Eigen.factor]
-      with zero symbolic work. *)
+      with zero symbolic work. Allocates a fresh factor per call; use a
+      {!plan} for allocation-free steady state. *)
+
+  (** {2 Plans} *)
+
+  type plan = {
+    c : compiled;
+    lx : float array;  (** values of L, plan-owned *)
+    nzcount : int array;  (** per-column fill cursor *)
+    x : float array;  (** sparse accumulator *)
+    l : Csc.t;  (** factor view sharing [lx]; refreshed by {!factor_ip} *)
+  }
+
+  val make_plan : compiled -> plan
+
+  val factor_ip : plan -> Csc.t -> unit
+  (** Numeric factorization into the plan's storage; zero allocation in
+      steady state, reusable even after {!Not_positive_definite}. *)
 end
 
 val factor_simple : Csc.t -> Csc.t

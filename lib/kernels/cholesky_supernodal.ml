@@ -260,12 +260,15 @@ let max_update_buf an =
   done;
   !m * !maxw
 
-let finish an lx =
+let record_factor an =
   if Prof.enabled () then begin
     let k = Prof.counters in
     k.Prof.flops <- k.Prof.flops + int_of_float an.flops;
     k.Prof.nnz_touched <- k.Prof.nnz_touched + an.nnz_l
-  end;
+  end
+
+let finish an lx =
+  record_factor an;
   Csc.create ~nrows:an.n ~ncols:an.n ~colptr:(Array.copy an.l_colptr)
     ~rowind:(Array.copy an.l_rowind) ~values:lx
 
@@ -340,16 +343,44 @@ module Sympiler = struct
     let schedule = Array.map Array.of_list (compute_schedule an) in
     { an; schedule; specialized }
 
-  (* Numeric phase: no transpose, no list maintenance — just arithmetic
-     driven by the baked-in schedule. *)
-  let factor (c : compiled) (a_lower : Csc.t) : Csc.t =
+  (* A plan owns every numeric workspace the factorization needs — the
+     factor's values array, the row-offset scratch, and (generic variant
+     only) the GEMM update buffer — plus a CSC view [l] of the factor whose
+     values array IS the plan's [lx]. Creating the plan pays all
+     allocation once; [factor_ip] then runs with zero allocation in steady
+     state, which is what amortizes inspection across the paper's
+     "many numeric executions" scenarios (Newton steps, active-set
+     iterations) without GC pressure proportional to nnz(L) per run. *)
+  type plan = {
+    c : compiled;
+    lx : float array; (* values of L, plan-owned *)
+    relpos : int array; (* panel row-offset scratch *)
+    wbuf : float array; (* GEMM buffer (generic variant only) *)
+    l : Csc.t; (* factor view over [lx]; refreshed in place by factor_ip *)
+  }
+
+  let make_plan (c : compiled) : plan =
     let an = c.an in
-    let nsuper = Supernodes.nsuper an.sn in
     let lx = Array.make an.nnz_l 0.0 in
     let relpos = Array.make an.n 0 in
     let wbuf =
       if c.specialized then [||] else Array.make (max_update_buf an) 0.0
     in
+    let l =
+      Csc.create ~nrows:an.n ~ncols:an.n ~colptr:(Array.copy an.l_colptr)
+        ~rowind:(Array.copy an.l_rowind) ~values:lx
+    in
+    { c; lx; relpos; wbuf; l }
+
+  (* Numeric phase: no transpose, no list maintenance — just arithmetic
+     driven by the baked-in schedule, writing into the plan's storage. *)
+  let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+    let c = p.c in
+    let an = c.an in
+    let nsuper = Supernodes.nsuper an.sn in
+    let lx = p.lx in
+    let relpos = p.relpos in
+    let wbuf = p.wbuf in
     for s = 0 to nsuper - 1 do
       init_panel_from_a an a_lower lx relpos s;
       let ups = c.schedule.(s) in
@@ -366,5 +397,12 @@ module Sympiler = struct
         factor_panel_generic an lx s
       end
     done;
-    finish an lx
+    record_factor an
+
+  (* One-shot allocating wrapper: a fresh plan per call keeps the original
+     value semantics (every factor owns its arrays). *)
+  let factor (c : compiled) (a_lower : Csc.t) : Csc.t =
+    let p = make_plan c in
+    factor_ip p a_lower;
+    p.l
 end

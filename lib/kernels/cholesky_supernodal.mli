@@ -88,5 +88,25 @@ module Sympiler : sig
 
   val factor : compiled -> Csc.t -> Csc.t
   (** Numeric phase: no transpose, no list maintenance, just arithmetic
-      driven by the baked-in schedule. *)
+      driven by the baked-in schedule. Allocates a fresh factor per call;
+      for allocation-free steady state use a {!plan}. *)
+
+  (** {2 Plans} — reusable numeric workspaces for the compile-once /
+      execute-many regime. *)
+
+  type plan = {
+    c : compiled;
+    lx : float array;  (** values of L, plan-owned *)
+    relpos : int array;  (** panel row-offset scratch *)
+    wbuf : float array;  (** GEMM buffer (generic variant only) *)
+    l : Csc.t;  (** factor view sharing [lx]; refreshed by {!factor_ip} *)
+  }
+
+  val make_plan : compiled -> plan
+  (** Allocate all numeric workspaces once for the compiled pattern. *)
+
+  val factor_ip : plan -> Csc.t -> unit
+  (** Numeric factorization into the plan's storage ([plan.l] afterwards
+      holds L): zero allocation in steady state. The input must share the
+      compiled pattern; values are free to differ between calls. *)
 end

@@ -58,15 +58,37 @@ let compile (a_lower : Csc.t) : compiled =
     row_pos;
   }
 
+(* A plan owns the factor values, the dense position map, and a CSC view
+   [l] over those values; repeated [factor_ip] calls allocate nothing. *)
+type plan = {
+  c : compiled;
+  lx : float array; (* values of L, plan-owned *)
+  pos : int array; (* dense row -> position map (-1 between columns) *)
+  l : Csc.t; (* factor view over [lx] *)
+}
+
+let make_plan (c : compiled) : plan =
+  let n = c.n in
+  let lx = Array.make c.colptr.(n) 0.0 in
+  let l =
+    Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy c.colptr)
+      ~rowind:(Array.copy c.rowind) ~values:lx
+  in
+  { c; lx; pos = Array.make n (-1); l }
+
 (* Numeric IC(0) factorization; values of [a_lower] may change between
    calls as long as the pattern matches the compiled one. *)
-let factor (c : compiled) (a_lower : Csc.t) : Csc.t =
+let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+  let c = p.c in
   let n = c.n in
   let lp = c.colptr and li = c.rowind in
-  let lx = Array.copy a_lower.Csc.values in
+  let lx = p.lx in
+  Array.blit a_lower.Csc.values 0 lx 0 lp.(n);
   (* Dense map row -> position in the current column, for pattern-limited
-     scattering. *)
-  let pos = Array.make n (-1) in
+     scattering. A run aborted by [Not_positive_definite] leaves stale
+     entries behind; the fill makes the plan reusable after any outcome. *)
+  let pos = p.pos in
+  Array.fill pos 0 n (-1);
   for j = 0 to n - 1 do
     (* Update column j by every column r with L(j, r) <> 0. *)
     for p = lp.(j) to lp.(j + 1) - 1 do
@@ -109,9 +131,13 @@ let factor (c : compiled) (a_lower : Csc.t) : Csc.t =
     done;
     k.Prof.flops <- k.Prof.flops + !fl;
     k.Prof.nnz_touched <- k.Prof.nnz_touched + lp.(n)
-  end;
-  Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy lp) ~rowind:(Array.copy li)
-    ~values:lx
+  end
+
+(* One-shot allocating wrapper (fresh plan = fresh factor arrays). *)
+let factor (c : compiled) (a_lower : Csc.t) : Csc.t =
+  let p = make_plan c in
+  factor_ip p a_lower;
+  p.l
 
 (* Convenience: compile + factor in one call. *)
 let factorize (a_lower : Csc.t) : Csc.t = factor (compile a_lower) a_lower

@@ -24,7 +24,23 @@ val compile : Csc.t -> compiled
 
 val factor : compiled -> Csc.t -> Csc.t
 (** Numeric IC(0); the input's values may change as long as the pattern
-    matches the compiled one. *)
+    matches the compiled one. Allocates a fresh factor per call; use a
+    {!plan} for allocation-free steady state. *)
+
+(** {2 Plans} *)
+
+type plan = {
+  c : compiled;
+  lx : float array;  (** values of L, plan-owned *)
+  pos : int array;  (** dense row→position scratch *)
+  l : Csc.t;  (** factor view sharing [lx]; refreshed by {!factor_ip} *)
+}
+
+val make_plan : compiled -> plan
+
+val factor_ip : plan -> Csc.t -> unit
+(** Numeric IC(0) into the plan's storage; zero allocation in steady
+    state, reusable even after {!Not_positive_definite}. *)
 
 val factorize : Csc.t -> Csc.t
 (** [compile] + [factor]. *)

@@ -45,10 +45,33 @@ type factors = {
   values : float array; (* CSR values of L\U *)
 }
 
-let factor (c : compiled) (a : Csc.t) : factors =
-  let v = Array.map (fun p -> a.Csc.values.(p)) c.csc_map in
-  (* pos.(j) = index of column j within the current row, or -1. *)
-  let pos = Array.make c.n (-1) in
+(* A plan owns the combined factor's values and the dense position map, so
+   repeated [factor_ip] calls allocate nothing. *)
+type plan = {
+  c : compiled;
+  pos : int array; (* dense column -> row-entry map (-1 between rows) *)
+  f : factors; (* factor view over the plan's values *)
+}
+
+let make_plan (c : compiled) : plan =
+  {
+    c;
+    pos = Array.make c.n (-1);
+    f = { c; values = Array.make c.rowptr.(c.n) 0.0 };
+  }
+
+let factor_ip (p : plan) (a : Csc.t) : unit =
+  let c = p.c in
+  let v = p.f.values in
+  let av = a.Csc.values in
+  for q = 0 to Array.length v - 1 do
+    v.(q) <- av.(c.csc_map.(q))
+  done;
+  (* pos.(j) = index of column j within the current row, or -1. A run
+     aborted by [Zero_pivot] leaves stale entries behind; the fill makes
+     the plan reusable after any outcome. *)
+  let pos = p.pos in
+  Array.fill pos 0 c.n (-1);
   for i = 0 to c.n - 1 do
     let lo = c.rowptr.(i) and hi = c.rowptr.(i + 1) in
     for p = lo to hi - 1 do
@@ -87,8 +110,13 @@ let factor (c : compiled) (a : Csc.t) : factors =
     done;
     k.Prof.flops <- k.Prof.flops + !fl;
     k.Prof.nnz_touched <- k.Prof.nnz_touched + c.rowptr.(c.n)
-  end;
-  { c; values = v }
+  end
+
+(* One-shot allocating wrapper (fresh plan = fresh factor values). *)
+let factor (c : compiled) (a : Csc.t) : factors =
+  let p = make_plan c in
+  factor_ip p a;
+  p.f
 
 let factorize (a : Csc.t) : factors = factor (compile a) a
 

@@ -28,6 +28,22 @@ val compile : Csc.t -> compiled
     entry is missing. *)
 
 val factor : compiled -> Csc.t -> factors
+(** Allocates fresh factors per call; use a {!plan} for allocation-free
+    steady state. *)
+
+(** {2 Plans} *)
+
+type plan = {
+  c : compiled;
+  pos : int array;  (** dense column→row-entry scratch *)
+  f : factors;  (** factor view over the plan's values *)
+}
+
+val make_plan : compiled -> plan
+
+val factor_ip : plan -> Csc.t -> unit
+(** Numeric ILU(0) into the plan's storage ([plan.f] afterwards); zero
+    allocation in steady state, reusable even after {!Zero_pivot}. *)
 
 val factorize : Csc.t -> factors
 

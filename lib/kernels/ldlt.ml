@@ -40,17 +40,43 @@ let compile (a_lower : Csc.t) : compiled =
     up_map;
   }
 
+(* A plan owns the factor storage (shared with the [factors] view) and the
+   numeric scratch, so repeated [factor_ip] calls allocate nothing. *)
+type plan = {
+  c : compiled;
+  lx : float array; (* values of L, plan-owned *)
+  nzcount : int array; (* per-column fill cursor *)
+  y : float array; (* sparse accumulator (all-zero between calls) *)
+  f : factors; (* factor view over [lx] and the plan's [d] *)
+}
+
+let make_plan (c : compiled) : plan =
+  let n = c.n in
+  let lx = Array.make c.l_colptr.(n) 0.0 in
+  let d = Array.make n 0.0 in
+  let l =
+    Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy c.l_colptr)
+      ~rowind:(Array.copy c.l_rowind) ~values:lx
+  in
+  { c; lx; nzcount = Array.make n 0; y = Array.make n 0.0; f = { l; d } }
+
 (* Numeric phase: up-looking, no symbolic work. Row k solves
    L(0:k-1,0:k-1) D y = A(0:k-1,k) along the precomputed pattern. *)
-let factor (c : compiled) (a_lower : Csc.t) : factors =
+let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+  let c = p.c in
   let n = c.n in
   let av = a_lower.Csc.values in
   let lp = c.l_colptr in
   let li = c.l_rowind in
-  let lx = Array.make lp.(n) 0.0 in
-  let d = Array.make n 0.0 in
-  let nzcount = Array.make n 0 in
-  let y = Array.make n 0.0 in
+  let lx = p.lx in
+  let d = p.f.d in
+  let nzcount = p.nzcount in
+  let y = p.y in
+  (* The accumulator is all-zero after a completed run, but a prior run
+     aborted by [Zero_pivot] leaves it dirty; the fills make the plan
+     reusable after any outcome, allocation-free. *)
+  Array.fill nzcount 0 n 0;
+  Array.fill y 0 n 0.0;
   for k = 0 to n - 1 do
     let dk = ref 0.0 in
     for p = c.up_colptr.(k) to c.up_colptr.(k + 1) - 1 do
@@ -77,13 +103,13 @@ let factor (c : compiled) (a_lower : Csc.t) : factors =
     d.(k) <- !dk;
     lx.(lp.(k)) <- 1.0;
     nzcount.(k) <- 1
-  done;
-  {
-    l =
-      Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy lp)
-        ~rowind:(Array.copy li) ~values:lx;
-    d;
-  }
+  done
+
+(* One-shot allocating wrapper (fresh plan = fresh factor arrays). *)
+let factor (c : compiled) (a_lower : Csc.t) : factors =
+  let p = make_plan c in
+  factor_ip p a_lower;
+  p.f
 
 let factorize (a_lower : Csc.t) : factors = factor (compile a_lower) a_lower
 

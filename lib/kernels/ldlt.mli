@@ -28,7 +28,25 @@ val compile : Csc.t -> compiled
 (** Symbolic phase over the lower-triangular part of A. *)
 
 val factor : compiled -> Csc.t -> factors
-(** Numeric phase; raises {!Zero_pivot} on a structurally unlucky zero. *)
+(** Numeric phase; raises {!Zero_pivot} on a structurally unlucky zero.
+    Allocates fresh factors per call; use a {!plan} for allocation-free
+    steady state. *)
+
+(** {2 Plans} *)
+
+type plan = {
+  c : compiled;
+  lx : float array;  (** values of L, plan-owned *)
+  nzcount : int array;  (** per-column fill cursor *)
+  y : float array;  (** sparse accumulator *)
+  f : factors;  (** factor view over the plan's storage *)
+}
+
+val make_plan : compiled -> plan
+
+val factor_ip : plan -> Csc.t -> unit
+(** Numeric factorization into the plan's storage ([plan.f] afterwards);
+    zero allocation in steady state, reusable even after {!Zero_pivot}. *)
 
 val factorize : Csc.t -> factors
 (** [compile] + [factor] in one call. *)

@@ -85,14 +85,44 @@ module Sympiler = struct
     done;
     { n; l_colptr; l_rowind; u_colptr; u_rowind; flops = !flops }
 
-  (* Numeric phase: no DFS, no pattern work. *)
-  let factor (c : compiled) (a : Csc.t) : factors =
+  (* A plan owns both factors' values and the dense scatter column, so
+     repeated [factor_ip] calls allocate nothing. *)
+  type plan = {
+    c : compiled;
+    lx : float array; (* values of L, plan-owned *)
+    ux : float array; (* values of U, plan-owned *)
+    x : float array; (* dense scatter column (all-zero between calls) *)
+    f : factors; (* factor views over [lx] / [ux] *)
+  }
+
+  let make_plan (c : compiled) : plan =
     let n = c.n in
     let lx = Array.make c.l_colptr.(n) 0.0 in
     let ux = Array.make c.u_colptr.(n) 0.0 in
-    let x = Array.make n 0.0 in
+    let l =
+      Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy c.l_colptr)
+        ~rowind:(Array.copy c.l_rowind) ~values:lx
+    in
+    let u =
+      Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy c.u_colptr)
+        ~rowind:(Array.copy c.u_rowind) ~values:ux
+    in
+    { c; lx; ux; x = Array.make n 0.0; f = { l; u } }
+
+  (* Numeric phase: no DFS, no pattern work. *)
+  let factor_ip (p : plan) (a : Csc.t) : unit =
+    let c = p.c in
+    let n = c.n in
+    let lx = p.lx in
+    let ux = p.ux in
+    let x = p.x in
+    (* A prior run aborted by [Zero_pivot] leaves the scatter column dirty;
+       the fill makes the plan reusable after any outcome. *)
+    Array.fill x 0 n 0.0;
     for j = 0 to n - 1 do
-      Csc.iter_col a j (fun i v -> x.(i) <- v);
+      for q = a.Csc.colptr.(j) to a.Csc.colptr.(j + 1) - 1 do
+        x.(a.Csc.rowind.(q)) <- a.Csc.values.(q)
+      done;
       (* Eliminate along the U pattern in ascending (dependence) order. *)
       let ulo = c.u_colptr.(j) and uhi = c.u_colptr.(j + 1) - 1 in
       for p = ulo to uhi - 1 do
@@ -124,15 +154,13 @@ module Sympiler = struct
       k.Prof.flops <- k.Prof.flops + int_of_float c.flops;
       k.Prof.nnz_touched <-
         k.Prof.nnz_touched + c.l_colptr.(n) + c.u_colptr.(n)
-    end;
-    {
-      l =
-        Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy c.l_colptr)
-          ~rowind:(Array.copy c.l_rowind) ~values:lx;
-      u =
-        Csc.create ~nrows:n ~ncols:n ~colptr:(Array.copy c.u_colptr)
-          ~rowind:(Array.copy c.u_rowind) ~values:ux;
-    }
+    end
+
+  (* One-shot allocating wrapper (fresh plan = fresh factor arrays). *)
+  let factor (c : compiled) (a : Csc.t) : factors =
+    let p = make_plan c in
+    factor_ip p a;
+    p.f
 end
 
 module Ref = struct

@@ -30,7 +30,24 @@ module Sympiler : sig
 
   val factor : compiled -> Csc.t -> factors
   (** Numeric-only factorization for any matrix sharing the compiled
-      pattern. *)
+      pattern. Allocates fresh factors per call; use a {!plan} for
+      allocation-free steady state. *)
+
+  (** {2 Plans} *)
+
+  type plan = {
+    c : compiled;
+    lx : float array;  (** values of L, plan-owned *)
+    ux : float array;  (** values of U, plan-owned *)
+    x : float array;  (** dense scatter column *)
+    f : factors;  (** factor views over the plan's storage *)
+  }
+
+  val make_plan : compiled -> plan
+
+  val factor_ip : plan -> Csc.t -> unit
+  (** Numeric factorization into the plan's storage ([plan.f] afterwards);
+      zero allocation in steady state, reusable even after {!Zero_pivot}. *)
 end
 
 (** Library-style Gilbert-Peierls: the per-column symbolic DFS runs inside

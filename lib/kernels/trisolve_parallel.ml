@@ -97,17 +97,19 @@ let solve_ip_sequential (c : compiled) (x : float array) =
   done;
   record_solve c
 
-(* Parallel solve with [ndomains] worker domains. Each level is split into
-   chunks; every domain accumulates its below-diagonal updates into a
-   private buffer, and buffers are merged (sequentially) at the barrier, so
-   no two domains ever write the same location concurrently. *)
-let solve_ip_parallel ?(ndomains = 2) (c : compiled) (x : float array) =
+(* Parallel solve over caller-provided per-domain buffers (all-zero on
+   entry and on exit). Each level is split into chunks; every domain
+   accumulates its below-diagonal updates into its private buffer, and
+   buffers are merged (sequentially) at the barrier, so no two domains ever
+   write the same location concurrently. *)
+let solve_ip_parallel_with (bufs : float array array) (c : compiled)
+    (x : float array) =
+  let ndomains = Array.length bufs in
   if ndomains <= 1 then solve_ip_sequential c x
   else begin
     let l = c.l in
     let n = l.Csc.ncols in
     let lp = l.Csc.colptr and li = l.Csc.rowind and lx = l.Csc.values in
-    let bufs = Array.init ndomains (fun _ -> Array.make n 0.0) in
     let chunk_of lv d =
       let lo = c.level_ptr.(lv) and hi = c.level_ptr.(lv + 1) in
       let w = hi - lo in
@@ -158,12 +160,47 @@ let solve_ip_parallel ?(ndomains = 2) (c : compiled) (x : float array) =
     record_solve c
   end
 
+let solve_ip_parallel ?(ndomains = 2) (c : compiled) (x : float array) =
+  if ndomains <= 1 then solve_ip_sequential c x
+  else
+    let n = c.l.Csc.ncols in
+    solve_ip_parallel_with (Array.init ndomains (fun _ -> Array.make n 0.0)) c x
+
 let solve ?ndomains (c : compiled) (b : float array) : float array =
   let x = Array.copy b in
   (match ndomains with
   | Some k when k > 1 -> solve_ip_parallel ~ndomains:k c x
   | _ -> solve_ip_sequential c x);
   x
+
+(* A plan owns the dense solution buffer and the per-domain accumulation
+   buffers, so steady-state solves reuse all numeric storage; the
+   sequential path ([ndomains <= 1]) is allocation-free, the parallel path
+   allocates only what [Domain.spawn] itself requires. *)
+type plan = {
+  c : compiled;
+  x : float array; (* plan-owned solution *)
+  bufs : float array array; (* per-domain accumulators (all-zero at rest) *)
+}
+
+let make_plan ?(ndomains = 1) (c : compiled) : plan =
+  let n = c.l.Csc.ncols in
+  {
+    c;
+    x = Array.make n 0.0;
+    bufs =
+      (if ndomains <= 1 then [||]
+       else Array.init ndomains (fun _ -> Array.make n 0.0));
+  }
+
+let solve_ip (p : plan) (b : float array) : float array =
+  let n = Array.length p.x in
+  if Array.length b <> n then
+    invalid_arg "Trisolve_parallel.solve_ip: RHS dimension mismatch";
+  Array.blit b 0 p.x 0 n;
+  if Array.length p.bufs <= 1 then solve_ip_sequential p.c p.x
+  else solve_ip_parallel_with p.bufs p.c p.x;
+  p.x
 
 (* Schedule validation used by tests: every dependence edge crosses levels
    forward. *)

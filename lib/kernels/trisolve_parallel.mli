@@ -30,5 +30,22 @@ val solve_ip_parallel : ?ndomains:int -> compiled -> float array -> unit
 val solve : ?ndomains:int -> compiled -> float array -> float array
 (** Functional wrapper over the in-place solvers. *)
 
+(** {2 Plans} *)
+
+type plan = {
+  c : compiled;
+  x : float array;  (** plan-owned solution *)
+  bufs : float array array;  (** per-domain accumulators *)
+}
+
+val make_plan : ?ndomains:int -> compiled -> plan
+(** [ndomains] defaults to 1 (sequential). *)
+
+val solve_ip : plan -> float array -> float array
+(** Solve into the plan's buffer (valid until the next call). The
+    sequential path is allocation-free in steady state; the parallel path
+    reuses the per-domain accumulators and allocates only what
+    [Domain.spawn] itself requires. *)
+
 val valid_schedule : compiled -> bool
 (** Every dependence edge crosses levels forward (test helper). *)

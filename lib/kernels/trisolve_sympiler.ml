@@ -89,7 +89,10 @@ let compile ?(vs_block_threshold = 1.6) ?(waste_threshold = 0.1) ?max_width
   for s = 0 to Supernodes.nsuper sn - 1 do
     let c0 = sn.Supernodes.sn_ptr.(s) in
     let w = Supernodes.width sn s in
-    max_below := max !max_below (Csc.col_nnz l c0 - w)
+    (* Clamp at 0: a structurally empty column (no stored diagonal) makes
+       [col_nnz - w] negative; the scratch size must stay the maximum of
+       the genuine below-block heights, never a negative artifact. *)
+    max_below := max !max_below (max 0 (Csc.col_nnz l c0 - w))
   done;
   if Prof.enabled () then begin
     (* VI-Prune inspection removed the columns outside the reach-set. *)
@@ -104,7 +107,12 @@ let compile ?(vs_block_threshold = 1.6) ?(waste_threshold = 0.1) ?max_width
     sn_sequence;
     all_sn;
     max_below = !max_below;
-    tmp = Array.make (max 1 !max_below) 0.0;
+    (* Exact size: [max_below] is clamped non-negative above, and every
+       block path bounds its scratch use by the per-supernode below height,
+       itself <= max_below — so the old [max 1] guard (which masked the
+       possibility of a negative size) is no longer needed; a 0-length
+       scratch is legal for patterns with no below-blocks at all. *)
+    tmp = Array.make !max_below 0.0;
     flops = Trisolve_ref.flops l reach;
     columnwise;
   }
@@ -167,14 +175,23 @@ let record_solve c =
     k.Prof.nnz_touched <- k.Prof.nnz_touched + ((fl + Array.length c.reach) / 2)
   end
 
-(* VS-Block only: every supernode, generic kernels. *)
+(* VS-Block only: every supernode, generic kernels. Plain [for] loops
+   everywhere below: an [Array.iter] over a partial application would
+   allocate a closure per solve, breaking the plans' zero-allocation
+   steady state. *)
 let solve_vs_block_ip c (x : float array) =
-  Array.iter (process_supernode_generic c x) c.all_sn;
+  let seq = c.all_sn in
+  for i = 0 to Array.length seq - 1 do
+    process_supernode_generic c x seq.(i)
+  done;
   record_solve c
 
 (* VS-Block + VI-Prune: only supernodes reached from the RHS pattern. *)
 let solve_vs_vi_ip c (x : float array) =
-  Array.iter (process_supernode_generic c x) c.sn_sequence;
+  let seq = c.sn_sequence in
+  for i = 0 to Array.length seq - 1 do
+    process_supernode_generic c x seq.(i)
+  done;
   record_solve c
 
 (* VS-Block + VI-Prune + low-level transformations (the Figure 1e code).
@@ -197,7 +214,10 @@ let solve_full_ip c (x : float array) =
     record_solve c
   end
   else begin
-    Array.iter (process_supernode_specialized c x) c.sn_sequence;
+    let seq = c.sn_sequence in
+    for i = 0 to Array.length seq - 1 do
+      process_supernode_specialized c x seq.(i)
+    done;
     record_solve c
   end
 
@@ -209,3 +229,33 @@ let run ip c (b : Vector.sparse) =
 let solve_vs_block c b = run solve_vs_block_ip c b
 let solve_vs_vi c b = run solve_vs_vi_ip c b
 let solve_full c b = run solve_full_ip c b
+
+(* ------------------------------- Plans ------------------------------- *)
+
+(* A plan wraps a compiled solve with a plan-owned dense solution buffer,
+   making repeated numeric solves allocation-free: [solve_ip] scatters the
+   RHS into the buffer, runs the full specialized solve in place, and
+   returns the buffer itself (overwritten by the next call). The compiled
+   value already owns the block scratch [tmp]; the plan adds the only other
+   per-solve array the functional wrappers used to allocate. *)
+type plan = { c : compiled; x : float array }
+
+let make_plan (c : compiled) : plan =
+  { c; x = Array.make c.l.Csc.ncols 0.0 }
+
+(* Scatter b over a zeroed buffer. The previous solution's nonzeros are not
+   tracked, so the reset is a full O(n) fill — branch-free, allocation-free,
+   and cheap next to the solve itself. *)
+let load_rhs (p : plan) (b : Vector.sparse) =
+  if b.Vector.n <> Array.length p.x then
+    invalid_arg "Trisolve_sympiler.solve_ip: RHS dimension mismatch";
+  Array.fill p.x 0 (Array.length p.x) 0.0;
+  let idx = b.Vector.indices and v = b.Vector.values in
+  for k = 0 to Array.length idx - 1 do
+    p.x.(idx.(k)) <- v.(k)
+  done
+
+let solve_ip (p : plan) (b : Vector.sparse) : float array =
+  load_rhs p b;
+  solve_full_ip p.c p.x;
+  p.x

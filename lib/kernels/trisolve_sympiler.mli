@@ -55,3 +55,18 @@ val solve_full_ip : compiled -> float array -> unit
 val solve_vs_block : compiled -> Vector.sparse -> float array
 val solve_vs_vi : compiled -> Vector.sparse -> float array
 val solve_full : compiled -> Vector.sparse -> float array
+
+(** {2 Plans}
+
+    A plan owns the dense solution buffer, so steady-state solves allocate
+    nothing: create once per compiled pattern, then call {!solve_ip} as
+    many times as values change. *)
+
+type plan = { c : compiled; x : float array  (** plan-owned solution *) }
+
+val make_plan : compiled -> plan
+
+val solve_ip : plan -> Vector.sparse -> float array
+(** Numeric-only solve into the plan's buffer; returns that buffer (valid
+    until the next [solve_ip] on the same plan). [b] must have the
+    compiled pattern's dimension; zero allocation in steady state. *)

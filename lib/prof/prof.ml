@@ -28,6 +28,8 @@ type counters = {
   mutable supernode_cols : int;  (** columns covered by those supernodes *)
   mutable levels : int;  (** level sets built by trisolve_parallel *)
   mutable max_level_width : int;  (** widest level set seen *)
+  mutable cache_hits : int;  (** compilation-cache lookups served *)
+  mutable cache_misses : int;  (** compilation-cache lookups that compiled *)
 }
 
 let counters =
@@ -39,6 +41,8 @@ let counters =
     supernode_cols = 0;
     levels = 0;
     max_level_width = 0;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let avg_supernode_width () =
@@ -65,6 +69,11 @@ let find name =
       s
 
 let now_ns () = Monotonic_clock.now ()
+
+(* Monotonic wall-clock for callers that time spans themselves (the bench
+   harness, the facade's [symbolic_seconds]): immune to NTP slews, unlike
+   [Unix.gettimeofday]. *)
+let now_seconds () = Int64.to_float (now_ns ()) /. 1e9
 
 let start name =
   if !on then begin
@@ -116,6 +125,8 @@ let reset () =
   counters.supernode_cols <- 0;
   counters.levels <- 0;
   counters.max_level_width <- 0;
+  counters.cache_hits <- 0;
+  counters.cache_misses <- 0;
   Hashtbl.reset scopes_tbl
 
 (* ------------------------------ Emitters ------------------------------ *)
@@ -195,6 +206,8 @@ let counters_json () =
       ("avg_supernode_width", Json.Float (avg_supernode_width ()));
       ("levels", Json.Int counters.levels);
       ("max_level_width", Json.Int counters.max_level_width);
+      ("cache_hits", Json.Int counters.cache_hits);
+      ("cache_misses", Json.Int counters.cache_misses);
     ]
 
 let phases_json () =
@@ -234,5 +247,7 @@ let table () =
       ("avg_supernode_width", Printf.sprintf "%.2f" (avg_supernode_width ()));
       ("levels", string_of_int counters.levels);
       ("max_level_width", string_of_int counters.max_level_width);
+      ("cache_hits", string_of_int counters.cache_hits);
+      ("cache_misses", string_of_int counters.cache_misses);
     ];
   Buffer.contents buf

@@ -30,6 +30,8 @@ type counters = {
   mutable supernode_cols : int;  (** columns covered by those supernodes *)
   mutable levels : int;  (** level sets built by trisolve_parallel *)
   mutable max_level_width : int;  (** widest level set seen *)
+  mutable cache_hits : int;  (** compilation-cache lookups served *)
+  mutable cache_misses : int;  (** compilation-cache lookups that compiled *)
 }
 
 val counters : counters
@@ -40,6 +42,12 @@ val avg_supernode_width : unit -> float
     Named scopes over the monotonic clock. Scopes are reentrant: nested
     [start]/[stop] of the same name count the outermost span once. All
     timer operations are no-ops while disabled. *)
+
+val now_seconds : unit -> float
+(** The raw monotonic clock in seconds — the timing source for callers
+    that measure spans themselves (bench harness, facade
+    [symbolic_seconds]); immune to NTP adjustments. Always available,
+    whether or not profiling is enabled. *)
 
 val start : string -> unit
 val stop : string -> unit

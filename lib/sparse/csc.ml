@@ -212,6 +212,28 @@ let pattern_equal a b =
   && Utils.int_array_equal a.colptr b.colptr
   && Utils.int_array_equal a.rowind b.rowind
 
+(* FNV-1a over the structural data (dims, colptr, rowind), mixing each int
+   bytewise-equivalent as a single multiply/xor step. Collisions are
+   resolved by [pattern_equal] at the caller (see Sympiler.Plan_cache), so
+   the only requirement here is good dispersion, not cryptography. *)
+let fnv_prime = 0x100000001b3
+let fnv_offset = 0x3bf29ce484222325
+
+let hash_fold_int h v = (h lxor v) * fnv_prime land max_int
+
+let hash_fold_int_array h (a : int array) =
+  let h = ref (hash_fold_int h (Array.length a)) in
+  for i = 0 to Array.length a - 1 do
+    h := hash_fold_int !h a.(i)
+  done;
+  !h
+
+let pattern_hash t =
+  let h = hash_fold_int fnv_offset t.nrows in
+  let h = hash_fold_int h t.ncols in
+  let h = hash_fold_int_array h t.colptr in
+  hash_fold_int_array h t.rowind
+
 let equal ?(eps = 1e-12) a b =
   pattern_equal a b
   &&

@@ -99,6 +99,19 @@ val map_values : t -> (float -> float) -> t
 val pattern_equal : t -> t -> bool
 (** Structural equality (dimensions, colptr, rowind). *)
 
+val pattern_hash : t -> int
+(** Structural hash of [(dims, colptr, rowind)] (values excluded): equal
+    patterns hash equal, so a pattern-keyed compilation cache can use this
+    as its key, falling back to {!pattern_equal} on collision. *)
+
+val hash_fold_int : int -> int -> int
+(** One FNV-1a mixing step: fold an int into a running structural hash
+    (used to extend {!pattern_hash} with RHS patterns or option
+    fingerprints). *)
+
+val hash_fold_int_array : int -> int array -> int
+(** Fold a whole int array (length included) into a running hash. *)
+
 val equal : ?eps:float -> t -> t -> bool
 (** Pattern equality plus entrywise value equality to tolerance [eps]. *)
 

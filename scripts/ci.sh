@@ -13,4 +13,19 @@ dune runtest
 echo "== dune build @fmt =="
 dune build @fmt
 
+echo "== steady-state allocation gate =="
+# The plan layer's contract: repeated in-place execution allocates nothing.
+# The steady bench section writes BENCH_steady.json with a precomputed
+# verdict over every suite problem; fail CI if any path allocated or got
+# slower than its first call.
+dune exec bench/main.exe -- --quick --only steady
+grep -q '"all_zero_alloc":true' BENCH_steady.json || {
+  echo "FAIL: nonzero steady-state allocation in BENCH_steady.json" >&2
+  exit 1
+}
+grep -q '"steady_not_slower":true' BENCH_steady.json || {
+  echo "FAIL: steady-state slower than first call in BENCH_steady.json" >&2
+  exit 1
+}
+
 echo "CI OK"

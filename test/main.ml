@@ -5,6 +5,7 @@ let () =
       ("io+generators+ordering", Test_io_generators.suite);
       ("symbolic", Test_symbolic.suite);
       ("kernels", Test_kernels.suite);
+      ("plans", Test_plans.suite);
       ("extensions", Test_extensions.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("ir", Test_ir.suite);
