@@ -10,9 +10,11 @@ open Sympiler_prof
    of 5 measurements (each measurement averages enough repetitions to fill
    a minimum wall-clock window). `--bechamel` instead runs one
    Bechamel.Test.make per experiment. `--quick` shrinks the measurement
-   window, `--only SECTION` runs one section (phases, steady, table2, fig6,
-   fig7, fig8, fig9, intro, ablation-threshold, ablation-lowlevel,
-   extensions). The `phases` section additionally writes BENCH_phases.json:
+   window, `--only SECTION` runs one section (phases, steady, trace,
+   table2, fig6, fig7, fig8, fig9, intro, ablation-threshold,
+   ablation-lowlevel, extensions). The `trace` section gates the
+   tracing-disabled overhead of the steady path at 2% and writes
+   BENCH_trace.json. The `phases` section additionally writes BENCH_phases.json:
    per-problem symbolic/numeric phase timings, kernel counters, and the
    amortization ratio, via the sympiler_prof observability layer. The
    `steady` section writes BENCH_steady.json: first-call vs steady-state
@@ -754,6 +756,109 @@ let steady () =
     \ written to BENCH_steady.json)\n"
 
 (* ---------------------------------------------------------------- *)
+(* Trace overhead: the structured-tracing layer must be free when disabled
+   (its guard is one boolean load) and bounded when enabled. Measures the
+   disabled begin/end pair cost, counts the spans a steady-state call
+   emits, and gates the implied disabled overhead of the steady path at 2%
+   (the ci.sh gate greps the verdict). Also sanity-checks both exporters.
+   Writes BENCH_trace.json. *)
+
+let trace_ids = [ 2; 6 ]
+
+let trace_bench () =
+  header "Trace: span overhead + exporters (writes BENCH_trace.json)";
+  let module Trace = Sympiler_trace.Trace in
+  Trace.disable ();
+  (* Cost of one disabled begin/end pair, amortized over a tight loop. *)
+  let pairs = 10_000 in
+  let t_pair =
+    measure (fun () ->
+        for _ = 1 to pairs do
+          Trace.begin_span "bench.noop";
+          Trace.end_span ()
+        done)
+    /. float_of_int pairs
+  in
+  Printf.printf "disabled begin/end pair : %7.2f ns\n" (t_pair *. 1e9);
+  Printf.printf "%-3s %-15s | %6s %10s %10s | %9s | %s\n" "ID" "Name" "spans"
+    "steady" "traced" "overhead" "exporters";
+  let all_ok = ref true in
+  let problems =
+    List.map
+      (fun id ->
+        let d = prob id in
+        let name = d.p.Sympiler.Suite.name in
+        let al = d.p.Sympiler.Suite.a_lower in
+        let h = Sympiler.Cholesky.compile al in
+        let p = Sympiler.Cholesky.plan h in
+        Sympiler.Cholesky.refactor_ip p al;
+        let t_off = measure (fun () -> Sympiler.Cholesky.refactor_ip p al) in
+        (* Count the spans one steady call emits, then time the traced
+           path (ring wraparound during [measure] is fine: slots are
+           recycled, the dropped counter just advances). *)
+        Trace.enable ();
+        Trace.reset ();
+        Sympiler.Cholesky.refactor_ip p al;
+        let spans_per_call = Trace.span_count () in
+        let t_on = measure (fun () -> Sympiler.Cholesky.refactor_ip p al) in
+        let chrome = Trace.to_chrome_json () in
+        let folded = Trace.to_folded () in
+        Trace.disable ();
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        let chrome_ok =
+          String.length chrome > 2
+          && chrome.[0] = '{'
+          && contains chrome "traceEvents"
+        in
+        let folded_ok = String.length folded > 0 in
+        (* The disabled-path cost a steady call would pay: its span pairs
+           at the measured disabled pair price. *)
+        let overhead = float_of_int spans_per_call *. t_pair /. t_off in
+        let ok = overhead <= 0.02 && chrome_ok && folded_ok in
+        all_ok := !all_ok && ok;
+        Printf.printf "%-3d %-15s | %6d %8.2fms %8.2fms | %8.4f%% | %s\n" id
+          name spans_per_call (t_off *. 1e3) (t_on *. 1e3) (overhead *. 1e2)
+          (if chrome_ok && folded_ok then "ok" else "BROKEN");
+        Prof.Json.Obj
+          [
+            ("id", Prof.Json.Int id);
+            ("name", Prof.Json.Str name);
+            ("spans_per_call", Prof.Json.Int spans_per_call);
+            ("steady_seconds", Prof.Json.Float t_off);
+            ("traced_steady_seconds", Prof.Json.Float t_on);
+            ("overhead_fraction", Prof.Json.Float overhead);
+            ("chrome_export_ok", Prof.Json.Bool chrome_ok);
+            ("folded_export_ok", Prof.Json.Bool folded_ok);
+          ])
+      trace_ids
+  in
+  Printf.printf "disabled_overhead_ok=%b (gate: <= 2%% of steady call)\n"
+    !all_ok;
+  let doc =
+    Prof.Json.Obj
+      [
+        ("bench", Prof.Json.Str "trace");
+        ("quick", Prof.Json.Bool quick);
+        ("disabled_pair_ns", Prof.Json.Float (t_pair *. 1e9));
+        ("disabled_overhead_ok", Prof.Json.Bool !all_ok);
+        ("problems", Prof.Json.List problems);
+      ]
+  in
+  Out_channel.with_open_text "BENCH_trace.json" (fun oc ->
+      Out_channel.output_string oc (Prof.Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  section_note
+    "(overhead = spans/call x disabled pair cost / steady call time: what\n\
+    \ the instrumentation costs when tracing is off. Full data written to\n\
+    \ BENCH_trace.json)\n"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel variant: one Test.make per experiment. *)
 
 let bechamel_tests () =
@@ -832,6 +937,7 @@ let () =
       (if quick then ", --quick" else "");
     if run_section "phases" then phases ();
     if run_section "steady" then steady ();
+    if run_section "trace" then trace_bench ();
     if run_section "table2" then table2 ();
     if run_section "fig6" then fig6 ();
     if run_section "fig7" then fig7 ();

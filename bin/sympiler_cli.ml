@@ -6,7 +6,9 @@
      sympiler_cli cholesky --matrix m.mtx -o chol.c
      sympiler_cli trisolve --matrix m.mtx --rhs-fill 0.03 -o tri.c
      sympiler_cli analyze  --problem ecology2
-     sympiler_cli steady   --problem ecology2 --repeat 100 *)
+     sympiler_cli steady   --problem ecology2 --repeat 100
+     sympiler_cli explain  --problem ecology2 --json
+     sympiler_cli steady   --problem ecology2 --trace trace.json *)
 
 open Cmdliner
 open Sympiler_sparse
@@ -37,6 +39,24 @@ let with_profile profile f =
     r
   end
 
+(* With --trace FILE, run [f] with structured tracing on and write the
+   Chrome trace-event JSON (Perfetto-loadable) afterwards. Available on
+   every subcommand, composing with --profile. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Sympiler_trace.Trace.enable ();
+      let r = f () in
+      Sympiler_trace.Trace.disable ();
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Sympiler_trace.Trace.to_chrome_json ()));
+      Printf.eprintf "wrote %s (%d spans%s)\n" path
+        (Sympiler_trace.Trace.span_count ())
+        (let d = Sympiler_trace.Trace.dropped_spans () in
+         if d = 0 then "" else Printf.sprintf ", %d dropped" d);
+      r
+
 let output o s =
   match o with
   | None -> print_string s
@@ -46,7 +66,8 @@ let output o s =
 
 (* ---- analyze ---- *)
 
-let analyze matrix problem profile =
+let analyze matrix problem profile trace =
+  with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
   let al = Csc.lower a in
@@ -74,7 +95,8 @@ let analyze matrix problem profile =
 
 (* ---- cholesky codegen ---- *)
 
-let cholesky matrix problem out profile =
+let cholesky matrix problem out profile trace =
+  with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
   let al = Csc.lower a in
@@ -90,7 +112,8 @@ let cholesky matrix problem out profile =
 
 (* ---- trisolve codegen ---- *)
 
-let trisolve matrix problem rhs_fill out profile =
+let trisolve matrix problem rhs_fill out profile trace =
+  with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
   let l =
@@ -117,7 +140,8 @@ let trisolve matrix problem rhs_fill out profile =
    refactorizations into the same plan, reporting steady-state time per
    call, the GC minor-heap words each call allocates (0 = allocation-free),
    and the compilation cache's behaviour on a recompile. *)
-let steady matrix problem repeat profile =
+let steady matrix problem repeat profile trace =
+  with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let now = Sympiler_prof.Prof.now_seconds in
   let a = load ~matrix ~problem in
@@ -155,6 +179,54 @@ let steady matrix problem repeat profile =
     (h' == h) stats.Sympiler.Plan_cache.hits stats.Sympiler.Plan_cache.misses;
   0
 
+(* ---- explain ---- *)
+
+(* Symbolic "explain" report for one compiled handle: fill, etree,
+   histograms, level sets, the transformation decision log, and predicted
+   vs executed flops (one numeric execution runs under profiling so the
+   executed counter is populated). *)
+let explain matrix problem kernel rhs_fill json trace =
+  with_trace trace @@ fun () ->
+  let a = load ~matrix ~problem in
+  let was_on = Sympiler_prof.Prof.enabled () in
+  Sympiler_prof.Prof.reset ();
+  Sympiler_prof.Prof.enable ();
+  let report =
+    match kernel with
+    | `Cholesky ->
+        let al = Csc.lower a in
+        let t = Sympiler.Cholesky.compile al in
+        (* Populate the executed-flops counter; a numeric breakdown (e.g.
+           indefinite values) still leaves the symbolic report valid. *)
+        (try ignore (Sympiler.Cholesky.factor t al)
+         with
+        | Sympiler_kernels.Dense_blas.Not_positive_definite _
+        | Sympiler_kernels.Cholesky_ref.Not_positive_definite _ ->
+            Printf.eprintf
+              "note: numeric factorization failed (not PD); executed flops \
+               are partial\n");
+        Sympiler.Explain.cholesky t
+    | `Trisolve ->
+        let l =
+          if Csc.is_lower_triangular a then a
+          else begin
+            Printf.eprintf "input not triangular: factoring and using its L\n";
+            let t = Sympiler.Cholesky.compile (Csc.lower a) in
+            Sympiler.Cholesky.factor t (Csc.lower a)
+          end
+        in
+        let b =
+          Generators.sparse_rhs ~seed:1 ~n:l.Csc.ncols ~fill:rhs_fill ()
+        in
+        let t = Sympiler.Trisolve.compile l b in
+        ignore (Sympiler.Trisolve.solve t b);
+        Sympiler.Explain.trisolve t
+  in
+  if not was_on then Sympiler_prof.Prof.disable ();
+  if json then print_endline (Sympiler.Explain.to_json report)
+  else print_string (Sympiler.Explain.to_table report);
+  0
+
 (* ---- cmdliner wiring ---- *)
 
 let matrix_arg =
@@ -180,9 +252,27 @@ let repeat_arg =
     value & opt int 100
     & info [ "repeat"; "n" ] ~doc:"Steady-state refactorization count")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:"Write a Chrome trace-event JSON (Perfetto-loadable) to $(docv)"
+        ~docv:"FILE")
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (enum [ ("cholesky", `Cholesky); ("trisolve", `Trisolve) ]) `Cholesky
+    & info [ "kernel"; "k" ] ~doc:"Kernel to explain: cholesky or trisolve")
+
+let json_arg =
+  Arg.(
+    value & flag & info [ "json" ] ~doc:"Emit the report as JSON on stdout")
+
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Report symbolic analysis of a matrix")
-    Term.(const analyze $ matrix_arg $ problem_arg $ profile_arg)
+    Term.(const analyze $ matrix_arg $ problem_arg $ profile_arg $ trace_arg)
 
 let steady_cmd =
   Cmd.v
@@ -190,21 +280,35 @@ let steady_cmd =
        ~doc:
          "Measure steady-state Cholesky refactorization through a reusable \
           plan (compile once, execute many)")
-    Term.(const steady $ matrix_arg $ problem_arg $ repeat_arg $ profile_arg)
+    Term.(
+      const steady $ matrix_arg $ problem_arg $ repeat_arg $ profile_arg
+      $ trace_arg)
 
 let cholesky_cmd =
   Cmd.v (Cmd.info "cholesky" ~doc:"Emit specialized Cholesky C code")
-    Term.(const cholesky $ matrix_arg $ problem_arg $ out_arg $ profile_arg)
+    Term.(
+      const cholesky $ matrix_arg $ problem_arg $ out_arg $ profile_arg
+      $ trace_arg)
 
 let trisolve_cmd =
   Cmd.v (Cmd.info "trisolve" ~doc:"Emit specialized triangular-solve C code")
     Term.(
       const trisolve $ matrix_arg $ problem_arg $ rhs_fill_arg $ out_arg
-      $ profile_arg)
+      $ profile_arg $ trace_arg)
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain a compilation: fill, etree, histograms, level sets, the \
+          transformation decision log, predicted vs executed flops")
+    Term.(
+      const explain $ matrix_arg $ problem_arg $ kernel_arg $ rhs_fill_arg
+      $ json_arg $ trace_arg)
 
 let () =
   let doc = "Sympiler: sparsity-specific code generation for sparse kernels" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "sympiler_cli" ~doc)
-          [ analyze_cmd; cholesky_cmd; trisolve_cmd; steady_cmd ]))
+          [ analyze_cmd; cholesky_cmd; trisolve_cmd; steady_cmd; explain_cmd ]))

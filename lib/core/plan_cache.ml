@@ -85,11 +85,15 @@ let find_or_compile t ~pattern ?(extra = [||]) compile =
       t.hits <- t.hits + 1;
       if Prof.enabled () then
         Prof.counters.Prof.cache_hits <- Prof.counters.Prof.cache_hits + 1;
+      (* Tag the caller's enclosing span (e.g. "compile_cached.cholesky")
+         so traces show which compilations were free. *)
+      Sympiler_trace.Trace.set_attr "cache" (Sympiler_trace.Trace.Str "hit");
       e.value
   | None ->
       t.misses <- t.misses + 1;
       if Prof.enabled () then
         Prof.counters.Prof.cache_misses <- Prof.counters.Prof.cache_misses + 1;
+      Sympiler_trace.Trace.set_attr "cache" (Sympiler_trace.Trace.Str "miss");
       let value = compile () in
       if List.length t.entries >= t.capacity then evict_lru t;
       t.entries <- { hash; pattern; extra; value; last_use = t.tick } :: t.entries;

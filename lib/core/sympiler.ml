@@ -13,6 +13,7 @@ open Sympiler_prof
 module Suite = Suite
 module Codegen_supernodal = Codegen_supernodal
 module Plan_cache = Plan_cache
+module Trace = Sympiler_trace.Trace
 
 (* Wall-clock timing for the [symbolic_seconds] report fields, also fed to
    the profiling layer's "symbolic" scope (reentrant, so the inspectors'
@@ -40,6 +41,7 @@ module Trisolve = struct
     symbolic_seconds : float;
     reach : int array;
     flops : float;
+    decisions : Trace.decision list;
   }
 
   (* Symbolic inspection + inspector-guided planning for L x = b with the
@@ -49,6 +51,9 @@ module Trisolve = struct
       t =
     if not (Csc.is_lower_triangular l) then
       invalid_arg "Sympiler.Trisolve.compile: L must be lower triangular";
+    Trace.with_span "compile.trisolve"
+      ~attrs:[ ("n", Trace.Int l.Csc.ncols) ]
+    @@ fun () ->
     let compiled, symbolic_seconds =
       time_symbolic (fun () ->
           Trisolve_sympiler.compile ?vs_block_threshold ?max_width l b)
@@ -60,6 +65,7 @@ module Trisolve = struct
       symbolic_seconds;
       reach = compiled.Trisolve_sympiler.reach;
       flops = compiled.Trisolve_sympiler.flops;
+      decisions = compiled.Trisolve_sympiler.decisions;
     }
 
   (* Compilation cache: keyed on L's structure plus the RHS pattern and
@@ -69,6 +75,7 @@ module Trisolve = struct
 
   let compile_cached ?(cache = default_cache) ?vs_block_threshold ?max_width
       (l : Csc.t) (b : Vector.sparse) : t =
+    Trace.with_span "compile_cached.trisolve" @@ fun () ->
     let nb = Array.length b.Vector.indices in
     let extra = Array.make (3 + nb) 0 in
     extra.(0) <- fp_threshold vs_block_threshold;
@@ -133,6 +140,7 @@ module Cholesky = struct
     symbolic_seconds : float;
     flops : float;
     nnz_l : int;
+    decisions : Trace.decision list;
   }
 
   (* Compile Cholesky for the pattern of lower-triangular [a_lower]. The
@@ -144,38 +152,70 @@ module Cholesky = struct
       ?(vs_block_threshold = 2.0) ?max_width (a_lower : Csc.t) : t =
     if not (Csc.is_lower_triangular a_lower) then
       invalid_arg "Sympiler.Cholesky.compile: pass lower(A)";
-    let (sup, simp, flops, nnz_l), symbolic_seconds =
+    Trace.with_span "compile.cholesky"
+      ~attrs:[ ("n", Trace.Int a_lower.Csc.ncols) ]
+    @@ fun () ->
+    let (sup, simp, flops, nnz_l, decisions), symbolic_seconds =
       time_symbolic (fun () ->
           (* One shared symbolic factorization; the variant decision (the
              paper's VS-Block threshold) is taken on the cheap supernode
              statistics before any variant-specific planning is built. *)
           let fill = Sympiler_symbolic.Fill_pattern.analyze a_lower in
           let flops = Sympiler_symbolic.Fill_pattern.flops fill in
+          let n = a_lower.Csc.ncols in
           let nnz_l =
-            fill.Sympiler_symbolic.Fill_pattern.l_pattern.Csc.colptr.(a_lower
-                                                                        .Csc
-                                                                        .ncols)
+            fill.Sympiler_symbolic.Fill_pattern.l_pattern.Csc.colptr.(n)
           in
-          let go_supernodal =
+          let go_supernodal, avg_width =
             match variant with
-            | Simplicial -> false
+            | Simplicial -> (false, Float.nan (* forced: never measured *))
             | Supernodal ->
                 let sn =
                   Sympiler_symbolic.Supernodes.detect_etree ?max_width
                     ~counts:fill.Sympiler_symbolic.Fill_pattern.counts
                     ~parent:fill.Sympiler_symbolic.Fill_pattern.parent ()
                 in
-                Sympiler_symbolic.Supernodes.avg_width sn >= vs_block_threshold
+                let w = Sympiler_symbolic.Supernodes.avg_width sn in
+                (w >= vs_block_threshold, w)
           in
+          let d_vs =
+            {
+              Trace.pass = "vs-block";
+              fired = go_supernodal;
+              metric = "avg_supernode_width";
+              value = avg_width;
+              threshold = vs_block_threshold;
+            }
+          in
+          (* VI-Prune always fires for Cholesky: the prune-sets are baked
+             into both variants. Its measured quantity is the fraction of
+             the dense n*(n-1)/2 candidate updates the pattern removed. *)
+          let d_vi =
+            {
+              Trace.pass = "vi-prune";
+              fired = true;
+              metric = "pruned_iteration_ratio";
+              value =
+                (if n < 2 then 0.0
+                 else
+                   1.0
+                   -. float_of_int (nnz_l - n)
+                      /. (float_of_int n *. float_of_int (n - 1) /. 2.0));
+              threshold = 0.0;
+            }
+          in
+          Trace.decision d_vi;
+          Trace.decision d_vs;
+          let decisions = [ d_vi; d_vs ] in
           if go_supernodal then
             let c =
               Cholesky_supernodal.Sympiler.compile ~fill ?max_width
                 ~specialized a_lower
             in
-            (Some c, None, flops, nnz_l)
+            (Some c, None, flops, nnz_l, decisions)
           else
             let d = Cholesky_ref.Decoupled.compile ~fill a_lower in
-            (None, Some d, flops, nnz_l))
+            (None, Some d, flops, nnz_l, decisions))
     in
     let variant = if sup = None then Simplicial else variant in
     {
@@ -186,6 +226,7 @@ module Cholesky = struct
       symbolic_seconds;
       flops;
       nnz_l;
+      decisions;
     }
 
   (* Compilation cache: keyed on lower(A)'s structure plus the compile
@@ -196,6 +237,7 @@ module Cholesky = struct
   let compile_cached ?(cache = default_cache) ?(variant = Supernodal)
       ?(specialized = true) ?(vs_block_threshold = 2.0) ?max_width
       (a_lower : Csc.t) : t =
+    Trace.with_span "compile_cached.cholesky" @@ fun () ->
     let extra =
       [|
         (match variant with Supernodal -> 0 | Simplicial -> 1);
@@ -277,3 +319,227 @@ module Cholesky = struct
     | None ->
         (Sympiler_ir.Pipeline.cholesky t.pattern).Sympiler_ir.Pipeline.c_code
 end
+
+(* Symbolic "explain" reports: what the inspectors measured and what the
+   transformations decided, for one compiled handle. Everything here is
+   diagnostic-path code — it may recompute symbolic quantities freely. *)
+module Explain = struct
+  type histogram = (string * int) list
+
+  type report = {
+    kernel : string; (* "cholesky" | "trisolve" *)
+    n : int;
+    nnz_a : int;
+    nnz_l : int;
+    fill_ratio : float; (* nnz(L) / nnz(A); 0 for empty patterns *)
+    etree_height : int;
+    col_count_hist : histogram;
+    supernode_width_hist : histogram;
+    avg_supernode_width : float;
+    level_depth : int; (* level sets of L's dependence graph *)
+    max_level_width : int;
+    decisions : Trace.decision list;
+    predicted_flops : float; (* symbolic flop model of the handle *)
+    executed_flops : int; (* Prof.counters snapshot; 0 when profiling off *)
+    symbolic_seconds : float;
+  }
+
+  let safe_div a b = if b = 0.0 then 0.0 else a /. b
+
+  (* Power-of-two buckets [1,1] [2,2] [3,4] [5,8] ... up to the max value;
+     empty input yields the empty histogram. *)
+  let histogram (values : int array) : histogram =
+    if Array.length values = 0 then []
+    else begin
+      let vmax = Array.fold_left max 1 values in
+      let rec buckets lo hi acc =
+        if lo > vmax then List.rev acc
+        else
+          let label =
+            if lo = hi then string_of_int lo else Printf.sprintf "%d-%d" lo hi
+          in
+          buckets (hi + 1) (hi * 2) ((label, lo, hi) :: acc)
+      in
+      List.map
+        (fun (label, lo, hi) ->
+          ( label,
+            Array.fold_left
+              (fun acc v -> if v >= lo && v <= hi then acc + 1 else acc)
+              0 values ))
+        (buckets 1 1 [])
+    end
+
+  let etree_height (parent : int array) : int =
+    if Array.length parent = 0 then 0
+    else 1 + Array.fold_left max 0 (Sympiler_symbolic.Etree.depths parent)
+
+  (* Level-set statistics of a lower-triangular pattern. *)
+  let level_stats (l : Csc.t) : int * int =
+    if l.Csc.ncols = 0 then (0, 0)
+    else begin
+      let c = Trisolve_parallel.compile l in
+      let maxw = ref 0 in
+      for lv = 0 to c.Trisolve_parallel.nlevels - 1 do
+        maxw :=
+          max !maxw
+            (c.Trisolve_parallel.level_ptr.(lv + 1)
+            - c.Trisolve_parallel.level_ptr.(lv))
+      done;
+      (c.Trisolve_parallel.nlevels, !maxw)
+    end
+
+  let cholesky (t : Cholesky.t) : report =
+    Trace.with_span "explain.cholesky" @@ fun () ->
+    let a = t.Cholesky.pattern in
+    let n = a.Csc.ncols in
+    let nnz_a = Csc.nnz a in
+    let fill = Sympiler_symbolic.Fill_pattern.analyze a in
+    let sn =
+      Sympiler_symbolic.Supernodes.detect_etree
+        ~counts:fill.Sympiler_symbolic.Fill_pattern.counts
+        ~parent:fill.Sympiler_symbolic.Fill_pattern.parent ()
+    in
+    let depth, maxw =
+      level_stats fill.Sympiler_symbolic.Fill_pattern.l_pattern
+    in
+    {
+      kernel = "cholesky";
+      n;
+      nnz_a;
+      nnz_l = t.Cholesky.nnz_l;
+      fill_ratio =
+        safe_div (float_of_int t.Cholesky.nnz_l) (float_of_int nnz_a);
+      etree_height =
+        etree_height fill.Sympiler_symbolic.Fill_pattern.parent;
+      col_count_hist =
+        histogram fill.Sympiler_symbolic.Fill_pattern.counts;
+      supernode_width_hist =
+        histogram (Sympiler_symbolic.Supernodes.widths sn);
+      avg_supernode_width = Sympiler_symbolic.Supernodes.avg_width sn;
+      level_depth = depth;
+      max_level_width = maxw;
+      decisions = t.Cholesky.decisions;
+      predicted_flops = t.Cholesky.flops;
+      executed_flops = Prof.counters.Prof.flops;
+      symbolic_seconds = t.Cholesky.symbolic_seconds;
+    }
+
+  let trisolve (t : Trisolve.t) : report =
+    Trace.with_span "explain.trisolve" @@ fun () ->
+    let l = t.Trisolve.l in
+    let n = l.Csc.ncols in
+    let nnz = Csc.nnz l in
+    let parent = Sympiler_symbolic.Etree.compute l in
+    let sn = t.Trisolve.compiled.Trisolve_sympiler.sn in
+    let counts =
+      Array.init n (fun j -> l.Csc.colptr.(j + 1) - l.Csc.colptr.(j))
+    in
+    let depth, maxw = level_stats l in
+    {
+      kernel = "trisolve";
+      n;
+      nnz_a = nnz;
+      nnz_l = nnz;
+      fill_ratio = (if nnz = 0 then 0.0 else 1.0);
+      etree_height = etree_height parent;
+      col_count_hist = histogram counts;
+      supernode_width_hist =
+        histogram (Sympiler_symbolic.Supernodes.widths sn);
+      avg_supernode_width = Sympiler_symbolic.Supernodes.avg_width sn;
+      level_depth = depth;
+      max_level_width = maxw;
+      decisions = t.Trisolve.decisions;
+      predicted_flops = t.Trisolve.flops;
+      executed_flops = Prof.counters.Prof.flops;
+      symbolic_seconds = t.Trisolve.symbolic_seconds;
+    }
+
+  module Json = Prof.Json
+
+  let decision_json (d : Trace.decision) =
+    Json.Obj
+      [
+        ("pass", Json.Str d.Trace.pass);
+        ("fired", Json.Bool d.Trace.fired);
+        ("metric", Json.Str d.Trace.metric);
+        ("value", Json.Float d.Trace.value);
+        ("threshold", Json.Float d.Trace.threshold);
+      ]
+
+  let hist_json (h : histogram) =
+    Json.Obj (List.map (fun (label, c) -> (label, Json.Int c)) h)
+
+  let to_json (r : report) : string =
+    Json.to_string
+      (Json.Obj
+         [
+           ("kernel", Json.Str r.kernel);
+           ("n", Json.Int r.n);
+           ("nnz_a", Json.Int r.nnz_a);
+           ("nnz_l", Json.Int r.nnz_l);
+           ("fill_ratio", Json.Float r.fill_ratio);
+           ("etree_height", Json.Int r.etree_height);
+           ("col_count_hist", hist_json r.col_count_hist);
+           ("supernode_width_hist", hist_json r.supernode_width_hist);
+           ("avg_supernode_width", Json.Float r.avg_supernode_width);
+           ("level_depth", Json.Int r.level_depth);
+           ("max_level_width", Json.Int r.max_level_width);
+           ("decisions", Json.List (List.map decision_json r.decisions));
+           ("predicted_flops", Json.Float r.predicted_flops);
+           ("executed_flops", Json.Int r.executed_flops);
+           ("symbolic_seconds", Json.Float r.symbolic_seconds);
+         ])
+
+  (* Aligned two-column table; histogram and decision rows are indented
+     under their headers. The label column is sized to the longest label. *)
+  let to_table (r : report) : string =
+    let hist_rows prefix h =
+      List.filter_map
+        (fun (label, c) ->
+          if c = 0 then None
+          else Some (Printf.sprintf "%s[%s]" prefix label, string_of_int c))
+        h
+    in
+    let decision_rows =
+      List.map
+        (fun (d : Trace.decision) ->
+          ( Printf.sprintf "decision[%s]" d.Trace.pass,
+            Printf.sprintf "%s (%s = %g, threshold %g)"
+              (if d.Trace.fired then "fired" else "declined")
+              d.Trace.metric d.Trace.value d.Trace.threshold ))
+        r.decisions
+    in
+    let rows =
+      [
+        ("kernel", r.kernel);
+        ("n", string_of_int r.n);
+        ("nnz(A)", string_of_int r.nnz_a);
+        ("nnz(L)", string_of_int r.nnz_l);
+        ("fill ratio", Printf.sprintf "%.3f" r.fill_ratio);
+        ("etree height", string_of_int r.etree_height);
+      ]
+      @ hist_rows "col count " r.col_count_hist
+      @ hist_rows "sn width " r.supernode_width_hist
+      @ [
+          ("avg supernode width", Printf.sprintf "%.3f" r.avg_supernode_width);
+          ("level depth", string_of_int r.level_depth);
+          ("max level width", string_of_int r.max_level_width);
+        ]
+      @ decision_rows
+      @ [
+          ("predicted flops", Printf.sprintf "%.0f" r.predicted_flops);
+          ("executed flops", string_of_int r.executed_flops);
+          ("symbolic seconds", Printf.sprintf "%.6f" r.symbolic_seconds);
+        ]
+    in
+    let w =
+      List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+    in
+    let buf = Buffer.create 512 in
+    List.iter
+      (fun (l, v) -> Buffer.add_string buf (Printf.sprintf "%-*s  %s\n" w l v))
+      rows;
+    Buffer.contents buf
+end
+
+let explain = Explain.cholesky

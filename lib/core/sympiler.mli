@@ -17,6 +17,11 @@ module Plan_cache = Plan_cache
 (** Pattern-keyed LRU cache of compiled handles (see
     {!Trisolve.compile_cached} and {!Cholesky.compile_cached}). *)
 
+module Trace = Sympiler_trace.Trace
+(** Structured trace spans over the whole compile/execute pipeline
+    (re-exported for convenience): enable with [Trace.enable ()], export
+    with [Trace.to_chrome_json] / [Trace.to_folded]. *)
+
 (** Sparse triangular solve [L x = b] with a sparse right-hand side. *)
 module Trisolve : sig
   type t = {
@@ -26,6 +31,10 @@ module Trisolve : sig
     symbolic_seconds : float;  (** one-time inspection + planning cost *)
     reach : int array;  (** the reach-set (VI-Prune inspection set) *)
     flops : float;  (** useful flops of the pruned numeric solve *)
+    decisions : Trace.decision list;
+        (** transformation decision log: VI-Prune (pruned-iteration ratio)
+            and VS-Block (fired/declined with the measured average reached
+            supernode width) *)
   }
 
   val compile : ?vs_block_threshold:float -> ?max_width:int -> Csc.t -> Vector.sparse -> t
@@ -83,6 +92,11 @@ module Cholesky : sig
     symbolic_seconds : float;
     flops : float;
     nnz_l : int;
+    decisions : Trace.decision list;
+        (** transformation decision log: VI-Prune (pruned-iteration ratio
+            vs the dense update count) and VS-Block (fired/declined with
+            the measured average supernode width vs [vs_block_threshold];
+            the width is [nan] when [Simplicial] was forced) *)
   }
 
   val compile :
@@ -150,3 +164,41 @@ module Cholesky : sig
   (** Specialized C: the supernodal driver with its baked-in schedule, or
       the fully specialized simplicial kernel from the AST pipeline. *)
 end
+
+(** Symbolic "explain" reports: what the inspectors measured and what the
+    transformations decided, for one compiled handle. Diagnostic path —
+    recomputes symbolic quantities freely; not for steady-state loops. *)
+module Explain : sig
+  type histogram = (string * int) list
+  (** Power-of-two buckets, label to count: [1], [2], [3-4], [5-8], … *)
+
+  type report = {
+    kernel : string;  (** "cholesky" or "trisolve" *)
+    n : int;
+    nnz_a : int;
+    nnz_l : int;
+    fill_ratio : float;  (** nnz(L) / nnz(A); 0 for empty patterns *)
+    etree_height : int;
+    col_count_hist : histogram;  (** nnz per column of L *)
+    supernode_width_hist : histogram;
+    avg_supernode_width : float;
+    level_depth : int;  (** level sets of L's dependence graph *)
+    max_level_width : int;
+    decisions : Trace.decision list;  (** the handle's decision log *)
+    predicted_flops : float;  (** symbolic flop model of the handle *)
+    executed_flops : int;
+        (** current {!Sympiler_prof.Prof.counters} flops snapshot — run the
+            numeric phase under profiling before reading; 0 otherwise *)
+    symbolic_seconds : float;
+  }
+
+  val cholesky : Cholesky.t -> report
+  val trisolve : Trisolve.t -> report
+
+  val to_json : report -> string
+  val to_table : report -> string
+  (** Aligned two-column text rendering (label column sized to fit). *)
+end
+
+val explain : Cholesky.t -> Explain.report
+(** Shorthand for {!Explain.cholesky}. *)

@@ -10,10 +10,24 @@ open Sympiler_prof
    Every pass reports its time to the profiling layer: inspector runs under
    the "symbolic" scope, AST work under "codegen" plus a per-pass
    "codegen:<pass>" sub-scope — so `sympiler_cli --profile` and the phases
-   bench can attribute compile time to individual passes. *)
+   bench can attribute compile time to individual passes. Each pass also
+   opens a trace span of the same name, and the transformation passes
+   record decision events (fired/declined plus the measured quantity that
+   drove the choice) for `sympiler explain` and trace exports. *)
 
-let pass name f = Prof.time "codegen" (fun () -> Prof.time name f)
-let inspect f = Prof.time "symbolic" f
+module Trace = Sympiler_trace.Trace
+
+let pass name f =
+  Prof.time "codegen" (fun () ->
+      Prof.time name (fun () -> Trace.with_span name f))
+
+let inspect f =
+  Prof.time "symbolic" (fun () -> Trace.with_span "symbolic.inspect" f)
+
+(* Pruned-iteration ratio of a VI-Prune set over an n-iteration loop:
+   fraction of iterations the transformation removed. *)
+let pruned_ratio ~n kept =
+  if n = 0 then 0.0 else 1.0 -. (float_of_int kept /. float_of_int n)
 
 type result = {
   kernel : Ast.kernel;
@@ -27,6 +41,7 @@ type result = {
    VI-Prune, the ordering §4.2 finds superior. *)
 let trisolve ?(vs_block = true) ?(vi_prune = true) ?(low_level = true)
     ?(peel_threshold = 2) ?max_width (l : Csc.t) (b : Vector.sparse) : result =
+  Trace.with_span "pipeline.trisolve" @@ fun () ->
   let kernel = pass "codegen:lower" (fun () -> Build.lower_trisolve l) in
   let inspectors = ref [] in
   let kernel, tmp_size, prune_set, peel =
@@ -38,6 +53,14 @@ let trisolve ?(vs_block = true) ?(vi_prune = true) ?(low_level = true)
         | Inspector.Block_set sn -> sn
         | _ -> assert false
       in
+      Trace.decision
+        {
+          Trace.pass = "vs-block";
+          fired = true;
+          metric = "avg_supernode_width";
+          value = Supernodes.avg_width sn;
+          threshold = 0.0;
+        };
       let kernel =
         pass "codegen:vs-block" (fun () -> Vs_block.apply_trisolve l sn kernel)
       in
@@ -56,6 +79,14 @@ let trisolve ?(vs_block = true) ?(vi_prune = true) ?(low_level = true)
         if hit.(s) then seq := s :: !seq
       done;
       let prune_set = Array.of_list !seq in
+      Trace.decision
+        {
+          Trace.pass = "vi-prune";
+          fired = vi_prune;
+          metric = "pruned_iteration_ratio";
+          value = pruned_ratio ~n:(Supernodes.nsuper sn) (Array.length prune_set);
+          threshold = 0.0;
+        };
       (* Peel width-1 blocks: they reduce to the scalar column update. *)
       let peel =
         Vi_prune.peel_positions
@@ -73,6 +104,22 @@ let trisolve ?(vs_block = true) ?(vi_prune = true) ?(low_level = true)
         | Inspector.Prune_set r -> r
         | _ -> assert false
       in
+      Trace.decision
+        {
+          Trace.pass = "vs-block";
+          fired = false;
+          metric = "avg_supernode_width";
+          value = Float.nan (* declined by configuration: never measured *);
+          threshold = 0.0;
+        };
+      Trace.decision
+        {
+          Trace.pass = "vi-prune";
+          fired = vi_prune;
+          metric = "pruned_iteration_ratio";
+          value = pruned_ratio ~n:l.Csc.ncols (Array.length reach);
+          threshold = 0.0;
+        };
       (* Figure 1e peels reach-set iterations whose column count exceeds
          the threshold. *)
       let peel =
@@ -106,8 +153,21 @@ let trisolve ?(vs_block = true) ?(vi_prune = true) ?(low_level = true)
    [Build.lower_cholesky], matching the paper's Figure 7 baseline); the
    low-level stage applies scalar replacement and distribution. *)
 let cholesky ?(low_level = true) (a_lower : Csc.t) : result =
+  Trace.with_span "pipeline.cholesky" @@ fun () ->
   let fill = Fill_pattern.analyze a_lower in
   let insp = Inspector.cholesky_vi_prune fill in
+  (* The baked-in prune-sets iterate nnz(L) - n row entries instead of the
+     dense n*(n-1)/2 candidate updates of the unpruned loop nest. *)
+  let n = fill.Fill_pattern.n in
+  let dense_updates = n * (n - 1) / 2 in
+  Trace.decision
+    {
+      Trace.pass = "vi-prune";
+      fired = true;
+      metric = "pruned_iteration_ratio";
+      value = pruned_ratio ~n:dense_updates (Fill_pattern.nnz_l fill - n);
+      threshold = 0.0;
+    };
   let kernel = pass "codegen:lower" (fun () -> Build.lower_cholesky a_lower) in
   let kernel =
     if low_level then pass "codegen:low-level" (fun () -> Lowlevel.apply kernel)

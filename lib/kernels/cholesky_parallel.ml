@@ -89,7 +89,7 @@ let make_plan ?(ndomains = 2) (c : compiled) : plan =
     l;
   }
 
-let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+let factor_ip_body (p : plan) (a_lower : Csc.t) : unit =
   let c = p.c in
   let lx = p.lx in
   let relpos = p.relpos in
@@ -116,6 +116,16 @@ let factor_ip (p : plan) (a_lower : Csc.t) : unit =
       List.iter Domain.join domains
     end
   done
+
+(* Spanned entry point: single-bool no-op when tracing is off; the [try]
+   keeps the span stack balanced across [Not_positive_definite]. *)
+let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+  Sympiler_trace.Trace.begin_span "factor_ip.cholesky_parallel";
+  (try factor_ip_body p a_lower
+   with e ->
+     Sympiler_trace.Trace.end_span ();
+     raise e);
+  Sympiler_trace.Trace.end_span ()
 
 (* One-shot allocating wrapper (fresh plan = fresh factor arrays). *)
 let factor ?(ndomains = 2) (c : compiled) (a_lower : Csc.t) : Csc.t =

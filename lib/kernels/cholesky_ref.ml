@@ -163,7 +163,7 @@ module Decoupled = struct
      symbolic work — no transpose, no etree traversals, no pattern stacks:
      the reach function and matrix transpose are gone from the numeric
      code, exactly as §4.2 describes. *)
-  let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+  let factor_ip_body (p : plan) (a_lower : Csc.t) : unit =
     let c = p.c in
     let n = c.n in
     let av = a_lower.Csc.values in
@@ -209,6 +209,16 @@ module Decoupled = struct
       k.Sympiler_prof.Prof.nnz_touched <-
         k.Sympiler_prof.Prof.nnz_touched + lp.(n)
     end
+
+  (* Spanned entry point: single-bool no-op when tracing is off; the [try]
+     keeps the span stack balanced across [Not_positive_definite]. *)
+  let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+    Sympiler_trace.Trace.begin_span "factor_ip.cholesky_simplicial";
+    (try factor_ip_body p a_lower
+     with e ->
+       Sympiler_trace.Trace.end_span ();
+       raise e);
+    Sympiler_trace.Trace.end_span ()
 
   (* One-shot allocating wrapper (fresh plan = fresh factor arrays). *)
   let factor (c : compiled) (a_lower : Csc.t) : Csc.t =

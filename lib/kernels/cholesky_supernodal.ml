@@ -374,7 +374,7 @@ module Sympiler = struct
 
   (* Numeric phase: no transpose, no list maintenance — just arithmetic
      driven by the baked-in schedule, writing into the plan's storage. *)
-  let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+  let factor_ip_body (p : plan) (a_lower : Csc.t) : unit =
     let c = p.c in
     let an = c.an in
     let nsuper = Supernodes.nsuper an.sn in
@@ -398,6 +398,17 @@ module Sympiler = struct
       end
     done;
     record_factor an
+
+  (* Spanned entry point: the begin/end pair is a single-bool no-op while
+     tracing is disabled, so the steady state stays allocation-free; the
+     [try] keeps the span stack balanced across [Not_positive_definite]. *)
+  let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+    Sympiler_trace.Trace.begin_span "factor_ip.cholesky_supernodal";
+    (try factor_ip_body p a_lower
+     with e ->
+       Sympiler_trace.Trace.end_span ();
+       raise e);
+    Sympiler_trace.Trace.end_span ()
 
   (* One-shot allocating wrapper: a fresh plan per call keeps the original
      value semantics (every factor owns its arrays). *)

@@ -78,7 +78,7 @@ let make_plan (c : compiled) : plan =
 
 (* Numeric IC(0) factorization; values of [a_lower] may change between
    calls as long as the pattern matches the compiled one. *)
-let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+let factor_ip_body (p : plan) (a_lower : Csc.t) : unit =
   let c = p.c in
   let n = c.n in
   let lp = c.colptr and li = c.rowind in
@@ -132,6 +132,16 @@ let factor_ip (p : plan) (a_lower : Csc.t) : unit =
     k.Prof.flops <- k.Prof.flops + !fl;
     k.Prof.nnz_touched <- k.Prof.nnz_touched + lp.(n)
   end
+
+(* Spanned entry point: single-bool no-op when tracing is off; the [try]
+   keeps the span stack balanced across [Not_positive_definite]. *)
+let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+  Sympiler_trace.Trace.begin_span "factor_ip.ic0";
+  (try factor_ip_body p a_lower
+   with e ->
+     Sympiler_trace.Trace.end_span ();
+     raise e);
+  Sympiler_trace.Trace.end_span ()
 
 (* One-shot allocating wrapper (fresh plan = fresh factor arrays). *)
 let factor (c : compiled) (a_lower : Csc.t) : Csc.t =

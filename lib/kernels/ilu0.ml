@@ -60,7 +60,7 @@ let make_plan (c : compiled) : plan =
     f = { c; values = Array.make c.rowptr.(c.n) 0.0 };
   }
 
-let factor_ip (p : plan) (a : Csc.t) : unit =
+let factor_ip_body (p : plan) (a : Csc.t) : unit =
   let c = p.c in
   let v = p.f.values in
   let av = a.Csc.values in
@@ -111,6 +111,16 @@ let factor_ip (p : plan) (a : Csc.t) : unit =
     k.Prof.flops <- k.Prof.flops + !fl;
     k.Prof.nnz_touched <- k.Prof.nnz_touched + c.rowptr.(c.n)
   end
+
+(* Spanned entry point: single-bool no-op when tracing is off; the [try]
+   keeps the span stack balanced across [Zero_pivot]. *)
+let factor_ip (p : plan) (a : Csc.t) : unit =
+  Sympiler_trace.Trace.begin_span "factor_ip.ilu0";
+  (try factor_ip_body p a
+   with e ->
+     Sympiler_trace.Trace.end_span ();
+     raise e);
+  Sympiler_trace.Trace.end_span ()
 
 (* One-shot allocating wrapper (fresh plan = fresh factor values). *)
 let factor (c : compiled) (a : Csc.t) : factors =

@@ -62,7 +62,7 @@ let make_plan (c : compiled) : plan =
 
 (* Numeric phase: up-looking, no symbolic work. Row k solves
    L(0:k-1,0:k-1) D y = A(0:k-1,k) along the precomputed pattern. *)
-let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+let factor_ip_body (p : plan) (a_lower : Csc.t) : unit =
   let c = p.c in
   let n = c.n in
   let av = a_lower.Csc.values in
@@ -104,6 +104,16 @@ let factor_ip (p : plan) (a_lower : Csc.t) : unit =
     lx.(lp.(k)) <- 1.0;
     nzcount.(k) <- 1
   done
+
+(* Spanned entry point: single-bool no-op when tracing is off; the [try]
+   keeps the span stack balanced across [Zero_pivot]. *)
+let factor_ip (p : plan) (a_lower : Csc.t) : unit =
+  Sympiler_trace.Trace.begin_span "factor_ip.ldlt";
+  (try factor_ip_body p a_lower
+   with e ->
+     Sympiler_trace.Trace.end_span ();
+     raise e);
+  Sympiler_trace.Trace.end_span ()
 
 (* One-shot allocating wrapper (fresh plan = fresh factor arrays). *)
 let factor (c : compiled) (a_lower : Csc.t) : factors =

@@ -110,7 +110,7 @@ module Sympiler = struct
     { c; lx; ux; x = Array.make n 0.0; f = { l; u } }
 
   (* Numeric phase: no DFS, no pattern work. *)
-  let factor_ip (p : plan) (a : Csc.t) : unit =
+  let factor_ip_body (p : plan) (a : Csc.t) : unit =
     let c = p.c in
     let n = c.n in
     let lx = p.lx in
@@ -155,6 +155,16 @@ module Sympiler = struct
       k.Prof.nnz_touched <-
         k.Prof.nnz_touched + c.l_colptr.(n) + c.u_colptr.(n)
     end
+
+  (* Spanned entry point: single-bool no-op when tracing is off; the [try]
+     keeps the span stack balanced across [Zero_pivot]. *)
+  let factor_ip (p : plan) (a : Csc.t) : unit =
+    Sympiler_trace.Trace.begin_span "factor_ip.lu";
+    (try factor_ip_body p a
+     with e ->
+       Sympiler_trace.Trace.end_span ();
+       raise e);
+    Sympiler_trace.Trace.end_span ()
 
   (* One-shot allocating wrapper (fresh plan = fresh factor arrays). *)
   let factor (c : compiled) (a : Csc.t) : factors =

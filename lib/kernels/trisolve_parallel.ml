@@ -197,9 +197,13 @@ let solve_ip (p : plan) (b : float array) : float array =
   let n = Array.length p.x in
   if Array.length b <> n then
     invalid_arg "Trisolve_parallel.solve_ip: RHS dimension mismatch";
+  (* Span begins after validation so an invalid call leaves no open span;
+     the body itself cannot raise. *)
+  Sympiler_trace.Trace.begin_span "solve_ip.trisolve_parallel";
   Array.blit b 0 p.x 0 n;
   if Array.length p.bufs <= 1 then solve_ip_sequential p.c p.x
   else solve_ip_parallel_with p.bufs p.c p.x;
+  Sympiler_trace.Trace.end_span ();
   p.x
 
 (* Schedule validation used by tests: every dependence edge crosses levels

@@ -29,6 +29,8 @@ type compiled = {
       (* compile-time decision: process the reach-set column by column
          (scalar code) instead of block by block — chosen when supernodes
          are too narrow or would waste too much work on unreached columns *)
+  decisions : Sympiler_trace.Trace.decision list;
+      (* decision log: VS-Block and VI-Prune, with measured quantities *)
 }
 
 (* VS-Block is worthwhile only when participating supernodes are large
@@ -100,6 +102,34 @@ let compile ?(vs_block_threshold = 1.6) ?(waste_threshold = 0.1) ?max_width
     c.Prof.iters_pruned <-
       c.Prof.iters_pruned + (l.Csc.ncols - Array.length reach)
   end;
+  (* Decision log: what the inspectors measured and which way each
+     transformation went — recorded on the handle for explain reports and
+     into the trace as instant events. *)
+  let open Sympiler_trace in
+  let d_vs =
+    {
+      Trace.pass = "vs-block";
+      fired = not columnwise;
+      metric = "avg_reached_supernode_width";
+      value = avg_reached_width;
+      threshold = vs_block_threshold;
+    }
+  in
+  let d_vi =
+    {
+      Trace.pass = "vi-prune";
+      fired = true;
+      metric = "pruned_iteration_ratio";
+      value =
+        (if l.Csc.ncols = 0 then 0.0
+         else
+           1.0
+           -. (float_of_int (Array.length reach) /. float_of_int l.Csc.ncols));
+      threshold = 0.0;
+    }
+  in
+  Trace.decision d_vi;
+  Trace.decision d_vs;
   {
     l;
     reach;
@@ -115,6 +145,7 @@ let compile ?(vs_block_threshold = 1.6) ?(waste_threshold = 0.1) ?max_width
     tmp = Array.make !max_below 0.0;
     flops = Trisolve_ref.flops l reach;
     columnwise;
+    decisions = [ d_vi; d_vs ];
   }
 
 (* Process one supernode with generic block kernels. *)
@@ -257,5 +288,7 @@ let load_rhs (p : plan) (b : Vector.sparse) =
 
 let solve_ip (p : plan) (b : Vector.sparse) : float array =
   load_rhs p b;
+  Sympiler_trace.Trace.begin_span "solve_ip.trisolve";
   solve_full_ip p.c p.x;
+  Sympiler_trace.Trace.end_span ();
   p.x

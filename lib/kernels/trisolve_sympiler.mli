@@ -25,6 +25,10 @@ type compiled = {
           instead of block by block — taken when supernodes are too narrow
           or block processing would waste too much work on unreached
           columns (the paper's VS-Block profitability threshold, §4.2) *)
+  decisions : Sympiler_trace.Trace.decision list;
+      (** the transformation decision log behind [columnwise]: VS-Block
+          (fired/declined with the measured average reached-supernode
+          width) and VI-Prune (with the pruned-iteration ratio) *)
 }
 
 val compile :

@@ -103,17 +103,24 @@ let time name f =
 
 let seconds_of_ns ns = Int64.to_float ns /. 1e9
 
+(* Accumulated time including the in-flight (still-open) outermost span, so
+   a snapshot taken mid-phase — the CLI printing a table while a solve is
+   running under the same scope — does not under-report elapsed time. *)
+let live_total_ns s =
+  if s.depth > 0 then Int64.add s.total_ns (Int64.sub (now_ns ()) s.started)
+  else s.total_ns
+
 let scope_seconds name =
   match Hashtbl.find_opt scopes_tbl name with
   | None -> 0.0
-  | Some s -> seconds_of_ns s.total_ns
+  | Some s -> seconds_of_ns (live_total_ns s)
 
 let scope_entries name =
   match Hashtbl.find_opt scopes_tbl name with None -> 0 | Some s -> s.entries
 
 let scopes () =
   Hashtbl.fold
-    (fun name s acc -> (name, seconds_of_ns s.total_ns, s.entries) :: acc)
+    (fun name s acc -> (name, seconds_of_ns (live_total_ns s), s.entries) :: acc)
     scopes_tbl []
   |> List.sort compare
 
@@ -229,16 +236,8 @@ let to_json () =
        ])
 
 let table () =
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf "phase                        seconds     entries\n";
-  List.iter
-    (fun (name, secs, entries) ->
-      Buffer.add_string buf
-        (Printf.sprintf "%-24s %11.6f %11d\n" name secs entries))
-    (scopes ());
-  Buffer.add_string buf "counter                        value\n";
-  List.iter
-    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%-24s %11s\n" name v))
+  let phases = scopes () in
+  let counter_rows =
     [
       ("flops", string_of_int counters.flops);
       ("nnz_touched", string_of_int counters.nnz_touched);
@@ -249,5 +248,29 @@ let table () =
       ("max_level_width", string_of_int counters.max_level_width);
       ("cache_hits", string_of_int counters.cache_hits);
       ("cache_misses", string_of_int counters.cache_misses);
-    ];
+    ]
+  in
+  (* Name-column width follows the longest name present, so long scopes
+     like "symbolic.supernode_detection" stay aligned with the rest. *)
+  let w =
+    List.fold_left (fun acc (name, _, _) -> max acc (String.length name)) 0
+      phases
+  in
+  let w =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) w
+      counter_rows
+  in
+  let w = max w (String.length "counter") in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "%-*s %11s %11s\n" w "phase" "seconds" "entries");
+  List.iter
+    (fun (name, secs, entries) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %11.6f %11d\n" w name secs entries))
+    phases;
+  Buffer.add_string buf (Printf.sprintf "%-*s %11s\n" w "counter" "value");
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "%-*s %11s\n" w name v))
+    counter_rows;
   Buffer.contents buf

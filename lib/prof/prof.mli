@@ -57,10 +57,17 @@ val time : string -> (unit -> 'a) -> 'a
     profiling is disabled it is just [f ()]. *)
 
 val scope_seconds : string -> float
+(** Accumulated seconds in scope [name], including the elapsed time of a
+    still-open (in-flight) outermost span — a live snapshot taken
+    mid-phase reports everything elapsed so far. *)
+
 val scope_entries : string -> int
+(** Completed entries of scope [name] (an in-flight span is not counted
+    until it closes). *)
 
 val scopes : unit -> (string * float * int) list
-(** All scopes as [(name, total seconds, entries)], sorted by name. *)
+(** All scopes as [(name, total seconds, entries)], sorted by name;
+    seconds include in-flight spans like {!scope_seconds}. *)
 
 (** {1 Emitters} *)
 
@@ -86,4 +93,5 @@ val to_json : unit -> string
 (** Full snapshot: [{"enabled":…,"phases":…,"counters":…}]. *)
 
 val table : unit -> string
-(** Human-readable phase/counter table. *)
+(** Human-readable phase/counter table; the name column is sized to the
+    longest scope/counter name present. *)

@@ -7,6 +7,7 @@ open Sympiler_sparse
 
 (* parent.(j) = parent column, or -1 for roots. *)
 let compute (a_lower : Csc.t) : int array =
+  Sympiler_trace.Trace.with_span "symbolic.etree" @@ fun () ->
   let n = a_lower.Csc.ncols in
   (* Row patterns of the lower triangle = column patterns of its transpose:
      column k of [upper] lists the i <= k with A(k,i) <> 0. *)

@@ -21,6 +21,7 @@ type t = {
    larger "symbolic" region around it). *)
 let analyze (a_lower : Csc.t) : t =
   Sympiler_prof.Prof.time "symbolic" @@ fun () ->
+  Sympiler_trace.Trace.with_span "symbolic.fill" @@ fun () ->
   let n = a_lower.Csc.ncols in
   let parent = Etree.compute a_lower in
   let upper = Csc.transpose a_lower in
@@ -28,11 +29,13 @@ let analyze (a_lower : Csc.t) : t =
   let row_patterns = Array.make n [||] in
   let counts = Array.make n 1 in
   (* First pass: row patterns and column counts. *)
+  Sympiler_trace.Trace.begin_span "symbolic.col_counts";
   for k = 0 to n - 1 do
     let row = Ereach.row_pattern ~upper ~parent ~work k in
     row_patterns.(k) <- row;
     Array.iter (fun j -> counts.(j) <- counts.(j) + 1) row
   done;
+  Sympiler_trace.Trace.end_span ();
   (* Second pass: scatter into column-major storage. Row indices within a
      column arrive in increasing k, hence sorted. *)
   let colptr = Array.make (n + 1) 0 in
@@ -54,6 +57,10 @@ let analyze (a_lower : Csc.t) : t =
     Csc.create ~nrows:n ~ncols:n ~colptr ~rowind
       ~values:(Array.make nnz 1.0)
   in
+  if Sympiler_trace.Trace.enabled () then begin
+    Sympiler_trace.Trace.set_attr "n" (Sympiler_trace.Trace.Int n);
+    Sympiler_trace.Trace.set_attr "nnz_l" (Sympiler_trace.Trace.Int nnz)
+  end;
   { n; parent; l_pattern; counts; row_patterns }
 
 (* Independent oracle implementing the paper's equation (1):

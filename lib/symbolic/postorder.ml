@@ -4,6 +4,7 @@
 
 (* post.(k) = node visited k-th. *)
 let compute (parent : int array) : int array =
+  Sympiler_trace.Trace.with_span "symbolic.postorder" @@ fun () ->
   let n = Array.length parent in
   (* First-child / next-sibling with children in increasing order (build by
      scanning nodes in decreasing order). *)

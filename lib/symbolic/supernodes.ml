@@ -43,6 +43,7 @@ let mergeable_exact (l : Csc.t) j =
   eq (lo0 + 1) lo1
 
 let detect ?(max_width = max_int) ~mergeable n =
+  Sympiler_trace.Trace.begin_span "symbolic.supernode_detection";
   let starts = ref [ 0 ] and cur_start = ref 0 in
   for j = 1 to n - 1 do
     let w = j - !cur_start in
@@ -61,6 +62,15 @@ let detect ?(max_width = max_int) ~mergeable n =
       c.Sympiler_prof.Prof.supernodes + nsuper t;
     c.Sympiler_prof.Prof.supernode_cols <- c.Sympiler_prof.Prof.supernode_cols + n
   end;
+  if Sympiler_trace.Trace.enabled () then begin
+    Sympiler_trace.Trace.set_attr "supernodes"
+      (Sympiler_trace.Trace.Int (nsuper t));
+    Sympiler_trace.Trace.set_attr "avg_width"
+      (Sympiler_trace.Trace.Float
+         (if nsuper t = 0 then 0.0
+          else float_of_int n /. float_of_int (nsuper t)))
+  end;
+  Sympiler_trace.Trace.end_span ();
   t
 
 let detect_exact ?max_width (l : Csc.t) : t =

@@ -28,4 +28,46 @@ grep -q '"steady_not_slower":true' BENCH_steady.json || {
   exit 1
 }
 
+echo "== tracing-disabled overhead gate =="
+# Structured tracing must be free when off: the trace bench section
+# measures the disabled begin/end pair cost and fails its verdict if the
+# steady path's span pairs would cost more than 2% of a steady call.
+dune exec bench/main.exe -- --quick --only trace
+grep -q '"disabled_overhead_ok":true' BENCH_trace.json || {
+  echo "FAIL: tracing-disabled overhead exceeds 2% in BENCH_trace.json" >&2
+  exit 1
+}
+
+echo "== explain report gate =="
+# `sympiler explain --json` must emit parseable JSON with the report's
+# key fields on representative suite matrices (one supernodal-leaning,
+# one simplicial-leaning).
+for prob in msc23052 ecology2; do
+  dune exec bin/sympiler_cli.exe -- explain --problem "$prob" --json \
+    > "_build/explain_$prob.json"
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "_build/explain_$prob.json" << 'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+keys = ["kernel", "n", "nnz_l", "fill_ratio", "etree_height",
+        "col_count_hist", "supernode_width_hist", "level_depth",
+        "decisions", "predicted_flops", "executed_flops"]
+missing = [k for k in keys if k not in r]
+assert not missing, f"explain JSON missing keys: {missing}"
+assert r["kernel"] == "cholesky"
+assert isinstance(r["decisions"], list) and len(r["decisions"]) >= 2
+EOF
+  else
+    # Fallback without python3: key-presence grep only.
+    for key in kernel fill_ratio etree_height decisions executed_flops; do
+      grep -q "\"$key\"" "_build/explain_$prob.json" || {
+        echo "FAIL: explain JSON for $prob missing \"$key\"" >&2
+        exit 1
+      }
+    done
+  fi
+  echo "explain --json $prob: ok"
+done
+
 echo "CI OK"

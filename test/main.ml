@@ -11,5 +11,6 @@ let () =
       ("ir", Test_ir.suite);
       ("api", Test_api.suite);
       ("prof", Test_prof.suite);
+      ("trace", Test_trace.suite);
       ("regressions", Test_regressions.suite);
     ]

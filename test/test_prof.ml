@@ -150,6 +150,51 @@ let test_table_emitter () =
         (is_infix needle t))
     [ "numeric"; "flops"; "99" ]
 
+let test_inflight_scope () =
+  with_prof @@ fun () ->
+  Prof.start "live";
+  let spin = ref 0.0 in
+  for i = 1 to 100_000 do
+    spin := !spin +. float_of_int i
+  done;
+  ignore (Sys.opaque_identity !spin);
+  (* A snapshot taken mid-phase must see the elapsed time of the open
+     span, while entries stay at zero until it closes. *)
+  Alcotest.(check bool) "in-flight time visible" true
+    (Prof.scope_seconds "live" > 0.0);
+  Alcotest.(check int) "not yet a completed entry" 0
+    (Prof.scope_entries "live");
+  (match List.find_opt (fun (n, _, _) -> n = "live") (Prof.scopes ()) with
+  | None -> Alcotest.fail "scopes () omits the in-flight scope"
+  | Some (_, secs, entries) ->
+      Alcotest.(check bool) "scopes () includes live time" true (secs > 0.0);
+      Alcotest.(check int) "scopes () entries" 0 entries);
+  Prof.stop "live";
+  Alcotest.(check int) "entry counted after stop" 1
+    (Prof.scope_entries "live")
+
+let test_table_alignment () =
+  with_prof @@ fun () ->
+  Prof.time "s" ignore;
+  Prof.time "a-very-long-inspection-phase-name-indeed" ignore;
+  let t = Prof.table () in
+  (* Every phase row is padded to the widest name: the seconds column
+     starts at the same offset on each line, so all phase rows have the
+     same length regardless of name width. *)
+  let phase_rows =
+    String.split_on_char '\n' t
+    |> List.filter (fun l ->
+           is_infix "a-very-long-inspection-phase-name-indeed" l
+           || (String.length l > 0 && String.sub l 0 2 = "s "))
+  in
+  (match phase_rows with
+  | [ r1; r2 ] ->
+      Alcotest.(check int) "aligned rows have equal length"
+        (String.length r1) (String.length r2)
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected 2 phase rows, got %d" (List.length l)))
+
 let suite =
   [
     ("timer accumulates", `Quick, test_timer_accumulates);
@@ -164,4 +209,6 @@ let suite =
     ("reset", `Quick, test_reset);
     ("json emitter", `Quick, test_json_emitter);
     ("table emitter", `Quick, test_table_emitter);
+    ("in-flight scope visible", `Quick, test_inflight_scope);
+    ("table columns aligned", `Quick, test_table_alignment);
   ]
