@@ -11,7 +11,7 @@ open Sympiler_prof
    a minimum wall-clock window). `--bechamel` instead runs one
    Bechamel.Test.make per experiment. `--quick` shrinks the measurement
    window, `--only SECTION` runs one section (phases, steady, trace,
-   table2, fig6, fig7, fig8, fig9, intro, ablation-threshold,
+   parallel, table2, fig6, fig7, fig8, fig9, intro, ablation-threshold,
    ablation-lowlevel, extensions). The `trace` section gates the
    tracing-disabled overhead of the steady path at 2% and writes
    BENCH_trace.json. The `phases` section additionally writes BENCH_phases.json:
@@ -19,7 +19,9 @@ open Sympiler_prof
    amortization ratio, via the sympiler_prof observability layer. The
    `steady` section writes BENCH_steady.json: first-call vs steady-state
    plan execution time, GC minor words per steady call, and the
-   compilation-cache hit rate. *)
+   compilation-cache hit rate. The `parallel` section writes
+   BENCH_parallel.json: persistent-pool steady times across domain counts
+   against a spawn-per-call baseline driving the same partitioned work. *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let use_bechamel = Array.exists (( = ) "--bechamel") Sys.argv
@@ -676,7 +678,7 @@ let steady () =
         (* Trisolve: same protocol against the plan-owned solution buffer. *)
         let l = d.l_factor and b = d.rhs in
         let t0 = Prof.now_seconds () in
-        let th = Sympiler.Trisolve.compile_cached ~cache:tri_cache l b in
+        let th = Sympiler.Trisolve.compile_cached ~cache:tri_cache (l, b) in
         let tp = Sympiler.Trisolve.plan th in
         ignore (Sympiler.Trisolve.solve_plan tp b);
         let tri_first = Prof.now_seconds () -. t0 in
@@ -687,7 +689,7 @@ let steady () =
           minor_words_per_call (fun () ->
               ignore (Sympiler.Trisolve.solve_plan tp b))
         in
-        let th' = Sympiler.Trisolve.compile_cached ~cache:tri_cache l b in
+        let th' = Sympiler.Trisolve.compile_cached ~cache:tri_cache (l, b) in
         assert (th' == th);
         all_zero := !all_zero && chol_words = 0 && tri_words = 0;
         not_slower :=
@@ -859,6 +861,263 @@ let trace_bench () =
     \ BENCH_trace.json)\n"
 
 (* ---------------------------------------------------------------- *)
+(* Parallel runtime: persistent pool vs spawn-per-call (writes
+   BENCH_parallel.json). The evaluation container is single-core, so level
+   parallelism cannot buy wall-clock speedup here; the honest claims this
+   section measures are (a) dispatching through the persistent pool is
+   cheaper than spawning domains at every wide level, (b) steady-state
+   parallel calls allocate nothing, and (c) results stay bitwise-identical
+   across domain counts. The spawn baseline drives the exact same plan
+   task/partitions, only replacing the pool's barrier with
+   Domain.spawn/join per dispatch. *)
+
+let parallel_ids = [ 2; 6; 9 ]
+let par_nds = [ 1; 2; 4 ]
+
+module CP = Cholesky_parallel
+module TP = Trisolve_parallel
+module Pool = Sympiler_runtime.Pool
+
+let spawn_run ~nworkers task =
+  let doms =
+    Array.init (nworkers - 1) (fun i -> Domain.spawn (fun () -> task (i + 1)))
+  in
+  task 0;
+  Array.iter Domain.join doms
+
+(* CP.factor_ip with the pool barrier replaced by spawn/join; narrow
+   levels (< 8 supernodes) stay inline exactly like the real path. *)
+let spawn_factor_ip (p : CP.plan) al =
+  let c = p.CP.c in
+  p.CP.a_lower <- al;
+  for lv = 0 to c.CP.nlevels - 1 do
+    let lo = c.CP.level_ptr.(lv) and hi = c.CP.level_ptr.(lv + 1) in
+    if p.CP.ndomains <= 1 || hi - lo < 8 then
+      for t = lo to hi - 1 do
+        CP.process_target c al p.CP.lx p.CP.relpos.(0) c.CP.level_sn.(t)
+      done
+    else begin
+      p.CP.lv <- lv;
+      spawn_run ~nworkers:p.CP.ndomains p.CP.task
+    end
+  done;
+  p.CP.a_lower <- p.CP.l
+
+(* TP.solve_ip with the pool barrier replaced by spawn/join; narrow levels
+   (< 64 columns) run as a plain column sweep. *)
+let spawn_solve_ip (p : TP.plan) (b : float array) =
+  let c = p.TP.c in
+  let x = p.TP.x in
+  Array.blit b 0 x 0 (Array.length x);
+  let l = c.TP.l in
+  let lp = l.Csc.colptr and li = l.Csc.rowind and lxv = l.Csc.values in
+  for lv = 0 to c.TP.nlevels - 1 do
+    let lo = c.TP.level_ptr.(lv) and hi = c.TP.level_ptr.(lv + 1) in
+    if hi - lo < 64 then
+      for t = lo to hi - 1 do
+        let j = c.TP.level_cols.(t) in
+        let xj = x.(j) /. lxv.(lp.(j)) in
+        x.(j) <- xj;
+        for e = lp.(j) + 1 to lp.(j + 1) - 1 do
+          x.(li.(e)) <- x.(li.(e)) -. (lxv.(e) *. xj)
+        done
+      done
+    else begin
+      for t = lo to hi - 1 do
+        let j = c.TP.level_cols.(t) in
+        x.(j) <- x.(j) /. lxv.(lp.(j))
+      done;
+      p.TP.lv <- lv;
+      spawn_run ~nworkers:p.TP.ndomains p.TP.task
+    end
+  done
+
+let wide_dispatches ptr nlevels min_w =
+  let k = ref 0 in
+  for lv = 0 to nlevels - 1 do
+    if ptr.(lv + 1) - ptr.(lv) >= min_w then incr k
+  done;
+  !k
+
+let parallel_bench () =
+  header "Parallel runtime: pool vs spawn-per-call (writes BENCH_parallel.json)";
+  Printf.printf "%-3s %-15s %-9s %5s | %9s %9s %9s | %9s | %5s %5s\n" "ID"
+    "Name" "kernel" "disp" "nd=1" "nd=2" "nd=4" "spawn4" "words" "imbal";
+  let gc_loops = if quick then 10 else 50 in
+  let minor_words_per_call f =
+    f ();
+    f ();
+    let w0 = Gc.minor_words () in
+    for _ = 1 to gc_loops do
+      f ()
+    done;
+    int_of_float ((Gc.minor_words () -. w0) /. float_of_int gc_loops)
+  in
+  let imbalance_of f =
+    Prof.reset ();
+    Prof.enable ();
+    f ();
+    Prof.disable ();
+    let v = Prof.counters.Prof.pool_imbalance_pct in
+    Prof.reset ();
+    v
+  in
+  let all_zero = ref true
+  and all_bitwise = ref true
+  and largest = ref (-1, 0) (* id, n *)
+  and beats = Hashtbl.create 8 in
+  let problems =
+    List.map
+      (fun id ->
+        let d = prob id in
+        let name = d.p.Sympiler.Suite.name in
+        let al = d.p.Sympiler.Suite.a_lower in
+        let n = al.Csc.ncols in
+        if n > snd !largest then largest := (id, n);
+        (* Cholesky *)
+        let cc = CP.compile al in
+        let plans = List.map (fun nd -> (nd, CP.make_plan ~ndomains:nd cc)) par_nds in
+        let times =
+          List.map
+            (fun (nd, p) ->
+              CP.factor_ip p al;
+              (nd, measure (fun () -> CP.factor_ip p al)))
+            plans
+        in
+        let p4 = List.assoc 4 plans and p1 = List.assoc 1 plans in
+        CP.factor_ip p1 al;
+        CP.factor_ip p4 al;
+        all_bitwise :=
+          !all_bitwise && p1.CP.l.Csc.values = p4.CP.l.Csc.values;
+        let chol_spawn =
+          spawn_factor_ip p4 al;
+          measure (fun () -> spawn_factor_ip p4 al)
+        in
+        let chol_words = minor_words_per_call (fun () -> CP.factor_ip p4 al) in
+        let chol_imbal = imbalance_of (fun () -> CP.factor_ip p4 al) in
+        let chol_disp = wide_dispatches cc.CP.level_ptr cc.CP.nlevels 8 in
+        all_zero := !all_zero && chol_words = 0;
+        if chol_disp > 0 then
+          Hashtbl.replace beats (id, "cholesky")
+            (List.assoc 4 times <= chol_spawn);
+        Printf.printf
+          "%-3d %-15s %-9s %5d | %7.2fms %7.2fms %7.2fms | %7.2fms | %5d %4d%%\n"
+          id name "cholesky" chol_disp
+          (List.assoc 1 times *. 1e3)
+          (List.assoc 2 times *. 1e3)
+          (List.assoc 4 times *. 1e3)
+          (chol_spawn *. 1e3) chol_words chol_imbal;
+        (* Trisolve *)
+        let tc = TP.compile d.l_factor in
+        let b = Vector.sparse_to_dense d.rhs in
+        let tplans = List.map (fun nd -> (nd, TP.make_plan ~ndomains:nd tc)) par_nds in
+        let ttimes =
+          List.map
+            (fun (nd, p) ->
+              ignore (TP.solve_ip p b);
+              (nd, measure (fun () -> ignore (TP.solve_ip p b))))
+            tplans
+        in
+        let tp4 = List.assoc 4 tplans and tp1 = List.assoc 1 tplans in
+        let x1 = Array.copy (TP.solve_ip tp1 b) in
+        all_bitwise := !all_bitwise && x1 = TP.solve_ip tp4 b;
+        let tri_spawn =
+          spawn_solve_ip tp4 b;
+          measure (fun () -> spawn_solve_ip tp4 b)
+        in
+        let tri_words =
+          minor_words_per_call (fun () -> ignore (TP.solve_ip tp4 b))
+        in
+        let tri_imbal = imbalance_of (fun () -> ignore (TP.solve_ip tp4 b)) in
+        let tri_disp = wide_dispatches tc.TP.level_ptr tc.TP.nlevels 64 in
+        all_zero := !all_zero && tri_words = 0;
+        if tri_disp > 0 then
+          Hashtbl.replace beats (id, "trisolve")
+            (List.assoc 4 ttimes <= tri_spawn);
+        Printf.printf
+          "%-3d %-15s %-9s %5d | %7.2fus %7.2fus %7.2fus | %7.2fus | %5d %4d%%\n"
+          id name "trisolve" tri_disp
+          (List.assoc 1 ttimes *. 1e6)
+          (List.assoc 2 ttimes *. 1e6)
+          (List.assoc 4 ttimes *. 1e6)
+          (tri_spawn *. 1e6) tri_words tri_imbal;
+        let times_json ts =
+          Prof.Json.Obj
+            (List.map
+               (fun (nd, t) ->
+                 (Printf.sprintf "nd%d_seconds" nd, Prof.Json.Float t))
+               ts)
+        in
+        Prof.Json.Obj
+          [
+            ("id", Prof.Json.Int id);
+            ("name", Prof.Json.Str name);
+            ("n", Prof.Json.Int n);
+            ( "cholesky",
+              Prof.Json.Obj
+                [
+                  ("levels", Prof.Json.Int cc.CP.nlevels);
+                  ("wide_dispatches", Prof.Json.Int chol_disp);
+                  ("pool", times_json times);
+                  ("spawn_nd4_seconds", Prof.Json.Float chol_spawn);
+                  ("minor_words_per_call", Prof.Json.Int chol_words);
+                  ("imbalance_pct", Prof.Json.Int chol_imbal);
+                ] );
+            ( "trisolve",
+              Prof.Json.Obj
+                [
+                  ("levels", Prof.Json.Int tc.TP.nlevels);
+                  ("wide_dispatches", Prof.Json.Int tri_disp);
+                  ("pool", times_json ttimes);
+                  ("spawn_nd4_seconds", Prof.Json.Float tri_spawn);
+                  ("minor_words_per_call", Prof.Json.Int tri_words);
+                  ("imbalance_pct", Prof.Json.Int tri_imbal);
+                ] );
+          ])
+      parallel_ids
+  in
+  (* The gate compares pool vs spawn only where wide dispatches happened
+     (chain-structured problems never leave the inline path, and there the
+     two are the same code); vacuously true when nothing dispatched. *)
+  let largest_id = fst !largest in
+  let pool_beats_spawn_on_largest =
+    Hashtbl.fold
+      (fun (id, _) ok acc -> if id = largest_id then acc && ok else acc)
+      beats true
+  in
+  Printf.printf
+    "pool domains spawned=%d  all_zero_alloc=%b  bitwise_across_ndomains=%b  \
+     pool_beats_spawn_on_largest(id %d)=%b\n"
+    (Pool.spawned ()) !all_zero !all_bitwise largest_id
+    pool_beats_spawn_on_largest;
+  let doc =
+    Prof.Json.Obj
+      [
+        ("bench", Prof.Json.Str "parallel");
+        ("quick", Prof.Json.Bool quick);
+        ("default_size", Prof.Json.Int (Pool.default_size ()));
+        ("pool_domains_spawned", Prof.Json.Int (Pool.spawned ()));
+        ("all_zero_alloc", Prof.Json.Bool !all_zero);
+        ("bitwise_across_ndomains", Prof.Json.Bool !all_bitwise);
+        ("largest_id", Prof.Json.Int largest_id);
+        ( "pool_beats_spawn_on_largest",
+          Prof.Json.Bool pool_beats_spawn_on_largest );
+        ("problems", Prof.Json.List problems);
+      ]
+  in
+  Out_channel.with_open_text "BENCH_parallel.json" (fun oc ->
+      Out_channel.output_string oc (Prof.Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  section_note
+    "(disp = wide-level pool dispatches per call; spawn4 = the same plan's\n\
+    \ chunks with Domain.spawn/join replacing the persistent pool's\n\
+    \ barrier; words = GC minor words per steady nd=4 call; imbal =\n\
+    \ max/mean worker time, 100% = balanced, 0% = nothing dispatched.\n\
+    \ Single-core container: no wall-clock speedup is expected from\n\
+    \ nd > 1 - the gate is pool-beats-spawn, allocation-freedom, and\n\
+    \ bitwise determinism. Full data written to BENCH_parallel.json)\n"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel variant: one Test.make per experiment. *)
 
 let bechamel_tests () =
@@ -938,6 +1197,7 @@ let () =
     if run_section "phases" then phases ();
     if run_section "steady" then steady ();
     if run_section "trace" then trace_bench ();
+    if run_section "parallel" then parallel_bench ();
     if run_section "table2" then table2 ();
     if run_section "fig6" then fig6 ();
     if run_section "fig7" then fig7 ();

@@ -7,6 +7,7 @@
      sympiler_cli trisolve --matrix m.mtx --rhs-fill 0.03 -o tri.c
      sympiler_cli analyze  --problem ecology2
      sympiler_cli steady   --problem ecology2 --repeat 100
+     sympiler_cli steady   --problem ecology2 --ndomains 4
      sympiler_cli explain  --problem ecology2 --json
      sympiler_cli steady   --problem ecology2 --trace trace.json *)
 
@@ -125,7 +126,7 @@ let trisolve matrix problem rhs_fill out profile trace =
     end
   in
   let b = Generators.sparse_rhs ~seed:1 ~n:l.Csc.ncols ~fill:rhs_fill () in
-  let t = Sympiler.Trisolve.compile l b in
+  let t = Sympiler.Trisolve.compile (l, b) in
   Printf.eprintf "reach-set: %d of %d columns, symbolic %.1f ms\n"
     (Array.length t.Sympiler.Trisolve.reach)
     l.Csc.ncols
@@ -140,7 +141,7 @@ let trisolve matrix problem rhs_fill out profile trace =
    refactorizations into the same plan, reporting steady-state time per
    call, the GC minor-heap words each call allocates (0 = allocation-free),
    and the compilation cache's behaviour on a recompile. *)
-let steady matrix problem repeat profile trace =
+let steady matrix problem repeat ndomains profile trace =
   with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let now = Sympiler_prof.Prof.now_seconds in
@@ -148,7 +149,7 @@ let steady matrix problem repeat profile trace =
   let al = Csc.lower a in
   let t0 = now () in
   let h = Sympiler.Cholesky.compile_cached al in
-  let p = Sympiler.Cholesky.plan h in
+  let p = Sympiler.Cholesky.plan ?ndomains h in
   Sympiler.Cholesky.refactor_ip p al;
   let first = now () -. t0 in
   let reps = max 1 repeat in
@@ -177,6 +178,12 @@ let steady matrix problem repeat profile trace =
     (if words = 0 then " (allocation-free)" else "");
   Printf.printf "recompile hit    : %b (cache %d hits / %d misses)\n"
     (h' == h) stats.Sympiler.Plan_cache.hits stats.Sympiler.Plan_cache.misses;
+  (match ndomains with
+  | None -> ()
+  | Some nd ->
+      Printf.printf "parallel         : ndomains=%d (pool domains spawned: %d)\n"
+        nd
+        (Sympiler.Runtime.Pool.spawned ()));
   0
 
 (* ---- explain ---- *)
@@ -218,7 +225,7 @@ let explain matrix problem kernel rhs_fill json trace =
         let b =
           Generators.sparse_rhs ~seed:1 ~n:l.Csc.ncols ~fill:rhs_fill ()
         in
-        let t = Sympiler.Trisolve.compile l b in
+        let t = Sympiler.Trisolve.compile (l, b) in
         ignore (Sympiler.Trisolve.solve t b);
         Sympiler.Explain.trisolve t
   in
@@ -252,6 +259,17 @@ let repeat_arg =
     value & opt int 100
     & info [ "repeat"; "n" ] ~doc:"Steady-state refactorization count")
 
+let ndomains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ndomains" ]
+        ~doc:
+          "Execute through the persistent domain pool with $(docv) domains \
+           (default: the sequential plan). Results are bitwise-identical \
+           either way."
+        ~docv:"N")
+
 let trace_arg =
   Arg.(
     value
@@ -281,8 +299,8 @@ let steady_cmd =
          "Measure steady-state Cholesky refactorization through a reusable \
           plan (compile once, execute many)")
     Term.(
-      const steady $ matrix_arg $ problem_arg $ repeat_arg $ profile_arg
-      $ trace_arg)
+      const steady $ matrix_arg $ problem_arg $ repeat_arg $ ndomains_arg
+      $ profile_arg $ trace_arg)
 
 let cholesky_cmd =
   Cmd.v (Cmd.info "cholesky" ~doc:"Emit specialized Cholesky C code")

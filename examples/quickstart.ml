@@ -42,7 +42,7 @@ let () =
   (* 5. Sparse triangular solve with a sparse right-hand side. *)
   let l = Sympiler.Cholesky.factor chol a_lower in
   let rhs = Generators.sparse_rhs ~seed:7 ~n:a.Csc.ncols ~fill:0.05 () in
-  let tri = Sympiler.Trisolve.compile l rhs in
+  let tri = Sympiler.Trisolve.compile (l, rhs) in
   Printf.printf "\nTrisolve compiled: reach-set %d of %d columns (%.0f flops)\n"
     (Array.length tri.Sympiler.Trisolve.reach)
     a.Csc.ncols tri.Sympiler.Trisolve.flops;

@@ -2,11 +2,14 @@ open Sympiler_sparse
 open Sympiler_kernels
 open Sympiler_prof
 
-(* Public facade: Sympiler as the paper presents it. [Trisolve.compile] and
-   [Cholesky.compile] run all symbolic analysis and code generation once for
-   a fixed sparsity structure; the returned handles expose numeric routines
+(* Public facade: Sympiler as the paper presents it. Each kernel family's
+   [compile] runs all symbolic analysis and code generation once for a
+   fixed sparsity structure; the returned handles expose numeric routines
    that contain no symbolic work, the generated C source, and the time the
-   symbolic phase took (reported in the paper's Figures 8 and 9). *)
+   symbolic phase took (reported in the paper's Figures 8 and 9). All six
+   families implement the one KERNEL signature of the interface, so the
+   compile -> plan -> execute_ip lifecycle and the optional-argument
+   spellings are uniform. *)
 
 (* Re-export the companion modules: since this module shares the library's
    name it is the library's sole interface. *)
@@ -14,6 +17,7 @@ module Suite = Suite
 module Codegen_supernodal = Codegen_supernodal
 module Plan_cache = Plan_cache
 module Trace = Sympiler_trace.Trace
+module Runtime = Sympiler_runtime
 
 (* Wall-clock timing for the [symbolic_seconds] report fields, also fed to
    the profiling layer's "symbolic" scope (reentrant, so the inspectors'
@@ -33,7 +37,37 @@ let fp_threshold = function
   | None -> min_int
   | Some x -> int_of_float (x *. 1024.0)
 
+(* The uniform kernel lifecycle (see the interface for the contract); the
+   per-family [module Check : KERNEL = ...] assertions live in the test
+   suite so a drifting family breaks the build there, not here. *)
+module type KERNEL = sig
+  type pattern
+  type t
+  type plan
+  type input
+  type output
+
+  val compile :
+    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+
+  val compile_cached :
+    ?cache:t Plan_cache.t ->
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    pattern ->
+    t
+
+  val cache_stats : unit -> Plan_cache.stats
+  val cache_clear : unit -> unit
+  val symbolic_seconds : t -> float
+  val plan : ?ndomains:int -> t -> plan
+  val execute_ip : plan -> input -> output
+  val c_code : t -> string
+end
+
 module Trisolve = struct
+  type pattern = Csc.t * Vector.sparse
+
   type t = {
     l : Csc.t;
     b_pattern : int array;
@@ -44,11 +78,14 @@ module Trisolve = struct
     decisions : Trace.decision list;
   }
 
+  type input = Vector.sparse
+  type output = float array
+
   (* Symbolic inspection + inspector-guided planning for L x = b with the
      given RHS pattern. The numeric values of L and b may change afterwards;
      only the patterns are compiled in. *)
-  let compile ?vs_block_threshold ?max_width (l : Csc.t) (b : Vector.sparse) :
-      t =
+  let compile_ext ?vs_block_threshold ?max_width (l : Csc.t)
+      (b : Vector.sparse) : t =
     if not (Csc.is_lower_triangular l) then
       invalid_arg "Sympiler.Trisolve.compile: L must be lower triangular";
     Trace.with_span "compile.trisolve"
@@ -68,25 +105,39 @@ module Trisolve = struct
       decisions = compiled.Trisolve_sympiler.decisions;
     }
 
+  (* The KERNEL spelling: the fill analysis has no meaning for a solve
+     (reach-sets are the inspection here), so [?fill] is accepted and
+     ignored — the price of one uniform signature. *)
+  let compile ?fill:_ ?max_width ((l, b) : pattern) : t =
+    compile_ext ?max_width l b
+
   (* Compilation cache: keyed on L's structure plus the RHS pattern and
      the compile options (the [extra] fingerprint) — a hit returns the
      previously compiled handle, physically equal, with no symbolic work. *)
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let compile_cached ?(cache = default_cache) ?vs_block_threshold ?max_width
-      (l : Csc.t) (b : Vector.sparse) : t =
-    Trace.with_span "compile_cached.trisolve" @@ fun () ->
+  let cache_key vs_block_threshold max_width (b : Vector.sparse) =
     let nb = Array.length b.Vector.indices in
     let extra = Array.make (3 + nb) 0 in
     extra.(0) <- fp_threshold vs_block_threshold;
     extra.(1) <- fp_option max_width;
     extra.(2) <- b.Vector.n;
     Array.blit b.Vector.indices 0 extra 3 nb;
-    Plan_cache.find_or_compile cache ~pattern:l ~extra (fun () ->
-        compile ?vs_block_threshold ?max_width l b)
+    extra
+
+  let compile_cached_ext ?(cache = default_cache) ?vs_block_threshold
+      ?max_width (l : Csc.t) (b : Vector.sparse) : t =
+    Trace.with_span "compile_cached.trisolve" @@ fun () ->
+    Plan_cache.find_or_compile cache ~pattern:l
+      ~extra:(cache_key vs_block_threshold max_width b)
+      (fun () -> compile_ext ?vs_block_threshold ?max_width l b)
+
+  let compile_cached ?cache ?fill:_ ?max_width ((l, b) : pattern) : t =
+    compile_cached_ext ?cache ?max_width l b
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
+  let symbolic_seconds (t : t) = t.symbolic_seconds
 
   (* Numeric solve (no symbolic work): x such that L x = b. [b] must have
      the pattern given at compile time (values free to differ). *)
@@ -100,21 +151,45 @@ module Trisolve = struct
   (* Plans: allocate the numeric workspaces once, then solve repeatedly
      with zero steady-state allocation. [Prof.start]/[stop] rather than
      [Prof.time] keeps even the profiled path closure-free. *)
-  type plan = { handle : t; p : Trisolve_sympiler.plan }
+  type plan = {
+    handle : t;
+    p : Trisolve_sympiler.plan;
+    par : Trisolve_parallel.plan option;
+  }
 
-  let plan (t : t) : plan =
-    { handle = t; p = Trisolve_sympiler.make_plan t.compiled }
+  (* [~ndomains] switches the plan to the level-set executor on the
+     persistent domain pool; the levelization (one more inspection set) is
+     paid here, at plan time. Any requested domain count — including 1 —
+     goes through the level schedule, so results are bitwise-identical
+     across [ndomains]; they may differ in operation order (hence in last
+     bits) from the reach-set executor of a plain plan. *)
+  let plan ?ndomains (t : t) : plan =
+    let par =
+      match ndomains with
+      | None -> None
+      | Some nd ->
+          Some
+            (Prof.time "symbolic" (fun () ->
+                 Trisolve_parallel.make_plan ~ndomains:nd
+                   (Trisolve_parallel.compile t.l)))
+    in
+    { handle = t; p = Trisolve_sympiler.make_plan t.compiled; par }
 
-  let solve_plan (p : plan) (b : Vector.sparse) : float array =
+  let execute_ip (p : plan) (b : Vector.sparse) : float array =
     Prof.start "numeric";
     let r =
-      try Trisolve_sympiler.solve_ip p.p b
+      try
+        match p.par with
+        | Some pp -> Trisolve_parallel.solve_ip_sparse pp b
+        | None -> Trisolve_sympiler.solve_ip p.p b
       with e ->
         Prof.stop "numeric";
         raise e
     in
     Prof.stop "numeric";
     r
+
+  let solve_plan = execute_ip
 
   (* Generated C source implementing the same specialized solve
      (VS-Block + VI-Prune + low-level transformations). *)
@@ -143,13 +218,18 @@ module Cholesky = struct
     decisions : Trace.decision list;
   }
 
+  type pattern = Csc.t
+  type input = Csc.t
+  type output = Csc.t
+
   (* Compile Cholesky for the pattern of lower-triangular [a_lower]. The
      supernodal variant (VS-Block + low-level) is the default; [Simplicial]
      gives the column (VI-Prune-only) code. [vs_block_threshold]: minimum
      average supernode width for VS-Block to pay off (paper §4.2) — below
-     it compilation falls back to the simplicial variant automatically. *)
-  let compile ?(variant = Supernodal) ?(specialized = true)
-      ?(vs_block_threshold = 2.0) ?max_width (a_lower : Csc.t) : t =
+     it compilation falls back to the simplicial variant automatically.
+     [fill0] reuses a caller-provided fill analysis of the same pattern. *)
+  let compile_internal ?fill:fill0 ~variant ~specialized ~vs_block_threshold
+      ?max_width (a_lower : Csc.t) : t =
     if not (Csc.is_lower_triangular a_lower) then
       invalid_arg "Sympiler.Cholesky.compile: pass lower(A)";
     Trace.with_span "compile.cholesky"
@@ -160,7 +240,11 @@ module Cholesky = struct
           (* One shared symbolic factorization; the variant decision (the
              paper's VS-Block threshold) is taken on the cheap supernode
              statistics before any variant-specific planning is built. *)
-          let fill = Sympiler_symbolic.Fill_pattern.analyze a_lower in
+          let fill =
+            match fill0 with
+            | Some f -> f
+            | None -> Sympiler_symbolic.Fill_pattern.analyze a_lower
+          in
           let flops = Sympiler_symbolic.Fill_pattern.flops fill in
           let n = a_lower.Csc.ncols in
           let nnz_l =
@@ -229,28 +313,50 @@ module Cholesky = struct
       decisions;
     }
 
+  let compile ?fill ?max_width (a_lower : pattern) : t =
+    compile_internal ?fill ~variant:Supernodal ~specialized:true
+      ~vs_block_threshold:2.0 ?max_width a_lower
+
+  let compile_ext ?(variant = Supernodal) ?(specialized = true)
+      ?(vs_block_threshold = 2.0) ?fill ?max_width (a_lower : Csc.t) : t =
+    compile_internal ?fill ~variant ~specialized ~vs_block_threshold
+      ?max_width a_lower
+
   (* Compilation cache: keyed on lower(A)'s structure plus the compile
      options — a hit returns the previously compiled handle, physically
-     equal, skipping the symbolic phase entirely. *)
+     equal, skipping the symbolic phase entirely. The uniform
+     [compile_cached] and the richer [compile_cached_ext] share one key
+     layout, so their default configurations hit the same entries. *)
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let compile_cached ?(cache = default_cache) ?(variant = Supernodal)
+  let cache_key variant specialized vs_block_threshold max_width =
+    [|
+      (match variant with Supernodal -> 0 | Simplicial -> 1);
+      (if specialized then 1 else 0);
+      fp_threshold (Some vs_block_threshold);
+      fp_option max_width;
+    |]
+
+  let compile_cached_ext ?(cache = default_cache) ?(variant = Supernodal)
       ?(specialized = true) ?(vs_block_threshold = 2.0) ?max_width
       (a_lower : Csc.t) : t =
     Trace.with_span "compile_cached.cholesky" @@ fun () ->
-    let extra =
-      [|
-        (match variant with Supernodal -> 0 | Simplicial -> 1);
-        (if specialized then 1 else 0);
-        fp_threshold (Some vs_block_threshold);
-        fp_option max_width;
-      |]
-    in
-    Plan_cache.find_or_compile cache ~pattern:a_lower ~extra (fun () ->
-        compile ~variant ~specialized ~vs_block_threshold ?max_width a_lower)
+    Plan_cache.find_or_compile cache ~pattern:a_lower
+      ~extra:(cache_key variant specialized vs_block_threshold max_width)
+      (fun () ->
+        compile_ext ~variant ~specialized ~vs_block_threshold ?max_width
+          a_lower)
+
+  let compile_cached ?(cache = default_cache) ?fill ?max_width
+      (a_lower : pattern) : t =
+    Trace.with_span "compile_cached.cholesky" @@ fun () ->
+    Plan_cache.find_or_compile cache ~pattern:a_lower
+      ~extra:(cache_key Supernodal true 2.0 max_width)
+      (fun () -> compile ?fill ?max_width a_lower)
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
+  let symbolic_seconds (t : t) = t.symbolic_seconds
 
   (* Numeric factorization: A = L L^T for any [a_lower] sharing the compiled
      pattern. *)
@@ -269,31 +375,51 @@ module Cholesky = struct
     handle : t;
     sup : Cholesky_supernodal.Sympiler.plan option;
     simp : Cholesky_ref.Decoupled.plan option;
+    par : Cholesky_parallel.plan option;
   }
 
-  let plan (t : t) : plan =
-    match (t.supernodal, t.simplicial) with
-    | Some c, _ ->
-        {
-          handle = t;
-          sup = Some (Cholesky_supernodal.Sympiler.make_plan c);
-          simp = None;
-        }
-    | None, Some d ->
-        {
-          handle = t;
-          sup = None;
-          simp = Some (Cholesky_ref.Decoupled.make_plan d);
-        }
-    | None, None -> assert false
+  (* [~ndomains] on a supernodal handle: levelize the already-compiled
+     supernode DAG (plan-time inspection, no re-analysis) and run levels
+     on the persistent domain pool. The parallel engine executes each
+     target supernode with the same operation sequence as the sequential
+     one, so factors are bitwise-identical for any domain count. The
+     simplicial column code has no level schedule — [ndomains] is
+     ignored there. *)
+  let plan ?ndomains (t : t) : plan =
+    match (ndomains, t.supernodal) with
+    | Some nd, Some c ->
+        let lp =
+          Prof.time "symbolic" (fun () ->
+              Cholesky_parallel.make_plan ~ndomains:nd
+                (Cholesky_parallel.levelize c))
+        in
+        { handle = t; sup = None; simp = None; par = Some lp }
+    | _ -> (
+        match (t.supernodal, t.simplicial) with
+        | Some c, _ ->
+            {
+              handle = t;
+              sup = Some (Cholesky_supernodal.Sympiler.make_plan c);
+              simp = None;
+              par = None;
+            }
+        | None, Some d ->
+            {
+              handle = t;
+              sup = None;
+              simp = Some (Cholesky_ref.Decoupled.make_plan d);
+              par = None;
+            }
+        | None, None -> assert false)
 
   let refactor_ip (p : plan) (a_lower : Csc.t) : unit =
     Prof.start "numeric";
     (try
-       match (p.sup, p.simp) with
-       | Some sp, _ -> Cholesky_supernodal.Sympiler.factor_ip sp a_lower
-       | None, Some sp -> Cholesky_ref.Decoupled.factor_ip sp a_lower
-       | None, None -> assert false
+       match (p.sup, p.simp, p.par) with
+       | Some sp, _, _ -> Cholesky_supernodal.Sympiler.factor_ip sp a_lower
+       | None, Some sp, _ -> Cholesky_ref.Decoupled.factor_ip sp a_lower
+       | None, None, Some pp -> Cholesky_parallel.factor_ip pp a_lower
+       | None, None, None -> assert false
      with e ->
        Prof.stop "numeric";
        raise e);
@@ -301,10 +427,15 @@ module Cholesky = struct
 
   (* The plan's factor view: refreshed in place by each [refactor_ip]. *)
   let plan_factor (p : plan) : Csc.t =
-    match (p.sup, p.simp) with
-    | Some sp, _ -> sp.Cholesky_supernodal.Sympiler.l
-    | None, Some sp -> sp.Cholesky_ref.Decoupled.l
-    | None, None -> assert false
+    match (p.sup, p.simp, p.par) with
+    | Some sp, _, _ -> sp.Cholesky_supernodal.Sympiler.l
+    | None, Some sp, _ -> sp.Cholesky_ref.Decoupled.l
+    | None, None, Some pp -> pp.Cholesky_parallel.l
+    | None, None, None -> assert false
+
+  let execute_ip (p : plan) (a_lower : Csc.t) : Csc.t =
+    refactor_ip p a_lower;
+    plan_factor p
 
   (* Solve A x = b: numeric factorization + two triangular solves. *)
   let solve (t : t) (a_lower : Csc.t) (b : float array) : float array =
@@ -318,6 +449,238 @@ module Cholesky = struct
     | Some c -> Codegen_supernodal.to_c c t.pattern
     | None ->
         (Sympiler_ir.Pipeline.cholesky t.pattern).Sympiler_ir.Pipeline.c_code
+end
+
+(* The four §3.3 families below share one shape: a handle wrapping the
+   kernel's compiled value, a pattern-keyed default cache, plan-owned
+   numeric storage, and C emission from [Codegen_static]. Their executors
+   are sequential (no level schedule), so [?ndomains] — like [?fill] and
+   [?max_width] where the kernel has no use for them — is accepted for
+   KERNEL uniformity and ignored. *)
+
+module Ldlt = struct
+  module K = Sympiler_kernels.Ldlt
+
+  type pattern = Csc.t
+
+  type t = {
+    compiled : K.compiled;
+    pattern : Csc.t;
+    symbolic_seconds : float;
+  }
+
+  type plan = { handle : t; p : K.plan }
+  type input = Csc.t
+  type output = K.factors
+
+  let compile ?fill:_ ?max_width:_ (a_lower : pattern) : t =
+    if not (Csc.is_lower_triangular a_lower) then
+      invalid_arg "Sympiler.Ldlt.compile: pass lower(A)";
+    Trace.with_span "compile.ldlt"
+      ~attrs:[ ("n", Trace.Int a_lower.Csc.ncols) ]
+    @@ fun () ->
+    let compiled, symbolic_seconds =
+      time_symbolic (fun () -> K.compile a_lower)
+    in
+    { compiled; pattern = a_lower; symbolic_seconds }
+
+  let default_cache : t Plan_cache.t = Plan_cache.create ()
+
+  let compile_cached ?(cache = default_cache) ?fill ?max_width
+      (a_lower : pattern) : t =
+    Trace.with_span "compile_cached.ldlt" @@ fun () ->
+    Plan_cache.find_or_compile cache ~pattern:a_lower
+      ~extra:[| fp_option max_width |]
+      (fun () -> compile ?fill ?max_width a_lower)
+
+  let cache_stats () = Plan_cache.stats default_cache
+  let cache_clear () = Plan_cache.clear default_cache
+  let symbolic_seconds (t : t) = t.symbolic_seconds
+  let plan ?ndomains:_ (t : t) : plan = { handle = t; p = K.make_plan t.compiled }
+
+  let execute_ip (p : plan) (a_lower : input) : output =
+    Prof.start "numeric";
+    (try K.factor_ip p.p a_lower
+     with e ->
+       Prof.stop "numeric";
+       raise e);
+    Prof.stop "numeric";
+    p.p.K.f
+
+  let factor_ip = execute_ip
+
+  let factor (t : t) (a_lower : Csc.t) : output =
+    Prof.time "numeric" (fun () -> K.factor t.compiled a_lower)
+
+  let c_code (t : t) : string = Codegen_static.ldlt t.compiled
+end
+
+module Lu = struct
+  module K = Sympiler_kernels.Lu
+
+  type pattern = Csc.t
+
+  type t = {
+    compiled : K.Sympiler.compiled;
+    pattern : Csc.t;
+    symbolic_seconds : float;
+    flops : float;
+  }
+
+  type plan = { handle : t; p : K.Sympiler.plan }
+  type input = Csc.t
+  type output = K.factors
+
+  let compile ?fill:_ ?max_width:_ (a : pattern) : t =
+    Trace.with_span "compile.lu" ~attrs:[ ("n", Trace.Int a.Csc.ncols) ]
+    @@ fun () ->
+    let compiled, symbolic_seconds =
+      time_symbolic (fun () -> K.Sympiler.compile a)
+    in
+    { compiled; pattern = a; symbolic_seconds; flops = compiled.K.Sympiler.flops }
+
+  let default_cache : t Plan_cache.t = Plan_cache.create ()
+
+  let compile_cached ?(cache = default_cache) ?fill ?max_width (a : pattern) :
+      t =
+    Trace.with_span "compile_cached.lu" @@ fun () ->
+    Plan_cache.find_or_compile cache ~pattern:a
+      ~extra:[| fp_option max_width |]
+      (fun () -> compile ?fill ?max_width a)
+
+  let cache_stats () = Plan_cache.stats default_cache
+  let cache_clear () = Plan_cache.clear default_cache
+  let symbolic_seconds (t : t) = t.symbolic_seconds
+
+  let plan ?ndomains:_ (t : t) : plan =
+    { handle = t; p = K.Sympiler.make_plan t.compiled }
+
+  let execute_ip (p : plan) (a : input) : output =
+    Prof.start "numeric";
+    (try K.Sympiler.factor_ip p.p a
+     with e ->
+       Prof.stop "numeric";
+       raise e);
+    Prof.stop "numeric";
+    p.p.K.Sympiler.f
+
+  let factor_ip = execute_ip
+
+  let factor (t : t) (a : Csc.t) : output =
+    Prof.time "numeric" (fun () -> K.Sympiler.factor t.compiled a)
+
+  let c_code (t : t) : string = Codegen_static.lu t.compiled t.pattern
+end
+
+module Ic0 = struct
+  module K = Sympiler_kernels.Ic0
+
+  type pattern = Csc.t
+
+  type t = {
+    compiled : K.compiled;
+    pattern : Csc.t;
+    symbolic_seconds : float;
+  }
+
+  type plan = { handle : t; p : K.plan }
+  type input = Csc.t
+  type output = Csc.t
+
+  let compile ?fill:_ ?max_width:_ (a_lower : pattern) : t =
+    if not (Csc.is_lower_triangular a_lower) then
+      invalid_arg "Sympiler.Ic0.compile: pass lower(A)";
+    Trace.with_span "compile.ic0"
+      ~attrs:[ ("n", Trace.Int a_lower.Csc.ncols) ]
+    @@ fun () ->
+    let compiled, symbolic_seconds =
+      time_symbolic (fun () -> K.compile a_lower)
+    in
+    { compiled; pattern = a_lower; symbolic_seconds }
+
+  let default_cache : t Plan_cache.t = Plan_cache.create ()
+
+  let compile_cached ?(cache = default_cache) ?fill ?max_width
+      (a_lower : pattern) : t =
+    Trace.with_span "compile_cached.ic0" @@ fun () ->
+    Plan_cache.find_or_compile cache ~pattern:a_lower
+      ~extra:[| fp_option max_width |]
+      (fun () -> compile ?fill ?max_width a_lower)
+
+  let cache_stats () = Plan_cache.stats default_cache
+  let cache_clear () = Plan_cache.clear default_cache
+  let symbolic_seconds (t : t) = t.symbolic_seconds
+  let plan ?ndomains:_ (t : t) : plan = { handle = t; p = K.make_plan t.compiled }
+
+  let execute_ip (p : plan) (a_lower : input) : output =
+    Prof.start "numeric";
+    (try K.factor_ip p.p a_lower
+     with e ->
+       Prof.stop "numeric";
+       raise e);
+    Prof.stop "numeric";
+    p.p.K.l
+
+  let factor_ip = execute_ip
+
+  let factor (t : t) (a_lower : Csc.t) : output =
+    Prof.time "numeric" (fun () -> K.factor t.compiled a_lower)
+
+  let c_code (t : t) : string = Codegen_static.ic0 t.compiled
+end
+
+module Ilu0 = struct
+  module K = Sympiler_kernels.Ilu0
+
+  type pattern = Csc.t
+
+  type t = {
+    compiled : K.compiled;
+    pattern : Csc.t;
+    symbolic_seconds : float;
+  }
+
+  type plan = { handle : t; p : K.plan }
+  type input = Csc.t
+  type output = K.factors
+
+  let compile ?fill:_ ?max_width:_ (a : pattern) : t =
+    Trace.with_span "compile.ilu0" ~attrs:[ ("n", Trace.Int a.Csc.ncols) ]
+    @@ fun () ->
+    let compiled, symbolic_seconds =
+      time_symbolic (fun () -> K.compile a)
+    in
+    { compiled; pattern = a; symbolic_seconds }
+
+  let default_cache : t Plan_cache.t = Plan_cache.create ()
+
+  let compile_cached ?(cache = default_cache) ?fill ?max_width (a : pattern) :
+      t =
+    Trace.with_span "compile_cached.ilu0" @@ fun () ->
+    Plan_cache.find_or_compile cache ~pattern:a
+      ~extra:[| fp_option max_width |]
+      (fun () -> compile ?fill ?max_width a)
+
+  let cache_stats () = Plan_cache.stats default_cache
+  let cache_clear () = Plan_cache.clear default_cache
+  let symbolic_seconds (t : t) = t.symbolic_seconds
+  let plan ?ndomains:_ (t : t) : plan = { handle = t; p = K.make_plan t.compiled }
+
+  let execute_ip (p : plan) (a : input) : output =
+    Prof.start "numeric";
+    (try K.factor_ip p.p a
+     with e ->
+       Prof.stop "numeric";
+       raise e);
+    Prof.stop "numeric";
+    p.p.K.f
+
+  let factor_ip = execute_ip
+
+  let factor (t : t) (a : Csc.t) : output =
+    Prof.time "numeric" (fun () -> K.factor t.compiled a)
+
+  let c_code (t : t) : string = Codegen_static.ilu0 t.compiled
 end
 
 (* Symbolic "explain" reports: what the inspectors measured and what the

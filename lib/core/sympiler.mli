@@ -5,7 +5,12 @@ open Sympiler_kernels
     symbolic analysis (and can emit specialized C) once for a fixed
     sparsity structure; the returned handles expose numeric routines that
     contain no symbolic work, plus the time the symbolic phase took
-    (the quantity of Figures 8 and 9). *)
+    (the quantity of Figures 8 and 9).
+
+    Every kernel family conforms to the one {!KERNEL} signature, so the
+    compile → plan → execute-in-place lifecycle (and the optional-argument
+    spellings [?cache]/[?ndomains]/[?fill]/[?max_width]) is identical
+    across triangular solve, Cholesky, LDL^T, LU, IC(0), and ILU(0). *)
 
 module Suite = Suite
 (** The prepared Table 2 benchmark suite. *)
@@ -22,8 +27,70 @@ module Trace = Sympiler_trace.Trace
     (re-exported for convenience): enable with [Trace.enable ()], export
     with [Trace.to_chrome_json] / [Trace.to_folded]. *)
 
+module Runtime = Sympiler_runtime
+(** The persistent domain-pool parallel runtime ({!Runtime.Pool}) behind
+    every [?ndomains] argument, re-exported for sizing control
+    ([Pool.default_size], the [SYMPILER_NDOMAINS] override) and shutdown. *)
+
+(** The uniform kernel lifecycle every family implements.
+
+    - [compile] runs the symbolic phase for one sparsity [pattern].
+      [?fill] reuses a caller-provided fill analysis (families that do not
+      consume one accept and ignore it — the cost of a uniform signature);
+      [?max_width] caps supernode width where supernodes exist.
+    - [compile_cached] is [compile] through a pattern-keyed {!Plan_cache}
+      (a module-wide default unless [?cache] is given).
+    - [plan] allocates the numeric workspaces once; [?ndomains] requests
+      the level-parallel executor on the persistent domain pool where one
+      exists (Trisolve, supernodal Cholesky) and is ignored elsewhere.
+    - [execute_ip] is the steady-state numeric phase: no symbolic work,
+      zero allocation, results written into plan-owned storage (the
+      returned [output] is a view valid until the next call on the same
+      plan). Bitwise-identical results for any [ndomains].
+    - [c_code] emits the specialized C executor with every inspection set
+      baked in as static arrays. *)
+module type KERNEL = sig
+  type pattern
+  (** What the symbolic phase inspects (structure only). *)
+
+  type t
+  (** Compiled handle: inspection sets + chosen strategy. *)
+
+  type plan
+  (** Reusable numeric workspaces for compile-once / execute-many. *)
+
+  type input
+  (** Numeric input of one execution (values free to change per call). *)
+
+  type output
+  (** Result view over plan-owned storage. *)
+
+  val compile :
+    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+
+  val compile_cached :
+    ?cache:t Plan_cache.t ->
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    pattern ->
+    t
+
+  val cache_stats : unit -> Plan_cache.stats
+  val cache_clear : unit -> unit
+
+  val symbolic_seconds : t -> float
+  (** One-time inspection + planning cost of this handle. *)
+
+  val plan : ?ndomains:int -> t -> plan
+  val execute_ip : plan -> input -> output
+  val c_code : t -> string
+end
+
 (** Sparse triangular solve [L x = b] with a sparse right-hand side. *)
 module Trisolve : sig
+  type pattern = Csc.t * Vector.sparse
+  (** The pattern of [L] and the RHS pattern (values ignored). *)
+
   type t = {
     l : Csc.t;
     b_pattern : int array;
@@ -37,27 +104,44 @@ module Trisolve : sig
             supernode width) *)
   }
 
-  val compile : ?vs_block_threshold:float -> ?max_width:int -> Csc.t -> Vector.sparse -> t
-  (** Symbolic inspection and inspector-guided planning for the patterns of
-      [l] and [b]; numeric values are free to change afterwards. Raises
-      [Invalid_argument] when [l] is not lower triangular. *)
+  val compile :
+    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+  (** Symbolic inspection and inspector-guided planning for the patterns
+      of [l] and [b]; numeric values are free to change afterwards.
+      [?fill] is accepted for {!KERNEL} uniformity and ignored (the solve
+      inspects reach-sets, not fill). Raises [Invalid_argument] when [l]
+      is not lower triangular. *)
+
+  val compile_ext :
+    ?vs_block_threshold:float -> ?max_width:int -> Csc.t -> Vector.sparse -> t
+  (** {!compile} with the VS-Block profitability threshold exposed (the
+      pre-unification spelling, kept for existing callers). *)
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
-    ?vs_block_threshold:float ->
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
     ?max_width:int ->
-    Csc.t ->
-    Vector.sparse ->
+    pattern ->
     t
   (** [compile] through a pattern-keyed cache: a hit (same structure of
       [l], same RHS pattern, same options) returns the earlier handle
       physically equal, with no symbolic work. Uses a module-wide default
       cache unless [cache] is given. *)
 
+  val compile_cached_ext :
+    ?cache:t Plan_cache.t ->
+    ?vs_block_threshold:float ->
+    ?max_width:int ->
+    Csc.t ->
+    Vector.sparse ->
+    t
+
   val cache_stats : unit -> Plan_cache.stats
   (** Hit/miss/length counters of the default cache. *)
 
   val cache_clear : unit -> unit
+
+  val symbolic_seconds : t -> float
 
   val solve : t -> Vector.sparse -> float array
   (** Numeric-only solve; [b] must have the compiled pattern. *)
@@ -65,15 +149,34 @@ module Trisolve : sig
   val solve_ip : t -> float array -> unit
   (** In-place: [x] holds b on entry, the solution on exit. *)
 
-  type plan = { handle : t; p : Trisolve_sympiler.plan }
+  type plan = {
+    handle : t;
+    p : Trisolve_sympiler.plan;
+    par : Trisolve_parallel.plan option;
+        (** populated when [plan ~ndomains] requested the level-set
+            executor *)
+  }
   (** Reusable numeric workspaces for the compile-once / execute-many
       regime. *)
 
-  val plan : t -> plan
+  type input = Vector.sparse
+  type output = float array
 
-  val solve_plan : plan -> Vector.sparse -> float array
+  val plan : ?ndomains:int -> t -> plan
+  (** Without [ndomains]: the sequential reach-set executor. With
+      [ndomains] (any value, including 1): the level-set executor on the
+      persistent domain pool — levelization happens here, at plan time,
+      and results are bitwise-identical across all [ndomains] (though the
+      level schedule's operation order differs from the reach-set
+      executor's). [ndomains] defaults the pool sizing rule to
+      {!Runtime.Pool.default_size} semantics; see that module. *)
+
+  val execute_ip : plan -> Vector.sparse -> float array
   (** Solve into the plan's buffer (valid until the next call on the same
       plan); zero allocation in steady state. *)
+
+  val solve_plan : plan -> Vector.sparse -> float array
+  (** Alias of {!execute_ip} (pre-unification name). *)
 
   val c_code : t -> string
   (** Specialized C implementing the same solve (VS-Block + VI-Prune +
@@ -99,22 +202,41 @@ module Cholesky : sig
             the width is [nan] when [Simplicial] was forced) *)
   }
 
+  type pattern = Csc.t
+
   val compile :
+    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+  (** Compile for the pattern of lower-triangular [a_lower] with the
+      default strategy selection: the supernodal (VS-Block) variant when
+      the average supernode width reaches the paper's hand-tuned 2.0
+      threshold (§4.2), the simplicial (VI-Prune-only) code below it — as
+      Sympiler does for matrices 3,4,5,7. [?fill] reuses a caller-provided
+      fill analysis of the same pattern instead of re-running it. Raises
+      [Invalid_argument] on non-lower-triangular input. *)
+
+  val compile_ext :
     ?variant:variant ->
     ?specialized:bool ->
     ?vs_block_threshold:float ->
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
     ?max_width:int ->
     Csc.t ->
     t
-  (** Compile for the pattern of lower-triangular [a_lower]. The supernodal
-      (VS-Block) variant is requested by default but applied only when the
-      average supernode width reaches [vs_block_threshold] (default 2.0) —
-      the paper's hand-tuned profitability threshold (§4.2); below it
-      compilation falls back to the simplicial (VI-Prune-only) code, as
-      Sympiler does for matrices 3,4,5,7. Raises [Invalid_argument] on
-      non-lower-triangular input. *)
+  (** {!compile} with the strategy knobs exposed: force a [variant], turn
+      off pattern specialization, or move the VS-Block threshold. *)
 
   val compile_cached :
+    ?cache:t Plan_cache.t ->
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    pattern ->
+    t
+  (** [compile] through a pattern-keyed cache: a hit (same structure of
+      [a_lower], same options) returns the earlier handle physically
+      equal, skipping the symbolic phase entirely. Uses a module-wide
+      default cache unless [cache] is given. *)
+
+  val compile_cached_ext :
     ?cache:t Plan_cache.t ->
     ?variant:variant ->
     ?specialized:bool ->
@@ -122,15 +244,13 @@ module Cholesky : sig
     ?max_width:int ->
     Csc.t ->
     t
-  (** [compile] through a pattern-keyed cache: a hit (same structure of
-      [a_lower], same options) returns the earlier handle physically
-      equal, skipping the symbolic phase entirely. Uses a module-wide
-      default cache unless [cache] is given. *)
 
   val cache_stats : unit -> Plan_cache.stats
   (** Hit/miss/length counters of the default cache. *)
 
   val cache_clear : unit -> unit
+
+  val symbolic_seconds : t -> float
 
   val factor : t -> Csc.t -> Csc.t
   (** Numeric-only factorization for any values sharing the compiled
@@ -141,17 +261,32 @@ module Cholesky : sig
     handle : t;
     sup : Cholesky_supernodal.Sympiler.plan option;
     simp : Cholesky_ref.Decoupled.plan option;
+    par : Cholesky_parallel.plan option;
+        (** populated when [plan ~ndomains] requested the level-parallel
+            executor (supernodal handles only) *)
   }
   (** Reusable numeric workspaces (factor storage + scratch) for the
       compile-once / execute-many regime; which side is populated follows
-      the handle's [variant]. *)
+      the handle's [variant] and the [ndomains] request. *)
 
-  val plan : t -> plan
+  type input = Csc.t
+  type output = Csc.t
+
+  val plan : ?ndomains:int -> t -> plan
+  (** Without [ndomains]: the sequential executor of the handle's variant.
+      With [ndomains] on a supernodal handle: the level-parallel executor
+      on the persistent domain pool (the supernode DAG is levelized here,
+      at plan time); factors are bitwise-identical across all [ndomains].
+      [ndomains] is ignored for simplicial handles (column code has no
+      level schedule). *)
+
+  val execute_ip : plan -> Csc.t -> Csc.t
+  (** Numeric factorization into the plan's storage; returns the plan's
+      factor view ({!plan_factor}), refreshed in place, valid until the
+      next call on the same plan. Zero allocation in steady state. *)
 
   val refactor_ip : plan -> Csc.t -> unit
-  (** Numeric factorization into the plan's storage for any values sharing
-      the compiled pattern; zero allocation in steady state. Read the
-      result through {!plan_factor}. *)
+  (** {!execute_ip} without the view (pre-unification name). *)
 
   val plan_factor : plan -> Csc.t
   (** The plan's factor view, refreshed in place by each {!refactor_ip}
@@ -163,6 +298,196 @@ module Cholesky : sig
   val c_code : t -> string
   (** Specialized C: the supernodal driver with its baked-in schedule, or
       the fully specialized simplicial kernel from the AST pipeline. *)
+end
+
+(** [A = L D L^T] factorization for symmetric indefinite but strongly
+    regular matrices (§3.3); pass lower(A). *)
+module Ldlt : sig
+  type pattern = Csc.t
+
+  type t = {
+    compiled : Sympiler_kernels.Ldlt.compiled;
+    pattern : Csc.t;
+    symbolic_seconds : float;
+  }
+
+  type plan = { handle : t; p : Sympiler_kernels.Ldlt.plan }
+  type input = Csc.t
+  type output = Sympiler_kernels.Ldlt.factors
+
+  val compile :
+    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+  (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
+      ignored (the up-looking kernel is column-wise). Raises
+      [Invalid_argument] when the input is not lower triangular. *)
+
+  val compile_cached :
+    ?cache:t Plan_cache.t ->
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    pattern ->
+    t
+
+  val cache_stats : unit -> Plan_cache.stats
+  val cache_clear : unit -> unit
+  val symbolic_seconds : t -> float
+
+  val plan : ?ndomains:int -> t -> plan
+  (** [?ndomains] accepted and ignored (sequential executor). *)
+
+  val execute_ip : plan -> input -> output
+  (** Factorize into the plan's storage; raises
+      {!Sympiler_kernels.Ldlt.Zero_pivot} on a zero pivot (the plan stays
+      reusable). *)
+
+  val factor_ip : plan -> input -> output
+  (** Alias of {!execute_ip}. *)
+
+  val factor : t -> Csc.t -> output
+  (** One-shot: fresh factors per call. *)
+
+  val c_code : t -> string
+end
+
+(** Sparse LU (left-looking Gilbert-Peierls, no pivoting) for matrices
+    that are numerically safe without pivoting (§3.3). *)
+module Lu : sig
+  type pattern = Csc.t
+
+  type t = {
+    compiled : Sympiler_kernels.Lu.Sympiler.compiled;
+    pattern : Csc.t;
+    symbolic_seconds : float;
+    flops : float;
+  }
+
+  type plan = { handle : t; p : Sympiler_kernels.Lu.Sympiler.plan }
+  type input = Csc.t
+  type output = Sympiler_kernels.Lu.factors
+
+  val compile :
+    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+  (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
+      ignored (LU runs its own reach-set simulation over DG_L). *)
+
+  val compile_cached :
+    ?cache:t Plan_cache.t ->
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    pattern ->
+    t
+
+  val cache_stats : unit -> Plan_cache.stats
+  val cache_clear : unit -> unit
+  val symbolic_seconds : t -> float
+
+  val plan : ?ndomains:int -> t -> plan
+  (** [?ndomains] accepted and ignored (sequential executor). *)
+
+  val execute_ip : plan -> input -> output
+  (** Factorize into the plan's storage; raises
+      {!Sympiler_kernels.Lu.Zero_pivot} on a zero pivot (the plan stays
+      reusable). *)
+
+  val factor_ip : plan -> input -> output
+  (** Alias of {!execute_ip}. *)
+
+  val factor : t -> Csc.t -> output
+  val c_code : t -> string
+end
+
+(** Incomplete Cholesky with zero fill, IC(0) (§3.3); pass lower(A). *)
+module Ic0 : sig
+  type pattern = Csc.t
+
+  type t = {
+    compiled : Sympiler_kernels.Ic0.compiled;
+    pattern : Csc.t;
+    symbolic_seconds : float;
+  }
+
+  type plan = { handle : t; p : Sympiler_kernels.Ic0.plan }
+  type input = Csc.t
+  type output = Csc.t
+
+  val compile :
+    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+  (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
+      ignored (IC(0) keeps exactly the input pattern — no fill analysis).
+      Raises [Invalid_argument] when the input is not lower triangular. *)
+
+  val compile_cached :
+    ?cache:t Plan_cache.t ->
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    pattern ->
+    t
+
+  val cache_stats : unit -> Plan_cache.stats
+  val cache_clear : unit -> unit
+  val symbolic_seconds : t -> float
+
+  val plan : ?ndomains:int -> t -> plan
+  (** [?ndomains] accepted and ignored (sequential executor). *)
+
+  val execute_ip : plan -> input -> output
+  (** Factorize into the plan's storage; the returned factor view is
+      refreshed in place per call. Raises
+      {!Sympiler_kernels.Ic0.Not_positive_definite} on a non-positive
+      pivot (the plan stays reusable). *)
+
+  val factor_ip : plan -> input -> output
+  (** Alias of {!execute_ip}. *)
+
+  val factor : t -> Csc.t -> output
+  val c_code : t -> string
+end
+
+(** Incomplete LU with zero fill, ILU(0), row-wise IKJ (§3.3 / §5). *)
+module Ilu0 : sig
+  type pattern = Csc.t
+
+  type t = {
+    compiled : Sympiler_kernels.Ilu0.compiled;
+    pattern : Csc.t;
+    symbolic_seconds : float;
+  }
+
+  type plan = { handle : t; p : Sympiler_kernels.Ilu0.plan }
+  type input = Csc.t
+  type output = Sympiler_kernels.Ilu0.factors
+
+  val compile :
+    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+  (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
+      ignored (ILU(0) keeps exactly A's pattern). Raises
+      {!Sympiler_kernels.Ilu0.Zero_pivot} when a structural diagonal entry
+      is missing. *)
+
+  val compile_cached :
+    ?cache:t Plan_cache.t ->
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    pattern ->
+    t
+
+  val cache_stats : unit -> Plan_cache.stats
+  val cache_clear : unit -> unit
+  val symbolic_seconds : t -> float
+
+  val plan : ?ndomains:int -> t -> plan
+  (** [?ndomains] accepted and ignored (sequential executor). *)
+
+  val execute_ip : plan -> input -> output
+  (** Factorize into the plan's storage; raises
+      {!Sympiler_kernels.Ilu0.Zero_pivot} on a zero pivot (the plan stays
+      reusable). *)
+
+  val factor_ip : plan -> input -> output
+  (** Alias of {!execute_ip}. *)
+
+  val factor : t -> Csc.t -> output
+  val c_code : t -> string
 end
 
 (** Symbolic "explain" reports: what the inspectors measured and what the

@@ -1,31 +1,40 @@
 open Sympiler_sparse
 open Sympiler_symbolic
+open Sympiler_runtime
 
-(* Level-set parallel supernodal Cholesky on OCaml 5 domains — the
-   shared-memory direction of the paper's conclusion, realized the way its
-   ParSy follow-on does: the supernodal dependency DAG (supernode s depends
-   on every descendant in its update schedule) is levelized at compile
-   time, and each level's target supernodes factor in parallel.
+(* Level-set parallel supernodal Cholesky on the persistent domain pool —
+   the shared-memory direction of the paper's conclusion, realized the way
+   its ParSy follow-on does: the supernodal dependency DAG (supernode s
+   depends on every descendant in its update schedule) is levelized at
+   compile time, and each level's target supernodes factor in parallel
+   through [Pool.run]'s level barrier.
 
    Left-looking makes this race-free without atomics: while processing a
    target supernode the engine writes only that supernode's own panel and
    reads descendant panels finalized at earlier levels, so partitioning a
-   level's targets across domains partitions the writes. *)
+   level's targets across domains partitions the writes. Because every
+   target runs the exact same per-supernode operation sequence as the
+   sequential engine, the factor is bitwise-identical for any domain count
+   and any partition. *)
 
 type compiled = {
   sym : Cholesky_supernodal.Sympiler.compiled;
   nlevels : int;
   level_ptr : int array;
   level_sn : int array; (* supernodes ordered by level, ascending inside *)
+  cost : float array; (* per-supernode symbolic flop estimate *)
 }
 
-let compile ?fill ?max_width (a_lower : Csc.t) : compiled =
-  let sym = Cholesky_supernodal.Sympiler.compile ?fill ?max_width a_lower in
+(* Levelize an already-compiled supernodal handle (the facade reuses the
+   handle it compiled for the sequential path): level(s) = 1 + max level
+   over schedule dependencies; ascending s visits descendants first since
+   updates flow forward. The per-supernode costs come from the symbolic
+   counts^2 flop model — the input to the plan's cost-balanced partitions. *)
+let levelize (sym : Cholesky_supernodal.Sympiler.compiled) : compiled =
   let an = sym.Cholesky_supernodal.Sympiler.an in
-  let nsuper = Supernodes.nsuper an.Cholesky_supernodal.sn in
+  let sn = an.Cholesky_supernodal.sn in
+  let nsuper = Supernodes.nsuper sn in
   let level = Array.make nsuper 0 in
-  (* level(s) = 1 + max level over schedule dependencies; ascending s
-     visits descendants first since updates flow forward. *)
   Array.iteri
     (fun s ups ->
       Array.iter
@@ -45,7 +54,24 @@ let compile ?fill ?max_width (a_lower : Csc.t) : compiled =
     level_sn.(next.(level.(s))) <- s;
     next.(level.(s)) <- next.(level.(s)) + 1
   done;
-  { sym; nlevels; level_ptr; level_sn }
+  let lp = an.Cholesky_supernodal.l_colptr in
+  let col_counts =
+    Array.init an.Cholesky_supernodal.n (fun j -> lp.(j + 1) - lp.(j))
+  in
+  let colfl = Fill_pattern.col_flops col_counts in
+  let cost = Array.make nsuper 0.0 in
+  for s = 0 to nsuper - 1 do
+    for j = sn.Supernodes.sn_ptr.(s) to sn.Supernodes.sn_ptr.(s + 1) - 1 do
+      cost.(s) <- cost.(s) +. colfl.(j)
+    done
+  done;
+  { sym; nlevels; level_ptr; level_sn; cost }
+
+let compile ?fill ?max_width (a_lower : Csc.t) : compiled =
+  let fill =
+    match fill with Some f -> f | None -> Fill_pattern.analyze a_lower
+  in
+  levelize (Cholesky_supernodal.Sympiler.compile ~fill ?max_width a_lower)
 
 (* Process one target supernode (panel init, scheduled updates, panel
    factorization) with the specialized kernels and a caller-provided
@@ -60,18 +86,35 @@ let process_target (c : compiled) (a_lower : Csc.t) (lx : float array)
   done;
   Cholesky_supernodal.factor_panel_specialized an lx s
 
-(* A plan owns the factor values, one relpos scratch per domain, and a CSC
-   view [l] over those values; repeated [factor_ip] calls reuse all numeric
-   storage (the parallel path allocates only what [Domain.spawn] itself
-   requires; with one domain the steady state is allocation-free). *)
+(* Levels narrower than this run inline: a pool dispatch cannot pay off. *)
+let par_min_width = 8
+
+(* A plan owns the factor values, one relpos scratch per domain, the
+   cost-balanced per-level partitions, and a preallocated worker closure,
+   so repeated [factor_ip] calls allocate nothing — parallel or not (the
+   pool's steady state is allocation-free too). The [lv]/[a_lower] fields
+   are the dispatch arguments the closure reads; [part] and [task] are
+   exposed so the bench harness can drive the same chunks through a
+   spawn-per-call baseline. *)
 type plan = {
   c : compiled;
   lx : float array; (* values of L, plan-owned *)
   relpos : int array array; (* per-domain row-offset scratch *)
   l : Csc.t; (* factor view over [lx] *)
+  ndomains : int;
+  part : int array array; (* per level: ndomains+1 chunk boundaries *)
+  mutable lv : int; (* level being dispatched *)
+  mutable a_lower : Csc.t; (* input of the call in flight *)
+  task : int -> unit; (* preallocated pool worker *)
 }
 
-let make_plan ?(ndomains = 2) (c : compiled) : plan =
+(* [ndomains] defaults to the pool's size — the library's single sizing
+   decision, [Pool.default_size] (SYMPILER_NDOMAINS override, else
+   [Domain.recommended_domain_count]). *)
+let make_plan ?ndomains (c : compiled) : plan =
+  let nd =
+    match ndomains with Some k -> max 1 k | None -> Pool.default_size ()
+  in
   let an = c.sym.Cholesky_supernodal.Sympiler.an in
   let lx = Array.make an.Cholesky_supernodal.nnz_l 0.0 in
   let l =
@@ -80,42 +123,54 @@ let make_plan ?(ndomains = 2) (c : compiled) : plan =
       ~rowind:(Array.copy an.Cholesky_supernodal.l_rowind)
       ~values:lx
   in
-  {
-    c;
-    lx;
-    relpos =
-      Array.init (max 1 ndomains) (fun _ ->
-          Array.make an.Cholesky_supernodal.n 0);
-    l;
-  }
+  let part =
+    Array.init c.nlevels (fun lv ->
+        let lo = c.level_ptr.(lv) in
+        let w = c.level_ptr.(lv + 1) - lo in
+        let b =
+          Partition.balanced ~ntasks:w ~nparts:nd ~cost:(fun t ->
+              c.cost.(c.level_sn.(lo + t)))
+        in
+        (* Shift the in-level boundaries to absolute level_sn indices. *)
+        Array.map (fun t -> lo + t) b)
+  in
+  let rec p =
+    {
+      c;
+      lx;
+      relpos =
+        Array.init nd (fun _ -> Array.make an.Cholesky_supernodal.n 0);
+      l;
+      ndomains = nd;
+      part;
+      lv = 0;
+      a_lower = l (* placeholder until the first call *);
+      task =
+        (fun w ->
+          let b = p.part.(p.lv) in
+          for t = b.(w) to b.(w + 1) - 1 do
+            process_target p.c p.a_lower p.lx p.relpos.(w)
+              p.c.level_sn.(t)
+          done);
+    }
+  in
+  p
 
 let factor_ip_body (p : plan) (a_lower : Csc.t) : unit =
   let c = p.c in
-  let lx = p.lx in
-  let relpos = p.relpos in
-  let ndomains = Array.length relpos in
+  p.a_lower <- a_lower;
   for lv = 0 to c.nlevels - 1 do
     let lo = c.level_ptr.(lv) and hi = c.level_ptr.(lv + 1) in
-    let width = hi - lo in
-    if ndomains <= 1 || width < 8 then
+    if p.ndomains <= 1 || hi - lo < par_min_width then
       for t = lo to hi - 1 do
-        process_target c a_lower lx relpos.(0) c.level_sn.(t)
+        process_target c a_lower p.lx p.relpos.(0) c.level_sn.(t)
       done
     else begin
-      let per = (width + ndomains - 1) / ndomains in
-      let work d () =
-        let dlo = lo + (d * per) and dhi = min hi (lo + ((d + 1) * per)) in
-        for t = dlo to dhi - 1 do
-          process_target c a_lower lx relpos.(d) c.level_sn.(t)
-        done
-      in
-      let domains =
-        List.init (ndomains - 1) (fun d -> Domain.spawn (work (d + 1)))
-      in
-      work 0 ();
-      List.iter Domain.join domains
+      p.lv <- lv;
+      Pool.run ~nworkers:p.ndomains p.task
     end
-  done
+  done;
+  p.a_lower <- p.l (* do not root the input between calls *)
 
 (* Spanned entry point: single-bool no-op when tracing is off; the [try]
    keeps the span stack balanced across [Not_positive_definite]. *)
@@ -128,8 +183,8 @@ let factor_ip (p : plan) (a_lower : Csc.t) : unit =
   Sympiler_trace.Trace.end_span ()
 
 (* One-shot allocating wrapper (fresh plan = fresh factor arrays). *)
-let factor ?(ndomains = 2) (c : compiled) (a_lower : Csc.t) : Csc.t =
-  let p = make_plan ~ndomains c in
+let factor ?ndomains (c : compiled) (a_lower : Csc.t) : Csc.t =
+  let p = make_plan ?ndomains c in
   factor_ip p a_lower;
   p.l
 

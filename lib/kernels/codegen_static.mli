@@ -1,0 +1,15 @@
+open Sympiler_sparse
+
+(** C emission for the §3.3 "other matrix methods" (LDL^T, LU, IC0,
+    ILU0): the symbolic index arrays are baked in as static tables, the
+    emitted numeric phase contains no symbolic work. Each emitter mirrors
+    the corresponding OCaml [factor_ip_body]; the generated function
+    returns -1 on success and the failing column/row on a pivot failure. *)
+
+val ldlt : Ldlt.compiled -> string
+val lu : Lu.Sympiler.compiled -> Csc.t -> string
+(** Needs A's pattern besides the compiled handle (the factorization
+    scatters A's columns; the handle stores only the factor patterns). *)
+
+val ic0 : Ic0.compiled -> string
+val ilu0 : Ilu0.compiled -> string

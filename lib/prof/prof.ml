@@ -30,6 +30,12 @@ type counters = {
   mutable max_level_width : int;  (** widest level set seen *)
   mutable cache_hits : int;  (** compilation-cache lookups served *)
   mutable cache_misses : int;  (** compilation-cache lookups that compiled *)
+  mutable pool_runs : int;  (** parallel dispatches through the domain pool *)
+  mutable pool_tasks : int;  (** worker tasks executed across those runs *)
+  mutable pool_max_workers : int;  (** widest dispatch seen *)
+  mutable pool_imbalance_pct : int;
+      (** worst per-dispatch imbalance, max/mean worker time as an integer
+          percentage (100 = perfectly balanced; 0 = never measured) *)
 }
 
 let counters =
@@ -43,6 +49,10 @@ let counters =
     max_level_width = 0;
     cache_hits = 0;
     cache_misses = 0;
+    pool_runs = 0;
+    pool_tasks = 0;
+    pool_max_workers = 0;
+    pool_imbalance_pct = 0;
   }
 
 let avg_supernode_width () =
@@ -134,6 +144,10 @@ let reset () =
   counters.max_level_width <- 0;
   counters.cache_hits <- 0;
   counters.cache_misses <- 0;
+  counters.pool_runs <- 0;
+  counters.pool_tasks <- 0;
+  counters.pool_max_workers <- 0;
+  counters.pool_imbalance_pct <- 0;
   Hashtbl.reset scopes_tbl
 
 (* ------------------------------ Emitters ------------------------------ *)
@@ -215,6 +229,10 @@ let counters_json () =
       ("max_level_width", Json.Int counters.max_level_width);
       ("cache_hits", Json.Int counters.cache_hits);
       ("cache_misses", Json.Int counters.cache_misses);
+      ("pool_runs", Json.Int counters.pool_runs);
+      ("pool_tasks", Json.Int counters.pool_tasks);
+      ("pool_max_workers", Json.Int counters.pool_max_workers);
+      ("pool_imbalance_pct", Json.Int counters.pool_imbalance_pct);
     ]
 
 let phases_json () =
@@ -248,6 +266,10 @@ let table () =
       ("max_level_width", string_of_int counters.max_level_width);
       ("cache_hits", string_of_int counters.cache_hits);
       ("cache_misses", string_of_int counters.cache_misses);
+      ("pool_runs", string_of_int counters.pool_runs);
+      ("pool_tasks", string_of_int counters.pool_tasks);
+      ("pool_max_workers", string_of_int counters.pool_max_workers);
+      ("pool_imbalance_pct", string_of_int counters.pool_imbalance_pct);
     ]
   in
   (* Name-column width follows the longest name present, so long scopes

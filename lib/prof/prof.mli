@@ -32,6 +32,13 @@ type counters = {
   mutable max_level_width : int;  (** widest level set seen *)
   mutable cache_hits : int;  (** compilation-cache lookups served *)
   mutable cache_misses : int;  (** compilation-cache lookups that compiled *)
+  mutable pool_runs : int;
+      (** parallel dispatches through {!Sympiler_runtime.Pool} *)
+  mutable pool_tasks : int;  (** worker tasks executed across those runs *)
+  mutable pool_max_workers : int;  (** widest dispatch seen *)
+  mutable pool_imbalance_pct : int;
+      (** worst per-dispatch level imbalance, max/mean worker time as an
+          integer percentage (100 = perfectly balanced; 0 = not measured) *)
 }
 
 val counters : counters

@@ -1,0 +1,45 @@
+let chunk_cost ~cost ~lo ~hi =
+  let acc = ref 0.0 in
+  for t = lo to hi - 1 do
+    acc := !acc +. cost t
+  done;
+  !acc
+
+(* Equal-count fallback: used when the cost model degenerates (all-zero or
+   non-finite total), where "balanced by cost" is meaningless. *)
+let equal_counts ~ntasks ~nparts =
+  let b = Array.make (nparts + 1) 0 in
+  for p = 0 to nparts do
+    b.(p) <- p * ntasks / nparts
+  done;
+  b
+
+let balanced ~ntasks ~nparts ~cost =
+  if nparts < 1 then invalid_arg "Partition.balanced: nparts < 1";
+  if ntasks < 0 then invalid_arg "Partition.balanced: ntasks < 0";
+  let total = chunk_cost ~cost ~lo:0 ~hi:ntasks in
+  if total <= 0.0 || not (Float.is_finite total) then
+    equal_counts ~ntasks ~nparts
+  else begin
+    let b = Array.make (nparts + 1) ntasks in
+    b.(0) <- 0;
+    (* One prefix sweep: boundary [p] lands on the first task index where
+       the running cost reaches share p. *)
+    let acc = ref 0.0 in
+    let p = ref 1 in
+    for t = 0 to ntasks - 1 do
+      acc := !acc +. cost t;
+      while
+        !p < nparts && !acc >= total *. float_of_int !p /. float_of_int nparts
+      do
+        b.(!p) <- t + 1;
+        incr p
+      done
+    done;
+    (* Any boundaries the sweep never placed (fp edge cases) close at the
+       end; monotonicity is by construction. *)
+    for q = !p to nparts - 1 do
+      b.(q) <- ntasks
+    done;
+    b
+  end

@@ -1,0 +1,20 @@
+(** Cost-balanced static partitioning of a task range across workers.
+
+    The parallel kernels split each level set into one contiguous chunk per
+    worker. A naive equal-count split ignores that supernodes (and rows)
+    have wildly different flop counts; the partitions here are computed
+    once, at plan-construction time, from the symbolic per-task flop
+    estimates, so the numeric phase carries no balancing logic at all. *)
+
+val balanced : ntasks:int -> nparts:int -> cost:(int -> float) -> int array
+(** [balanced ~ntasks ~nparts ~cost] returns boundaries [b] of length
+    [nparts + 1] with [b.(0) = 0], [b.(nparts) = ntasks], nondecreasing:
+    part [p] owns tasks [\[b.(p), b.(p+1))]. Boundary [p] is placed at the
+    first task where the cost prefix reaches [p/nparts] of the total, so
+    every part's cost is within one task of the ideal share. Parts may be
+    empty (zero-cost tail). Raises [Invalid_argument] when [nparts < 1] or
+    [ntasks < 0]; a non-finite or all-zero total falls back to equal
+    counts. *)
+
+val chunk_cost : cost:(int -> float) -> lo:int -> hi:int -> float
+(** Total cost of tasks [\[lo, hi)] — the quantity [balanced] equalizes. *)

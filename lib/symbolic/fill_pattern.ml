@@ -93,3 +93,10 @@ let nnz_l t = Csc.nnz t.l_pattern
    sum (counts_j)^2 is used for GFLOP/s reporting, matching common practice. *)
 let flops t =
   Array.fold_left (fun acc c -> acc +. (float_of_int c ** 2.0)) 0.0 t.counts
+
+(* Per-column summand of [flops]: the symbolic cost estimate the parallel
+   runtime's cost-balanced partitions are built from (columns and
+   supernodes of a level set are far from equal-cost, so equal-count
+   chunking leaves workers idle). *)
+let col_flops (counts : int array) : float array =
+  Array.map (fun c -> let f = float_of_int c in f *. f) counts

@@ -32,3 +32,9 @@ val flops : t -> float
 (** Flop count of the numeric factorization under the standard
     [sum_j counts.(j)^2] model, used as the GFLOP/s numerator in the
     benchmark figures. *)
+
+val col_flops : int array -> float array
+(** Per-column flop estimate from a column-count array ([counts.(j)^2],
+    the summand of {!flops}) — the symbolic cost model behind the parallel
+    runtime's cost-balanced level partitions. Accepts any counts array
+    (e.g. derived from a factor's [colptr]), not just {!t.counts}. *)

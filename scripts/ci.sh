@@ -10,6 +10,19 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== test suite under forced domain counts =="
+# The parallel runtime must give bitwise-identical results however the
+# pool is sized; SYMPILER_NDOMAINS overrides every default sizing
+# decision. Run through `dune exec` (not `dune runtest`, whose cache
+# ignores the environment).
+for nd in 1 4; do
+  echo "-- SYMPILER_NDOMAINS=$nd --"
+  SYMPILER_NDOMAINS=$nd dune exec test/main.exe > /dev/null || {
+    echo "FAIL: test suite under SYMPILER_NDOMAINS=$nd" >&2
+    exit 1
+  }
+done
+
 echo "== dune build @fmt =="
 dune build @fmt
 
@@ -37,6 +50,20 @@ grep -q '"disabled_overhead_ok":true' BENCH_trace.json || {
   echo "FAIL: tracing-disabled overhead exceeds 2% in BENCH_trace.json" >&2
   exit 1
 }
+
+echo "== parallel runtime gate =="
+# The persistent pool's contract on the single-core CI container: steady
+# parallel calls allocate nothing, results are bitwise-identical across
+# domain counts, and dispatching through the pool beats spawning domains
+# per level on the largest benched problem.
+dune exec bench/main.exe -- --quick --only parallel
+for verdict in all_zero_alloc bitwise_across_ndomains \
+  pool_beats_spawn_on_largest; do
+  grep -q "\"$verdict\":true" BENCH_parallel.json || {
+    echo "FAIL: $verdict is false in BENCH_parallel.json" >&2
+    exit 1
+  }
+done
 
 echo "== explain report gate =="
 # `sympiler explain --json` must emit parseable JSON with the report's

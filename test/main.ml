@@ -12,5 +12,6 @@ let () =
       ("api", Test_api.suite);
       ("prof", Test_prof.suite);
       ("trace", Test_trace.suite);
+      ("parallel", Test_parallel.suite);
       ("regressions", Test_regressions.suite);
     ]

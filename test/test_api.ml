@@ -7,7 +7,7 @@ open Sympiler_kernels
 let test_trisolve_api () =
   let l = Generators.random_lower ~seed:41 ~n:120 ~density:0.08 () in
   let b = Generators.sparse_rhs ~seed:42 ~n:120 ~fill:0.05 () in
-  let t = Sympiler.Trisolve.compile l b in
+  let t = Sympiler.Trisolve.compile (l, b) in
   let oracle = Helpers.oracle_lower_solve l (Vector.sparse_to_dense b) in
   Helpers.check_close "solve" oracle (Sympiler.Trisolve.solve t b);
   let x = Vector.sparse_to_dense b in
@@ -24,14 +24,14 @@ let test_trisolve_api_rejects_nonlower () =
   let b = Generators.sparse_rhs ~seed:1 ~n:9 ~fill:0.2 () in
   Alcotest.(check bool) "rejects non-lower" true
     (try
-       ignore (Sympiler.Trisolve.compile a b);
+       ignore (Sympiler.Trisolve.compile (a, b));
        false
      with Invalid_argument _ -> true)
 
 let test_trisolve_c_code () =
   let l = Generators.random_lower ~seed:43 ~n:30 ~density:0.15 () in
   let b = Generators.sparse_rhs ~seed:44 ~n:30 ~fill:0.1 () in
-  let t = Sympiler.Trisolve.compile l b in
+  let t = Sympiler.Trisolve.compile (l, b) in
   let c = Sympiler.Trisolve.c_code t in
   Alcotest.(check bool) "has kernel" true
     (String.length c > 100)
@@ -42,7 +42,7 @@ let test_cholesky_api_variants () =
   let oracle = Helpers.oracle_cholesky a in
   List.iter
     (fun variant ->
-      let t = Sympiler.Cholesky.compile ~variant al in
+      let t = Sympiler.Cholesky.compile_ext ~variant al in
       let l = Sympiler.Cholesky.factor t al in
       Alcotest.(check bool) "factor correct" true
         (Dense.max_abs_diff oracle (Dense.of_csc l) < 1e-7))
@@ -59,16 +59,16 @@ let test_cholesky_threshold_fallback () =
   (* Small-supernode matrix + huge threshold -> simplicial fallback, as the
      paper skips VS-Block for matrices 3,4,5,7. *)
   let al = Csc.lower (Generators.grid2d ~stencil:`Five 6 6) in
-  let t = Sympiler.Cholesky.compile ~vs_block_threshold:1e9 al in
+  let t = Sympiler.Cholesky.compile_ext ~vs_block_threshold:1e9 al in
   Alcotest.(check bool) "fell back to simplicial" true
     (t.Sympiler.Cholesky.variant = Sympiler.Cholesky.Simplicial);
-  let t2 = Sympiler.Cholesky.compile ~vs_block_threshold:0.0 al in
+  let t2 = Sympiler.Cholesky.compile_ext ~vs_block_threshold:0.0 al in
   Alcotest.(check bool) "supernodal when threshold 0" true
     (t2.Sympiler.Cholesky.variant = Sympiler.Cholesky.Supernodal)
 
 let test_cholesky_c_code_supernodal () =
   let al = Csc.lower (Generators.block_tridiagonal ~seed:4 ~nblocks:3 ~block:4 ()) in
-  let t = Sympiler.Cholesky.compile ~vs_block_threshold:0.0 al in
+  let t = Sympiler.Cholesky.compile_ext ~vs_block_threshold:0.0 al in
   let c = Sympiler.Cholesky.c_code t in
   Alcotest.(check bool) "supernodal C generated" true
     (String.length c > 500)

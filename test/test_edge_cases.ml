@@ -36,7 +36,7 @@ let test_one_by_one_everything () =
   Alcotest.(check (float 1e-12)) "left-looking 1x1" 3.0 (Csc.get l3 0 0);
   (* trisolve *)
   let b = { Vector.n = 1; indices = [| 0 |]; values = [| 6.0 |] } in
-  let t = Sympiler.Trisolve.compile l b in
+  let t = Sympiler.Trisolve.compile (l, b) in
   Alcotest.(check (array (float 1e-12))) "solve 1x1" [| 2.0 |]
     (Sympiler.Trisolve.solve t b);
   (* LU *)
@@ -76,7 +76,7 @@ let test_diagonal_matrix_trisolve () =
 let test_empty_rhs_trisolve () =
   let l = Generators.random_lower ~seed:1 ~n:10 ~density:0.3 () in
   let b = { Vector.n = 10; indices = [||]; values = [||] } in
-  let t = Sympiler.Trisolve.compile l b in
+  let t = Sympiler.Trisolve.compile (l, b) in
   Alcotest.(check int) "empty reach" 0 (Array.length t.Sympiler.Trisolve.reach);
   Alcotest.(check (array (float 0.0))) "zero solution" (Array.make 10 0.0)
     (Sympiler.Trisolve.solve t b)

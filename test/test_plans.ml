@@ -211,8 +211,8 @@ let test_cache_hit_physical_equality () =
   Alcotest.(check bool) "hit returns the same handle" true (h1 == h2);
   (* Different options: a distinct entry. *)
   let h3 =
-    Sympiler.Cholesky.compile_cached ~cache ~variant:Sympiler.Cholesky.Simplicial
-      al
+    Sympiler.Cholesky.compile_cached_ext ~cache
+      ~variant:Sympiler.Cholesky.Simplicial al
   in
   Alcotest.(check bool) "different options miss" true (h3 != h1);
   let st = Sympiler.Plan_cache.stats cache in
@@ -268,9 +268,9 @@ let test_trisolve_cache_keyed_on_rhs () =
   let l = Generators.random_lower ~seed:41 ~n:60 ~density:0.15 () in
   let b1 = Generators.sparse_rhs ~seed:42 ~n:60 ~fill:0.1 () in
   let b2 = Generators.sparse_rhs ~seed:43 ~n:60 ~fill:0.1 () in
-  let h1 = Sympiler.Trisolve.compile_cached ~cache l b1 in
-  let h1' = Sympiler.Trisolve.compile_cached ~cache l b1 in
-  let h2 = Sympiler.Trisolve.compile_cached ~cache l b2 in
+  let h1 = Sympiler.Trisolve.compile_cached ~cache (l, b1) in
+  let h1' = Sympiler.Trisolve.compile_cached ~cache (l, b1) in
+  let h2 = Sympiler.Trisolve.compile_cached ~cache (l, b2) in
   Alcotest.(check bool) "same L + same RHS pattern hits" true (h1 == h1');
   Alcotest.(check bool) "same L + different RHS pattern misses" true
     (h2 != h1)

@@ -193,7 +193,7 @@ let test_decision_log () =
     [ "decision.vi-prune"; "decision.vs-block" ];
   (* Trisolve decisions ride on the handle too. *)
   let b = { Vector.n = 10; indices = figure1_beta; values = [| 1.0; 1.0 |] } in
-  let t = Sympiler.Trisolve.compile figure1_l b in
+  let t = Sympiler.Trisolve.compile (figure1_l, b) in
   Alcotest.(check int) "trisolve has two decisions" 2
     (List.length t.Sympiler.Trisolve.decisions)
 
@@ -274,7 +274,7 @@ let test_explain_cholesky () =
 
 let test_explain_trisolve () =
   let b = { Vector.n = 10; indices = figure1_beta; values = [| 1.0; 1.0 |] } in
-  let h = Sympiler.Trisolve.compile figure1_l b in
+  let h = Sympiler.Trisolve.compile (figure1_l, b) in
   let r = Sympiler.Explain.trisolve h in
   Alcotest.(check string) "kernel" "trisolve" r.Sympiler.Explain.kernel;
   Alcotest.(check int) "n" 10 r.Sympiler.Explain.n;
@@ -308,7 +308,7 @@ let test_explain_empty () =
   ignore (Sympiler.Explain.to_table r);
   (* Same for trisolve on the empty pattern. *)
   let b0 = { Vector.n = 0; indices = [||]; values = [||] } in
-  let th = Sympiler.Trisolve.compile e b0 in
+  let th = Sympiler.Trisolve.compile (e, b0) in
   let tr = Sympiler.Explain.trisolve th in
   Alcotest.(check (float 0.0)) "trisolve fill ratio" 0.0
     tr.Sympiler.Explain.fill_ratio;
