@@ -15,6 +15,26 @@ open Cmdliner
 open Sympiler_sparse
 open Sympiler_symbolic
 
+(* --ordering values; `Given has no CLI spelling. Coerced into
+   [Sympiler.ordering] at the compile calls. *)
+let ordering_of_flag :
+    [ `Natural | `Rcm | `Amd | `Min_degree ] -> Sympiler.ordering =
+ fun o -> (o :> Sympiler.ordering)
+
+let ordering_flag_name = function
+  | `Natural -> "natural"
+  | `Rcm -> "rcm"
+  | `Amd -> "amd"
+  | `Min_degree -> "min-degree"
+
+(* For the analysis-only path: permute the full matrix up front. *)
+let apply_ordering ordering (a : Csc.t) : Csc.t =
+  match ordering with
+  | `Natural -> a
+  | `Rcm -> Perm.symmetric_permute (Ordering.rcm a) a
+  | `Amd -> Perm.symmetric_permute (Ordering.amd a) a
+  | `Min_degree -> Perm.symmetric_permute (Ordering.min_degree a) a
+
 let load ~matrix ~problem =
   match (matrix, problem) with
   | Some path, _ ->
@@ -67,12 +87,13 @@ let output o s =
 
 (* ---- analyze ---- *)
 
-let analyze matrix problem profile trace =
+let analyze matrix problem ordering profile trace =
   with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
-  let al = Csc.lower a in
   let t0 = Sympiler_prof.Prof.now_seconds () in
+  let a = apply_ordering ordering a in
+  let al = Csc.lower a in
   let fill = Fill_pattern.analyze al in
   let sn =
     Supernodes.detect_etree ~counts:fill.Fill_pattern.counts
@@ -80,6 +101,7 @@ let analyze matrix problem profile trace =
   in
   let dt = Sympiler_prof.Prof.now_seconds () -. t0 in
   Printf.printf "n                : %d\n" a.Csc.ncols;
+  Printf.printf "ordering         : %s\n" (ordering_flag_name ordering);
   Printf.printf "nnz(A)           : %d\n" (Csc.nnz a);
   Printf.printf "nnz(L)           : %d (fill ratio %.2f)\n"
     (Csc.nnz fill.Fill_pattern.l_pattern)
@@ -96,12 +118,14 @@ let analyze matrix problem profile trace =
 
 (* ---- cholesky codegen ---- *)
 
-let cholesky matrix problem out profile trace =
+let cholesky matrix problem ordering out profile trace =
   with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
   let al = Csc.lower a in
-  let t = Sympiler.Cholesky.compile al in
+  let t =
+    Sympiler.Cholesky.compile ~ordering:(ordering_of_flag ordering) al
+  in
   Printf.eprintf "variant: %s, nnz(L)=%d, symbolic %.1f ms\n"
     (match t.Sympiler.Cholesky.variant with
     | Sympiler.Cholesky.Supernodal -> "supernodal"
@@ -141,14 +165,15 @@ let trisolve matrix problem rhs_fill out profile trace =
    refactorizations into the same plan, reporting steady-state time per
    call, the GC minor-heap words each call allocates (0 = allocation-free),
    and the compilation cache's behaviour on a recompile. *)
-let steady matrix problem repeat ndomains profile trace =
+let steady matrix problem ordering repeat ndomains profile trace =
   with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let now = Sympiler_prof.Prof.now_seconds in
   let a = load ~matrix ~problem in
   let al = Csc.lower a in
+  let ord = ordering_of_flag ordering in
   let t0 = now () in
-  let h = Sympiler.Cholesky.compile_cached al in
+  let h = Sympiler.Cholesky.compile_cached ~ordering:ord al in
   let p = Sympiler.Cholesky.plan ?ndomains h in
   Sympiler.Cholesky.refactor_ip p al;
   let first = now () -. t0 in
@@ -162,9 +187,10 @@ let steady matrix problem repeat ndomains profile trace =
   let words =
     int_of_float ((Gc.minor_words () -. w0) /. float_of_int reps)
   in
-  let h' = Sympiler.Cholesky.compile_cached al in
+  let h' = Sympiler.Cholesky.compile_cached ~ordering:ord al in
   let stats = Sympiler.Cholesky.cache_stats () in
   Printf.printf "n                : %d\n" a.Csc.ncols;
+  Printf.printf "ordering         : %s\n" (ordering_flag_name ordering);
   Printf.printf "nnz(L)           : %d\n" h.Sympiler.Cholesky.nnz_l;
   Printf.printf "variant          : %s\n"
     (match h.Sympiler.Cholesky.variant with
@@ -192,7 +218,7 @@ let steady matrix problem repeat ndomains profile trace =
    histograms, level sets, the transformation decision log, and predicted
    vs executed flops (one numeric execution runs under profiling so the
    executed counter is populated). *)
-let explain matrix problem kernel rhs_fill json trace =
+let explain matrix problem kernel ordering rhs_fill json trace =
   with_trace trace @@ fun () ->
   let a = load ~matrix ~problem in
   let was_on = Sympiler_prof.Prof.enabled () in
@@ -202,7 +228,9 @@ let explain matrix problem kernel rhs_fill json trace =
     match kernel with
     | `Cholesky ->
         let al = Csc.lower a in
-        let t = Sympiler.Cholesky.compile al in
+        let t =
+          Sympiler.Cholesky.compile ~ordering:(ordering_of_flag ordering) al
+        in
         (* Populate the executed-flops counter; a numeric breakdown (e.g.
            indefinite values) still leaves the symbolic report valid. *)
         (try ignore (Sympiler.Cholesky.factor t al)
@@ -214,6 +242,10 @@ let explain matrix problem kernel rhs_fill json trace =
                are partial\n");
         Sympiler.Explain.cholesky t
     | `Trisolve ->
+        (* A generic fill-reducing ordering would break L's triangularity,
+           so for the solve the ordering is applied to A before the factor
+           whose L is compiled (the handle itself stays natural). *)
+        let a = apply_ordering ordering a in
         let l =
           if Csc.is_lower_triangular a then a
           else begin
@@ -247,6 +279,24 @@ let out_arg =
 
 let rhs_fill_arg =
   Arg.(value & opt float 0.03 & info [ "rhs-fill" ] ~doc:"RHS fill fraction")
+
+let ordering_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("natural", `Natural);
+             ("rcm", `Rcm);
+             ("amd", `Amd);
+             ("min-degree", `Min_degree);
+           ])
+        `Natural
+    & info [ "ordering" ]
+        ~doc:
+          "Fill-reducing ordering applied as part of the symbolic stage: \
+           $(docv) is one of natural, rcm, amd, min-degree."
+        ~docv:"ORD")
 
 let profile_arg =
   Arg.(
@@ -290,7 +340,9 @@ let json_arg =
 
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Report symbolic analysis of a matrix")
-    Term.(const analyze $ matrix_arg $ problem_arg $ profile_arg $ trace_arg)
+    Term.(
+      const analyze $ matrix_arg $ problem_arg $ ordering_arg $ profile_arg
+      $ trace_arg)
 
 let steady_cmd =
   Cmd.v
@@ -299,14 +351,14 @@ let steady_cmd =
          "Measure steady-state Cholesky refactorization through a reusable \
           plan (compile once, execute many)")
     Term.(
-      const steady $ matrix_arg $ problem_arg $ repeat_arg $ ndomains_arg
-      $ profile_arg $ trace_arg)
+      const steady $ matrix_arg $ problem_arg $ ordering_arg $ repeat_arg
+      $ ndomains_arg $ profile_arg $ trace_arg)
 
 let cholesky_cmd =
   Cmd.v (Cmd.info "cholesky" ~doc:"Emit specialized Cholesky C code")
     Term.(
-      const cholesky $ matrix_arg $ problem_arg $ out_arg $ profile_arg
-      $ trace_arg)
+      const cholesky $ matrix_arg $ problem_arg $ ordering_arg $ out_arg
+      $ profile_arg $ trace_arg)
 
 let trisolve_cmd =
   Cmd.v (Cmd.info "trisolve" ~doc:"Emit specialized triangular-solve C code")
@@ -321,8 +373,8 @@ let explain_cmd =
          "Explain a compilation: fill, etree, histograms, level sets, the \
           transformation decision log, predicted vs executed flops")
     Term.(
-      const explain $ matrix_arg $ problem_arg $ kernel_arg $ rhs_fill_arg
-      $ json_arg $ trace_arg)
+      const explain $ matrix_arg $ problem_arg $ kernel_arg $ ordering_arg
+      $ rhs_fill_arg $ json_arg $ trace_arg)
 
 let () =
   let doc = "Sympiler: sparsity-specific code generation for sparse kernels" in

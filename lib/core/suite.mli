@@ -2,23 +2,30 @@ open Sympiler_sparse
 
 (** The benchmark suite: Table 2's eleven problems, prepared the way the
     paper's libraries see them — grid/mesh problems pre-permuted with
-    minimum degree + etree postorder (standing in for the fill-reducing
-    ordering of the libraries' default configurations), structural
-    generators kept in their natural ordering. The same prepared matrix is
-    given to every implementation. *)
+    AMD + etree postorder (the fill-reducing ordering of the libraries'
+    default configurations), structural generators kept in their natural
+    ordering. The same prepared matrix is given to every implementation. *)
 
 type prepared = {
   id : int;
   name : string;
   descr : string;
-  ordering : string;  (** "natural" or "min-degree+postorder" *)
+  ordering : string;  (** "natural" or "amd+postorder" *)
   a_full : Csc.t;  (** full symmetric matrix, prepared ordering *)
   a_lower : Csc.t;  (** lower-triangular part (factorization input) *)
 }
 
+val fill_reducing_postorder : ordering:(Csc.t -> Perm.t) -> Csc.t -> Perm.t
+(** A fill-reducing ordering composed with the etree postorder of the
+    permuted matrix (postordering relabels along elimination dependences —
+    keeps supernodes contiguous without changing fill). *)
+
 val min_degree_postorder : Csc.t -> Perm.t
-(** Min-degree ordering composed with the etree postorder of the permuted
-    matrix (postordering keeps supernodes contiguous). *)
+(** {!fill_reducing_postorder} over greedy exact minimum degree. *)
+
+val amd_postorder : Csc.t -> Perm.t
+(** {!fill_reducing_postorder} over {!Sympiler_sparse.Ordering.amd} — the
+    suite's default preparation for mesh/grid problems. *)
 
 val prepare : Generators.problem -> prepared
 (** Force and prepare one generator problem. *)

@@ -37,6 +37,123 @@ let fp_threshold = function
   | None -> min_int
   | Some x -> int_of_float (x *. 1024.0)
 
+(* ----------------------- Fill-reducing orderings ----------------------- *)
+
+(* Ordering is a symbolic-stage decision: the permutation is computed once
+   at compile time, the symbolic analysis runs on P A P^T, and the plan
+   bakes P in — steady-state executions only gather values through a
+   precomputed map, so ordered plans stay allocation-free and produce
+   results bitwise-identical to manually pre-permuting the input. *)
+
+type ordering = [ `Natural | `Rcm | `Amd | `Min_degree | `Given of Perm.t ]
+
+type applied_ordering = {
+  o_perm : Perm.t option;  (* None = natural (identity, no gather) *)
+  o_name : string;  (* "natural" | "rcm" | "amd" | "min-degree" | "given" *)
+  o_map : int array;
+      (* gather map: permuted entry [q] reads the natural input's
+         [values.(o_map.(q))]; [||] when natural *)
+}
+
+let natural_ordering = { o_perm = None; o_name = "natural"; o_map = [||] }
+
+let ordering_name : ordering -> string = function
+  | `Natural -> "natural"
+  | `Rcm -> "rcm"
+  | `Amd -> "amd"
+  | `Min_degree -> "min-degree"
+  | `Given _ -> "given"
+
+(* Cache fingerprint: the ordering request is part of the compilation key
+   (a [`Given] permutation fingerprints by content). *)
+let fp_ordering : ordering option -> int array = function
+  | None | Some `Natural -> [| 0 |]
+  | Some `Rcm -> [| 1 |]
+  | Some `Amd -> [| 2 |]
+  | Some `Min_degree -> [| 3 |]
+  | Some (`Given p) -> Array.append [| 4; Array.length p |] p
+
+let append_fp_ordering extra ord = Array.append extra (fp_ordering ord)
+
+(* Compute the requested permutation ([`Natural] is handled by callers
+   before getting here; [sym] is forced only by the graph algorithms). *)
+let resolve_ordering ~who (o : ordering) (sym : Csc.t lazy_t) (n : int) :
+    Perm.t =
+  Trace.with_span "ordering"
+    ~attrs:[ ("n", Trace.Int n); ("algorithm", Trace.Str (ordering_name o)) ]
+  @@ fun () ->
+  match o with
+  | `Natural -> Perm.identity n
+  | `Rcm -> Ordering.rcm (Lazy.force sym)
+  | `Amd -> Ordering.amd (Lazy.force sym)
+  | `Min_degree -> Ordering.min_degree (Lazy.force sym)
+  | `Given p ->
+      if Array.length p <> n then
+        invalid_arg (who ^ ": `Given permutation length does not match n");
+      if not (Perm.is_valid p) then
+        invalid_arg (who ^ ": `Given is not a valid permutation of [0, n)");
+      Array.copy p
+
+(* Allocation-free gather of natural-order input values into the permuted
+   scratch a plan owns. *)
+let gather_values ~who (map : int array) (src : float array) (dst : Csc.t) =
+  if Array.length src <> Array.length map then
+    invalid_arg (who ^ ": input nnz does not match the compiled pattern");
+  let dv = dst.Csc.values in
+  for q = 0 to Array.length dv - 1 do
+    dv.(q) <- src.(map.(q))
+  done
+
+(* The permuted-input scratch of an ordered plan: shares the compiled
+   pattern's structure arrays, owns its values. *)
+let ordering_scratch (ord : applied_ordering) (pattern : Csc.t) : Csc.t option
+    =
+  match ord.o_perm with
+  | None -> None
+  | Some _ -> Some { pattern with Csc.values = Array.make (Csc.nnz pattern) 0.0 }
+
+(* One-shot (allocating) version of the same gather, for the [factor]
+   convenience entry points. *)
+let ordered_input ~who (ord : applied_ordering) (pattern : Csc.t) (a : Csc.t) :
+    Csc.t =
+  match ord.o_perm with
+  | None -> a
+  | Some _ ->
+      let s = { pattern with Csc.values = Array.make (Csc.nnz pattern) 0.0 } in
+      gather_values ~who ord.o_map a.Csc.values s;
+      s
+
+(* Shared ordered-compile preamble for the symmetric families whose
+   compiled pattern is lower(A): resolve P on the symmetrized graph and
+   permute the lower pattern. *)
+let ordered_lower ~who (ordering : ordering) (a_lower : Csc.t) :
+    Csc.t * applied_ordering =
+  match ordering with
+  | `Natural -> (a_lower, natural_ordering)
+  | o ->
+      let p =
+        resolve_ordering ~who o
+          (lazy (Csc.symmetrize_from_lower a_lower))
+          a_lower.Csc.ncols
+      in
+      let pl, map = Perm.permute_lower p a_lower in
+      (pl, { o_perm = Some p; o_name = ordering_name o; o_map = map })
+
+(* Same for the square-pattern families (LU, ILU(0)): the ordering graph
+   is the symmetrized pattern A + A^T. *)
+let ordered_square ~who (ordering : ordering) (a : Csc.t) :
+    Csc.t * applied_ordering =
+  match ordering with
+  | `Natural -> (a, natural_ordering)
+  | o ->
+      let p =
+        resolve_ordering ~who o
+          (lazy (Csc.add a (Csc.transpose a)))
+          a.Csc.ncols
+      in
+      let pa, map = Perm.permute_pattern p a in
+      (pa, { o_perm = Some p; o_name = ordering_name o; o_map = map })
+
 (* The uniform kernel lifecycle (see the interface for the contract); the
    per-family [module Check : KERNEL = ...] assertions live in the test
    suite so a drifting family breaks the build there, not here. *)
@@ -48,12 +165,17 @@ module type KERNEL = sig
   type output
 
   val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    ?ordering:ordering ->
+    pattern ->
+    t
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
     ?fill:Sympiler_symbolic.Fill_pattern.t ->
     ?max_width:int ->
+    ?ordering:ordering ->
     pattern ->
     t
 
@@ -76,6 +198,8 @@ module Trisolve = struct
     reach : int array;
     flops : float;
     decisions : Trace.decision list;
+    ord : applied_ordering;
+    ord_b_map : int array;
   }
 
   type input = Vector.sparse
@@ -83,11 +207,49 @@ module Trisolve = struct
 
   (* Symbolic inspection + inspector-guided planning for L x = b with the
      given RHS pattern. The numeric values of L and b may change afterwards;
-     only the patterns are compiled in. *)
-  let compile_ext ?vs_block_threshold ?max_width (l : Csc.t)
-      (b : Vector.sparse) : t =
+     only the patterns are compiled in. With [?ordering], both patterns are
+     permuted here at compile time; [execute_ip] then gathers b into the
+     plan's permuted scratch and inverse-permutes x on the way out, so the
+     caller keeps natural-order vectors throughout. Orderings must keep
+     P L P^T lower triangular (a dependence-respecting relabeling, e.g. a
+     [`Given] etree postorder); anything else raises [Invalid_argument]. *)
+  let compile_ext ?vs_block_threshold ?max_width
+      ?(ordering : ordering = `Natural) (l : Csc.t) (b : Vector.sparse) : t =
     if not (Csc.is_lower_triangular l) then
       invalid_arg "Sympiler.Trisolve.compile: L must be lower triangular";
+    let t0 = Prof.now_seconds () in
+    let l, b, ord, ord_b_map =
+      match ordering with
+      | `Natural -> (l, b, natural_ordering, [||])
+      | o ->
+          let n = l.Csc.ncols in
+          let p =
+            resolve_ordering ~who:"Sympiler.Trisolve.compile" o
+              (lazy (Csc.symmetrize_from_lower l))
+              n
+          in
+          let pl, map = Perm.permute_pattern p l in
+          if not (Csc.is_lower_triangular pl) then
+            invalid_arg
+              "Sympiler.Trisolve.compile: the requested ordering does not \
+               keep L lower triangular; use `Given with a \
+               dependency-respecting permutation";
+          let pinv = Perm.inverse p in
+          let pairs = Array.mapi (fun t i -> (pinv.(i), t)) b.Vector.indices in
+          Array.sort compare pairs;
+          let pb =
+            {
+              Vector.n;
+              indices = Array.map fst pairs;
+              values = Array.map (fun (_, t) -> b.Vector.values.(t)) pairs;
+            }
+          in
+          ( pl,
+            pb,
+            { o_perm = Some p; o_name = ordering_name o; o_map = map },
+            Array.map snd pairs )
+    in
+    let ord_seconds = Prof.now_seconds () -. t0 in
     Trace.with_span "compile.trisolve"
       ~attrs:[ ("n", Trace.Int l.Csc.ncols) ]
     @@ fun () ->
@@ -99,54 +261,85 @@ module Trisolve = struct
       l;
       b_pattern = b.Vector.indices;
       compiled;
-      symbolic_seconds;
+      symbolic_seconds = symbolic_seconds +. ord_seconds;
       reach = compiled.Trisolve_sympiler.reach;
       flops = compiled.Trisolve_sympiler.flops;
       decisions = compiled.Trisolve_sympiler.decisions;
+      ord;
+      ord_b_map;
     }
 
   (* The KERNEL spelling: the fill analysis has no meaning for a solve
      (reach-sets are the inspection here), so [?fill] is accepted and
      ignored — the price of one uniform signature. *)
-  let compile ?fill:_ ?max_width ((l, b) : pattern) : t =
-    compile_ext ?max_width l b
+  let compile ?fill:_ ?max_width ?ordering ((l, b) : pattern) : t =
+    compile_ext ?max_width ?ordering l b
 
   (* Compilation cache: keyed on L's structure plus the RHS pattern and
      the compile options (the [extra] fingerprint) — a hit returns the
      previously compiled handle, physically equal, with no symbolic work. *)
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let cache_key vs_block_threshold max_width (b : Vector.sparse) =
+  let cache_key vs_block_threshold max_width ordering (b : Vector.sparse) =
     let nb = Array.length b.Vector.indices in
     let extra = Array.make (3 + nb) 0 in
     extra.(0) <- fp_threshold vs_block_threshold;
     extra.(1) <- fp_option max_width;
     extra.(2) <- b.Vector.n;
     Array.blit b.Vector.indices 0 extra 3 nb;
-    extra
+    append_fp_ordering extra ordering
 
   let compile_cached_ext ?(cache = default_cache) ?vs_block_threshold
-      ?max_width (l : Csc.t) (b : Vector.sparse) : t =
+      ?max_width ?ordering (l : Csc.t) (b : Vector.sparse) : t =
     Trace.with_span "compile_cached.trisolve" @@ fun () ->
     Plan_cache.find_or_compile cache ~pattern:l
-      ~extra:(cache_key vs_block_threshold max_width b)
-      (fun () -> compile_ext ?vs_block_threshold ?max_width l b)
+      ~extra:(cache_key vs_block_threshold max_width ordering b)
+      (fun () -> compile_ext ?vs_block_threshold ?max_width ?ordering l b)
 
-  let compile_cached ?cache ?fill:_ ?max_width ((l, b) : pattern) : t =
-    compile_cached_ext ?cache ?max_width l b
+  let compile_cached ?cache ?fill:_ ?max_width ?ordering ((l, b) : pattern) : t
+      =
+    compile_cached_ext ?cache ?max_width ?ordering l b
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
   let symbolic_seconds (t : t) = t.symbolic_seconds
 
   (* Numeric solve (no symbolic work): x such that L x = b. [b] must have
-     the pattern given at compile time (values free to differ). *)
+     the pattern given at compile time (values free to differ) — in natural
+     order even on an ordered handle: b is permuted in and x permuted back
+     out here. *)
   let solve (t : t) (b : Vector.sparse) : float array =
-    Prof.time "numeric" (fun () -> Trisolve_sympiler.solve_full t.compiled b)
+    Prof.time "numeric" (fun () ->
+        match t.ord.o_perm with
+        | None -> Trisolve_sympiler.solve_full t.compiled b
+        | Some p ->
+            if Array.length b.Vector.values <> Array.length t.ord_b_map then
+              invalid_arg
+                "Sympiler.Trisolve.solve: b does not match the compiled \
+                 pattern";
+            let pb =
+              {
+                Vector.n = b.Vector.n;
+                indices = t.b_pattern;
+                values =
+                  Array.map (fun m -> b.Vector.values.(m)) t.ord_b_map;
+              }
+            in
+            let xp = Trisolve_sympiler.solve_full t.compiled pb in
+            let out = Array.make (Array.length xp) 0.0 in
+            Array.iteri (fun k v -> out.(p.(k)) <- v) xp;
+            out)
 
   (* In-place numeric solve: [x] holds b on entry, the solution on exit. *)
   let solve_ip (t : t) (x : float array) : unit =
-    Prof.time "numeric" (fun () -> Trisolve_sympiler.solve_full_ip t.compiled x)
+    Prof.time "numeric" (fun () ->
+        match t.ord.o_perm with
+        | None -> Trisolve_sympiler.solve_full_ip t.compiled x
+        | Some p ->
+            let px = Perm.apply_vec p x in
+            Trisolve_sympiler.solve_full_ip t.compiled px;
+            let xn = Perm.apply_inv_vec p px in
+            Array.blit xn 0 x 0 (Array.length x))
 
   (* Plans: allocate the numeric workspaces once, then solve repeatedly
      with zero steady-state allocation. [Prof.start]/[stop] rather than
@@ -155,6 +348,10 @@ module Trisolve = struct
     handle : t;
     p : Trisolve_sympiler.plan;
     par : Trisolve_parallel.plan option;
+    ord_b : Vector.sparse option;
+        (* permuted-b scratch of an ordered plan: fixed (permuted) indices,
+           values refreshed by each execute *)
+    ord_x : float array option; (* natural-order output buffer *)
   }
 
   (* [~ndomains] switches the plan to the level-set executor on the
@@ -173,15 +370,51 @@ module Trisolve = struct
                  Trisolve_parallel.make_plan ~ndomains:nd
                    (Trisolve_parallel.compile t.l)))
     in
-    { handle = t; p = Trisolve_sympiler.make_plan t.compiled; par }
+    let ord_b, ord_x =
+      match t.ord.o_perm with
+      | None -> (None, None)
+      | Some _ ->
+          ( Some
+              {
+                Vector.n = t.l.Csc.ncols;
+                indices = t.b_pattern;
+                values = Array.make (Array.length t.b_pattern) 0.0;
+              },
+            Some (Array.make t.l.Csc.ncols 0.0) )
+    in
+    { handle = t; p = Trisolve_sympiler.make_plan t.compiled; par; ord_b; ord_x }
+
+  (* The inner executor dispatch shared by the natural and ordered paths. *)
+  let run_inner (p : plan) (b : Vector.sparse) : float array =
+    match p.par with
+    | Some pp -> Trisolve_parallel.solve_ip_sparse pp b
+    | None -> Trisolve_sympiler.solve_ip p.p b
 
   let execute_ip (p : plan) (b : Vector.sparse) : float array =
     Prof.start "numeric";
     let r =
       try
-        match p.par with
-        | Some pp -> Trisolve_parallel.solve_ip_sparse pp b
-        | None -> Trisolve_sympiler.solve_ip p.p b
+        match (p.ord_b, p.ord_x) with
+        | None, _ | _, None -> run_inner p b
+        | Some pb, Some out ->
+            let map = p.handle.ord_b_map in
+            if Array.length b.Vector.values <> Array.length map then
+              invalid_arg
+                "Sympiler.Trisolve.execute_ip: b does not match the \
+                 compiled pattern";
+            for t = 0 to Array.length map - 1 do
+              pb.Vector.values.(t) <- b.Vector.values.(map.(t))
+            done;
+            let xp = run_inner p pb in
+            let perm =
+              match p.handle.ord.o_perm with
+              | Some q -> q
+              | None -> assert false
+            in
+            for k = 0 to Array.length out - 1 do
+              out.(perm.(k)) <- xp.(k)
+            done;
+            out
       with e ->
         Prof.stop "numeric";
         raise e
@@ -211,11 +444,13 @@ module Cholesky = struct
     variant : variant;
     supernodal : Cholesky_supernodal.Sympiler.compiled option;
     simplicial : Cholesky_ref.Decoupled.compiled option;
-    pattern : Csc.t; (* lower(A) pattern compiled against *)
+    pattern : Csc.t; (* lower(A) pattern compiled against (permuted) *)
+    natural_pattern : Csc.t; (* caller's lower(A) before any ordering *)
     symbolic_seconds : float;
     flops : float;
     nnz_l : int;
     decisions : Trace.decision list;
+    ord : applied_ordering;
   }
 
   type pattern = Csc.t
@@ -229,9 +464,55 @@ module Cholesky = struct
      it compilation falls back to the simplicial variant automatically.
      [fill0] reuses a caller-provided fill analysis of the same pattern. *)
   let compile_internal ?fill:fill0 ~variant ~specialized ~vs_block_threshold
-      ?max_width (a_lower : Csc.t) : t =
-    if not (Csc.is_lower_triangular a_lower) then
+      ?max_width ?(ordering : ordering = `Natural) (a_natural : Csc.t) : t =
+    if not (Csc.is_lower_triangular a_natural) then
       invalid_arg "Sympiler.Cholesky.compile: pass lower(A)";
+    let t0 = Prof.now_seconds () in
+    (* The ordering stage: permute the pattern, re-run the fill analysis on
+       P A P^T, and record the predicted fill ratio ordered-vs-natural as a
+       traced decision (a caller-provided [?fill] is the natural-order
+       analysis, so it seeds the comparison baseline, not the compile). *)
+    let a_lower, fill0, ord, ord_decisions =
+      match ordering with
+      | `Natural -> (a_natural, fill0, natural_ordering, [])
+      | o ->
+          let n = a_natural.Csc.ncols in
+          let p =
+            resolve_ordering ~who:"Sympiler.Cholesky.compile" o
+              (lazy (Csc.symmetrize_from_lower a_natural))
+              n
+          in
+          let pl, map = Perm.permute_lower p a_natural in
+          let fill_nat =
+            match fill0 with
+            | Some f -> f
+            | None -> Sympiler_symbolic.Fill_pattern.analyze a_natural
+          in
+          let fill_perm = Sympiler_symbolic.Fill_pattern.analyze pl in
+          let nnz_nat =
+            fill_nat.Sympiler_symbolic.Fill_pattern.l_pattern.Csc.colptr.(n)
+          in
+          let nnz_perm =
+            fill_perm.Sympiler_symbolic.Fill_pattern.l_pattern.Csc.colptr.(n)
+          in
+          let d =
+            {
+              Trace.pass = "ordering";
+              fired = true;
+              metric = "fill_ratio_vs_natural";
+              value =
+                (if nnz_nat = 0 then 1.0
+                 else float_of_int nnz_perm /. float_of_int nnz_nat);
+              threshold = 1.0;
+            }
+          in
+          Trace.decision d;
+          ( pl,
+            Some fill_perm,
+            { o_perm = Some p; o_name = ordering_name o; o_map = map },
+            [ d ] )
+    in
+    let ord_seconds = Prof.now_seconds () -. t0 in
     Trace.with_span "compile.cholesky"
       ~attrs:[ ("n", Trace.Int a_lower.Csc.ncols) ]
     @@ fun () ->
@@ -307,20 +588,23 @@ module Cholesky = struct
       supernodal = sup;
       simplicial = simp;
       pattern = a_lower;
-      symbolic_seconds;
+      natural_pattern = a_natural;
+      symbolic_seconds = symbolic_seconds +. ord_seconds;
       flops;
       nnz_l;
-      decisions;
+      decisions = ord_decisions @ decisions;
+      ord;
     }
 
-  let compile ?fill ?max_width (a_lower : pattern) : t =
+  let compile ?fill ?max_width ?ordering (a_lower : pattern) : t =
     compile_internal ?fill ~variant:Supernodal ~specialized:true
-      ~vs_block_threshold:2.0 ?max_width a_lower
+      ~vs_block_threshold:2.0 ?max_width ?ordering a_lower
 
   let compile_ext ?(variant = Supernodal) ?(specialized = true)
-      ?(vs_block_threshold = 2.0) ?fill ?max_width (a_lower : Csc.t) : t =
+      ?(vs_block_threshold = 2.0) ?fill ?max_width ?ordering (a_lower : Csc.t)
+      : t =
     compile_internal ?fill ~variant ~specialized ~vs_block_threshold
-      ?max_width a_lower
+      ?max_width ?ordering a_lower
 
   (* Compilation cache: keyed on lower(A)'s structure plus the compile
      options — a hit returns the previously compiled handle, physically
@@ -329,39 +613,46 @@ module Cholesky = struct
      layout, so their default configurations hit the same entries. *)
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let cache_key variant specialized vs_block_threshold max_width =
-    [|
-      (match variant with Supernodal -> 0 | Simplicial -> 1);
-      (if specialized then 1 else 0);
-      fp_threshold (Some vs_block_threshold);
-      fp_option max_width;
-    |]
+  let cache_key variant specialized vs_block_threshold max_width ordering =
+    append_fp_ordering
+      [|
+        (match variant with Supernodal -> 0 | Simplicial -> 1);
+        (if specialized then 1 else 0);
+        fp_threshold (Some vs_block_threshold);
+        fp_option max_width;
+      |]
+      ordering
 
   let compile_cached_ext ?(cache = default_cache) ?(variant = Supernodal)
-      ?(specialized = true) ?(vs_block_threshold = 2.0) ?max_width
+      ?(specialized = true) ?(vs_block_threshold = 2.0) ?max_width ?ordering
       (a_lower : Csc.t) : t =
     Trace.with_span "compile_cached.cholesky" @@ fun () ->
     Plan_cache.find_or_compile cache ~pattern:a_lower
-      ~extra:(cache_key variant specialized vs_block_threshold max_width)
+      ~extra:
+        (cache_key variant specialized vs_block_threshold max_width ordering)
       (fun () ->
         compile_ext ~variant ~specialized ~vs_block_threshold ?max_width
-          a_lower)
+          ?ordering a_lower)
 
-  let compile_cached ?(cache = default_cache) ?fill ?max_width
+  let compile_cached ?(cache = default_cache) ?fill ?max_width ?ordering
       (a_lower : pattern) : t =
     Trace.with_span "compile_cached.cholesky" @@ fun () ->
     Plan_cache.find_or_compile cache ~pattern:a_lower
-      ~extra:(cache_key Supernodal true 2.0 max_width)
-      (fun () -> compile ?fill ?max_width a_lower)
+      ~extra:(cache_key Supernodal true 2.0 max_width ordering)
+      (fun () -> compile ?fill ?max_width ?ordering a_lower)
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
   let symbolic_seconds (t : t) = t.symbolic_seconds
 
   (* Numeric factorization: A = L L^T for any [a_lower] sharing the compiled
-     pattern. *)
+     (natural-order) pattern. On an ordered handle the result is the factor
+     of P A P^T — exactly what compiling the pre-permuted matrix yields. *)
   let factor (t : t) (a_lower : Csc.t) : Csc.t =
     Prof.time "numeric" @@ fun () ->
+    let a_lower =
+      ordered_input ~who:"Sympiler.Cholesky.factor" t.ord t.pattern a_lower
+    in
     match (t.supernodal, t.simplicial) with
     | Some c, _ -> Cholesky_supernodal.Sympiler.factor c a_lower
     | None, Some d -> Cholesky_ref.Decoupled.factor d a_lower
@@ -376,6 +667,8 @@ module Cholesky = struct
     sup : Cholesky_supernodal.Sympiler.plan option;
     simp : Cholesky_ref.Decoupled.plan option;
     par : Cholesky_parallel.plan option;
+    scratch : Csc.t option;
+        (* ordered plans gather natural-order values in here *)
   }
 
   (* [~ndomains] on a supernodal handle: levelize the already-compiled
@@ -386,6 +679,7 @@ module Cholesky = struct
      simplicial column code has no level schedule — [ndomains] is
      ignored there. *)
   let plan ?ndomains (t : t) : plan =
+    let scratch = ordering_scratch t.ord t.pattern in
     match (ndomains, t.supernodal) with
     | Some nd, Some c ->
         let lp =
@@ -393,7 +687,7 @@ module Cholesky = struct
               Cholesky_parallel.make_plan ~ndomains:nd
                 (Cholesky_parallel.levelize c))
         in
-        { handle = t; sup = None; simp = None; par = Some lp }
+        { handle = t; sup = None; simp = None; par = Some lp; scratch }
     | _ -> (
         match (t.supernodal, t.simplicial) with
         | Some c, _ ->
@@ -402,6 +696,7 @@ module Cholesky = struct
               sup = Some (Cholesky_supernodal.Sympiler.make_plan c);
               simp = None;
               par = None;
+              scratch;
             }
         | None, Some d ->
             {
@@ -409,12 +704,21 @@ module Cholesky = struct
               sup = None;
               simp = Some (Cholesky_ref.Decoupled.make_plan d);
               par = None;
+              scratch;
             }
         | None, None -> assert false)
 
   let refactor_ip (p : plan) (a_lower : Csc.t) : unit =
     Prof.start "numeric";
     (try
+       let a_lower =
+         match p.scratch with
+         | None -> a_lower
+         | Some s ->
+             gather_values ~who:"Sympiler.Cholesky.execute_ip"
+               p.handle.ord.o_map a_lower.Csc.values s;
+             s
+       in
        match (p.sup, p.simp, p.par) with
        | Some sp, _, _ -> Cholesky_supernodal.Sympiler.factor_ip sp a_lower
        | None, Some sp, _ -> Cholesky_ref.Decoupled.factor_ip sp a_lower
@@ -437,10 +741,16 @@ module Cholesky = struct
     refactor_ip p a_lower;
     plan_factor p
 
-  (* Solve A x = b: numeric factorization + two triangular solves. *)
+  (* Solve A x = b: numeric factorization + two triangular solves. On an
+     ordered handle the permuted system (P A P^T)(P x) = P b is solved and
+     x returned in natural order. *)
   let solve (t : t) (a_lower : Csc.t) (b : float array) : float array =
     let l = factor t a_lower in
-    Cholesky_ref.solve_with_factor l b
+    match t.ord.o_perm with
+    | None -> Cholesky_ref.solve_with_factor l b
+    | Some p ->
+        let pb = Perm.apply_vec p b in
+        Perm.apply_inv_vec p (Cholesky_ref.solve_with_factor l pb)
 
   (* Generated C source: the supernodal driver with baked-in schedule, or
      the fully specialized simplicial kernel from the AST pipeline. *)
@@ -467,40 +777,67 @@ module Ldlt = struct
     compiled : K.compiled;
     pattern : Csc.t;
     symbolic_seconds : float;
+    ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : K.plan }
+  type plan = { handle : t; p : K.plan; scratch : Csc.t option }
   type input = Csc.t
   type output = K.factors
 
-  let compile ?fill:_ ?max_width:_ (a_lower : pattern) : t =
+  let compile ?fill:_ ?max_width:_ ?(ordering : ordering = `Natural)
+      (a_lower : pattern) : t =
     if not (Csc.is_lower_triangular a_lower) then
       invalid_arg "Sympiler.Ldlt.compile: pass lower(A)";
+    let t0 = Prof.now_seconds () in
+    let a_lower, ord =
+      ordered_lower ~who:"Sympiler.Ldlt.compile" ordering a_lower
+    in
+    let ord_seconds = Prof.now_seconds () -. t0 in
     Trace.with_span "compile.ldlt"
       ~attrs:[ ("n", Trace.Int a_lower.Csc.ncols) ]
     @@ fun () ->
     let compiled, symbolic_seconds =
       time_symbolic (fun () -> K.compile a_lower)
     in
-    { compiled; pattern = a_lower; symbolic_seconds }
+    {
+      compiled;
+      pattern = a_lower;
+      symbolic_seconds = symbolic_seconds +. ord_seconds;
+      ord;
+    }
 
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let compile_cached ?(cache = default_cache) ?fill ?max_width
+  let compile_cached ?(cache = default_cache) ?fill ?max_width ?ordering
       (a_lower : pattern) : t =
     Trace.with_span "compile_cached.ldlt" @@ fun () ->
     Plan_cache.find_or_compile cache ~pattern:a_lower
-      ~extra:[| fp_option max_width |]
-      (fun () -> compile ?fill ?max_width a_lower)
+      ~extra:(append_fp_ordering [| fp_option max_width |] ordering)
+      (fun () -> compile ?fill ?max_width ?ordering a_lower)
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
   let symbolic_seconds (t : t) = t.symbolic_seconds
-  let plan ?ndomains:_ (t : t) : plan = { handle = t; p = K.make_plan t.compiled }
+
+  let plan ?ndomains:_ (t : t) : plan =
+    {
+      handle = t;
+      p = K.make_plan t.compiled;
+      scratch = ordering_scratch t.ord t.pattern;
+    }
 
   let execute_ip (p : plan) (a_lower : input) : output =
     Prof.start "numeric";
-    (try K.factor_ip p.p a_lower
+    (try
+       let a_lower =
+         match p.scratch with
+         | None -> a_lower
+         | Some s ->
+             gather_values ~who:"Sympiler.Ldlt.execute_ip" p.handle.ord.o_map
+               a_lower.Csc.values s;
+             s
+       in
+       K.factor_ip p.p a_lower
      with e ->
        Prof.stop "numeric";
        raise e);
@@ -510,7 +847,9 @@ module Ldlt = struct
   let factor_ip = execute_ip
 
   let factor (t : t) (a_lower : Csc.t) : output =
-    Prof.time "numeric" (fun () -> K.factor t.compiled a_lower)
+    Prof.time "numeric" (fun () ->
+        K.factor t.compiled
+          (ordered_input ~who:"Sympiler.Ldlt.factor" t.ord t.pattern a_lower))
 
   let c_code (t : t) : string = Codegen_static.ldlt t.compiled
 end
@@ -525,39 +864,63 @@ module Lu = struct
     pattern : Csc.t;
     symbolic_seconds : float;
     flops : float;
+    ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : K.Sympiler.plan }
+  type plan = { handle : t; p : K.Sympiler.plan; scratch : Csc.t option }
   type input = Csc.t
   type output = K.factors
 
-  let compile ?fill:_ ?max_width:_ (a : pattern) : t =
+  let compile ?fill:_ ?max_width:_ ?(ordering : ordering = `Natural)
+      (a : pattern) : t =
+    let t0 = Prof.now_seconds () in
+    let a, ord = ordered_square ~who:"Sympiler.Lu.compile" ordering a in
+    let ord_seconds = Prof.now_seconds () -. t0 in
     Trace.with_span "compile.lu" ~attrs:[ ("n", Trace.Int a.Csc.ncols) ]
     @@ fun () ->
     let compiled, symbolic_seconds =
       time_symbolic (fun () -> K.Sympiler.compile a)
     in
-    { compiled; pattern = a; symbolic_seconds; flops = compiled.K.Sympiler.flops }
+    {
+      compiled;
+      pattern = a;
+      symbolic_seconds = symbolic_seconds +. ord_seconds;
+      flops = compiled.K.Sympiler.flops;
+      ord;
+    }
 
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let compile_cached ?(cache = default_cache) ?fill ?max_width (a : pattern) :
-      t =
+  let compile_cached ?(cache = default_cache) ?fill ?max_width ?ordering
+      (a : pattern) : t =
     Trace.with_span "compile_cached.lu" @@ fun () ->
     Plan_cache.find_or_compile cache ~pattern:a
-      ~extra:[| fp_option max_width |]
-      (fun () -> compile ?fill ?max_width a)
+      ~extra:(append_fp_ordering [| fp_option max_width |] ordering)
+      (fun () -> compile ?fill ?max_width ?ordering a)
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
   let symbolic_seconds (t : t) = t.symbolic_seconds
 
   let plan ?ndomains:_ (t : t) : plan =
-    { handle = t; p = K.Sympiler.make_plan t.compiled }
+    {
+      handle = t;
+      p = K.Sympiler.make_plan t.compiled;
+      scratch = ordering_scratch t.ord t.pattern;
+    }
 
   let execute_ip (p : plan) (a : input) : output =
     Prof.start "numeric";
-    (try K.Sympiler.factor_ip p.p a
+    (try
+       let a =
+         match p.scratch with
+         | None -> a
+         | Some s ->
+             gather_values ~who:"Sympiler.Lu.execute_ip" p.handle.ord.o_map
+               a.Csc.values s;
+             s
+       in
+       K.Sympiler.factor_ip p.p a
      with e ->
        Prof.stop "numeric";
        raise e);
@@ -567,7 +930,9 @@ module Lu = struct
   let factor_ip = execute_ip
 
   let factor (t : t) (a : Csc.t) : output =
-    Prof.time "numeric" (fun () -> K.Sympiler.factor t.compiled a)
+    Prof.time "numeric" (fun () ->
+        K.Sympiler.factor t.compiled
+          (ordered_input ~who:"Sympiler.Lu.factor" t.ord t.pattern a))
 
   let c_code (t : t) : string = Codegen_static.lu t.compiled t.pattern
 end
@@ -581,40 +946,67 @@ module Ic0 = struct
     compiled : K.compiled;
     pattern : Csc.t;
     symbolic_seconds : float;
+    ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : K.plan }
+  type plan = { handle : t; p : K.plan; scratch : Csc.t option }
   type input = Csc.t
   type output = Csc.t
 
-  let compile ?fill:_ ?max_width:_ (a_lower : pattern) : t =
+  let compile ?fill:_ ?max_width:_ ?(ordering : ordering = `Natural)
+      (a_lower : pattern) : t =
     if not (Csc.is_lower_triangular a_lower) then
       invalid_arg "Sympiler.Ic0.compile: pass lower(A)";
+    let t0 = Prof.now_seconds () in
+    let a_lower, ord =
+      ordered_lower ~who:"Sympiler.Ic0.compile" ordering a_lower
+    in
+    let ord_seconds = Prof.now_seconds () -. t0 in
     Trace.with_span "compile.ic0"
       ~attrs:[ ("n", Trace.Int a_lower.Csc.ncols) ]
     @@ fun () ->
     let compiled, symbolic_seconds =
       time_symbolic (fun () -> K.compile a_lower)
     in
-    { compiled; pattern = a_lower; symbolic_seconds }
+    {
+      compiled;
+      pattern = a_lower;
+      symbolic_seconds = symbolic_seconds +. ord_seconds;
+      ord;
+    }
 
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let compile_cached ?(cache = default_cache) ?fill ?max_width
+  let compile_cached ?(cache = default_cache) ?fill ?max_width ?ordering
       (a_lower : pattern) : t =
     Trace.with_span "compile_cached.ic0" @@ fun () ->
     Plan_cache.find_or_compile cache ~pattern:a_lower
-      ~extra:[| fp_option max_width |]
-      (fun () -> compile ?fill ?max_width a_lower)
+      ~extra:(append_fp_ordering [| fp_option max_width |] ordering)
+      (fun () -> compile ?fill ?max_width ?ordering a_lower)
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
   let symbolic_seconds (t : t) = t.symbolic_seconds
-  let plan ?ndomains:_ (t : t) : plan = { handle = t; p = K.make_plan t.compiled }
+
+  let plan ?ndomains:_ (t : t) : plan =
+    {
+      handle = t;
+      p = K.make_plan t.compiled;
+      scratch = ordering_scratch t.ord t.pattern;
+    }
 
   let execute_ip (p : plan) (a_lower : input) : output =
     Prof.start "numeric";
-    (try K.factor_ip p.p a_lower
+    (try
+       let a_lower =
+         match p.scratch with
+         | None -> a_lower
+         | Some s ->
+             gather_values ~who:"Sympiler.Ic0.execute_ip" p.handle.ord.o_map
+               a_lower.Csc.values s;
+             s
+       in
+       K.factor_ip p.p a_lower
      with e ->
        Prof.stop "numeric";
        raise e);
@@ -624,7 +1016,9 @@ module Ic0 = struct
   let factor_ip = execute_ip
 
   let factor (t : t) (a_lower : Csc.t) : output =
-    Prof.time "numeric" (fun () -> K.factor t.compiled a_lower)
+    Prof.time "numeric" (fun () ->
+        K.factor t.compiled
+          (ordered_input ~who:"Sympiler.Ic0.factor" t.ord t.pattern a_lower))
 
   let c_code (t : t) : string = Codegen_static.ic0 t.compiled
 end
@@ -638,37 +1032,62 @@ module Ilu0 = struct
     compiled : K.compiled;
     pattern : Csc.t;
     symbolic_seconds : float;
+    ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : K.plan }
+  type plan = { handle : t; p : K.plan; scratch : Csc.t option }
   type input = Csc.t
   type output = K.factors
 
-  let compile ?fill:_ ?max_width:_ (a : pattern) : t =
+  let compile ?fill:_ ?max_width:_ ?(ordering : ordering = `Natural)
+      (a : pattern) : t =
+    let t0 = Prof.now_seconds () in
+    let a, ord = ordered_square ~who:"Sympiler.Ilu0.compile" ordering a in
+    let ord_seconds = Prof.now_seconds () -. t0 in
     Trace.with_span "compile.ilu0" ~attrs:[ ("n", Trace.Int a.Csc.ncols) ]
     @@ fun () ->
     let compiled, symbolic_seconds =
       time_symbolic (fun () -> K.compile a)
     in
-    { compiled; pattern = a; symbolic_seconds }
+    {
+      compiled;
+      pattern = a;
+      symbolic_seconds = symbolic_seconds +. ord_seconds;
+      ord;
+    }
 
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let compile_cached ?(cache = default_cache) ?fill ?max_width (a : pattern) :
-      t =
+  let compile_cached ?(cache = default_cache) ?fill ?max_width ?ordering
+      (a : pattern) : t =
     Trace.with_span "compile_cached.ilu0" @@ fun () ->
     Plan_cache.find_or_compile cache ~pattern:a
-      ~extra:[| fp_option max_width |]
-      (fun () -> compile ?fill ?max_width a)
+      ~extra:(append_fp_ordering [| fp_option max_width |] ordering)
+      (fun () -> compile ?fill ?max_width ?ordering a)
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
   let symbolic_seconds (t : t) = t.symbolic_seconds
-  let plan ?ndomains:_ (t : t) : plan = { handle = t; p = K.make_plan t.compiled }
+
+  let plan ?ndomains:_ (t : t) : plan =
+    {
+      handle = t;
+      p = K.make_plan t.compiled;
+      scratch = ordering_scratch t.ord t.pattern;
+    }
 
   let execute_ip (p : plan) (a : input) : output =
     Prof.start "numeric";
-    (try K.factor_ip p.p a
+    (try
+       let a =
+         match p.scratch with
+         | None -> a
+         | Some s ->
+             gather_values ~who:"Sympiler.Ilu0.execute_ip" p.handle.ord.o_map
+               a.Csc.values s;
+             s
+       in
+       K.factor_ip p.p a
      with e ->
        Prof.stop "numeric";
        raise e);
@@ -678,7 +1097,9 @@ module Ilu0 = struct
   let factor_ip = execute_ip
 
   let factor (t : t) (a : Csc.t) : output =
-    Prof.time "numeric" (fun () -> K.factor t.compiled a)
+    Prof.time "numeric" (fun () ->
+        K.factor t.compiled
+          (ordered_input ~who:"Sympiler.Ilu0.factor" t.ord t.pattern a))
 
   let c_code (t : t) : string = Codegen_static.ilu0 t.compiled
 end
@@ -691,9 +1112,11 @@ module Explain = struct
 
   type report = {
     kernel : string; (* "cholesky" | "trisolve" *)
+    ordering : string; (* "natural" | "rcm" | "amd" | "min-degree" | "given" *)
     n : int;
     nnz_a : int;
-    nnz_l : int;
+    nnz_l : int; (* under the selected ordering *)
+    nnz_l_natural : int; (* what the natural order would have cost *)
     fill_ratio : float; (* nnz(L) / nnz(A); 0 for empty patterns *)
     etree_height : int;
     col_count_hist : histogram;
@@ -703,6 +1126,7 @@ module Explain = struct
     max_level_width : int;
     decisions : Trace.decision list;
     predicted_flops : float; (* symbolic flop model of the handle *)
+    predicted_flops_natural : float; (* same model without the ordering *)
     executed_flops : int; (* Prof.counters snapshot; 0 when profiling off *)
     symbolic_seconds : float;
   }
@@ -765,11 +1189,26 @@ module Explain = struct
     let depth, maxw =
       level_stats fill.Sympiler_symbolic.Fill_pattern.l_pattern
     in
+    (* Natural-order baseline columns: on an ordered handle, re-run the
+       fill analysis on the caller's pattern to show what the ordering
+       bought; on a natural handle both columns coincide. *)
+    let nnz_l_natural, predicted_flops_natural =
+      match t.Cholesky.ord.o_perm with
+      | None -> (t.Cholesky.nnz_l, t.Cholesky.flops)
+      | Some _ ->
+          let fn =
+            Sympiler_symbolic.Fill_pattern.analyze t.Cholesky.natural_pattern
+          in
+          ( fn.Sympiler_symbolic.Fill_pattern.l_pattern.Csc.colptr.(n),
+            Sympiler_symbolic.Fill_pattern.flops fn )
+    in
     {
       kernel = "cholesky";
+      ordering = t.Cholesky.ord.o_name;
       n;
       nnz_a;
       nnz_l = t.Cholesky.nnz_l;
+      nnz_l_natural;
       fill_ratio =
         safe_div (float_of_int t.Cholesky.nnz_l) (float_of_int nnz_a);
       etree_height =
@@ -783,6 +1222,7 @@ module Explain = struct
       max_level_width = maxw;
       decisions = t.Cholesky.decisions;
       predicted_flops = t.Cholesky.flops;
+      predicted_flops_natural;
       executed_flops = Prof.counters.Prof.flops;
       symbolic_seconds = t.Cholesky.symbolic_seconds;
     }
@@ -800,9 +1240,13 @@ module Explain = struct
     let depth, maxw = level_stats l in
     {
       kernel = "trisolve";
+      ordering = t.Trisolve.ord.o_name;
       n;
       nnz_a = nnz;
       nnz_l = nnz;
+      (* a solve's pattern is a relabeling: ordering changes neither nnz
+         nor the reach-set flop model *)
+      nnz_l_natural = nnz;
       fill_ratio = (if nnz = 0 then 0.0 else 1.0);
       etree_height = etree_height parent;
       col_count_hist = histogram counts;
@@ -813,6 +1257,7 @@ module Explain = struct
       max_level_width = maxw;
       decisions = t.Trisolve.decisions;
       predicted_flops = t.Trisolve.flops;
+      predicted_flops_natural = t.Trisolve.flops;
       executed_flops = Prof.counters.Prof.flops;
       symbolic_seconds = t.Trisolve.symbolic_seconds;
     }
@@ -837,9 +1282,11 @@ module Explain = struct
       (Json.Obj
          [
            ("kernel", Json.Str r.kernel);
+           ("ordering", Json.Str r.ordering);
            ("n", Json.Int r.n);
            ("nnz_a", Json.Int r.nnz_a);
            ("nnz_l", Json.Int r.nnz_l);
+           ("nnz_l_natural", Json.Int r.nnz_l_natural);
            ("fill_ratio", Json.Float r.fill_ratio);
            ("etree_height", Json.Int r.etree_height);
            ("col_count_hist", hist_json r.col_count_hist);
@@ -849,6 +1296,7 @@ module Explain = struct
            ("max_level_width", Json.Int r.max_level_width);
            ("decisions", Json.List (List.map decision_json r.decisions));
            ("predicted_flops", Json.Float r.predicted_flops);
+           ("predicted_flops_natural", Json.Float r.predicted_flops_natural);
            ("executed_flops", Json.Int r.executed_flops);
            ("symbolic_seconds", Json.Float r.symbolic_seconds);
          ])
@@ -875,9 +1323,11 @@ module Explain = struct
     let rows =
       [
         ("kernel", r.kernel);
+        ("ordering", r.ordering);
         ("n", string_of_int r.n);
         ("nnz(A)", string_of_int r.nnz_a);
         ("nnz(L)", string_of_int r.nnz_l);
+        ("nnz(L) natural", string_of_int r.nnz_l_natural);
         ("fill ratio", Printf.sprintf "%.3f" r.fill_ratio);
         ("etree height", string_of_int r.etree_height);
       ]
@@ -891,6 +1341,8 @@ module Explain = struct
       @ decision_rows
       @ [
           ("predicted flops", Printf.sprintf "%.0f" r.predicted_flops);
+          ( "predicted flops natural",
+            Printf.sprintf "%.0f" r.predicted_flops_natural );
           ("executed flops", string_of_int r.executed_flops);
           ("symbolic seconds", Printf.sprintf "%.6f" r.symbolic_seconds);
         ]

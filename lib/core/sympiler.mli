@@ -32,14 +32,37 @@ module Runtime = Sympiler_runtime
     every [?ndomains] argument, re-exported for sizing control
     ([Pool.default_size], the [SYMPILER_NDOMAINS] override) and shutdown. *)
 
+type ordering = [ `Natural | `Rcm | `Amd | `Min_degree | `Given of Perm.t ]
+(** The fill-reducing ordering request of a compilation: ordering is a
+    symbolic-stage decision, so the permutation is computed once at compile
+    time, the symbolic analysis runs on [P A P^T], and the resulting plans
+    bake [P] in — steady-state executions take natural-order inputs,
+    gather them through a precomputed map (still zero-allocation), and the
+    results are bitwise-identical to compiling a manually pre-permuted
+    input. [`Given p] supplies an explicit new->old permutation (validated
+    with {!Sympiler_sparse.Perm.is_valid}; [Invalid_argument] otherwise). *)
+
+type applied_ordering = {
+  o_perm : Perm.t option;  (** [None] = natural order (no gather) *)
+  o_name : string;
+      (** "natural", "rcm", "amd", "min-degree", or "given" *)
+  o_map : int array;
+      (** gather map: permuted-pattern entry [q] reads the natural input's
+          [values.(o_map.(q))]; [[||]] when natural *)
+}
+(** What an ordered compilation recorded into its handle. *)
+
 (** The uniform kernel lifecycle every family implements.
 
     - [compile] runs the symbolic phase for one sparsity [pattern].
       [?fill] reuses a caller-provided fill analysis (families that do not
       consume one accept and ignore it — the cost of a uniform signature);
-      [?max_width] caps supernode width where supernodes exist.
+      [?max_width] caps supernode width where supernodes exist;
+      [?ordering] selects the fill-reducing ordering applied before the
+      analysis (see {!type:ordering} — default [`Natural]).
     - [compile_cached] is [compile] through a pattern-keyed {!Plan_cache}
-      (a module-wide default unless [?cache] is given).
+      (a module-wide default unless [?cache] is given); the ordering
+      request is part of the cache key.
     - [plan] allocates the numeric workspaces once; [?ndomains] requests
       the level-parallel executor on the persistent domain pool where one
       exists (Trisolve, supernodal Cholesky) and is ignored elsewhere.
@@ -66,12 +89,17 @@ module type KERNEL = sig
   (** Result view over plan-owned storage. *)
 
   val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    ?ordering:ordering ->
+    pattern ->
+    t
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
     ?fill:Sympiler_symbolic.Fill_pattern.t ->
     ?max_width:int ->
+    ?ordering:ordering ->
     pattern ->
     t
 
@@ -92,8 +120,8 @@ module Trisolve : sig
   (** The pattern of [L] and the RHS pattern (values ignored). *)
 
   type t = {
-    l : Csc.t;
-    b_pattern : int array;
+    l : Csc.t;  (** the compiled (ordered handles: permuted) L pattern *)
+    b_pattern : int array;  (** compiled RHS pattern (permuted likewise) *)
     compiled : Trisolve_sympiler.compiled;
     symbolic_seconds : float;  (** one-time inspection + planning cost *)
     reach : int array;  (** the reach-set (VI-Prune inspection set) *)
@@ -102,18 +130,35 @@ module Trisolve : sig
         (** transformation decision log: VI-Prune (pruned-iteration ratio)
             and VS-Block (fired/declined with the measured average reached
             supernode width) *)
+    ord : applied_ordering;
+    ord_b_map : int array;
+        (** permuted-b entry [t] reads natural [b.values.(ord_b_map.(t))] *)
   }
 
   val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    ?ordering:ordering ->
+    pattern ->
+    t
   (** Symbolic inspection and inspector-guided planning for the patterns
       of [l] and [b]; numeric values are free to change afterwards.
       [?fill] is accepted for {!KERNEL} uniformity and ignored (the solve
-      inspects reach-sets, not fill). Raises [Invalid_argument] when [l]
-      is not lower triangular. *)
+      inspects reach-sets, not fill). [?ordering] relabels the system to
+      [P L P^T (P x) = P b] at compile time; the numeric entry points keep
+      taking natural-order [b] and returning natural-order [x]. The
+      ordering must keep [P L P^T] lower triangular (a
+      dependence-respecting relabeling such as an etree postorder via
+      [`Given]); raises [Invalid_argument] otherwise, or when [l] is not
+      lower triangular. *)
 
   val compile_ext :
-    ?vs_block_threshold:float -> ?max_width:int -> Csc.t -> Vector.sparse -> t
+    ?vs_block_threshold:float ->
+    ?max_width:int ->
+    ?ordering:ordering ->
+    Csc.t ->
+    Vector.sparse ->
+    t
   (** {!compile} with the VS-Block profitability threshold exposed (the
       pre-unification spelling, kept for existing callers). *)
 
@@ -121,17 +166,19 @@ module Trisolve : sig
     ?cache:t Plan_cache.t ->
     ?fill:Sympiler_symbolic.Fill_pattern.t ->
     ?max_width:int ->
+    ?ordering:ordering ->
     pattern ->
     t
   (** [compile] through a pattern-keyed cache: a hit (same structure of
-      [l], same RHS pattern, same options) returns the earlier handle
-      physically equal, with no symbolic work. Uses a module-wide default
-      cache unless [cache] is given. *)
+      [l], same RHS pattern, same options — including [?ordering]) returns
+      the earlier handle physically equal, with no symbolic work. Uses a
+      module-wide default cache unless [cache] is given. *)
 
   val compile_cached_ext :
     ?cache:t Plan_cache.t ->
     ?vs_block_threshold:float ->
     ?max_width:int ->
+    ?ordering:ordering ->
     Csc.t ->
     Vector.sparse ->
     t
@@ -144,10 +191,12 @@ module Trisolve : sig
   val symbolic_seconds : t -> float
 
   val solve : t -> Vector.sparse -> float array
-  (** Numeric-only solve; [b] must have the compiled pattern. *)
+  (** Numeric-only solve; [b] must have the compile-time pattern, in
+      natural order even on ordered handles (permutation handled inside). *)
 
   val solve_ip : t -> float array -> unit
-  (** In-place: [x] holds b on entry, the solution on exit. *)
+  (** In-place: [x] holds b on entry, the solution on exit (both in
+      natural order). *)
 
   type plan = {
     handle : t;
@@ -155,6 +204,10 @@ module Trisolve : sig
     par : Trisolve_parallel.plan option;
         (** populated when [plan ~ndomains] requested the level-set
             executor *)
+    ord_b : Vector.sparse option;
+        (** ordered plans: the permuted-b scratch (fixed indices, values
+            refreshed per execute) *)
+    ord_x : float array option;  (** ordered plans: natural-order output *)
   }
   (** Reusable numeric workspaces for the compile-once / execute-many
       regime. *)
@@ -191,27 +244,39 @@ module Cholesky : sig
     variant : variant;  (** what [compile] actually chose *)
     supernodal : Cholesky_supernodal.Sympiler.compiled option;
     simplicial : Cholesky_ref.Decoupled.compiled option;
-    pattern : Csc.t;
+    pattern : Csc.t;  (** the pattern compiled against (permuted if
+                          ordered) *)
+    natural_pattern : Csc.t;  (** the caller's lower(A) before ordering *)
     symbolic_seconds : float;
     flops : float;
     nnz_l : int;
     decisions : Trace.decision list;
-        (** transformation decision log: VI-Prune (pruned-iteration ratio
-            vs the dense update count) and VS-Block (fired/declined with
-            the measured average supernode width vs [vs_block_threshold];
-            the width is [nan] when [Simplicial] was forced) *)
+        (** transformation decision log: the ordering stage (predicted
+            fill ratio ordered-vs-natural, ordered handles only), VI-Prune
+            (pruned-iteration ratio vs the dense update count), and
+            VS-Block (fired/declined with the measured average supernode
+            width vs [vs_block_threshold]; the width is [nan] when
+            [Simplicial] was forced) *)
+    ord : applied_ordering;
   }
 
   type pattern = Csc.t
 
   val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    ?ordering:ordering ->
+    pattern ->
+    t
   (** Compile for the pattern of lower-triangular [a_lower] with the
       default strategy selection: the supernodal (VS-Block) variant when
       the average supernode width reaches the paper's hand-tuned 2.0
       threshold (§4.2), the simplicial (VI-Prune-only) code below it — as
       Sympiler does for matrices 3,4,5,7. [?fill] reuses a caller-provided
-      fill analysis of the same pattern instead of re-running it. Raises
+      fill analysis of the same (natural-order) pattern instead of
+      re-running it. [?ordering] runs the whole analysis on [P A P^T]; the
+      numeric entry points keep taking natural-order values and the
+      factor produced is that of the permuted matrix. Raises
       [Invalid_argument] on non-lower-triangular input. *)
 
   val compile_ext :
@@ -220,6 +285,7 @@ module Cholesky : sig
     ?vs_block_threshold:float ->
     ?fill:Sympiler_symbolic.Fill_pattern.t ->
     ?max_width:int ->
+    ?ordering:ordering ->
     Csc.t ->
     t
   (** {!compile} with the strategy knobs exposed: force a [variant], turn
@@ -229,12 +295,13 @@ module Cholesky : sig
     ?cache:t Plan_cache.t ->
     ?fill:Sympiler_symbolic.Fill_pattern.t ->
     ?max_width:int ->
+    ?ordering:ordering ->
     pattern ->
     t
   (** [compile] through a pattern-keyed cache: a hit (same structure of
-      [a_lower], same options) returns the earlier handle physically
-      equal, skipping the symbolic phase entirely. Uses a module-wide
-      default cache unless [cache] is given. *)
+      [a_lower], same options — including [?ordering]) returns the earlier
+      handle physically equal, skipping the symbolic phase entirely. Uses
+      a module-wide default cache unless [cache] is given. *)
 
   val compile_cached_ext :
     ?cache:t Plan_cache.t ->
@@ -242,6 +309,7 @@ module Cholesky : sig
     ?specialized:bool ->
     ?vs_block_threshold:float ->
     ?max_width:int ->
+    ?ordering:ordering ->
     Csc.t ->
     t
 
@@ -253,8 +321,10 @@ module Cholesky : sig
   val symbolic_seconds : t -> float
 
   val factor : t -> Csc.t -> Csc.t
-  (** Numeric-only factorization for any values sharing the compiled
-      pattern. Allocates a fresh factor per call; use a {!plan} for
+  (** Numeric-only factorization for any values sharing the compile-time
+      (natural-order) pattern; on an ordered handle the result is the
+      factor of [P A P^T] — exactly what compiling a pre-permuted matrix
+      yields. Allocates a fresh factor per call; use a {!plan} for
       allocation-free steady state. *)
 
   type plan = {
@@ -264,6 +334,8 @@ module Cholesky : sig
     par : Cholesky_parallel.plan option;
         (** populated when [plan ~ndomains] requested the level-parallel
             executor (supernodal handles only) *)
+    scratch : Csc.t option;
+        (** ordered plans gather natural-order input values in here *)
   }
   (** Reusable numeric workspaces (factor storage + scratch) for the
       compile-once / execute-many regime; which side is populated follows
@@ -293,7 +365,9 @@ module Cholesky : sig
       (valid until the next call on the same plan). *)
 
   val solve : t -> Csc.t -> float array -> float array
-  (** [A x = b]: numeric factorization + two triangular solves. *)
+  (** [A x = b]: numeric factorization + two triangular solves. On an
+      ordered handle the permuted system is solved and [x] returned in
+      natural order. *)
 
   val c_code : t -> string
   (** Specialized C: the supernodal driver with its baked-in schedule, or
@@ -307,24 +381,38 @@ module Ldlt : sig
 
   type t = {
     compiled : Sympiler_kernels.Ldlt.compiled;
-    pattern : Csc.t;
+    pattern : Csc.t;  (** compiled (ordered handles: permuted) pattern *)
     symbolic_seconds : float;
+    ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : Sympiler_kernels.Ldlt.plan }
+  type plan = {
+    handle : t;
+    p : Sympiler_kernels.Ldlt.plan;
+    scratch : Csc.t option;
+        (** ordered plans gather natural-order input values in here *)
+  }
+
   type input = Csc.t
   type output = Sympiler_kernels.Ldlt.factors
 
   val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    ?ordering:ordering ->
+    pattern ->
+    t
   (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
-      ignored (the up-looking kernel is column-wise). Raises
-      [Invalid_argument] when the input is not lower triangular. *)
+      ignored (the up-looking kernel is column-wise). [?ordering] compiles
+      for [P A P^T]; numeric entry points keep taking natural-order values
+      and return the permuted system's factors. Raises [Invalid_argument]
+      when the input is not lower triangular. *)
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
     ?fill:Sympiler_symbolic.Fill_pattern.t ->
     ?max_width:int ->
+    ?ordering:ordering ->
     pattern ->
     t
 
@@ -356,24 +444,39 @@ module Lu : sig
 
   type t = {
     compiled : Sympiler_kernels.Lu.Sympiler.compiled;
-    pattern : Csc.t;
+    pattern : Csc.t;  (** compiled (ordered handles: permuted) pattern *)
     symbolic_seconds : float;
     flops : float;
+    ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : Sympiler_kernels.Lu.Sympiler.plan }
+  type plan = {
+    handle : t;
+    p : Sympiler_kernels.Lu.Sympiler.plan;
+    scratch : Csc.t option;
+        (** ordered plans gather natural-order input values in here *)
+  }
+
   type input = Csc.t
   type output = Sympiler_kernels.Lu.factors
 
   val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    ?ordering:ordering ->
+    pattern ->
+    t
   (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
-      ignored (LU runs its own reach-set simulation over DG_L). *)
+      ignored (LU runs its own reach-set simulation over DG_L).
+      [?ordering] compiles for the symmetrically permuted [P A P^T] (the
+      ordering graph is [A + A^T]); no-pivoting LU must stay numerically
+      safe under the relabeling, as usual for this kernel. *)
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
     ?fill:Sympiler_symbolic.Fill_pattern.t ->
     ?max_width:int ->
+    ?ordering:ordering ->
     pattern ->
     t
 
@@ -402,24 +505,38 @@ module Ic0 : sig
 
   type t = {
     compiled : Sympiler_kernels.Ic0.compiled;
-    pattern : Csc.t;
+    pattern : Csc.t;  (** compiled (ordered handles: permuted) pattern *)
     symbolic_seconds : float;
+    ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : Sympiler_kernels.Ic0.plan }
+  type plan = {
+    handle : t;
+    p : Sympiler_kernels.Ic0.plan;
+    scratch : Csc.t option;
+        (** ordered plans gather natural-order input values in here *)
+  }
+
   type input = Csc.t
   type output = Csc.t
 
   val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    ?ordering:ordering ->
+    pattern ->
+    t
   (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
       ignored (IC(0) keeps exactly the input pattern — no fill analysis).
-      Raises [Invalid_argument] when the input is not lower triangular. *)
+      [?ordering] compiles for [P A P^T]; note an incomplete factor's
+      quality (not just its cost) changes with the relabeling. Raises
+      [Invalid_argument] when the input is not lower triangular. *)
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
     ?fill:Sympiler_symbolic.Fill_pattern.t ->
     ?max_width:int ->
+    ?ordering:ordering ->
     pattern ->
     t
 
@@ -449,25 +566,38 @@ module Ilu0 : sig
 
   type t = {
     compiled : Sympiler_kernels.Ilu0.compiled;
-    pattern : Csc.t;
+    pattern : Csc.t;  (** compiled (ordered handles: permuted) pattern *)
     symbolic_seconds : float;
+    ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : Sympiler_kernels.Ilu0.plan }
+  type plan = {
+    handle : t;
+    p : Sympiler_kernels.Ilu0.plan;
+    scratch : Csc.t option;
+        (** ordered plans gather natural-order input values in here *)
+  }
+
   type input = Csc.t
   type output = Sympiler_kernels.Ilu0.factors
 
   val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t -> ?max_width:int -> pattern -> t
+    ?fill:Sympiler_symbolic.Fill_pattern.t ->
+    ?max_width:int ->
+    ?ordering:ordering ->
+    pattern ->
+    t
   (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
-      ignored (ILU(0) keeps exactly A's pattern). Raises
-      {!Sympiler_kernels.Ilu0.Zero_pivot} when a structural diagonal entry
-      is missing. *)
+      ignored (ILU(0) keeps exactly A's pattern). [?ordering] compiles for
+      the symmetrically permuted [P A P^T] (ordering graph [A + A^T]).
+      Raises {!Sympiler_kernels.Ilu0.Zero_pivot} when a structural
+      diagonal entry is missing. *)
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
     ?fill:Sympiler_symbolic.Fill_pattern.t ->
     ?max_width:int ->
+    ?ordering:ordering ->
     pattern ->
     t
 
@@ -499,9 +629,14 @@ module Explain : sig
 
   type report = {
     kernel : string;  (** "cholesky" or "trisolve" *)
+    ordering : string;
+        (** "natural", "rcm", "amd", "min-degree", or "given" *)
     n : int;
     nnz_a : int;
-    nnz_l : int;
+    nnz_l : int;  (** under the handle's selected ordering *)
+    nnz_l_natural : int;
+        (** what the natural order would cost (equals [nnz_l] on natural
+            handles) *)
     fill_ratio : float;  (** nnz(L) / nnz(A); 0 for empty patterns *)
     etree_height : int;
     col_count_hist : histogram;  (** nnz per column of L *)
@@ -511,6 +646,8 @@ module Explain : sig
     max_level_width : int;
     decisions : Trace.decision list;  (** the handle's decision log *)
     predicted_flops : float;  (** symbolic flop model of the handle *)
+    predicted_flops_natural : float;
+        (** the same model without the ordering *)
     executed_flops : int;
         (** current {!Sympiler_prof.Prof.counters} flops snapshot — run the
             numeric phase under profiling before reading; 0 otherwise *)

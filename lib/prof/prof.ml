@@ -30,6 +30,7 @@ type counters = {
   mutable max_level_width : int;  (** widest level set seen *)
   mutable cache_hits : int;  (** compilation-cache lookups served *)
   mutable cache_misses : int;  (** compilation-cache lookups that compiled *)
+  mutable orderings : int;  (** fill-reducing orderings computed *)
   mutable pool_runs : int;  (** parallel dispatches through the domain pool *)
   mutable pool_tasks : int;  (** worker tasks executed across those runs *)
   mutable pool_max_workers : int;  (** widest dispatch seen *)
@@ -49,6 +50,7 @@ let counters =
     max_level_width = 0;
     cache_hits = 0;
     cache_misses = 0;
+    orderings = 0;
     pool_runs = 0;
     pool_tasks = 0;
     pool_max_workers = 0;
@@ -144,6 +146,7 @@ let reset () =
   counters.max_level_width <- 0;
   counters.cache_hits <- 0;
   counters.cache_misses <- 0;
+  counters.orderings <- 0;
   counters.pool_runs <- 0;
   counters.pool_tasks <- 0;
   counters.pool_max_workers <- 0;
@@ -229,6 +232,7 @@ let counters_json () =
       ("max_level_width", Json.Int counters.max_level_width);
       ("cache_hits", Json.Int counters.cache_hits);
       ("cache_misses", Json.Int counters.cache_misses);
+      ("orderings", Json.Int counters.orderings);
       ("pool_runs", Json.Int counters.pool_runs);
       ("pool_tasks", Json.Int counters.pool_tasks);
       ("pool_max_workers", Json.Int counters.pool_max_workers);
@@ -266,6 +270,7 @@ let table () =
       ("max_level_width", string_of_int counters.max_level_width);
       ("cache_hits", string_of_int counters.cache_hits);
       ("cache_misses", string_of_int counters.cache_misses);
+      ("orderings", string_of_int counters.orderings);
       ("pool_runs", string_of_int counters.pool_runs);
       ("pool_tasks", string_of_int counters.pool_tasks);
       ("pool_max_workers", string_of_int counters.pool_max_workers);

@@ -32,6 +32,8 @@ type counters = {
   mutable max_level_width : int;  (** widest level set seen *)
   mutable cache_hits : int;  (** compilation-cache lookups served *)
   mutable cache_misses : int;  (** compilation-cache lookups that compiled *)
+  mutable orderings : int;
+      (** fill-reducing orderings computed (RCM / min-degree / AMD runs) *)
   mutable pool_runs : int;
       (** parallel dispatches through {!Sympiler_runtime.Pool} *)
   mutable pool_tasks : int;  (** worker tasks executed across those runs *)

@@ -70,6 +70,14 @@ let of_lines ?(expand = true) lines =
             match tokens l with
             | i :: j :: restv ->
                 let i = int_of_string i - 1 and j = int_of_string j - 1 in
+                (* Symmetric coordinate files store the lower triangle;
+                   an entry above the diagonal means the file is malformed
+                   (or actually general) and silently mirroring it would
+                   double entries on a legitimate read path. *)
+                if symmetry = Symmetric && i < j then
+                  fail
+                    "entry (%d, %d) above the diagonal in a symmetric file"
+                    (i + 1) (j + 1);
                 let v =
                   if pattern then 1.0
                   else
@@ -98,7 +106,25 @@ let of_string ?expand s = of_lines ?expand (String.split_on_char '\n' s)
 let read ?expand path =
   In_channel.with_open_text path (fun ic -> of_lines ?expand (read_lines ic))
 
+(* Pattern and exact value symmetry: writing ~symmetric keeps only the
+   lower triangle, so anything asymmetric would be silently lost. *)
+let is_symmetric (m : Csc.t) =
+  m.Csc.nrows = m.Csc.ncols
+  &&
+  let t = Csc.transpose m in
+  Csc.pattern_equal m t
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun q v -> if v <> t.Csc.values.(q) then ok := false)
+    m.Csc.values;
+  !ok
+
 let to_buffer ?(symmetric = false) buf (m : Csc.t) =
+  if symmetric && not (is_symmetric m) then
+    invalid_arg
+      "Matrix_market.to_buffer: ~symmetric:true requires a symmetric matrix \
+       (pattern and values)";
   let sym = if symmetric then "symmetric" else "general" in
   Buffer.add_string buf
     (Printf.sprintf "%%%%MatrixMarket matrix coordinate real %s\n" sym);

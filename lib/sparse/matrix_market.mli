@@ -9,7 +9,8 @@ exception Parse_error of string
 
 val of_lines : ?expand:bool -> string list -> Csc.t
 (** Parse the lines of a Matrix Market file. Symmetric inputs store the
-    lower triangle; with [expand] (default true) the full matrix is
+    lower triangle — an entry above the diagonal in a symmetric file
+    raises {!Parse_error}; with [expand] (default true) the full matrix is
     reconstructed. Pattern entries read as [1.0]. *)
 
 val of_string : ?expand:bool -> string -> Csc.t
@@ -19,7 +20,9 @@ val read : ?expand:bool -> string -> Csc.t
 
 val to_string : ?symmetric:bool -> Csc.t -> string
 (** Render a matrix; with [symmetric] only the lower triangle is emitted
-    under the [symmetric] qualifier. *)
+    under the [symmetric] qualifier. Raises [Invalid_argument] when
+    [symmetric] is requested for a matrix that is not symmetric in both
+    pattern and values (the dropped upper triangle would lose data). *)
 
 val to_buffer : ?symmetric:bool -> Buffer.t -> Csc.t -> unit
 

@@ -1,7 +1,14 @@
 (* Fill-reducing orderings. CHOLMOD applies AMD before factorizing; we
-   provide reverse Cuthill-McKee (bandwidth reduction) and a plain greedy
-   minimum-degree ordering as portable substitutes, usable through
+   provide reverse Cuthill-McKee (bandwidth reduction), a plain greedy
+   minimum-degree ordering (the test oracle), and an approximate minimum
+   degree (AMD) on a quotient graph — the default fill-reducing ordering
+   of the compile pipeline. All are usable through
    [Perm.symmetric_permute]. Input is the full symmetric matrix. *)
+
+let bump_counter () =
+  let open Sympiler_prof in
+  if Prof.enabled () then
+    Prof.counters.Prof.orderings <- Prof.counters.Prof.orderings + 1
 
 (* Adjacency lists (excluding self loops) of the symmetric pattern. *)
 let adjacency (a : Csc.t) =
@@ -12,9 +19,14 @@ let adjacency (a : Csc.t) =
 
 (* Reverse Cuthill-McKee. BFS from a pseudo-peripheral vertex of each
    connected component, visiting neighbors in increasing-degree order, then
-   reverse. Returns a permutation in the [Perm] new->old convention. *)
+   reverse. The pseudo-peripheral search follows George & Liu: it starts
+   from a minimum-degree vertex of the component and breaks farthest-level
+   ties by minimum degree, both of which matter for bandwidth quality on
+   multi-component problems. Returns a permutation in the [Perm] new->old
+   convention. *)
 let rcm (a : Csc.t) : Perm.t =
   Sympiler_prof.Prof.time "ordering" @@ fun () ->
+  bump_counter ();
   let n = a.Csc.ncols in
   let adj = adjacency a in
   let degree = Array.map List.length adj in
@@ -22,7 +34,9 @@ let rcm (a : Csc.t) : Perm.t =
   let order = Array.make n 0 in
   let pos = ref 0 in
   let bfs_levels root =
-    (* Returns (farthest vertex, eccentricity) of the BFS tree from root. *)
+    (* Farthest vertex of the BFS tree from [root] and its eccentricity;
+       among the vertices of the last level the one of minimum degree is
+       returned (the George-Liu shrinking step). *)
     let dist = Array.make n (-1) in
     let q = Queue.create () in
     Queue.add root q;
@@ -30,7 +44,10 @@ let rcm (a : Csc.t) : Perm.t =
     let far = ref root in
     while not (Queue.is_empty q) do
       let u = Queue.pop q in
-      if dist.(u) > dist.(!far) then far := u;
+      if
+        dist.(u) > dist.(!far)
+        || (dist.(u) = dist.(!far) && degree.(u) < degree.(!far))
+      then far := u;
       List.iter
         (fun v ->
           if dist.(v) < 0 && not visited.(v) then begin
@@ -48,9 +65,33 @@ let rcm (a : Csc.t) : Perm.t =
     in
     go root (-1)
   in
+  (* [seen] marks vertices already assigned to a component, so the
+     component sweep below touches each vertex once overall. *)
+  let seen = Array.make n false in
   for seed = 0 to n - 1 do
     if not visited.(seed) then begin
-      let root = pseudo_peripheral seed in
+      (* Collect the component and find its minimum-degree vertex: the
+         pseudo-peripheral iteration converges to a much better diameter
+         endpoint from there than from an arbitrary seed. *)
+      let best = ref seed in
+      let q = Queue.create () in
+      seen.(seed) <- true;
+      Queue.add seed q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        if
+          degree.(u) < degree.(!best)
+          || (degree.(u) = degree.(!best) && u < !best)
+        then best := u;
+        List.iter
+          (fun v ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              Queue.add v q
+            end)
+          adj.(u)
+      done;
+      let root = pseudo_peripheral !best in
       let q = Queue.create () in
       visited.(root) <- true;
       Queue.add root q;
@@ -81,10 +122,11 @@ let rcm (a : Csc.t) : Perm.t =
 module Iset = Set.Make (Int)
 
 (* Greedy minimum-degree ordering on the elimination graph. Quadratic-ish in
-   the worst case (no quotient-graph machinery), intended for the moderate
-   problem sizes in this repo; see DESIGN.md. *)
+   the worst case (no quotient-graph machinery); kept as the exact-degree
+   test oracle that [amd] is measured against. *)
 let min_degree (a : Csc.t) : Perm.t =
   Sympiler_prof.Prof.time "ordering" @@ fun () ->
+  bump_counter ();
   let n = a.Csc.ncols in
   let adj = Array.map Iset.of_list (adjacency a) in
   let eliminated = Array.make n false in
@@ -113,6 +155,284 @@ let min_degree (a : Csc.t) : Perm.t =
     adj.(v) <- Iset.empty
   done;
   order
+
+(* Approximate minimum degree (Amestoy, Davis & Duff) on a quotient graph.
+   Instead of forming the elimination graph's cliques explicitly, an
+   eliminated pivot [p] becomes an *element* whose member list L_p records
+   the variables it couples; a variable's neighborhood is its remaining
+   variable list A_v plus the union of its element lists. Degrees are the
+   ADD external-degree approximation computed with the w(e) = |L_e \ L_p|
+   trick, so one pivot's update costs O(sum of its members' list lengths)
+   rather than a clique formation. Supervariables (indistinguishable
+   variables detected by hashing) and mass elimination keep the graph
+   shrinking; elements absorbed by a new pivot die immediately, as do
+   elements whose members are all inside the new pivot's element
+   (aggressive absorption). Node ids are shared between variables and
+   elements — a node is exactly one of the two, per [state]. *)
+let amd (a : Csc.t) : Perm.t =
+  Sympiler_prof.Prof.time "ordering" @@ fun () ->
+  bump_counter ();
+  let n = a.Csc.ncols in
+  if n = 0 then [||]
+  else begin
+    let avar = Array.map Array.of_list (adjacency a) in
+    let alen = Array.map Array.length avar in
+    let elist = Array.make n [||] in
+    let elen = Array.make n 0 in
+    let emem = Array.make n [||] in
+    let emlen = Array.make n 0 in
+    let nv = Array.make n 1 in
+    (* 0 = live (principal) variable, 1 = element, 2 = dead (absorbed
+       supervariable, mass-eliminated variable, or absorbed element). *)
+    let state = Array.make n 0 in
+    let parent = Array.make n (-1) in
+    let deg = Array.copy alen in
+    (* Degree buckets: doubly-linked lists per degree with a rising
+       minimum-degree pointer. *)
+    let head = Array.make n (-1) in
+    let dnext = Array.make n (-1) in
+    let dprev = Array.make n (-1) in
+    let inbucket = Array.make n (-1) in
+    let mindeg = ref 0 in
+    let bucket_insert v d =
+      let d = if d >= n then n - 1 else if d < 0 then 0 else d in
+      inbucket.(v) <- d;
+      dprev.(v) <- -1;
+      dnext.(v) <- head.(d);
+      if head.(d) >= 0 then dprev.(head.(d)) <- v;
+      head.(d) <- v;
+      if d < !mindeg then mindeg := d
+    in
+    let bucket_remove v =
+      let d = inbucket.(v) in
+      if d >= 0 then begin
+        if dprev.(v) >= 0 then dnext.(dprev.(v)) <- dnext.(v)
+        else head.(d) <- dnext.(v);
+        if dnext.(v) >= 0 then dprev.(dnext.(v)) <- dprev.(v);
+        inbucket.(v) <- -1
+      end
+    in
+    for v = 0 to n - 1 do
+      bucket_insert v deg.(v)
+    done;
+    (* Iteration-stamped workspaces: a fresh stamp value replaces clearing
+       the mark arrays between pivots. *)
+    let stamp = Array.make n 0 in
+    let wstamp = Array.make n 0 in
+    let w = Array.make n 0 in
+    let cur = ref 0 in
+    let push_elem v e =
+      let cap = Array.length elist.(v) in
+      if elen.(v) = cap then begin
+        let grown = Array.make (max 4 (2 * cap)) 0 in
+        Array.blit elist.(v) 0 grown 0 cap;
+        elist.(v) <- grown
+      end;
+      elist.(v).(elen.(v)) <- e;
+      elen.(v) <- elen.(v) + 1
+    in
+    let norder = ref 0 in
+    let pivots = ref [] in
+    while !norder < n do
+      while head.(!mindeg) < 0 do
+        incr mindeg
+      done;
+      let p = head.(!mindeg) in
+      bucket_remove p;
+      pivots := p :: !pivots;
+      (* Form the pivot element L_p = (A_p U union of its elements'
+         members) minus p and the dead; absorb those elements. *)
+      incr cur;
+      let c = !cur in
+      stamp.(p) <- c;
+      let members = ref [] and dp = ref 0 in
+      let add v =
+        if state.(v) = 0 && nv.(v) > 0 && stamp.(v) <> c then begin
+          stamp.(v) <- c;
+          members := v :: !members;
+          dp := !dp + nv.(v)
+        end
+      in
+      for k = 0 to alen.(p) - 1 do
+        add avar.(p).(k)
+      done;
+      for k = 0 to elen.(p) - 1 do
+        let e = elist.(p).(k) in
+        if state.(e) = 1 then begin
+          for m = 0 to emlen.(e) - 1 do
+            add emem.(e).(m)
+          done;
+          state.(e) <- 2
+        end
+      done;
+      let lp = Array.of_list !members in
+      let dp = !dp in
+      state.(p) <- 1;
+      emem.(p) <- lp;
+      emlen.(p) <- Array.length lp;
+      alen.(p) <- 0;
+      elen.(p) <- 0;
+      norder := !norder + nv.(p);
+      (* w(e) pass: after it, w.(e) = |L_e \ L_p| in supervariable mass for
+         every element adjacent to a member of L_p. Member lists are
+         compacted (dead entries dropped) when first touched. *)
+      incr cur;
+      let cw = !cur in
+      Array.iter
+        (fun v ->
+          for k = 0 to elen.(v) - 1 do
+            let e = elist.(v).(k) in
+            if state.(e) = 1 then begin
+              if wstamp.(e) <> cw then begin
+                let len = ref 0 and sz = ref 0 in
+                for m = 0 to emlen.(e) - 1 do
+                  let u = emem.(e).(m) in
+                  if state.(u) = 0 && nv.(u) > 0 then begin
+                    emem.(e).(!len) <- u;
+                    incr len;
+                    sz := !sz + nv.(u)
+                  end
+                done;
+                emlen.(e) <- !len;
+                w.(e) <- !sz;
+                wstamp.(e) <- cw
+              end;
+              w.(e) <- w.(e) - nv.(v)
+            end
+          done)
+        lp;
+      (* Update pass over the pivot's members: prune A_v and E_v, apply
+         aggressive absorption, recompute the approximate degree, detect
+         mass eliminations, and hash for supervariable detection. *)
+      let hash_groups : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+      Array.iter
+        (fun v ->
+          let len = ref 0 and asz = ref 0 and h = ref p in
+          for k = 0 to alen.(v) - 1 do
+            let u = avar.(v).(k) in
+            if state.(u) = 0 && nv.(u) > 0 && stamp.(u) <> c then begin
+              avar.(v).(!len) <- u;
+              incr len;
+              asz := !asz + nv.(u);
+              h := !h + u
+            end
+          done;
+          alen.(v) <- !len;
+          let el = ref 0 and sumw = ref 0 in
+          for k = 0 to elen.(v) - 1 do
+            let e = elist.(v).(k) in
+            if state.(e) = 1 then begin
+              if wstamp.(e) = cw && w.(e) <= 0 then
+                (* Aggressive absorption: every live member of e is inside
+                   L_p, so element e is redundant from now on. *)
+                state.(e) <- 2
+              else begin
+                elist.(v).(!el) <- e;
+                incr el;
+                sumw := !sumw + (if wstamp.(e) = cw then w.(e) else 0);
+                h := !h + e
+              end
+            end
+          done;
+          elen.(v) <- !el;
+          push_elem v p;
+          bucket_remove v;
+          if alen.(v) = 0 && elen.(v) = 1 then begin
+            (* Mass elimination: v's neighborhood is exactly L_p, so it can
+               be eliminated with p at no extra fill; it is emitted right
+               after p in the output ordering. *)
+            state.(v) <- 2;
+            parent.(v) <- p;
+            norder := !norder + nv.(v);
+            nv.(v) <- 0
+          end
+          else begin
+            let ext_p = dp - nv.(v) in
+            let d_new =
+              min (n - !norder) (min (deg.(v) + ext_p) (ext_p + !sumw + !asz))
+            in
+            deg.(v) <- max 0 d_new;
+            let key = (!h mod n) + if !h mod n < 0 then n else 0 in
+            (match Hashtbl.find_opt hash_groups key with
+            | Some l -> l := v :: !l
+            | None -> Hashtbl.add hash_groups key (ref [ v ]))
+          end)
+        lp;
+      (* Supervariable detection within each hash group: exact set
+         comparison of the pruned (A, E) lists via stamping; [j] merges
+         into [i] and is emitted adjacent to it at output time. *)
+      Hashtbl.iter
+        (fun _ group ->
+          let vs = Array.of_list !group in
+          let m = Array.length vs in
+          if m > 1 then
+            for i = 0 to m - 2 do
+              let vi = vs.(i) in
+              if state.(vi) = 0 && nv.(vi) > 0 then begin
+                let stamped = ref false in
+                for j = i + 1 to m - 1 do
+                  let vj = vs.(j) in
+                  if
+                    state.(vj) = 0
+                    && nv.(vj) > 0
+                    && alen.(vi) = alen.(vj)
+                    && elen.(vi) = elen.(vj)
+                  then begin
+                    if not !stamped then begin
+                      incr cur;
+                      for k = 0 to alen.(vi) - 1 do
+                        stamp.(avar.(vi).(k)) <- !cur
+                      done;
+                      for k = 0 to elen.(vi) - 1 do
+                        stamp.(elist.(vi).(k)) <- !cur
+                      done;
+                      stamped := true
+                    end;
+                    let same = ref true in
+                    for k = 0 to alen.(vj) - 1 do
+                      if stamp.(avar.(vj).(k)) <> !cur then same := false
+                    done;
+                    for k = 0 to elen.(vj) - 1 do
+                      if stamp.(elist.(vj).(k)) <> !cur then same := false
+                    done;
+                    if !same then begin
+                      let mass = nv.(vj) in
+                      nv.(vi) <- nv.(vi) + mass;
+                      nv.(vj) <- 0;
+                      state.(vj) <- 2;
+                      parent.(vj) <- vi;
+                      bucket_remove vj;
+                      deg.(vi) <- max 0 (deg.(vi) - mass)
+                    end
+                  end
+                done
+              end
+            done)
+        hash_groups;
+      (* Reinsert the surviving members with their updated degrees. *)
+      Array.iter
+        (fun v ->
+          if state.(v) = 0 && nv.(v) > 0 then bucket_insert v deg.(v))
+        lp
+    done;
+    (* Output: pivots in elimination order; each absorbed or
+       mass-eliminated node is emitted right after the node that absorbed
+       it (the absorption forest rooted at the pivots). *)
+    let children = Array.make n [] in
+    for x = n - 1 downto 0 do
+      if parent.(x) >= 0 then children.(parent.(x)) <- x :: children.(parent.(x))
+    done;
+    let perm = Array.make n 0 in
+    let pos = ref 0 in
+    let rec emit x =
+      perm.(!pos) <- x;
+      incr pos;
+      List.iter emit children.(x)
+    in
+    List.iter emit (List.rev !pivots);
+    assert (!pos = n);
+    perm
+  end
 
 (* Bandwidth of the symmetric pattern: used to test that RCM reduces it. *)
 let bandwidth (a : Csc.t) =

@@ -10,13 +10,22 @@ val adjacency : Csc.t -> int list array
 val rcm : Csc.t -> Perm.t
 (** Reverse Cuthill-McKee: BFS from a pseudo-peripheral vertex per
     connected component, neighbors in increasing-degree order, reversed.
-    Reduces bandwidth. *)
+    The pseudo-peripheral search starts from a minimum-degree vertex of
+    each component and breaks farthest-level ties by minimum degree
+    (George-Liu). Reduces bandwidth. *)
 
 val min_degree : Csc.t -> Perm.t
 (** Greedy minimum-degree on the elimination graph (no quotient-graph
-    machinery, so quadratic-ish in the worst case — fine for the moderate
-    sizes in this repository). Reduces fill substantially on mesh
-    problems. *)
+    machinery, so quadratic-ish in the worst case). Exact current degrees:
+    kept as the quality oracle {!amd} is measured against. *)
+
+val amd : Csc.t -> Perm.t
+(** Approximate minimum degree (Amestoy-Davis-Duff) on a quotient graph:
+    supervariables, mass elimination, element absorption, and the
+    external-degree approximation with iteration-stamped workspaces. Near
+    linear-time in practice and the default fill-reducing ordering of the
+    compile pipeline; fill quality tracks {!min_degree} closely (the bench
+    [--only ordering] section checks the tolerance). *)
 
 val bandwidth : Csc.t -> int
 (** Maximum [|i - j|] over stored entries. *)

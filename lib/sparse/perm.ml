@@ -44,11 +44,95 @@ let compose p q = Array.map (fun i -> q.(i)) p
 let symmetric_permute p (a : Csc.t) =
   if a.Csc.nrows <> a.Csc.ncols then invalid_arg "Perm.symmetric_permute";
   let n = a.Csc.nrows in
-  if Array.length p <> n then invalid_arg "Perm.symmetric_permute: size";
+  if Array.length p <> n then
+    invalid_arg "Perm.symmetric_permute: permutation length does not match n";
+  if not (is_valid p) then
+    invalid_arg "Perm.symmetric_permute: not a valid permutation of [0, n)";
   let pinv = inverse p in
   let tr = Triplet.create ~nrows:n ~ncols:n () in
   Csc.iter a (fun i j v -> Triplet.add tr pinv.(i) pinv.(j) v);
   Csc.of_triplet tr
+
+(* Shared builder for the two permute-with-gather-map operations below:
+   [coords] lists one (new row, new col, source entry) triple per stored
+   entry; the result's entry [q] reads its value from
+   [values.(map.(q))] of the source matrix. Column-major counting sort
+   followed by an in-column sort keeps rows strictly increasing. *)
+let build_permuted ~n (coords : (int * int * int) array) =
+  let nnz = Array.length coords in
+  let colptr = Array.make (n + 1) 0 in
+  Array.iter (fun (_, c, _) -> colptr.(c + 1) <- colptr.(c + 1) + 1) coords;
+  for c = 0 to n - 1 do
+    colptr.(c + 1) <- colptr.(c + 1) + colptr.(c)
+  done;
+  let next = Array.copy colptr in
+  let rowind = Array.make nnz 0 and map = Array.make nnz 0 in
+  Array.iter
+    (fun (r, c, q) ->
+      let slot = next.(c) in
+      next.(c) <- slot + 1;
+      rowind.(slot) <- r;
+      map.(slot) <- q)
+    coords;
+  (* Sort each column by row, carrying the map along (compile-time code;
+     columns are short, insertion sort suffices and allocates nothing). *)
+  for c = 0 to n - 1 do
+    for k = colptr.(c) + 1 to colptr.(c + 1) - 1 do
+      let r = rowind.(k) and m = map.(k) in
+      let i = ref (k - 1) in
+      while !i >= colptr.(c) && rowind.(!i) > r do
+        rowind.(!i + 1) <- rowind.(!i);
+        map.(!i + 1) <- map.(!i);
+        decr i
+      done;
+      rowind.(!i + 1) <- r;
+      map.(!i + 1) <- m
+    done
+  done;
+  let values = Array.make nnz 0.0 in
+  (Csc.create ~nrows:n ~ncols:n ~colptr ~rowind ~values, map)
+
+let check_square_perm ~who p (a : Csc.t) =
+  if a.Csc.nrows <> a.Csc.ncols then invalid_arg who;
+  if Array.length p <> a.Csc.ncols then
+    invalid_arg (who ^ ": permutation length does not match n");
+  if not (is_valid p) then
+    invalid_arg (who ^ ": not a valid permutation of [0, n)")
+
+(* B = P A P^T with a gather map: entry [q] of B takes its value from
+   [a.values.(map.(q))], so a steady-state caller can refresh B's values
+   with one allocation-free gather when A's values change. *)
+let permute_pattern p (a : Csc.t) : Csc.t * int array
+    =
+  check_square_perm ~who:"Perm.permute_pattern" p a;
+  let pinv = inverse p in
+  let coords = Array.make (Csc.nnz a) (0, 0, 0) in
+  let q = ref 0 in
+  Csc.iter a (fun i j _ ->
+      coords.(!q) <- (pinv.(i), pinv.(j), !q);
+      incr q);
+  let b, map = build_permuted ~n:a.Csc.ncols coords in
+  Array.iteri (fun k m -> b.Csc.values.(k) <- a.Csc.values.(m)) map;
+  (b, map)
+
+(* lower(P sym(A) P^T) from lower(A), with the same gather-map contract:
+   each stored lower entry (i, j), i >= j, lands at
+   (max(pinv i, pinv j), min(pinv i, pinv j)) — the permuted coordinates
+   folded back into the lower triangle. *)
+let permute_lower p (a_lower : Csc.t) : Csc.t * int array =
+  check_square_perm ~who:"Perm.permute_lower" p a_lower;
+  let pinv = inverse p in
+  let coords = Array.make (Csc.nnz a_lower) (0, 0, 0) in
+  let q = ref 0 in
+  Csc.iter a_lower (fun i j _ ->
+      if i < j then
+        invalid_arg "Perm.permute_lower: input is not lower triangular";
+      let r = pinv.(i) and c = pinv.(j) in
+      coords.(!q) <- ((max r c), (min r c), !q);
+      incr q);
+  let b, map = build_permuted ~n:a_lower.Csc.ncols coords in
+  Array.iteri (fun k m -> b.Csc.values.(k) <- a_lower.Csc.values.(m)) map;
+  (b, map)
 
 let random rng n =
   let p = identity n in

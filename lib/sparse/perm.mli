@@ -26,7 +26,25 @@ val compose : t -> t -> t
 val symmetric_permute : t -> Csc.t -> Csc.t
 (** [symmetric_permute p a] is [P A P^T] for a square matrix stored in full
     (not triangular) form: entry [(k, j)] of the result is
-    [a.(p.(k), p.(j))]. *)
+    [a.(p.(k), p.(j))]. Raises [Invalid_argument] when [p] is not a valid
+    permutation of [\[0, n)] (checked with {!is_valid}, never an
+    out-of-bounds crash). *)
+
+val permute_pattern : t -> Csc.t -> Csc.t * int array
+(** [permute_pattern p a] is [(b, map)] with [b = P A P^T] and [map] a
+    gather map: entry [q] of [b] reads its value from
+    [a.values.(map.(q))]. Refreshing [b.values] with the gather is the
+    allocation-free way to track value changes of [a] under a fixed
+    permutation (the ordered plans' steady state). Raises
+    [Invalid_argument] on a non-square matrix or invalid permutation. *)
+
+val permute_lower : t -> Csc.t -> Csc.t * int array
+(** [permute_lower p a_lower] is [(b, map)] where [b] is
+    [lower(P sym(A) P^T)] computed directly from lower-triangular storage:
+    each stored entry [(i, j)] of [a_lower] lands at
+    [(max (pinv i) (pinv j), min (pinv i) (pinv j))]. Same gather-map
+    contract as {!permute_pattern}. Raises [Invalid_argument] when the
+    input is not lower triangular or the permutation is invalid. *)
 
 val random : Utils.Rng.t -> int -> t
 (** Uniformly random permutation (deterministic given the RNG state). *)

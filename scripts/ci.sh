@@ -65,6 +65,38 @@ for verdict in all_zero_alloc bitwise_across_ndomains \
   }
 done
 
+echo "== ordering gate =="
+# Fill-reducing orderings as a compilation stage: AMD must stay within
+# tolerance of the exact-degree greedy oracle on every suite problem,
+# improve on the natural ordering for every mesh/grid problem, and not be
+# slower than the greedy oracle on the largest benched grid; the ordered
+# facade path must stay allocation-free in steady state and produce
+# factors bitwise-identical to a manually pre-permuted compile.
+dune exec bench/main.exe -- --quick --only ordering
+for verdict in amd_fill_within_tolerance amd_beats_natural_on_meshes \
+  amd_not_slower_than_greedy_on_largest ordered_steady_zero_alloc \
+  ordered_bitwise_vs_manual verdict; do
+  grep -q "\"$verdict\":true" BENCH_ordering.json || {
+    echo "FAIL: $verdict is false in BENCH_ordering.json" >&2
+    exit 1
+  }
+done
+
+echo "== ordered explain smoke =="
+# `explain --ordering amd --json` must report the selected ordering and
+# the natural-ordering baseline columns on two suite matrices.
+for prob in Dubcova2 ecology2; do
+  dune exec bin/sympiler_cli.exe -- explain --problem "$prob" \
+    --ordering amd --json > "_build/explain_amd_$prob.json"
+  for key in '"ordering":"amd"' '"nnz_l_natural"' '"predicted_flops_natural"'; do
+    grep -q "$key" "_build/explain_amd_$prob.json" || {
+      echo "FAIL: ordered explain JSON for $prob missing $key" >&2
+      exit 1
+    }
+  done
+  echo "explain --ordering amd --json $prob: ok"
+done
+
 echo "== explain report gate =="
 # `sympiler explain --json` must emit parseable JSON with the report's
 # key fields on representative suite matrices (one supernodal-leaning,

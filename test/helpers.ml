@@ -58,6 +58,51 @@ let spd_zoo () : (string * Csc.t) list =
     ("one", Csc.of_dense [| [| 4.0 |] |]);
   ]
 
+(* Block-diagonal assembly of full symmetric matrices (disconnected
+   graphs for the ordering tests). *)
+let block_diag (blocks : Csc.t list) : Csc.t =
+  let n = List.fold_left (fun acc b -> acc + b.Csc.ncols) 0 blocks in
+  let tr = Triplet.create ~nrows:n ~ncols:n () in
+  let off = ref 0 in
+  List.iter
+    (fun b ->
+      Csc.iter b (fun i j v -> Triplet.add tr (i + !off) (j + !off) v);
+      off := !off + b.Csc.ncols)
+    blocks;
+  Csc.of_triplet tr
+
+(* Three disconnected grids, randomly relabeled: the pseudo-peripheral
+   search must restart per component and the scramble hides the natural
+   band. Deterministic (seed 42). *)
+let scrambled_multigrid () : Csc.t =
+  let a =
+    block_diag
+      [
+        Generators.grid2d ~stencil:`Five 9 9;
+        Generators.grid2d ~stencil:`Nine 6 13;
+        Generators.grid3d 4 4 4;
+      ]
+  in
+  let p = Perm.random (Utils.Rng.create 42) a.Csc.ncols in
+  Perm.symmetric_permute p a
+
+(* Star (dense row/column 0) plus a ring: one vertex of degree n-1 next
+   to a sea of low-degree vertices — the classic quotient-graph stressor. *)
+let star_ring (n : int) : Csc.t =
+  let tr = Triplet.create ~nrows:n ~ncols:n () in
+  for i = 0 to n - 1 do
+    Triplet.add tr i i 4.0;
+    if i > 0 then begin
+      Triplet.add tr 0 i 1.0;
+      Triplet.add tr i 0 1.0
+    end;
+    if i > 1 then begin
+      Triplet.add tr i (i - 1) 1.0;
+      Triplet.add tr (i - 1) i 1.0
+    end
+  done;
+  Csc.of_triplet tr
+
 (* ---- qcheck generators ---- *)
 
 let gen_lower : Csc.t QCheck.Gen.t =

@@ -13,5 +13,6 @@ let () =
       ("prof", Test_prof.suite);
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
+      ("ordering-stage", Test_ordering.suite);
       ("regressions", Test_regressions.suite);
     ]

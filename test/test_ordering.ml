@@ -1,0 +1,386 @@
+open Sympiler_sparse
+open Sympiler_symbolic
+open Helpers
+
+(* Ordering-aware compilation: the orderings themselves (validity on
+   adversarial graphs, AMD's fill quality against the exact-degree greedy
+   oracle) and the facade's ?ordering stage (bitwise identity against
+   manual pre-permutation across every kernel family, zero-allocation
+   ordered steady state, cache keying, and `Given validation). *)
+
+let orderings =
+  [
+    ("rcm", Ordering.rcm);
+    ("amd", Ordering.amd);
+    ("min_degree", Ordering.min_degree);
+  ]
+
+let nnz_l (a : Csc.t) : int =
+  let f = Fill_pattern.analyze (Csc.lower a) in
+  f.Fill_pattern.l_pattern.Csc.colptr.(a.Csc.ncols)
+
+(* ---- permutation validity on adversarial graph shapes ---- *)
+
+let test_valid_perms () =
+  let structures =
+    [
+      ("multigrid (disconnected)", scrambled_multigrid ());
+      ("star+ring (dense row)", star_ring 50);
+      ("empty 0x0", Csc.zero ~nrows:0 ~ncols:0);
+      ("diagonal (edgeless)", Csc.identity 30);
+    ]
+    @ spd_zoo ()
+  in
+  List.iter
+    (fun (sname, a) ->
+      List.iter
+        (fun (oname, f) ->
+          let p = f a in
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s length" sname oname)
+            a.Csc.ncols (Array.length p);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s valid" sname oname)
+            true (Perm.is_valid p))
+        orderings)
+    structures
+
+let prop_valid_perms =
+  qtest ~count:60 "orderings are bijections (random spd)" arb_spd (fun a ->
+      List.for_all
+        (fun (_, f) ->
+          let p = f a in
+          Array.length p = a.Csc.ncols && Perm.is_valid p)
+        orderings)
+
+(* ---- AMD fill quality vs the greedy exact-degree oracle ---- *)
+
+let test_amd_fill_tolerance () =
+  (* The bench gates the eleven suite problems; here the small structural
+     zoo plus the adversarial shapes. Tolerance matches the bench (1.25x)
+     with a small absolute slack for the tiny matrices where one extra
+     entry swings the ratio. *)
+  let cases =
+    [ ("multigrid", scrambled_multigrid ()); ("star+ring", star_ring 50) ]
+    @ spd_zoo ()
+  in
+  List.iter
+    (fun (name, a) ->
+      let fa = nnz_l (Perm.symmetric_permute (Ordering.amd a) a) in
+      let fm = nnz_l (Perm.symmetric_permute (Ordering.min_degree a) a) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s amd %d vs greedy %d" name fa fm)
+        true
+        (float_of_int fa <= (1.25 *. float_of_int fm) +. 8.0))
+    cases
+
+(* ---- ordered compile = manual pre-permutation, bitwise, per family ---- *)
+
+(* The contract under test: an ordered handle takes natural-order values
+   and must produce exactly (bitwise) the factors that compiling the
+   manually permuted input yields. *)
+
+let perm_of (ord : Sympiler.applied_ordering) n =
+  match ord.Sympiler.o_perm with Some p -> p | None -> Perm.identity n
+
+let permuted_lower p (al : Csc.t) : Csc.t =
+  let pl, map = Perm.permute_lower p al in
+  Array.iteri (fun q m -> pl.Csc.values.(q) <- al.Csc.values.(m)) map;
+  pl
+
+let test_bitwise_cholesky () =
+  let al = Csc.lower (Generators.grid2d ~stencil:`Five 8 8) in
+  let h = Sympiler.Cholesky.compile ~ordering:`Amd al in
+  let pl = permuted_lower (perm_of h.Sympiler.Cholesky.ord al.Csc.ncols) al in
+  let manual =
+    let hm = Sympiler.Cholesky.compile pl in
+    Sympiler.Cholesky.factor hm pl
+  in
+  let via_plan =
+    Sympiler.Cholesky.execute_ip (Sympiler.Cholesky.plan h) al
+  in
+  let via_factor = Sympiler.Cholesky.factor h al in
+  Alcotest.(check bool)
+    "plan bitwise" true
+    (via_plan.Csc.values = manual.Csc.values);
+  Alcotest.(check bool)
+    "factor bitwise" true
+    (via_factor.Csc.values = manual.Csc.values)
+
+let test_bitwise_ldlt () =
+  let al =
+    Csc.lower (Generators.block_tridiagonal ~seed:4 ~nblocks:5 ~block:6 ())
+  in
+  let h = Sympiler.Ldlt.compile ~ordering:`Amd al in
+  let pl = permuted_lower (perm_of h.Sympiler.Ldlt.ord al.Csc.ncols) al in
+  let manual = Sympiler.Ldlt.factor (Sympiler.Ldlt.compile pl) pl in
+  let got = Sympiler.Ldlt.execute_ip (Sympiler.Ldlt.plan h) al in
+  Alcotest.(check bool)
+    "L bitwise" true
+    (got.Sympiler_kernels.Ldlt.l.Csc.values
+    = manual.Sympiler_kernels.Ldlt.l.Csc.values);
+  Alcotest.(check bool)
+    "D bitwise" true
+    (got.Sympiler_kernels.Ldlt.d = manual.Sympiler_kernels.Ldlt.d)
+
+let test_bitwise_ic0 () =
+  let al = Csc.lower (Generators.grid2d ~stencil:`Nine 7 7) in
+  let h = Sympiler.Ic0.compile ~ordering:`Amd al in
+  let pl = permuted_lower (perm_of h.Sympiler.Ic0.ord al.Csc.ncols) al in
+  let manual = Sympiler.Ic0.factor (Sympiler.Ic0.compile pl) pl in
+  let got = Sympiler.Ic0.execute_ip (Sympiler.Ic0.plan h) al in
+  Alcotest.(check bool) "IC(0) bitwise" true (got.Csc.values = manual.Csc.values)
+
+let permuted_full p (a : Csc.t) : Csc.t =
+  let pa, map = Perm.permute_pattern p a in
+  Array.iteri (fun q m -> pa.Csc.values.(q) <- a.Csc.values.(m)) map;
+  pa
+
+let test_bitwise_lu () =
+  let a = Generators.grid2d ~stencil:`Five 7 7 in
+  let h = Sympiler.Lu.compile ~ordering:`Amd a in
+  let pa = permuted_full (perm_of h.Sympiler.Lu.ord a.Csc.ncols) a in
+  let manual = Sympiler.Lu.factor (Sympiler.Lu.compile pa) pa in
+  let got = Sympiler.Lu.execute_ip (Sympiler.Lu.plan h) a in
+  Alcotest.(check bool)
+    "L bitwise" true
+    (got.Sympiler_kernels.Lu.l.Csc.values
+    = manual.Sympiler_kernels.Lu.l.Csc.values);
+  Alcotest.(check bool)
+    "U bitwise" true
+    (got.Sympiler_kernels.Lu.u.Csc.values
+    = manual.Sympiler_kernels.Lu.u.Csc.values)
+
+let test_bitwise_ilu0 () =
+  let a = Generators.grid2d ~stencil:`Nine 6 6 in
+  let h = Sympiler.Ilu0.compile ~ordering:`Amd a in
+  let pa = permuted_full (perm_of h.Sympiler.Ilu0.ord a.Csc.ncols) a in
+  let manual = Sympiler.Ilu0.factor (Sympiler.Ilu0.compile pa) pa in
+  let got = Sympiler.Ilu0.execute_ip (Sympiler.Ilu0.plan h) a in
+  Alcotest.(check bool)
+    "ILU(0) bitwise" true
+    (got.Sympiler_kernels.Ilu0.values = manual.Sympiler_kernels.Ilu0.values)
+
+let test_bitwise_trisolve_given () =
+  (* Trisolve needs a dependence-respecting relabeling: the etree
+     postorder of L's pattern keeps P L P^T lower triangular. *)
+  let l = figure1_l in
+  let b = { Vector.n = 10; indices = figure1_beta; values = [| 1.0; 2.0 |] } in
+  let post = Postorder.compute (Etree.compute l) in
+  let h = Sympiler.Trisolve.compile ~ordering:(`Given post) (l, b) in
+  let x_ord = Sympiler.Trisolve.solve h b in
+  let x_plan = Sympiler.Trisolve.execute_ip (Sympiler.Trisolve.plan h) b in
+  (* Manual pre-permutation of the whole system. *)
+  let pl = permuted_lower post l in
+  let pinv = Perm.inverse post in
+  let pairs =
+    Array.mapi (fun t i -> (pinv.(i), b.Vector.values.(t))) b.Vector.indices
+  in
+  Array.sort compare pairs;
+  let pb =
+    {
+      Vector.n = 10;
+      indices = Array.map fst pairs;
+      values = Array.map snd pairs;
+    }
+  in
+  let xp = Sympiler.Trisolve.solve (Sympiler.Trisolve.compile (pl, pb)) pb in
+  let x_manual = Array.make 10 0.0 in
+  Array.iteri (fun k old -> x_manual.(old) <- xp.(k)) post;
+  Alcotest.(check bool) "solve bitwise" true (x_ord = x_manual);
+  Alcotest.(check bool) "plan bitwise" true (x_plan = x_manual);
+  (* And the relabeled solve agrees with the natural-order one. *)
+  let x_nat = Sympiler.Trisolve.solve (Sympiler.Trisolve.compile (l, b)) b in
+  check_close "vs natural" x_nat x_ord
+
+let test_trisolve_rejects_breaking_ordering () =
+  (* Reversal turns a non-diagonal lower-triangular L strictly upper:
+     must be rejected, not silently mis-solved. *)
+  let l = figure1_l in
+  let b = { Vector.n = 10; indices = figure1_beta; values = [| 1.0; 1.0 |] } in
+  let rev = Array.init 10 (fun k -> 9 - k) in
+  match Sympiler.Trisolve.compile ~ordering:(`Given rev) (l, b) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "triangularity-breaking ordering accepted"
+
+(* ---- ordered solves stay correct ---- *)
+
+let test_ordered_cholesky_solve () =
+  List.iter
+    (fun (name, a) ->
+      let al = Csc.lower a in
+      let n = a.Csc.ncols in
+      let rng = Utils.Rng.create 17 in
+      let b = Array.init n (fun _ -> Utils.Rng.float_range rng (-1.0) 1.0) in
+      let x_nat = Sympiler.Cholesky.solve (Sympiler.Cholesky.compile al) al b in
+      List.iter
+        (fun (oname, o) ->
+          let h = Sympiler.Cholesky.compile ~ordering:o al in
+          let x = Sympiler.Cholesky.solve h al b in
+          check_close ~eps:1e-6 (Printf.sprintf "%s %s" name oname) x_nat x)
+        [ ("rcm", `Rcm); ("amd", `Amd); ("min-degree", `Min_degree) ])
+    [
+      List.nth (spd_zoo ()) 0;
+      List.nth (spd_zoo ()) 3;
+      ("multigrid", scrambled_multigrid ());
+    ]
+
+let prop_ordered_solve =
+  qtest ~count:40 "ordered cholesky solve matches natural (random spd)"
+    arb_spd (fun a ->
+      let al = Csc.lower a in
+      let n = a.Csc.ncols in
+      let rng = Utils.Rng.create 23 in
+      let b = Array.init n (fun _ -> Utils.Rng.float_range rng (-1.0) 1.0) in
+      let x_nat =
+        Sympiler.Cholesky.solve (Sympiler.Cholesky.compile al) al b
+      in
+      let x_amd =
+        Sympiler.Cholesky.solve (Sympiler.Cholesky.compile ~ordering:`Amd al) al b
+      in
+      close ~eps:1e-6 x_nat x_amd)
+
+(* ---- zero allocation on the ordered steady path ---- *)
+
+let test_ordered_zero_alloc () =
+  let al = Csc.lower (Generators.grid2d ~stencil:`Five 10 10) in
+  let p =
+    Sympiler.Cholesky.plan (Sympiler.Cholesky.compile ~ordering:`Amd al)
+  in
+  Sympiler.Cholesky.refactor_ip p al;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 20 do
+    Sympiler.Cholesky.refactor_ip p al
+  done;
+  let words = int_of_float (Gc.minor_words () -. w0) in
+  Alcotest.(check int) "ordered cholesky minor words" 0 words;
+  (* Ordered trisolve steady path likewise. *)
+  let l = figure1_l in
+  let b = { Vector.n = 10; indices = figure1_beta; values = [| 1.0; 2.0 |] } in
+  let post = Postorder.compute (Etree.compute l) in
+  let tp =
+    Sympiler.Trisolve.plan
+      (Sympiler.Trisolve.compile ~ordering:(`Given post) (l, b))
+  in
+  ignore (Sympiler.Trisolve.execute_ip tp b);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 20 do
+    ignore (Sympiler.Trisolve.execute_ip tp b)
+  done;
+  let words = int_of_float (Gc.minor_words () -. w0) in
+  Alcotest.(check int) "ordered trisolve minor words" 0 words
+
+(* ---- the cache key carries the ordering ---- *)
+
+let test_cache_keyed_on_ordering () =
+  let al = Csc.lower (Generators.grid2d ~stencil:`Five 6 6) in
+  Sympiler.Cholesky.cache_clear ();
+  let h_nat = Sympiler.Cholesky.compile_cached al in
+  let h_amd = Sympiler.Cholesky.compile_cached ~ordering:`Amd al in
+  Alcotest.(check bool) "natural vs amd distinct" false (h_nat == h_amd);
+  let h_amd' = Sympiler.Cholesky.compile_cached ~ordering:`Amd al in
+  Alcotest.(check bool) "amd hit physically equal" true (h_amd == h_amd');
+  (* `Given with the same permutation AMD chose is a distinct key (the
+     fingerprint spells out the permutation), but compiles fine. *)
+  let p = perm_of h_amd.Sympiler.Cholesky.ord al.Csc.ncols in
+  let h_given = Sympiler.Cholesky.compile_cached ~ordering:(`Given p) al in
+  Alcotest.(check bool) "given vs amd distinct" false (h_amd == h_given);
+  Alcotest.(check int)
+    "given = amd analysis" h_amd.Sympiler.Cholesky.nnz_l
+    h_given.Sympiler.Cholesky.nnz_l
+
+(* ---- `Given validation and degenerate sizes through every family ---- *)
+
+let test_given_validation () =
+  let a = Generators.grid2d ~stencil:`Five 4 4 in
+  let al = Csc.lower a in
+  let b =
+    { Vector.n = 16; indices = [| 0; 5 |]; values = [| 1.0; 1.0 |] }
+  in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: invalid permutation accepted" name
+  in
+  let bad_perms =
+    [ ("wrong length", [| 0; 1; 2 |]); ("not a bijection", Array.make 16 0) ]
+  in
+  List.iter
+    (fun (pname, p) ->
+      expect_invalid ("cholesky " ^ pname) (fun () ->
+          Sympiler.Cholesky.compile ~ordering:(`Given p) al);
+      expect_invalid ("ldlt " ^ pname) (fun () ->
+          Sympiler.Ldlt.compile ~ordering:(`Given p) al);
+      expect_invalid ("ic0 " ^ pname) (fun () ->
+          Sympiler.Ic0.compile ~ordering:(`Given p) al);
+      expect_invalid ("lu " ^ pname) (fun () ->
+          Sympiler.Lu.compile ~ordering:(`Given p) a);
+      expect_invalid ("ilu0 " ^ pname) (fun () ->
+          Sympiler.Ilu0.compile ~ordering:(`Given p) a);
+      expect_invalid ("trisolve " ^ pname) (fun () ->
+          Sympiler.Trisolve.compile ~ordering:(`Given p) (al, b));
+      expect_invalid ("symmetric_permute " ^ pname) (fun () ->
+          Perm.symmetric_permute p a))
+    bad_perms
+
+let test_degenerate_sizes () =
+  (* 0x0 and 1x1 through the ordered path of every family. *)
+  let z = Csc.zero ~nrows:0 ~ncols:0 in
+  let hz = Sympiler.Cholesky.compile ~ordering:(`Given [||]) z in
+  Alcotest.(check int) "0x0 nnz_l" 0 hz.Sympiler.Cholesky.nnz_l;
+  let one = Csc.of_dense [| [| 4.0 |] |] in
+  let l1 =
+    Sympiler.Cholesky.factor
+      (Sympiler.Cholesky.compile ~ordering:`Amd one)
+      one
+  in
+  check_close "1x1 cholesky" [| 2.0 |] l1.Csc.values;
+  let f1 =
+    Sympiler.Ldlt.factor
+      (Sympiler.Ldlt.compile ~ordering:(`Given [| 0 |]) one)
+      one
+  in
+  check_close "1x1 ldlt d" [| 4.0 |] f1.Sympiler_kernels.Ldlt.d;
+  let lu1 =
+    Sympiler.Lu.factor (Sympiler.Lu.compile ~ordering:`Rcm one) one
+  in
+  check_close "1x1 lu u" [| 4.0 |] lu1.Sympiler_kernels.Lu.u.Csc.values;
+  let ic1 =
+    Sympiler.Ic0.factor (Sympiler.Ic0.compile ~ordering:`Min_degree one) one
+  in
+  check_close "1x1 ic0" [| 2.0 |] ic1.Csc.values;
+  let ilu1 =
+    Sympiler.Ilu0.factor (Sympiler.Ilu0.compile ~ordering:`Amd one) one
+  in
+  check_close "1x1 ilu0" [| 4.0 |] ilu1.Sympiler_kernels.Ilu0.values;
+  let b1 = { Vector.n = 1; indices = [| 0 |]; values = [| 3.0 |] } in
+  let x1 =
+    Sympiler.Trisolve.solve
+      (Sympiler.Trisolve.compile ~ordering:(`Given [| 0 |]) (one, b1))
+      b1
+  in
+  check_close "1x1 trisolve" [| 0.75 |] x1
+
+let suite =
+  [
+    ("orderings valid on adversarial graphs", `Quick, test_valid_perms);
+    prop_valid_perms;
+    ("amd fill within tolerance of greedy", `Quick, test_amd_fill_tolerance);
+    ("ordered cholesky bitwise vs manual", `Quick, test_bitwise_cholesky);
+    ("ordered ldlt bitwise vs manual", `Quick, test_bitwise_ldlt);
+    ("ordered ic0 bitwise vs manual", `Quick, test_bitwise_ic0);
+    ("ordered lu bitwise vs manual", `Quick, test_bitwise_lu);
+    ("ordered ilu0 bitwise vs manual", `Quick, test_bitwise_ilu0);
+    ( "ordered trisolve (`Given postorder) bitwise",
+      `Quick,
+      test_bitwise_trisolve_given );
+    ( "trisolve rejects triangularity-breaking ordering",
+      `Quick,
+      test_trisolve_rejects_breaking_ordering );
+    ("ordered cholesky solve correct", `Quick, test_ordered_cholesky_solve);
+    prop_ordered_solve;
+    ("ordered steady path allocation-free", `Quick, test_ordered_zero_alloc);
+    ("cache keyed on ordering", `Quick, test_cache_keyed_on_ordering);
+    ("`Given validation across families", `Quick, test_given_validation);
+    ("degenerate sizes through ordered path", `Quick, test_degenerate_sizes);
+  ]

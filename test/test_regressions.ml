@@ -67,6 +67,61 @@ let test_mm_skew_symmetric_rejected () =
       "2 1 3.0";
     ]
 
+let test_mm_symmetric_strict_upper_rejected () =
+  (* The symmetric format stores the lower triangle only; a strict-upper
+     entry is malformed. The broken reader silently mirrored it, which
+     double-counted entries whose transpose was also present. *)
+  parse_fails "symmetric with strict-upper entry"
+    [
+      "%%MatrixMarket matrix coordinate real symmetric";
+      "3 3 3";
+      "1 1 4.0";
+      "1 3 1.0";
+      "3 3 4.0";
+    ]
+
+let test_mm_symmetric_writer_validates () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  (* Pattern-asymmetric: (0,1) stored, (1,0) missing. *)
+  let pat = Csc.of_dense [| [| 4.0; 1.0 |]; [| 0.0; 4.0 |] |] in
+  expect_invalid "pattern-asymmetric to_string" (fun () ->
+      Matrix_market.to_string ~symmetric:true pat);
+  expect_invalid "pattern-asymmetric to_buffer" (fun () ->
+      Matrix_market.to_buffer ~symmetric:true (Buffer.create 64) pat);
+  (* Value-asymmetric: both triangles stored but a(0,1) <> a(1,0). *)
+  let vals = Csc.of_dense [| [| 4.0; 1.0 |]; [| 2.0; 4.0 |] |] in
+  expect_invalid "value-asymmetric to_string" (fun () ->
+      Matrix_market.to_string ~symmetric:true vals);
+  (* Non-square. *)
+  let rect = Csc.of_dense [| [| 1.0; 0.0; 2.0 |]; [| 0.0; 3.0; 0.0 |] |] in
+  expect_invalid "non-square to_string" (fun () ->
+      Matrix_market.to_string ~symmetric:true rect);
+  (* A genuinely symmetric matrix still round-trips. *)
+  let ok = Csc.of_dense [| [| 4.0; 1.0 |]; [| 1.0; 4.0 |] |] in
+  let a' = Matrix_market.of_string (Matrix_market.to_string ~symmetric:true ok) in
+  (* Reader expands to both triangles. *)
+  Alcotest.(check int) "symmetric round-trip nnz" 4 (Csc.nnz a')
+
+(* ---- RCM on disconnected graphs (George-Liu refinements) ---- *)
+
+let test_rcm_disconnected_bandwidth () =
+  (* Three scrambled disconnected grids. Seeding the pseudo-peripheral
+     search from a minimum-degree vertex per component and breaking
+     farthest-level ties by degree brought the permuted bandwidth to 14;
+     this pins it so a regression (or a seed-sensitive heuristic change)
+     shows up. *)
+  let a = scrambled_multigrid () in
+  let p = Ordering.rcm a in
+  Alcotest.(check bool) "valid permutation" true (Perm.is_valid p);
+  let bw = Ordering.bandwidth (Perm.symmetric_permute p a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "multigrid rcm bandwidth %d <= 14" bw)
+    true (bw <= 14)
+
 (* ---- Matrix Market entry-count validation ---- *)
 
 let test_mm_symmetric_underdeclared_rejected () =
@@ -180,6 +235,15 @@ let suite =
     ("MM tabs and space runs", `Quick, test_mm_tabs_and_spaces);
     ("MM round-trip (zoo, general+symmetric)", `Quick, test_mm_roundtrip);
     ("MM skew-symmetric rejected", `Quick, test_mm_skew_symmetric_rejected);
+    ( "MM symmetric strict-upper entry rejected",
+      `Quick,
+      test_mm_symmetric_strict_upper_rejected );
+    ( "MM symmetric writer validates symmetry",
+      `Quick,
+      test_mm_symmetric_writer_validates );
+    ( "RCM disconnected multigrid bandwidth",
+      `Quick,
+      test_rcm_disconnected_bandwidth );
     ( "MM symmetric under-declared nz rejected",
       `Quick,
       test_mm_symmetric_underdeclared_rejected );
