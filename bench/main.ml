@@ -12,7 +12,11 @@ open Sympiler_prof
    Bechamel.Test.make per experiment. `--quick` shrinks the measurement
    window, `--only SECTION` runs one section (phases, steady, trace,
    parallel, ordering, table2, fig6, fig7, fig8, fig9, intro,
-   ablation-threshold, ablation-lowlevel, extensions). The `trace` section
+   ablation-threshold, ablation-lowlevel, extensions, large). The opt-in
+   `large` section (`--only large`, or `--large` alongside the default
+   sweep) runs the 10^4..10^6-row instances end to end and writes
+   BENCH_large.json with wall-clock, max-RSS, and the measured scaling
+   exponents over the grid3d ladder. The `trace` section
    gates the
    tracing-disabled overhead of the steady path at 2% and writes
    BENCH_trace.json. The `phases` section additionally writes BENCH_phases.json:
@@ -1311,6 +1315,187 @@ let ordering_bench () =
     \ BENCH_ordering.json)\n"
 
 (* ---------------------------------------------------------------- *)
+(* Large tier (opt-in): end-to-end runs on the Generators.large_suite
+   instances — elongated 3D grid Laplacians at 10^4 / 10^5 / 10^6 rows and
+   a 10^5-row circuit-style matrix. Never part of the default sweep (a
+   10^6-row factorization takes seconds and hundreds of MB); enabled by
+   `--only large` or by the `--large` flag. For each instance: assembly,
+   symbolic-analysis, compile, numeric-factor and solve wall-clock, the
+   residual of the solved system, nnz(L), the packed prune-set store's
+   footprint, and process max-RSS. Across the three grid sizes the
+   log-log least-squares slope of time vs n is the measured scaling
+   exponent; the suite's structures keep work-per-row constant, so a
+   linear stack shows ~1.0 and the verdict gates symbolic at <= 1.3.
+   Writes BENCH_large.json. *)
+
+let large_requested = Array.exists (( = ) "--large") Sys.argv
+
+(* Peak resident set (VmHWM) of this process, in kB; 0 if unreadable. *)
+let max_rss_kb () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | exception _ -> 0
+  | s ->
+      let kb = ref 0 in
+      String.split_on_char '\n' s
+      |> List.iter (fun line ->
+             if String.starts_with ~prefix:"VmHWM:" line then
+               Scanf.sscanf_opt line "VmHWM: %d kB" (fun v -> v)
+               |> Option.iter (fun v -> kb := v));
+      !kb
+
+(* Least-squares slope of log t against log n: the measured scaling
+   exponent over a size ladder. *)
+let fit_exponent (pts : (int * float) list) : float =
+  let pts =
+    List.filter_map
+      (fun (n, t) ->
+        if n > 0 && t > 0.0 then Some (log (float_of_int n), log t) else None)
+      pts
+  in
+  let m = float_of_int (List.length pts) in
+  if m < 2.0 then nan
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+    ((m *. sxy) -. (sx *. sy)) /. ((m *. sxx) -. (sx *. sx))
+  end
+
+let large () =
+  header "Large tier: 10^4..10^6-row end-to-end (writes BENCH_large.json)";
+  Printf.printf "%-12s %9s | %9s %9s %9s %9s %9s | %10s %9s\n" "name" "n"
+    "assemble" "symbolic" "compile" "factor" "solve" "nnz(L)" "rss";
+  (* Minimum over [reps] one-shot timings; big instances get fewer reps
+     (a 10^6-row numeric factorization is seconds on its own). [prepare]
+     runs outside the timed window before every repetition — phases that
+     allocate hundreds of MB (symbolic analysis at 10^6 rows) use it to
+     drop the previous result and compact, so a repetition never pays
+     major-GC debt left behind by the one before it. Without this the
+     measured "symbolic" time at 10^6 rows inflates 2-4x run over run and
+     the scaling exponent reads super-linear for a linear stack. *)
+  let time_min ?(prepare = fun () -> ()) reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      prepare ();
+      let t0 = Prof.now_seconds () in
+      f ();
+      best := Float.min !best (Prof.now_seconds () -. t0)
+    done;
+    !best
+  in
+  let grid_sym = ref [] and grid_num = ref [] and grid_asm = ref [] in
+  let rows =
+    List.map
+      (fun (g : Generators.problem) ->
+        let name = g.Generators.name in
+        (* Settle the heap before each instance so one problem's garbage
+           never counts against the next one's assembly timing. *)
+        Gc.compact ();
+        let t0 = Prof.now_seconds () in
+        let a = Lazy.force g.Generators.matrix in
+        let al = Csc.lower a in
+        let assemble_s = Prof.now_seconds () -. t0 in
+        let n = a.Csc.ncols in
+        let reps = if n >= 1_000_000 then 2 else 3 in
+        let fill = ref None in
+        let symbolic_s =
+          time_min reps
+            ~prepare:(fun () ->
+              fill := None;
+              Gc.compact ())
+            (fun () -> fill := Some (Fill_pattern.analyze al))
+        in
+        let fill = Option.get !fill in
+        let store_bytes = Bigstore.memory_bytes (Fill_pattern.row_store fill) in
+        (* Compile shares the analysis just timed; its own cost (transpose
+           map, supernode detection, strategy selection) is what remains. *)
+        let t0 = Prof.now_seconds () in
+        let h = Sympiler.Cholesky.compile ~fill al in
+        let compile_s = Prof.now_seconds () -. t0 in
+        let plan = Sympiler.Cholesky.plan h in
+        let factor_s =
+          time_min reps (fun () -> Sympiler.Cholesky.refactor_ip plan al)
+        in
+        let l = Sympiler.Cholesky.plan_factor plan in
+        let x_true = Array.make n 1.0 in
+        let b = Csc.spmv a x_true in
+        let x = ref [||] in
+        let solve_s =
+          time_min reps (fun () -> x := Cholesky_ref.solve_with_factor l b)
+        in
+        (* Relative infinity-norm residual ||Ax - b|| / ||b||. *)
+        let ax = Csc.spmv a !x in
+        let rnum = ref 0.0 and rden = ref 1e-300 in
+        for i = 0 to n - 1 do
+          rnum := Float.max !rnum (Float.abs (ax.(i) -. b.(i)));
+          rden := Float.max !rden (Float.abs b.(i))
+        done;
+        let residual = !rnum /. !rden in
+        let rss = max_rss_kb () in
+        if String.starts_with ~prefix:"grid3d" name then begin
+          grid_sym := (n, symbolic_s) :: !grid_sym;
+          grid_num := (n, factor_s) :: !grid_num;
+          grid_asm := (n, assemble_s) :: !grid_asm
+        end;
+        Printf.printf
+          "%-12s %9d | %8.3fs %8.3fs %8.3fs %8.3fs %8.3fs | %10d %8dk\n" name
+          n assemble_s symbolic_s compile_s factor_s solve_s
+          h.Sympiler.Cholesky.nnz_l rss;
+        Prof.Json.Obj
+          [
+            ("id", Prof.Json.Int g.Generators.id);
+            ("name", Prof.Json.Str name);
+            ("n", Prof.Json.Int n);
+            ("nnz_a", Prof.Json.Int (Csc.nnz a));
+            ("nnz_l", Prof.Json.Int h.Sympiler.Cholesky.nnz_l);
+            ("assemble_seconds", Prof.Json.Float assemble_s);
+            ("symbolic_seconds", Prof.Json.Float symbolic_s);
+            ("compile_seconds", Prof.Json.Float compile_s);
+            ("factor_seconds", Prof.Json.Float factor_s);
+            ("solve_seconds", Prof.Json.Float solve_s);
+            ("residual", Prof.Json.Float residual);
+            ("row_store_bytes", Prof.Json.Int store_bytes);
+            ("max_rss_kb", Prof.Json.Int rss);
+            ("residual_ok", Prof.Json.Bool (residual < 1e-8));
+          ])
+      Generators.large_suite
+  in
+  let sym_exp = fit_exponent !grid_sym in
+  let num_exp = fit_exponent !grid_num in
+  let asm_exp = fit_exponent !grid_asm in
+  let near_linear e = (not (Float.is_nan e)) && e <= 1.3 in
+  Printf.printf
+    "scaling exponents over grid3d ladder: assembly %.2f, symbolic %.2f, \
+     numeric %.2f\n\
+     symbolic_near_linear=%b numeric_near_linear=%b\n"
+    asm_exp sym_exp num_exp (near_linear sym_exp) (near_linear num_exp);
+  let doc =
+    Prof.Json.Obj
+      [
+        ("bench", Prof.Json.Str "large");
+        ("quick", Prof.Json.Bool quick);
+        ("assembly_exponent", Prof.Json.Float asm_exp);
+        ("symbolic_exponent", Prof.Json.Float sym_exp);
+        ("numeric_exponent", Prof.Json.Float num_exp);
+        ("symbolic_near_linear", Prof.Json.Bool (near_linear sym_exp));
+        ("numeric_near_linear", Prof.Json.Bool (near_linear num_exp));
+        ("problems", Prof.Json.List rows);
+      ]
+  in
+  Out_channel.with_open_text "BENCH_large.json" (fun oc ->
+      Out_channel.output_string oc (Prof.Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  section_note
+    "(each timing = min over 2-3 one-shot runs, sized to the instance,\n\
+    \ with a Gc.compact outside each timed window so repetitions never\n\
+    \ pay the previous run's collection debt;\n\
+    \ exponents = log-log least-squares slope over the 10^4/10^5/10^6\n\
+    \ grid3d ladder, whose constant 5x5 cross-section makes work per row\n\
+    \ constant — a linear stack measures ~1.0. Full data written to\n\
+    \ BENCH_large.json)\n"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel variant: one Test.make per experiment. *)
 
 let bechamel_tests () =
@@ -1400,5 +1585,9 @@ let () =
     if run_section "intro" then intro ();
     if run_section "ablation-threshold" then ablation_threshold ();
     if run_section "ablation-lowlevel" then ablation_lowlevel ();
-    if run_section "extensions" then extensions ()
+    if run_section "extensions" then extensions ();
+    (* The large tier never rides along with the default all-sections
+       sweep: it runs only when named (`--only large`) or when `--large`
+       opts in explicitly. *)
+    if run_section "large" && (only <> None || large_requested) then large ()
   end

@@ -65,7 +65,18 @@ let problem (id : int) : prepared =
   match Hashtbl.find_opt cache id with
   | Some p -> p
   | None ->
-      let g = List.find (fun g -> g.Generators.id = id) Generators.suite in
+      let find l = List.find_opt (fun g -> g.Generators.id = id) l in
+      let g =
+        match find Generators.suite with
+        | Some g -> g
+        | None -> (
+            (* Large-tier instances (ids 101+); their band-structured
+               natural orderings are already the right ones, and [prepare]
+               keeps them natural since they are not in its mesh list. *)
+            match find Generators.large_suite with
+            | Some g -> g
+            | None -> raise Not_found)
+      in
       let p = prepare g in
       Hashtbl.replace cache id p;
       p

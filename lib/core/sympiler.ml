@@ -1134,26 +1134,45 @@ module Explain = struct
   let safe_div a b = if b = 0.0 then 0.0 else a /. b
 
   (* Power-of-two buckets [1,1] [2,2] [3,4] [5,8] ... up to the max value;
-     empty input yields the empty histogram. *)
+     empty input yields the empty histogram. One pass over the values into
+     per-bucket counters — the bucket of v is determined directly, not by
+     scanning all values once per bucket (which made diagnostics on a
+     10^6-column factor cost n * log(max) array sweeps). *)
   let histogram (values : int array) : histogram =
     if Array.length values = 0 then []
     else begin
       let vmax = Array.fold_left max 1 values in
-      let rec buckets lo hi acc =
-        if lo > vmax then List.rev acc
-        else
-          let label =
-            if lo = hi then string_of_int lo else Printf.sprintf "%d-%d" lo hi
-          in
-          buckets (hi + 1) (hi * 2) ((label, lo, hi) :: acc)
-      in
-      List.map
-        (fun (label, lo, hi) ->
-          ( label,
-            Array.fold_left
-              (fun acc v -> if v >= lo && v <= hi then acc + 1 else acc)
-              0 values ))
-        (buckets 1 1 [])
+      (* Bucket b covers [2^(b-1)+1, 2^b] for b >= 1; bucket 0 is [1,1]. *)
+      let nbuckets = ref 1 in
+      let hi = ref 1 in
+      while !hi < vmax do
+        hi := !hi * 2;
+        incr nbuckets
+      done;
+      let counts = Array.make !nbuckets 0 in
+      Array.iter
+        (fun v ->
+          if v >= 1 then begin
+            let b = ref 0 and top = ref 1 in
+            while v > !top do
+              top := !top * 2;
+              incr b
+            done;
+            counts.(!b) <- counts.(!b) + 1
+          end)
+        values;
+      let out = ref [] in
+      let lo = ref 1 and hi = ref 1 in
+      for b = 0 to !nbuckets - 1 do
+        let label =
+          if !lo = !hi then string_of_int !lo
+          else Printf.sprintf "%d-%d" !lo !hi
+        in
+        out := (label, counts.(b)) :: !out;
+        lo := !hi + 1;
+        hi := !hi * 2
+      done;
+      List.rev !out
     end
 
   let etree_height (parent : int array) : int =

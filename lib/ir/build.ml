@@ -67,23 +67,22 @@ let lower_cholesky (a_lower : Csc.t) : kernel =
   let n = fill.Sympiler_symbolic.Fill_pattern.n in
   let lp = fill.Sympiler_symbolic.Fill_pattern.l_pattern.Csc.colptr in
   let li = fill.Sympiler_symbolic.Fill_pattern.l_pattern.Csc.rowind in
-  let rows = fill.Sympiler_symbolic.Fill_pattern.row_patterns in
   (* Flatten the prune-sets and compute rowPos.(ridx): the position of entry
-     L(j, rowSet.(ridx)) in column rowSet.(ridx)'s storage. *)
-  let row_ptr = Array.make (n + 1) 0 in
-  for j = 0 to n - 1 do
-    row_ptr.(j + 1) <- row_ptr.(j) + Array.length rows.(j)
-  done;
-  let row_set = Array.make row_ptr.(n) 0 in
-  let row_pos = Array.make row_ptr.(n) 0 in
+     L(j, rowSet.(ridx)) in column rowSet.(ridx)'s storage. The packed store
+     already carries the offsets. *)
+  let row_ptr =
+    Array.copy (Sympiler_symbolic.Fill_pattern.row_ptr fill)
+  in
+  let row_set = Array.make (max 1 row_ptr.(n)) 0 in
+  let row_pos = Array.make (max 1 row_ptr.(n)) 0 in
   let fillcount = Array.make n 0 in
   for j = 0 to n - 1 do
-    Array.iteri
-      (fun t r ->
+    let t = ref 0 in
+    Sympiler_symbolic.Fill_pattern.iter_row_pattern fill j (fun r ->
         fillcount.(r) <- fillcount.(r) + 1;
-        row_set.(row_ptr.(j) + t) <- r;
-        row_pos.(row_ptr.(j) + t) <- lp.(r) + fillcount.(r))
-      rows.(j)
+        row_set.(row_ptr.(j) + !t) <- r;
+        row_pos.(row_ptr.(j) + !t) <- lp.(r) + fillcount.(r);
+        incr t)
   done;
   let body =
     [

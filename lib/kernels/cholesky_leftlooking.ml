@@ -33,22 +33,20 @@ let compile ?fill (a_lower : Csc.t) : compiled =
   in
   let n = fill.Fill_pattern.n in
   let lp = fill.Fill_pattern.l_pattern.Csc.colptr in
-  let rows = fill.Fill_pattern.row_patterns in
-  let row_ptr = Array.make (n + 1) 0 in
-  for j = 0 to n - 1 do
-    row_ptr.(j + 1) <- row_ptr.(j) + Array.length rows.(j)
-  done;
+  (* Flatten the packed prune-set store once at compile time: the numeric
+     phase then reads plain int arrays only. *)
+  let row_ptr = Array.copy (Fill_pattern.row_ptr fill) in
   let total = row_ptr.(n) in
   let row_set = Array.make (max 1 total) 0 in
   let row_pos = Array.make (max 1 total) 0 in
   let fillcount = Array.make n 0 in
   for j = 0 to n - 1 do
-    Array.iteri
-      (fun t r ->
+    let t = ref 0 in
+    Fill_pattern.iter_row_pattern fill j (fun r ->
         fillcount.(r) <- fillcount.(r) + 1;
-        row_set.(row_ptr.(j) + t) <- r;
-        row_pos.(row_ptr.(j) + t) <- lp.(r) + fillcount.(r))
-      rows.(j)
+        row_set.(row_ptr.(j) + !t) <- r;
+        row_pos.(row_ptr.(j) + !t) <- lp.(r) + fillcount.(r);
+        incr t)
   done;
   {
     n;

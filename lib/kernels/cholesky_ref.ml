@@ -112,7 +112,8 @@ end
 module Decoupled = struct
   type compiled = {
     n : int;
-    row_patterns : int array array; (* prune-sets, ascending per row *)
+    rp_ptr : int array; (* prune-set offsets, length n+1 *)
+    rp_ind : int array; (* packed prune-sets, ascending per row *)
     l_colptr : int array;
     l_rowind : int array; (* full precomputed pattern of L *)
     up_colptr : int array;
@@ -122,15 +123,20 @@ module Decoupled = struct
   }
 
   (* "Compile time": full symbolic factorization + transpose gather map.
-     [fill] lets callers share an already-computed symbolic analysis. *)
+     [fill] lets callers share an already-computed symbolic analysis. The
+     packed prune-set store is flattened into plain int arrays here, once,
+     so the numeric phase reads them allocation-free (int32 Bigarray reads
+     box without flambda). *)
   let compile ?fill (a_lower : Csc.t) : compiled =
     let fill =
       match fill with Some f -> f | None -> Fill_pattern.analyze a_lower
     in
     let up_colptr, up_rowind, up_map = Csc.transpose_map a_lower in
+    let store = Fill_pattern.row_store fill in
     {
       n = fill.Fill_pattern.n;
-      row_patterns = fill.Fill_pattern.row_patterns;
+      rp_ptr = Bigstore.ptr store;
+      rp_ind = Bigstore.flatten store;
       l_colptr = fill.Fill_pattern.l_pattern.Csc.colptr;
       l_rowind = fill.Fill_pattern.l_pattern.Csc.rowind;
       up_colptr;
@@ -185,9 +191,8 @@ module Decoupled = struct
         if i = k then d := av.(c.up_map.(p))
         else if i < k then x.(i) <- av.(c.up_map.(p))
       done;
-      let pattern = c.row_patterns.(k) in
-      for t = 0 to Array.length pattern - 1 do
-        let j = pattern.(t) in
+      for t = c.rp_ptr.(k) to c.rp_ptr.(k + 1) - 1 do
+        let j = c.rp_ind.(t) in
         let lkj = x.(j) /. lx.(lp.(j)) in
         x.(j) <- 0.0;
         for p = lp.(j) + 1 to lp.(j) + nzcount.(j) - 1 do

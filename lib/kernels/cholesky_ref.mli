@@ -30,7 +30,8 @@ end
 module Decoupled : sig
   type compiled = {
     n : int;
-    row_patterns : int array array;
+    rp_ptr : int array;  (** prune-set offsets, length [n+1] *)
+    rp_ind : int array;  (** packed prune-sets, ascending per row *)
     l_colptr : int array;
     l_rowind : int array;
     up_colptr : int array;

@@ -28,23 +28,12 @@ let emit_header buf kernel n =
     kernel n;
   Printf.bprintf buf "#define N %d\n" n
 
-(* Flatten jagged prune-set rows into ptr/ind pairs. *)
-let flatten (rows : int array array) : int array * int array =
-  let n = Array.length rows in
-  let ptr = Array.make (n + 1) 0 in
-  for i = 0 to n - 1 do
-    ptr.(i + 1) <- ptr.(i) + Array.length rows.(i)
-  done;
-  let ind = Array.make (max 1 ptr.(n)) 0 in
-  Array.iteri
-    (fun i r -> Array.iteri (fun t j -> ind.(ptr.(i) + t) <- j) r)
-    rows;
-  (ptr, ind)
-
 let ldlt (c : Ldlt.compiled) : string =
   let buf = Buffer.create 4096 in
   emit_header buf "LDL^T factorization" c.Ldlt.n;
-  let rp_ptr, rp_ind = flatten c.Ldlt.row_patterns in
+  (* The compiled kernel already carries the prune-sets in flattened
+     ptr/ind form; emit them as-is. *)
+  let rp_ptr = c.Ldlt.rp_ptr and rp_ind = c.Ldlt.rp_ind in
   emit_int_array buf "lp" c.Ldlt.l_colptr;
   emit_int_array buf "li" c.Ldlt.l_rowind;
   emit_int_array buf "up" c.Ldlt.up_colptr;

@@ -13,7 +13,8 @@ exception Zero_pivot of int
 
 type compiled = {
   n : int;
-  row_patterns : int array array; (* prune-sets (ascending per row) *)
+  rp_ptr : int array; (* prune-set offsets, length n+1 *)
+  rp_ind : int array; (* packed prune-sets (ascending per row) *)
   l_colptr : int array;
   l_rowind : int array;
   up_colptr : int array;
@@ -26,13 +27,18 @@ type factors = {
   d : float array;
 }
 
-(* Symbolic phase: identical inspection sets to Cholesky's. *)
+(* Symbolic phase: identical inspection sets to Cholesky's. The packed
+   prune-set store is flattened into plain int arrays here, once, so the
+   numeric phase reads them allocation-free (int32 Bigarray reads box
+   without flambda). *)
 let compile (a_lower : Csc.t) : compiled =
   let fill = Fill_pattern.analyze a_lower in
   let up_colptr, up_rowind, up_map = Csc.transpose_map a_lower in
+  let store = Fill_pattern.row_store fill in
   {
     n = fill.Fill_pattern.n;
-    row_patterns = fill.Fill_pattern.row_patterns;
+    rp_ptr = Bigstore.ptr store;
+    rp_ind = Bigstore.flatten store;
     l_colptr = fill.Fill_pattern.l_pattern.Csc.colptr;
     l_rowind = fill.Fill_pattern.l_pattern.Csc.rowind;
     up_colptr;
@@ -84,9 +90,8 @@ let factor_ip_body (p : plan) (a_lower : Csc.t) : unit =
       if i = k then dk := av.(c.up_map.(p))
       else if i < k then y.(i) <- av.(c.up_map.(p))
     done;
-    let pattern = c.row_patterns.(k) in
-    for t = 0 to Array.length pattern - 1 do
-      let j = pattern.(t) in
+    for t = c.rp_ptr.(k) to c.rp_ptr.(k + 1) - 1 do
+      let j = c.rp_ind.(t) in
       let yj = y.(j) in
       y.(j) <- 0.0;
       let lkj = yj /. d.(j) in

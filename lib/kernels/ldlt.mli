@@ -11,7 +11,8 @@ exception Zero_pivot of int
 
 type compiled = {
   n : int;
-  row_patterns : int array array;
+  rp_ptr : int array;  (** prune-set offsets, length [n+1] *)
+  rp_ind : int array;  (** packed prune-sets, ascending per row *)
   l_colptr : int array;
   l_rowind : int array;
   up_colptr : int array;

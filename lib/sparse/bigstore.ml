@@ -1,0 +1,131 @@
+(* Packed index-segment storage on an int32 Bigarray.
+
+   The symbolic stack produces many per-column index lists (row patterns /
+   prune-sets). Storing them as a boxed [int array array] costs 8 bytes per
+   entry plus a header and a pointer per segment; at 10^6 rows with ~26
+   entries per pattern that roughly doubles the memory of the symbolic
+   result. Here the segments live packed in one int32 Bigarray (4 bytes per
+   entry, one allocation, off the OCaml heap) behind a CSC-style offset
+   array.
+
+   Caveat (why this is a *symbolic-phase* store): without flambda,
+   [Bigarray.Array1.get] on an int32 kind boxes its result, so reading this
+   store allocates. Symbolic analysis and compile steps may read it freely;
+   zero-allocation numeric phases must not — kernels flatten what they need
+   into plain [int array]s at compile time (see Cholesky_ref.Decoupled,
+   Ldlt, Cholesky_leftlooking). *)
+
+type data = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  ptr : int array; (* segment offsets, length nseg+1; ptr.(nseg) = total *)
+  data : data; (* packed entries, length ptr.(nseg) *)
+}
+
+let segments t = Array.length t.ptr - 1
+let total_length t = t.ptr.(segments t)
+let segment_length t s = t.ptr.(s + 1) - t.ptr.(s)
+let ptr t = t.ptr
+
+let get t s i =
+  Int32.to_int (Bigarray.Array1.unsafe_get t.data (t.ptr.(s) + i))
+
+let iter_segment t s f =
+  for q = t.ptr.(s) to t.ptr.(s + 1) - 1 do
+    f (Int32.to_int (Bigarray.Array1.unsafe_get t.data q))
+  done
+
+(* Allocating copies, for oracles, tests and inspection sets. *)
+let segment t s =
+  let base = t.ptr.(s) in
+  Array.init (segment_length t s) (fun i ->
+      Int32.to_int (Bigarray.Array1.unsafe_get t.data (base + i)))
+
+let to_arrays t = Array.init (segments t) (segment t)
+
+(* Whole packed payload as a plain int array: the compile-time flattening
+   step of kernels that need allocation-free reads in their numeric phase. *)
+let flatten t =
+  Array.init (total_length t) (fun q ->
+      Int32.to_int (Bigarray.Array1.unsafe_get t.data q))
+
+(* Approximate resident bytes: offsets (boxed ints) + packed payload. *)
+let memory_bytes t =
+  (8 * (Array.length t.ptr + 2)) + (4 * max 1 (total_length t))
+
+module Builder = struct
+  type store = t
+
+  type t = {
+    mutable nseg : int;
+    mutable boundaries : int array; (* boundaries.(0..nseg) valid *)
+    mutable data : data;
+    mutable len : int;
+  }
+
+  let create ?(segments_hint = 16) ?(capacity = 1024) () =
+    {
+      nseg = 0;
+      boundaries = Array.make (max 2 (segments_hint + 1)) 0;
+      data =
+        Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout
+          (max 16 capacity);
+      len = 0;
+    }
+
+  let reserve b extra =
+    let need = b.len + extra in
+    if need > Bigarray.Array1.dim b.data then begin
+      let cap = ref (2 * Bigarray.Array1.dim b.data) in
+      while !cap < need do
+        cap := 2 * !cap
+      done;
+      let grown =
+        Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout !cap
+      in
+      if b.len > 0 then
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub b.data 0 b.len)
+          (Bigarray.Array1.sub grown 0 b.len);
+      b.data <- grown
+    end;
+    if b.nseg + 1 >= Array.length b.boundaries then begin
+      let grown = Array.make (2 * Array.length b.boundaries) 0 in
+      Array.blit b.boundaries 0 grown 0 (b.nseg + 1);
+      b.boundaries <- grown
+    end
+
+  (* Append the next segment from [src.(0 .. len-1)]. *)
+  let append_segment b (src : int array) len =
+    if len < 0 || len > Array.length src then
+      invalid_arg "Bigstore.Builder.append_segment: bad length";
+    reserve b len;
+    for i = 0 to len - 1 do
+      let v = src.(i) in
+      if v < 0 || v > 0x7FFFFFFF then
+        invalid_arg "Bigstore.Builder.append_segment: value out of int32";
+      Bigarray.Array1.unsafe_set b.data (b.len + i) (Int32.of_int v)
+    done;
+    b.len <- b.len + len;
+    b.nseg <- b.nseg + 1;
+    b.boundaries.(b.nseg) <- b.len
+
+  let finish b : store =
+    {
+      ptr = Array.sub b.boundaries 0 (b.nseg + 1);
+      data =
+        (if b.len = Bigarray.Array1.dim b.data then b.data
+         else Bigarray.Array1.sub b.data 0 b.len);
+    }
+end
+
+(* Convenience constructor from jagged arrays (tests, small callers). *)
+let of_arrays (rows : int array array) : t =
+  let b =
+    Builder.create
+      ~segments_hint:(Array.length rows)
+      ~capacity:(Array.fold_left (fun acc r -> acc + Array.length r) 1 rows)
+      ()
+  in
+  Array.iter (fun r -> Builder.append_segment b r (Array.length r)) rows;
+  Builder.finish b

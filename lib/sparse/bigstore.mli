@@ -1,0 +1,71 @@
+(** Packed index-segment storage on an int32 Bigarray.
+
+    Jagged [int array array] symbolic results (row patterns, prune-sets)
+    cost 8 bytes per entry plus a header and a pointer per segment; packed
+    int32 storage halves that and makes the payload a single off-heap
+    allocation — what lets the symbolic stack hold 10^6-row analyses.
+
+    {b Phase discipline}: without flambda, reading an int32 Bigarray boxes
+    the result, so every accessor here may allocate. Symbolic analysis and
+    compile steps read freely; zero-allocation numeric phases must instead
+    consume plain [int array]s flattened from this store at compile time
+    ({!flatten}, {!ptr}). *)
+
+type t
+(** Immutable packed segments: conceptually [int array array], stored as a
+    CSC-style offset array over one int32 payload. *)
+
+val segments : t -> int
+(** Number of segments. *)
+
+val total_length : t -> int
+(** Total packed entries across all segments. *)
+
+val segment_length : t -> int -> int
+(** Length of segment [s]. *)
+
+val ptr : t -> int array
+(** The segment-offset array (length [segments t + 1]); shared with the
+    store — treat as read-only. Segment [s] occupies packed positions
+    [ptr.(s) .. ptr.(s+1) - 1]. *)
+
+val get : t -> int -> int -> int
+(** [get t s i] is entry [i] of segment [s] (allocates: int32 boxing). *)
+
+val iter_segment : t -> int -> (int -> unit) -> unit
+(** Apply a function to each entry of one segment, in order. *)
+
+val segment : t -> int -> int array
+(** Allocating copy of one segment. *)
+
+val to_arrays : t -> int array array
+(** Allocating jagged copy of the whole store (tests, inspection sets). *)
+
+val flatten : t -> int array
+(** The whole packed payload as one plain [int array] — the compile-time
+    flattening step for kernels whose numeric phase needs allocation-free
+    reads (pair it with {!ptr}). *)
+
+val memory_bytes : t -> int
+(** Approximate resident bytes (offsets + packed payload). *)
+
+(** Append-only construction, segment by segment, with amortized-doubling
+    growth of the packed payload. *)
+module Builder : sig
+  type store := t
+
+  type t
+
+  val create : ?segments_hint:int -> ?capacity:int -> unit -> t
+
+  val append_segment : t -> int array -> int -> unit
+  (** [append_segment b src len] appends [src.(0 .. len-1)] as the next
+      segment. Raises [Invalid_argument] on a bad length or on a value
+      outside int32 range. *)
+
+  val finish : t -> store
+  (** Seal the builder into an immutable store. *)
+end
+
+val of_arrays : int array array -> t
+(** Pack a jagged array (convenience for tests and small callers). *)

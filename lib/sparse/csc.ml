@@ -115,7 +115,18 @@ let of_dense (d : float array array) =
   done;
   of_triplet tr
 
-let to_dense t =
+(* Dense materialization is for tests and small oracles only; at large n an
+   n x n float matrix OOMs long before any sparse structure does, so the
+   bound fails fast instead of letting the allocator die. *)
+let default_max_dense_elements = 1 lsl 26 (* 64M entries = 512 MB of floats *)
+
+let to_dense ?(max_elements = default_max_dense_elements) t =
+  if t.nrows * t.ncols > max_elements then
+    invalid_arg
+      (Printf.sprintf
+         "Csc.to_dense: %dx%d dense materialization exceeds the %d-element \
+          bound"
+         t.nrows t.ncols max_elements);
   let d = Array.make_matrix t.nrows t.ncols 0.0 in
   iter t (fun i j v -> d.(i).(j) <- v);
   d
@@ -180,10 +191,35 @@ let spmv t x =
   done;
   y
 
+(* Column-major iteration preserves CSC order, so filtering needs no
+   re-sort: count survivors per column, then copy them. Two passes — the
+   predicate runs twice per entry — but no triplet round-trip and no
+   resize churn, which is what keeps [lower] O(nnz) with small constants
+   at 10^6-row scale. *)
 let filter t keep =
-  let tr = Triplet.create ~nrows:t.nrows ~ncols:t.ncols () in
-  iter t (fun i j v -> if keep i j v then Triplet.add tr i j v);
-  of_triplet tr
+  let n = t.ncols in
+  let colptr = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    let c = ref 0 in
+    for p = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+      if keep t.rowind.(p) j t.values.(p) then incr c
+    done;
+    colptr.(j + 1) <- colptr.(j) + !c
+  done;
+  let k = colptr.(n) in
+  let rowind = Array.make k 0 in
+  let values = Array.make k 0.0 in
+  let out = ref 0 in
+  for j = 0 to n - 1 do
+    for p = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+      if keep t.rowind.(p) j t.values.(p) then begin
+        rowind.(!out) <- t.rowind.(p);
+        values.(!out) <- t.values.(p);
+        incr out
+      end
+    done
+  done;
+  { nrows = t.nrows; ncols = n; colptr; rowind; values }
 
 (* Lower-triangular part, diagonal included. *)
 let lower t = filter t (fun i j _ -> i >= j)

@@ -57,8 +57,11 @@ val mem : t -> int -> int -> bool
 val of_dense : float array array -> t
 (** From a dense row-major matrix, dropping exact zeros. *)
 
-val to_dense : t -> float array array
-(** Dense row-major copy. *)
+val to_dense : ?max_elements:int -> t -> float array array
+(** Dense row-major copy. Raises [Invalid_argument] when
+    [nrows * ncols > max_elements] (default [2^26]): dense materialization
+    is a test/oracle device, and at large n it would OOM long before any
+    sparse structure does, so the guard fails fast instead. *)
 
 val transpose : t -> t
 (** Transposed matrix, O(nnz + max dims); output rows are sorted. *)
@@ -75,7 +78,9 @@ val spmv : t -> float array -> float array
 (** Sparse matrix-vector product [A x]. *)
 
 val filter : t -> (int -> int -> float -> bool) -> t
-(** Keep only the entries satisfying the predicate. *)
+(** Keep only the entries satisfying the predicate. Runs in O(nnz) with
+    no re-sort (CSC order is preserved); the predicate must be pure — it
+    is applied twice per entry (a counting pass then a fill pass). *)
 
 val lower : t -> t
 (** Lower-triangular part, diagonal included — the storage convention for

@@ -226,8 +226,18 @@ let random_spd ?(seed = 3) ~n ~avg_degree () =
   Csc.of_triplet tr
 
 (* Small dense-ish random SPD used by property tests: A = B B^T + n*I with B
-   a random sparse matrix, guaranteed SPD. *)
+   a random sparse matrix, guaranteed SPD. The O(n^3) product and two dense
+   n x n intermediates make this a small-n test device only; the bound fails
+   fast instead of silently burning minutes (or memory) at scale. *)
+let max_spd_dense_n = 4096
+
 let random_spd_dense ?(seed = 4) n =
+  if n > max_spd_dense_n then
+    invalid_arg
+      (Printf.sprintf
+         "Generators.random_spd_dense: n = %d exceeds the %d bound (dense \
+          O(n^3) construction; use random_spd or grid3d at scale)"
+         n max_spd_dense_n);
   let rng = Utils.Rng.create seed in
   let b = Array.make_matrix n n 0.0 in
   for i = 0 to n - 1 do
@@ -361,4 +371,44 @@ let suite : problem list =
     };
   ]
 
-let problem_by_name name = List.find (fun p -> p.name = name) suite
+(* ------------------------------------------------------------------ *)
+(* Large-scale suite: the instances behind [bench --only large] and the
+   large-smoke test group. Elongated 3D grids with a fixed 5x5 cross-section
+   keep the factor's band (and so nnz(L)/n and flops/n) constant as n grows:
+   symbolic and numeric work are both Theta(n), which is what lets the
+   scaling-exponent verdict separate a linear stack from a quadratic one.
+   All lazy: forcing a 10^6-row grid allocates hundreds of MB, so nothing
+   here is built unless a large tier explicitly asks for it. *)
+
+let large_suite : problem list =
+  [
+    {
+      id = 101;
+      name = "grid3d_1e4";
+      matrix = lazy (grid3d 5 5 400);
+      descr = "3D grid Laplacian, 5x5x400 = 10^4 rows";
+    };
+    {
+      id = 102;
+      name = "grid3d_1e5";
+      matrix = lazy (grid3d 5 5 4000);
+      descr = "3D grid Laplacian, 5x5x4000 = 10^5 rows";
+    };
+    {
+      id = 103;
+      name = "grid3d_1e6";
+      matrix = lazy (grid3d 5 5 40000);
+      descr = "3D grid Laplacian, 5x5x40000 = 10^6 rows";
+    };
+    {
+      id = 104;
+      name = "circuit_1e5";
+      matrix = lazy (random_banded ~seed:23 ~n:100_000 ~band:16 ~density:0.15 ());
+      descr = "circuit-style random SPD, 10^5 rows, irregular banded";
+    };
+  ]
+
+let problem_by_name name =
+  match List.find_opt (fun p -> p.name = name) suite with
+  | Some p -> p
+  | None -> List.find (fun p -> p.name = name) large_suite

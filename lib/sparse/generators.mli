@@ -43,7 +43,12 @@ val random_spd : ?seed:int -> n:int -> avg_degree:int -> unit -> Csc.t
     patterns can fill catastrophically; intended for small sizes. *)
 
 val random_spd_dense : ?seed:int -> int -> Csc.t
-(** Dense-ish random SPD ([B B^T + n I]) for property tests. *)
+(** Dense-ish random SPD ([B B^T + n I]) for property tests. The
+    construction is dense O(n^3); raises [Invalid_argument] when [n]
+    exceeds {!max_spd_dense_n} — use {!random_spd} or {!grid3d} at scale. *)
+
+val max_spd_dense_n : int
+(** Size bound of {!random_spd_dense} (4096). *)
 
 val random_lower : ?seed:int -> n:int -> density:float -> unit -> Csc.t
 (** Random lower-triangular matrix with a safe diagonal: direct input for
@@ -66,5 +71,13 @@ val suite : problem list
 (** The 11-problem stand-in for Table 2 (see {!Sympiler.Suite} for the
     prepared/ordered form used by the benchmarks). *)
 
+val large_suite : problem list
+(** Large-scale instances (ids 101+) behind [bench --only large] and the
+    large-smoke test group: elongated 3D grid Laplacians at 10^4, 10^5 and
+    10^6 rows (constant 5x5 cross-section, so work per row is constant and
+    a linear stack shows a ~1.0 scaling exponent) plus a 10^5-row
+    circuit-style random SPD. All matrices are lazy — nothing is built
+    unless a large tier forces it. *)
+
 val problem_by_name : string -> problem
-(** Lookup; raises [Not_found]. *)
+(** Lookup across {!suite} and {!large_suite}; raises [Not_found]. *)

@@ -10,12 +10,42 @@ let bump_counter () =
   if Prof.enabled () then
     Prof.counters.Prof.orderings <- Prof.counters.Prof.orderings + 1
 
-(* Adjacency lists (excluding self loops) of the symmetric pattern. *)
-let adjacency (a : Csc.t) =
+(* CSR adjacency (excluding self loops) of the symmetric pattern: vertex
+   [v]'s neighbors are [ind.(ptr.(v) .. ptr.(v+1)-1)], ascending. Since the
+   input is symmetric, each column IS a neighbor list, and CSC's
+   strictly-increasing-rows invariant means no sorting or deduplication is
+   needed — one counting pass and one fill pass, O(n + nnz) flat arrays
+   instead of n boxed lists. *)
+let adjacency_csr (a : Csc.t) : int array * int array =
   let n = a.Csc.ncols in
-  let adj = Array.make n [] in
-  Csc.iter a (fun i j _ -> if i <> j then adj.(j) <- i :: adj.(j));
-  Array.map (fun l -> List.sort_uniq compare l) adj
+  let ptr = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    let c = ref 0 in
+    for p = a.Csc.colptr.(j) to a.Csc.colptr.(j + 1) - 1 do
+      if a.Csc.rowind.(p) <> j then incr c
+    done;
+    ptr.(j) <- !c
+  done;
+  let total = Utils.cumsum ptr in
+  let ind = Array.make (max 1 total) 0 in
+  let q = ref 0 in
+  for j = 0 to n - 1 do
+    for p = a.Csc.colptr.(j) to a.Csc.colptr.(j + 1) - 1 do
+      let i = a.Csc.rowind.(p) in
+      if i <> j then begin
+        ind.(!q) <- i;
+        incr q
+      end
+    done
+  done;
+  (ptr, ind)
+
+(* List view of the same adjacency (the greedy min-degree oracle below and
+   a few tests want lists). *)
+let adjacency (a : Csc.t) =
+  let ptr, ind = adjacency_csr a in
+  Array.init (Array.length ptr - 1) (fun v ->
+      List.init (ptr.(v + 1) - ptr.(v)) (fun k -> ind.(ptr.(v) + k)))
 
 (* Reverse Cuthill-McKee. BFS from a pseudo-peripheral vertex of each
    connected component, visiting neighbors in increasing-degree order, then
@@ -28,35 +58,50 @@ let rcm (a : Csc.t) : Perm.t =
   Sympiler_prof.Prof.time "ordering" @@ fun () ->
   bump_counter ();
   let n = a.Csc.ncols in
-  let adj = adjacency a in
-  let degree = Array.map List.length adj in
+  let aptr, aind = adjacency_csr a in
+  let degree = Array.init n (fun v -> aptr.(v + 1) - aptr.(v)) in
   let visited = Array.make n false in
   let order = Array.make n 0 in
   let pos = ref 0 in
+  (* Workspaces shared by every BFS sweep: a flat int-array queue and a
+     distance array whose reset walks only the queue prefix (the vertices
+     the sweep actually touched). A sweep therefore costs O(component +
+     its edges), not O(n) — the pseudo-peripheral iteration runs several
+     sweeps per component, which on a many-component matrix used to add up
+     to quadratic allocation and clearing. *)
+  let q = Array.make (max 1 n) 0 in
+  let dist = Array.make n (-1) in
+  let nbuf = Array.make (max 1 n) 0 in
   let bfs_levels root =
     (* Farthest vertex of the BFS tree from [root] and its eccentricity;
        among the vertices of the last level the one of minimum degree is
        returned (the George-Liu shrinking step). *)
-    let dist = Array.make n (-1) in
-    let q = Queue.create () in
-    Queue.add root q;
+    let head = ref 0 and tail = ref 0 in
+    q.(!tail) <- root;
+    incr tail;
     dist.(root) <- 0;
     let far = ref root in
-    while not (Queue.is_empty q) do
-      let u = Queue.pop q in
+    while !head < !tail do
+      let u = q.(!head) in
+      incr head;
       if
         dist.(u) > dist.(!far)
         || (dist.(u) = dist.(!far) && degree.(u) < degree.(!far))
       then far := u;
-      List.iter
-        (fun v ->
-          if dist.(v) < 0 && not visited.(v) then begin
-            dist.(v) <- dist.(u) + 1;
-            Queue.add v q
-          end)
-        adj.(u)
+      for p = aptr.(u) to aptr.(u + 1) - 1 do
+        let v = aind.(p) in
+        if dist.(v) < 0 && not visited.(v) then begin
+          dist.(v) <- dist.(u) + 1;
+          q.(!tail) <- v;
+          incr tail
+        end
+      done
     done;
-    (!far, dist.(!far))
+    let ecc = dist.(!far) in
+    for k = 0 to !tail - 1 do
+      dist.(q.(k)) <- -1
+    done;
+    (!far, ecc)
   in
   let pseudo_peripheral root =
     let rec go root ecc =
@@ -74,40 +119,56 @@ let rcm (a : Csc.t) : Perm.t =
          pseudo-peripheral iteration converges to a much better diameter
          endpoint from there than from an arbitrary seed. *)
       let best = ref seed in
-      let q = Queue.create () in
+      let head = ref 0 and tail = ref 0 in
       seen.(seed) <- true;
-      Queue.add seed q;
-      while not (Queue.is_empty q) do
-        let u = Queue.pop q in
+      q.(!tail) <- seed;
+      incr tail;
+      while !head < !tail do
+        let u = q.(!head) in
+        incr head;
         if
           degree.(u) < degree.(!best)
           || (degree.(u) = degree.(!best) && u < !best)
         then best := u;
-        List.iter
-          (fun v ->
-            if not seen.(v) then begin
-              seen.(v) <- true;
-              Queue.add v q
-            end)
-          adj.(u)
+        for p = aptr.(u) to aptr.(u + 1) - 1 do
+          let v = aind.(p) in
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            q.(!tail) <- v;
+            incr tail
+          end
+        done
       done;
       let root = pseudo_peripheral !best in
-      let q = Queue.create () in
+      let head = ref 0 and tail = ref 0 in
       visited.(root) <- true;
-      Queue.add root q;
-      while not (Queue.is_empty q) do
-        let u = Queue.pop q in
+      q.(!tail) <- root;
+      incr tail;
+      while !head < !tail do
+        let u = q.(!head) in
+        incr head;
         order.(!pos) <- u;
         incr pos;
-        let nbrs =
-          List.filter (fun v -> not visited.(v)) adj.(u)
-          |> List.sort (fun x y -> compare degree.(x) degree.(y))
-        in
-        List.iter
-          (fun v ->
-            visited.(v) <- true;
-            Queue.add v q)
-          nbrs
+        (* Enqueue unvisited neighbors by increasing degree, ties by index.
+           Sorting the packed keys [degree*n + v] reproduces exactly the
+           stable by-degree list sort over an ascending neighbor list that
+           this loop previously performed (keys are unique, so the
+           unstable in-place sort gives the same order). *)
+        let m = ref 0 in
+        for p = aptr.(u) to aptr.(u + 1) - 1 do
+          let v = aind.(p) in
+          if not visited.(v) then begin
+            nbuf.(!m) <- (degree.(v) * n) + v;
+            incr m
+          end
+        done;
+        Utils.sort_int_range nbuf 0 !m;
+        for k = 0 to !m - 1 do
+          let v = nbuf.(k) mod n in
+          visited.(v) <- true;
+          q.(!tail) <- v;
+          incr tail
+        done
       done
     end
   done;
@@ -175,7 +236,10 @@ let amd (a : Csc.t) : Perm.t =
   let n = a.Csc.ncols in
   if n = 0 then [||]
   else begin
-    let avar = Array.map Array.of_list (adjacency a) in
+    let avar =
+      let aptr, aind = adjacency_csr a in
+      Array.init n (fun v -> Array.sub aind aptr.(v) (aptr.(v + 1) - aptr.(v)))
+    in
     let alen = Array.map Array.length avar in
     let elist = Array.make n [||] in
     let elen = Array.make n 0 in

@@ -49,10 +49,18 @@ let add t i j v =
   t.vals.(t.len) <- v;
   t.len <- t.len + 1
 
-(* Counting-sort by column then stable insertion by row, summing duplicates.
-   Produces the (colptr, rowind, values) arrays of a CSC matrix with row
-   indices strictly increasing within each column. *)
-let to_csc_arrays t =
+(* Counting-sort by column then a stable per-column sort by row, summing
+   duplicates. Produces the (colptr, rowind, values) arrays of a CSC matrix
+   with row indices strictly increasing within each column.
+
+   Segments at or below [insertion_threshold] use insertion sort (they are
+   short and often nearly sorted after assembly); longer segments — the
+   dense-ish columns clique_chain / block_tridiagonal produce at scale,
+   where insertion sort is quadratic per column — fall back to a stable
+   O(k log k) merge sort. Both paths are stable, so duplicate entries are
+   summed in insertion order either way and the resulting CSC arrays are
+   bitwise-identical whichever path ran (pinned by a qcheck test). *)
+let to_csc_arrays ?(insertion_threshold = 32) t =
   let n = t.ncols in
   let counts = Array.make (n + 1) 0 in
   for k = 0 to t.len - 1 do
@@ -71,21 +79,35 @@ let to_csc_arrays t =
     values.(p) <- t.vals.(k);
     next.(j) <- p + 1
   done;
-  (* Sort each column segment by row index (insertion sort: segments are
-     short and often nearly sorted after assembly). *)
+  (* Merge-sort scratch, allocated once on the first long segment. *)
+  let scratch = ref None in
+  let get_scratch () =
+    match !scratch with
+    | Some s -> s
+    | None ->
+        let s = (Array.make t.len 0, Array.make t.len 0.0) in
+        scratch := Some s;
+        s
+  in
   for j = 0 to n - 1 do
     let lo = colptr.(j) and hi = colptr.(j + 1) in
-    for p = lo + 1 to hi - 1 do
-      let r = rowind.(p) and v = values.(p) in
-      let q = ref p in
-      while !q > lo && rowind.(!q - 1) > r do
-        rowind.(!q) <- rowind.(!q - 1);
-        values.(!q) <- values.(!q - 1);
-        decr q
-      done;
-      rowind.(!q) <- r;
-      values.(!q) <- v
-    done
+    if hi - lo <= insertion_threshold then
+      for p = lo + 1 to hi - 1 do
+        let r = rowind.(p) and v = values.(p) in
+        let q = ref p in
+        while !q > lo && rowind.(!q - 1) > r do
+          rowind.(!q) <- rowind.(!q - 1);
+          values.(!q) <- values.(!q - 1);
+          decr q
+        done;
+        rowind.(!q) <- r;
+        values.(!q) <- v
+      done
+    else begin
+      let key_scratch, val_scratch = get_scratch () in
+      Utils.sort_int_float_pairs_stable rowind values ~key_scratch
+        ~val_scratch lo hi
+    end
   done;
   (* Compact duplicates, summing their values. *)
   let out = ref 0 in
@@ -107,4 +129,5 @@ let to_csc_arrays t =
     done
   done;
   new_colptr.(n) <- !out;
-  (new_colptr, Array.sub rowind 0 !out, Array.sub values 0 !out)
+  if !out = t.len then (new_colptr, rowind, values)
+  else (new_colptr, Array.sub rowind 0 !out, Array.sub values 0 !out)

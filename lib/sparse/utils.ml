@@ -29,6 +29,99 @@ let cumsum counts =
   counts.(n) <- !total;
   !total
 
+(* In-place ascending sort of a.(lo..hi-1). Monomorphic quicksort (no
+   polymorphic compare, no allocation): median-of-three pivots, insertion
+   sort below a small cutoff, recursion only on the smaller side so the
+   stack stays O(log n) even on adversarial inputs. *)
+let sort_int_range (a : int array) lo hi =
+  let insertion lo hi =
+    for p = lo + 1 to hi - 1 do
+      let v = a.(p) in
+      let q = ref p in
+      while !q > lo && a.(!q - 1) > v do
+        a.(!q) <- a.(!q - 1);
+        decr q
+      done;
+      a.(!q) <- v
+    done
+  in
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec qsort lo hi =
+    if hi - lo <= 16 then insertion lo hi
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      (* Median-of-three into a.(lo). *)
+      if a.(mid) < a.(lo) then swap mid lo;
+      if a.(hi - 1) < a.(lo) then swap (hi - 1) lo;
+      if a.(hi - 1) < a.(mid) then swap (hi - 1) mid;
+      let pivot = a.(mid) in
+      let i = ref lo and j = ref (hi - 1) in
+      while !i <= !j do
+        while a.(!i) < pivot do
+          incr i
+        done;
+        while a.(!j) > pivot do
+          decr j
+        done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      (* Recurse on the smaller partition first, loop on the larger. *)
+      if !j + 1 - lo < hi - !i then begin
+        qsort lo (!j + 1);
+        qsort !i hi
+      end
+      else begin
+        qsort !i hi;
+        qsort lo (!j + 1)
+      end
+    end
+  in
+  if hi - lo > 1 then qsort lo hi
+
+(* Stable ascending sort of keys.(lo..hi-1) carrying vals along; top-down
+   merge sort through caller-provided scratch (each at least [hi] long).
+   Stability matters to callers that sum duplicate keys in float
+   arithmetic (Triplet compaction): equal keys must keep insertion order
+   so both sort paths produce bitwise-identical sums. *)
+let sort_int_float_pairs_stable (keys : int array) (vals : float array)
+    ~(key_scratch : int array) ~(val_scratch : float array) lo hi =
+  let rec msort lo hi =
+    if hi - lo > 1 then begin
+      let mid = lo + ((hi - lo) / 2) in
+      msort lo mid;
+      msort mid hi;
+      let i = ref lo and j = ref mid and k = ref lo in
+      while !i < mid && !j < hi do
+        (* [<=] keeps the left run first on ties: stability. *)
+        if keys.(!i) <= keys.(!j) then begin
+          key_scratch.(!k) <- keys.(!i);
+          val_scratch.(!k) <- vals.(!i);
+          incr i
+        end
+        else begin
+          key_scratch.(!k) <- keys.(!j);
+          val_scratch.(!k) <- vals.(!j);
+          incr j
+        end;
+        incr k
+      done;
+      let rest = mid - !i in
+      Array.blit keys !i key_scratch !k rest;
+      Array.blit vals !i val_scratch !k rest;
+      Array.blit key_scratch lo keys lo (!k + rest - lo);
+      Array.blit val_scratch lo vals lo (!k + rest - lo)
+    end
+  in
+  msort lo hi
+
 let int_array_equal a b =
   Array.length a = Array.length b
   &&

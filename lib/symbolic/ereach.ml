@@ -16,9 +16,14 @@ type workspace = {
 let make_workspace n = { mark = Array.make n (-1); stack = Array.make n 0 }
 
 (* Pattern of row k of L, diagonal excluded, sorted ascending (which is a
-   valid dependence order for lower-triangular systems). *)
-let row_pattern ~(upper : Csc.t) ~(parent : int array) ~(work : workspace) k :
-    int array =
+   valid dependence order for lower-triangular systems). In-place variant:
+   the result lives in [work.stack.(0 .. len-1)] and is valid only until
+   the next call on the same workspace — the zero-copy form the whole-matrix
+   analysis loop consumes (one monomorphic in-place sort, no per-row
+   allocation; the polymorphic [Array.sort compare] it replaces both
+   allocated and paid a closure call per comparison). *)
+let row_pattern_ip ~(upper : Csc.t) ~(parent : int array) ~(work : workspace) k
+    : int array * int =
   let len = ref 0 in
   Csc.iter_col upper k (fun i _ ->
       let rec climb i =
@@ -30,9 +35,13 @@ let row_pattern ~(upper : Csc.t) ~(parent : int array) ~(work : workspace) k :
         end
       in
       climb i);
-  let out = Array.sub work.stack 0 !len in
-  Array.sort compare out;
-  out
+  Utils.sort_int_range work.stack 0 !len;
+  (work.stack, !len)
+
+let row_pattern ~(upper : Csc.t) ~(parent : int array) ~(work : workspace) k :
+    int array =
+  let stack, len = row_pattern_ip ~upper ~parent ~work k in
+  Array.sub stack 0 len
 
 (* Naive oracle used by tests: row pattern from an explicitly computed dense
    symbolic factorization. *)

@@ -19,6 +19,14 @@ val row_pattern :
     lower-triangular solves). [upper] is the transpose of the stored lower
     part of A (column [k] holds the row indices [i <= k]). *)
 
+val row_pattern_ip :
+  upper:Csc.t -> parent:int array -> work:workspace -> int -> int array * int
+(** Zero-copy variant of {!row_pattern}: returns [(stack, len)] where the
+    pattern is [stack.(0 .. len-1)], sorted ascending. The array is the
+    workspace's own stack — read it before the next call on the same
+    workspace, and do not mutate it. This is the form the whole-matrix
+    analysis loop uses to avoid a per-row allocation. *)
+
 val row_pattern_naive : Csc.t -> int -> int array
 (** Test oracle via an explicit dense symbolic factorization; takes the
     lower part of A directly. *)

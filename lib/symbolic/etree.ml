@@ -66,19 +66,30 @@ let roots (parent : int array) : int list =
   Array.iteri (fun j p -> if p = -1 then acc := j :: !acc) parent;
   List.rev !acc
 
-(* Depth of each node (roots have depth 0). *)
+(* Depth of each node (roots have depth 0). Iterative: a band matrix's
+   etree is a single path, so at 10^6 columns the obvious memoized
+   recursion is 10^6 frames deep — it must climb with an explicit stack.
+   Each node is pushed once overall, so the whole pass is O(n). *)
 let depths (parent : int array) : int array =
   let n = Array.length parent in
   let depth = Array.make n (-1) in
-  let rec d j =
-    if depth.(j) >= 0 then depth.(j)
-    else begin
-      let v = if parent.(j) = -1 then 0 else 1 + d parent.(j) in
-      depth.(j) <- v;
-      v
-    end
-  in
+  let path = Array.make (max 1 n) 0 in
   for j = 0 to n - 1 do
-    ignore (d j)
+    if depth.(j) < 0 then begin
+      (* Climb to the first ancestor of known depth (or a root), recording
+         the path, then assign depths back down it. *)
+      let top = ref 0 in
+      let i = ref j in
+      while !i >= 0 && depth.(!i) < 0 do
+        path.(!top) <- !i;
+        incr top;
+        i := parent.(!i)
+      done;
+      let d = ref (if !i < 0 then -1 else depth.(!i)) in
+      for t = !top - 1 downto 0 do
+        incr d;
+        depth.(path.(t)) <- !d
+      done
+    end
   done;
   depth

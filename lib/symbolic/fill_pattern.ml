@@ -5,16 +5,27 @@ open Sympiler_sparse
    allocated once and no dynamic index arrays remain in the numeric phase —
    the property Sympiler's code generation relies on. *)
 
-(* Result of symbolic analysis for A = L L^T. *)
+(* Result of symbolic analysis for A = L L^T. The per-row prune-sets live
+   packed in an int32 [Bigstore] rather than a boxed [int array array]:
+   at 10^6 rows a jagged representation roughly doubles the memory of the
+   symbolic result (8-byte entries plus a header and pointer per row).
+   Kernels that need allocation-free numeric reads flatten the store into
+   plain int arrays at compile time (Bigstore.ptr / Bigstore.flatten). *)
 type t = {
   n : int;
   parent : int array; (* elimination tree *)
   l_pattern : Csc.t; (* pattern of L, unit values; rows sorted ascending *)
   counts : int array; (* counts.(j) = nnz(L(:,j)) including the diagonal *)
-  row_patterns : int array array;
-      (* row_patterns.(k) = columns j < k with L(k,j) <> 0, ascending — the
+  row_store : Bigstore.t;
+      (* segment k = columns j < k with L(k,j) <> 0, ascending — the
          per-column prune-sets of the Cholesky VI-Prune transformation *)
 }
+
+let row_ptr t = Bigstore.ptr t.row_store
+let row_pattern t k = Bigstore.segment t.row_store k
+let iter_row_pattern t k f = Bigstore.iter_segment t.row_store k f
+let row_patterns t = Bigstore.to_arrays t.row_store
+let row_store t = t.row_store
 
 (* O(|L|) analysis from the lower-triangular part of A via [Ereach]. Timed
    under the "symbolic" profiling scope (reentrant, so facades may wrap a
@@ -26,15 +37,25 @@ let analyze (a_lower : Csc.t) : t =
   let parent = Etree.compute a_lower in
   let upper = Csc.transpose a_lower in
   let work = Ereach.make_workspace n in
-  let row_patterns = Array.make n [||] in
+  let builder =
+    Bigstore.Builder.create ~segments_hint:n
+      ~capacity:(max 16 (4 * Csc.nnz a_lower))
+      ()
+  in
   let counts = Array.make n 1 in
-  (* First pass: row patterns and column counts. *)
+  (* First pass: row patterns (packed as they are produced — the in-place
+     ereach writes into the workspace stack, the builder copies it out as
+     int32) and column counts. *)
   Sympiler_trace.Trace.begin_span "symbolic.col_counts";
   for k = 0 to n - 1 do
-    let row = Ereach.row_pattern ~upper ~parent ~work k in
-    row_patterns.(k) <- row;
-    Array.iter (fun j -> counts.(j) <- counts.(j) + 1) row
+    let stack, len = Ereach.row_pattern_ip ~upper ~parent ~work k in
+    Bigstore.Builder.append_segment builder stack len;
+    for q = 0 to len - 1 do
+      let j = stack.(q) in
+      counts.(j) <- counts.(j) + 1
+    done
   done;
+  let row_store = Bigstore.Builder.finish builder in
   Sympiler_trace.Trace.end_span ();
   (* Second pass: scatter into column-major storage. Row indices within a
      column arrive in increasing k, hence sorted. *)
@@ -47,11 +68,9 @@ let analyze (a_lower : Csc.t) : t =
     (* Diagonal of column k. *)
     rowind.(next.(k)) <- k;
     next.(k) <- next.(k) + 1;
-    Array.iter
-      (fun j ->
+    Bigstore.iter_segment row_store k (fun j ->
         rowind.(next.(j)) <- k;
         next.(j) <- next.(j) + 1)
-      row_patterns.(k)
   done;
   let l_pattern =
     Csc.create ~nrows:n ~ncols:n ~colptr ~rowind
@@ -61,14 +80,19 @@ let analyze (a_lower : Csc.t) : t =
     Sympiler_trace.Trace.set_attr "n" (Sympiler_trace.Trace.Int n);
     Sympiler_trace.Trace.set_attr "nnz_l" (Sympiler_trace.Trace.Int nnz)
   end;
-  { n; parent; l_pattern; counts; row_patterns }
+  { n; parent; l_pattern; counts; row_store }
 
 (* Independent oracle implementing the paper's equation (1):
    Lj = Aj ∪ {j} ∪ (∪_{j = T(s)} Ls \ {s}). Exponentially simpler and
-   asymptotically worse; used in tests to cross-check [analyze]. *)
+   asymptotically worse; used in tests to cross-check [analyze]. The child
+   lists come precomputed from the etree — the previous version rediscovered
+   them by scanning every prior column for each j, which made the "simple"
+   oracle O(n^2) even on a diagonal matrix and unusable as a cross-check
+   beyond a few thousand rows. *)
 let pattern_by_children (a_lower : Csc.t) : Csc.t =
   let n = a_lower.Csc.ncols in
   let parent = Etree.compute a_lower in
+  let children = Etree.children parent in
   let module S = Set.Make (Int) in
   let cols = Array.make n S.empty in
   for j = 0 to n - 1 do
@@ -76,10 +100,9 @@ let pattern_by_children (a_lower : Csc.t) : Csc.t =
     Csc.iter_col a_lower j (fun i _ -> if i >= j then cols.(j) <- S.add i cols.(j));
     cols.(j) <- S.add j cols.(j);
     (* Union of children patterns minus their diagonals. *)
-    for s = 0 to j - 1 do
-      if parent.(s) = j then
-        cols.(j) <- S.union cols.(j) (S.remove s cols.(s))
-    done
+    List.iter
+      (fun s -> cols.(j) <- S.union cols.(j) (S.remove s cols.(s)))
+      children.(j)
   done;
   let tr = Triplet.create ~nrows:n ~ncols:n () in
   Array.iteri (fun j set -> S.iter (fun i -> Triplet.add tr i j 1.0) set) cols;

@@ -72,7 +72,7 @@ let cholesky_vi_prune (fill : Fill_pattern.t) : t =
     graph = Elimination_tree;
     strategy = Single_node_up_traversal;
     description = "Cholesky row patterns (prune sets)";
-    run = (fun () -> Prune_sets fill.Fill_pattern.row_patterns);
+    run = (fun () -> Prune_sets (Fill_pattern.row_patterns fill));
   }
 
 (* VS-Block inspector: supernodes from etree + column counts. *)

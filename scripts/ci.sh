@@ -129,4 +129,24 @@ EOF
   echo "explain --json $prob: ok"
 done
 
+if [ "${SYMPILER_LARGE:-0}" = "1" ]; then
+  echo "== large tier (opt-in: SYMPILER_LARGE=1) =="
+  # 10^6-row readiness: the large-smoke group factors a 10^5-row grid
+  # through the facade (zero steady-state allocation, pool-vs-sequential
+  # bitwise identity), then the large bench ladder (10^4/10^5/10^6-row
+  # grids) measures wall-clock scaling exponents and fails if symbolic
+  # analysis is no longer near-linear. Takes ~a minute and ~2 GB of RAM,
+  # so it never runs in the default tier.
+  dune build @large-smoke
+  dune exec bench/main.exe -- --only large
+  grep -q '"symbolic_near_linear":true' BENCH_large.json || {
+    echo "FAIL: symbolic scaling exponent super-linear in BENCH_large.json" >&2
+    exit 1
+  }
+  grep -q '"numeric_near_linear":true' BENCH_large.json || {
+    echo "FAIL: numeric scaling exponent super-linear in BENCH_large.json" >&2
+    exit 1
+  }
+fi
+
 echo "CI OK"

@@ -115,7 +115,7 @@ let test_fill_pattern_diagonal () =
     f.Fill_pattern.parent;
   Array.iter
     (fun r -> Alcotest.(check int) "empty rows" 0 (Array.length r))
-    f.Fill_pattern.row_patterns
+    (Fill_pattern.row_patterns f)
 
 let test_reach_duplicate_beta () =
   let l = Helpers.figure1_l in

@@ -361,9 +361,32 @@ let test_degenerate_sizes () =
   in
   check_close "1x1 trisolve" [| 0.75 |] x1
 
+(* The CSR adjacency behind RCM's O(nnz) sweeps must agree with the
+   list-based view on every graph shape, including disconnected and
+   edgeless ones. *)
+let test_adjacency_csr_matches_lists () =
+  List.iter
+    (fun (name, (a : Csc.t)) ->
+      let ptr, ind = Ordering.adjacency_csr a in
+      let lists = Ordering.adjacency a in
+      let n = a.Csc.ncols in
+      Alcotest.(check int) (name ^ " ptr length") (n + 1) (Array.length ptr);
+      for v = 0 to n - 1 do
+        let csr = Array.to_list (Array.sub ind ptr.(v) (ptr.(v + 1) - ptr.(v))) in
+        if csr <> lists.(v) then
+          Alcotest.failf "%s: vertex %d CSR/list adjacency mismatch" name v
+      done)
+    [
+      ("multigrid (disconnected)", scrambled_multigrid ());
+      ("star+ring (dense row)", star_ring 50);
+      ("diagonal (edgeless)", Csc.identity 30);
+      ("grid2d", Generators.grid2d ~stencil:`Nine 7 6);
+    ]
+
 let suite =
   [
     ("orderings valid on adversarial graphs", `Quick, test_valid_perms);
+    ("adjacency CSR matches list view", `Quick, test_adjacency_csr_matches_lists);
     prop_valid_perms;
     ("amd fill within tolerance of greedy", `Quick, test_amd_fill_tolerance);
     ("ordered cholesky bitwise vs manual", `Quick, test_bitwise_cholesky);

@@ -230,6 +230,106 @@ let test_parallel_matches_reference () =
       check_l name (Sympiler.Cholesky.factor t (Csc.lower a)))
     [ List.nth (spd_zoo ()) 0; List.nth (spd_zoo ()) 3 ]
 
+(* ---- Scaling bugfix regressions (10^6-row readiness round) ---- *)
+
+(* Satellite 1: the insertion-sort and stable-merge paths of
+   [Triplet.to_csc_arrays] must produce bitwise-identical CSC arrays —
+   duplicates are summed in insertion order either way. Random triplet
+   soups with deliberate duplicate (i,j) pairs exercise the stability. *)
+let prop_triplet_sort_paths_identical =
+  Helpers.qtest "to_csc_arrays paths bitwise-identical"
+    (QCheck.make
+       ~print:(fun (n, entries) ->
+         Printf.sprintf "n=%d entries=%d" n (List.length entries))
+       QCheck.Gen.(
+         let* n = int_range 1 20 in
+         let* k = int_range 0 200 in
+         let* entries =
+           list_size (return k)
+             (let* i = int_range 0 (n - 1) in
+              let* j = int_range 0 (n - 1) in
+              let* v = float_range (-10.0) 10.0 in
+              return (i, j, v))
+         in
+         return (n, entries)))
+    (fun (n, entries) ->
+      let build () =
+        let tr = Triplet.create ~nrows:n ~ncols:n () in
+        List.iter (fun (i, j, v) -> Triplet.add tr i j v) entries;
+        tr
+      in
+      let p1, r1, v1 = Triplet.to_csc_arrays ~insertion_threshold:0 (build ()) in
+      let p2, r2, v2 =
+        Triplet.to_csc_arrays ~insertion_threshold:max_int (build ())
+      in
+      Utils.int_array_equal p1 p2
+      && Utils.int_array_equal r1 r2
+      && Array.length v1 = Array.length v2
+      && Array.for_all2
+           (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+           v1 v2)
+
+(* Satellite 4: dense materialization guards fail fast with
+   [Invalid_argument] instead of letting the allocator die. *)
+let test_dense_guards () =
+  let a = Generators.grid2d ~stencil:`Five 3 3 in
+  (match Csc.to_dense ~max_elements:8 a with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "to_dense: expected Invalid_argument past the bound");
+  (match Generators.random_spd_dense (Generators.max_spd_dense_n + 1) with
+  | exception Invalid_argument _ -> ()
+  | _ ->
+      Alcotest.fail "random_spd_dense: expected Invalid_argument past the bound");
+  (* Within bounds both still work. *)
+  Alcotest.(check int) "to_dense rows" 9 (Array.length (Csc.to_dense a));
+  Alcotest.(check int)
+    "spd_dense n" 8
+    (Generators.random_spd_dense 8).Csc.ncols
+
+(* [Etree.depths] was a recursive climb; a 10^6-node path tree (the etree
+   of a tridiagonal matrix) overflowed the stack. Now iterative. *)
+let test_etree_depths_deep_path () =
+  let n = 1_000_000 in
+  let parent = Array.init n (fun i -> if i = n - 1 then -1 else i + 1) in
+  let depth = Sympiler_symbolic.Etree.depths parent in
+  Alcotest.(check int) "leaf depth" (n - 1) depth.(0);
+  Alcotest.(check int) "root depth" 0 depth.(n - 1)
+
+(* Bigstore: jagged round-trip and builder growth. The builder's [reserve]
+   once blitted the whole old buffer (capacity-sized) into a length-sized
+   view of the grown one — a dimension-mismatch crash on any regrowth with
+   a nonempty prefix, so small initial capacities cross several doublings
+   here on purpose. *)
+let test_bigstore_roundtrip_and_growth () =
+  let rows =
+    Array.init 64 (fun s -> Array.init (s mod 7) (fun i -> (s * 31) + i))
+  in
+  let store = Bigstore.of_arrays rows in
+  Alcotest.(check int) "segments" 64 (Bigstore.segments store);
+  Alcotest.(check bool)
+    "to_arrays round-trip" true
+    (Bigstore.to_arrays store = rows);
+  let b = Bigstore.Builder.create ~segments_hint:1 ~capacity:1 () in
+  Array.iter (fun r -> Bigstore.Builder.append_segment b r (Array.length r)) rows;
+  let grown = Bigstore.Builder.finish b in
+  Alcotest.(check bool)
+    "growth across doublings round-trip" true
+    (Bigstore.to_arrays grown = rows);
+  Alcotest.(check int)
+    "total length" (Array.fold_left (fun a r -> a + Array.length r) 0 rows)
+    (Bigstore.total_length grown);
+  let ptr = Bigstore.ptr grown in
+  Alcotest.(check int) "ptr length" 65 (Array.length ptr);
+  Alcotest.(check int) "get" rows.(5).(2) (Bigstore.get grown 5 2);
+  let flat = Bigstore.flatten grown in
+  Alcotest.(check int)
+    "flatten agrees with ptr" ptr.(Bigstore.segments grown)
+    (Array.length flat);
+  Alcotest.(check int) "flatten entry" rows.(5).(2) flat.(ptr.(5) + 2);
+  match Bigstore.Builder.append_segment b [| -1 |] 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative entry: expected Invalid_argument"
+
 let suite =
   [
     ("MM tabs and space runs", `Quick, test_mm_tabs_and_spaces);
@@ -254,4 +354,10 @@ let suite =
     ( "parallel trisolve matches reference",
       `Quick,
       test_parallel_matches_reference );
+    prop_triplet_sort_paths_identical;
+    ("dense materialization guards", `Quick, test_dense_guards);
+    ("etree depths on 10^6 path tree", `Quick, test_etree_depths_deep_path);
+    ( "bigstore round-trip and builder growth",
+      `Quick,
+      test_bigstore_roundtrip_and_growth );
   ]
