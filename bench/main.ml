@@ -10,9 +10,14 @@ open Sympiler_prof
    of 5 measurements (each measurement averages enough repetitions to fill
    a minimum wall-clock window). `--bechamel` instead runs one
    Bechamel.Test.make per experiment. `--quick` shrinks the measurement
-   window, `--only SECTION` runs one section (phases, steady, trace,
-   parallel, ordering, table2, fig6, fig7, fig8, fig9, intro,
-   ablation-threshold, ablation-lowlevel, extensions, large). The opt-in
+   window, `--only SECTION` runs one section (phases, steady, native,
+   trace, parallel, ordering, table2, fig6, fig7, fig8, fig9, intro,
+   ablation-threshold, ablation-lowlevel, extensions, large). The
+   `native` section writes BENCH_native.json: OCaml vs compiled-C vs
+   compiled-C-without-vectorize-annotations steady times for
+   trisolve/Cholesky/LDLT, compile+dlopen latency, the .so-cache reload
+   experiment, and native-call allocation — or a "skipped: no cc"
+   marker when no C compiler exists. The opt-in
    `large` section (`--only large`, or `--large` alongside the default
    sweep) runs the 10^4..10^6-row instances end to end and writes
    BENCH_large.json with wall-clock, max-RSS, and the measured scaling
@@ -766,6 +771,233 @@ let steady () =
     \ steady = repeated in-place execution into the same plan; words =\n\
     \ GC minor words per steady call, 0 = allocation-free. Full data\n\
     \ written to BENCH_steady.json)\n"
+
+(* ---------------------------------------------------------------- *)
+(* Native backend: race the OCaml executors against the same emitted C
+   compiled into a shared object (`Native), plus the ablation arm with
+   vectorize annotations stripped and -fno-tree-vectorize (`Native_novec).
+   For trisolve / Cholesky / LDLT on a suite subset: per-call steady time
+   under all three engines, the native plan's compile+dlopen latency and
+   cache origin, GC minor words per native call (must be 0), and a
+   reload experiment proving a steady-state .so-cache hit never re-invokes
+   the C compiler. Writes BENCH_native.json; when no C compiler is found
+   the section writes an explicit skipped marker instead. *)
+
+module Nat = Sympiler.Native
+module NE = Sympiler.Native_engine
+
+let native_ids = if quick then [ 1; 5 ] else [ 1; 2; 5; 9 ]
+
+let native_bench () =
+  header "Native backend: OCaml vs compiled C (writes BENCH_native.json)";
+  if not (Nat.available ()) then begin
+    print_string
+      "skipped: no C compiler (cc/gcc/clang on PATH, or $SYMPILER_CC)\n";
+    let doc =
+      Prof.Json.Obj
+        [
+          ("bench", Prof.Json.Str "native");
+          ("quick", Prof.Json.Bool quick);
+          ("skipped", Prof.Json.Str "no cc");
+        ]
+    in
+    Out_channel.with_open_text "BENCH_native.json" (fun oc ->
+        Out_channel.output_string oc (Prof.Json.to_string doc);
+        Out_channel.output_char oc '\n')
+  end
+  else begin
+    Printf.printf "%-3s %-15s %-9s | %10s %10s %10s | %8s %-8s %5s\n" "ID"
+      "Name" "kernel" "ocaml" "native" "novec" "plan" "origin" "words";
+    let gc_loops = if quick then 10 else 50 in
+    let minor_words_per_call f =
+      f ();
+      f ();
+      let w0 = Gc.minor_words () in
+      for _ = 1 to gc_loops do
+        f ()
+      done;
+      let w1 = Gc.minor_words () in
+      int_of_float ((w1 -. w0) /. float_of_int gc_loops)
+    in
+    Nat.reset_stats ();
+    (* Generous on purpose: the gate is "compiled C is not slower than the
+       OCaml executor", not a speedup claim, and per-call times down at a
+       few microseconds are noisy on a shared core. *)
+    let tol = 1.10 in
+    let tri_ok = ref true and chol_ok = ref true and all_zero = ref true in
+    let origin_str (e : NE.exec) =
+      match e.NE.nk.Nat.origin with
+      | Nat.Compiled -> "compiled"
+      | Nat.Disk_cache -> "disk"
+      | Nat.Memory_cache -> "memory"
+    in
+    (* One family arm: [mk engine] builds the plan for that engine and
+       returns the steady-state closure plus the plan's native exec (always
+       [Some] for the native engines here — [Nat.available] held above, so
+       a failed load is a bench bug worth failing loudly on). *)
+    let bench_family ~id ~name family
+        (mk : Sympiler.engine -> (unit -> unit) * NE.exec option) =
+      let run_o, _ = mk `Ocaml in
+      run_o ();
+      let ocaml_s = measure run_o in
+      let t0 = Prof.now_seconds () in
+      let run_n, en = mk `Native in
+      let plan_s = Prof.now_seconds () -. t0 in
+      let e =
+        match en with
+        | Some e -> e
+        | None -> failwith (family ^ ": native load failed despite cc")
+      in
+      run_n ();
+      let native_s = measure run_n in
+      let words = minor_words_per_call run_n in
+      let run_v, _ = mk `Native_novec in
+      run_v ();
+      let novec_s = measure run_v in
+      all_zero := !all_zero && words = 0;
+      let ok = native_s <= ocaml_s *. tol in
+      (match family with
+      | "trisolve" -> tri_ok := !tri_ok && ok
+      | "cholesky" -> chol_ok := !chol_ok && ok
+      | _ -> ());
+      Printf.printf "%-3d %-15s %-9s | %8.2fus %8.2fus %8.2fus | %7.2fs %-8s %5d\n"
+        id name family (ocaml_s *. 1e6) (native_s *. 1e6) (novec_s *. 1e6)
+        plan_s (origin_str e) words;
+      Prof.Json.Obj
+        [
+          ("family", Prof.Json.Str family);
+          ("ocaml_steady_seconds", Prof.Json.Float ocaml_s);
+          ("native_steady_seconds", Prof.Json.Float native_s);
+          ("novec_steady_seconds", Prof.Json.Float novec_s);
+          ( "native_vs_ocaml_speedup",
+            Prof.Json.Float (ocaml_s /. Float.max native_s 1e-12) );
+          ("plan_seconds", Prof.Json.Float plan_s);
+          ( "compile_load_seconds",
+            Prof.Json.Float e.NE.nk.Nat.compile_seconds );
+          ("origin", Prof.Json.Str (origin_str e));
+          ("minor_words_per_call", Prof.Json.Int words);
+        ]
+    in
+    let problems =
+      List.map
+        (fun id ->
+          let d = prob id in
+          let name = d.p.Sympiler.Suite.name in
+          let al = d.p.Sympiler.Suite.a_lower in
+          let th = Sympiler.Trisolve.compile (d.l_factor, d.rhs) in
+          let ch = Sympiler.Cholesky.compile al in
+          let lh = Sympiler.Ldlt.compile al in
+          (* Explicit lets: list literals evaluate right-to-left, which
+             would reverse the printed rows. *)
+          let tri =
+            bench_family ~id ~name "trisolve" (fun engine ->
+                  let p = Sympiler.Trisolve.plan ~engine th in
+                  ( (fun () ->
+                      ignore
+                        (Sympiler.Trisolve.solve_plan p d.rhs : float array)),
+                    p.Sympiler.Trisolve.native ))
+          in
+          let chol =
+            bench_family ~id ~name "cholesky" (fun engine ->
+                  let p = Sympiler.Cholesky.plan ~engine ch in
+                  ( (fun () -> Sympiler.Cholesky.refactor_ip p al),
+                    p.Sympiler.Cholesky.native ))
+          in
+          let ldlt =
+            bench_family ~id ~name "ldlt" (fun engine ->
+                  let p = Sympiler.Ldlt.plan ~engine lh in
+                  ( (fun () ->
+                      ignore
+                        (Sympiler.Ldlt.execute_ip p al
+                          : Sympiler_kernels.Ldlt.factors)),
+                    p.Sympiler.Ldlt.native ))
+          in
+          let fams = [ tri; chol; ldlt ] in
+          Prof.Json.Obj
+            [
+              ("id", Prof.Json.Int id);
+              ("name", Prof.Json.Str name);
+              ("n", Prof.Json.Int al.Csc.ncols);
+              ("families", Prof.Json.List fams);
+            ])
+        native_ids
+    in
+    (* Reload experiment: drop the in-process kernel table and re-plan an
+       already-compiled family. The steady-state contract is that this is
+       served by dlopening the cached .so — zero compiler invocations. *)
+    let d = prob (List.hd native_ids) in
+    let lh = Sympiler.Ldlt.compile d.p.Sympiler.Suite.a_lower in
+    let s0 = Nat.stats () in
+    Nat.clear_memory_cache ();
+    let t0 = Prof.now_seconds () in
+    let p = Sympiler.Ldlt.plan ~engine:`Native lh in
+    let reload_s = Prof.now_seconds () -. t0 in
+    let s1 = Nat.stats () in
+    let reload_origin =
+      match p.Sympiler.Ldlt.native with Some e -> origin_str e | None -> "none"
+    in
+    let cache_ok =
+      s1.Nat.compiles = s0.Nat.compiles
+      && s1.Nat.disk_hits > s0.Nat.disk_hits
+      && reload_origin = "disk"
+    in
+    Printf.printf
+      "reload after cache clear: %.2fms via %s (compiles %d->%d, disk hits \
+       %d->%d)\n"
+      (reload_s *. 1e3) reload_origin s0.Nat.compiles s1.Nat.compiles
+      s0.Nat.disk_hits s1.Nat.disk_hits;
+    Printf.printf
+      "native_not_slower_trisolve=%b native_not_slower_cholesky=%b \
+       cache_hit_no_recompile=%b native_zero_alloc=%b\n"
+      !tri_ok !chol_ok cache_ok !all_zero;
+    let s = Nat.stats () in
+    let compiler =
+      match Nat.cc () with
+      | Some cc -> Nat.compiler_identity cc
+      | None -> "unavailable"
+    in
+    let doc =
+      Prof.Json.Obj
+        [
+          ("bench", Prof.Json.Str "native");
+          ("quick", Prof.Json.Bool quick);
+          ("compiler", Prof.Json.Str compiler);
+          ("tolerance", Prof.Json.Float tol);
+          ("native_not_slower_trisolve", Prof.Json.Bool !tri_ok);
+          ("native_not_slower_cholesky", Prof.Json.Bool !chol_ok);
+          ("cache_hit_no_recompile", Prof.Json.Bool cache_ok);
+          ("native_zero_alloc", Prof.Json.Bool !all_zero);
+          ( "reload",
+            Prof.Json.Obj
+              [
+                ("seconds", Prof.Json.Float reload_s);
+                ("origin", Prof.Json.Str reload_origin);
+                ( "compiles_delta",
+                  Prof.Json.Int (s1.Nat.compiles - s0.Nat.compiles) );
+                ( "disk_hits_delta",
+                  Prof.Json.Int (s1.Nat.disk_hits - s0.Nat.disk_hits) );
+              ] );
+          ( "stats",
+            Prof.Json.Obj
+              [
+                ("compiles", Prof.Json.Int s.Nat.compiles);
+                ("disk_hits", Prof.Json.Int s.Nat.disk_hits);
+                ("memory_hits", Prof.Json.Int s.Nat.memory_hits);
+                ("fallbacks", Prof.Json.Int s.Nat.fallbacks);
+              ] );
+          ("problems", Prof.Json.List problems);
+        ]
+    in
+    Out_channel.with_open_text "BENCH_native.json" (fun oc ->
+        Out_channel.output_string oc (Prof.Json.to_string doc);
+        Out_channel.output_char oc '\n');
+    section_note
+      "(ocaml/native/novec = per-call steady medians under the three\n\
+      \ engines; plan = `Native plan creation including any cc+dlopen;\n\
+      \ origin = how the .so was served (compiled/disk/memory); words =\n\
+      \ GC minor words per native call, 0 = allocation-free. Full data\n\
+      \ written to BENCH_native.json)\n"
+  end
 
 (* ---------------------------------------------------------------- *)
 (* Trace overhead: the structured-tracing layer must be free when disabled
@@ -1574,6 +1806,7 @@ let () =
       (if quick then ", --quick" else "");
     if run_section "phases" then phases ();
     if run_section "steady" then steady ();
+    if run_section "native" then native_bench ();
     if run_section "trace" then trace_bench ();
     if run_section "parallel" then parallel_bench ();
     if run_section "ordering" then ordering_bench ();

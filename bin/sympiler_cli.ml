@@ -165,7 +165,7 @@ let trisolve matrix problem rhs_fill out profile trace =
    refactorizations into the same plan, reporting steady-state time per
    call, the GC minor-heap words each call allocates (0 = allocation-free),
    and the compilation cache's behaviour on a recompile. *)
-let steady matrix problem ordering repeat ndomains profile trace =
+let steady matrix problem ordering repeat ndomains engine profile trace =
   with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let now = Sympiler_prof.Prof.now_seconds in
@@ -174,7 +174,7 @@ let steady matrix problem ordering repeat ndomains profile trace =
   let ord = ordering_of_flag ordering in
   let t0 = now () in
   let h = Sympiler.Cholesky.compile_cached ~ordering:ord al in
-  let p = Sympiler.Cholesky.plan ?ndomains h in
+  let p = Sympiler.Cholesky.plan ?ndomains ~engine h in
   Sympiler.Cholesky.refactor_ip p al;
   let first = now () -. t0 in
   let reps = max 1 repeat in
@@ -196,6 +196,19 @@ let steady matrix problem ordering repeat ndomains profile trace =
     (match h.Sympiler.Cholesky.variant with
     | Sympiler.Cholesky.Supernodal -> "supernodal"
     | Sympiler.Cholesky.Simplicial -> "simplicial");
+  Printf.printf "engine           : %s\n"
+    (match (engine, p.Sympiler.Cholesky.native) with
+    | `Ocaml, _ -> "ocaml"
+    | (`Native | `Native_novec), Some e ->
+        Printf.sprintf "%s (compiled C, %s in %.1f ms)"
+          (if engine = `Native then "native" else "native-novec")
+          (match e.Sympiler.Native_engine.nk.Sympiler.Native.origin with
+          | Sympiler.Native.Compiled -> "cc+dlopen"
+          | Sympiler.Native.Disk_cache -> "dlopen of cached .so"
+          | Sympiler.Native.Memory_cache -> "in-process cache hit")
+          (e.Sympiler.Native_engine.nk.Sympiler.Native.compile_seconds *. 1e3)
+    | (`Native | `Native_novec), None ->
+        "ocaml (native requested, but no C compiler - fell back)");
   Printf.printf "first call       : %.3f ms (compile + plan + factor)\n"
     (first *. 1e3);
   Printf.printf "steady state     : %.3f ms/call over %d calls\n"
@@ -320,6 +333,26 @@ let ndomains_arg =
            either way."
         ~docv:"N")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("ocaml", `Ocaml);
+             ("native", `Native);
+             ("native-novec", `Native_novec);
+           ])
+        `Ocaml
+    & info [ "engine" ]
+        ~doc:
+          "Numeric executor: $(b,ocaml) (default), $(b,native) (the emitted \
+           C compiled to a shared object and called in place), or \
+           $(b,native-novec) (native with vectorize annotations stripped). \
+           The native engines fall back to ocaml when no C compiler is \
+           found."
+        ~docv:"ENGINE")
+
 let trace_arg =
   Arg.(
     value
@@ -352,7 +385,7 @@ let steady_cmd =
           plan (compile once, execute many)")
     Term.(
       const steady $ matrix_arg $ problem_arg $ ordering_arg $ repeat_arg
-      $ ndomains_arg $ profile_arg $ trace_arg)
+      $ ndomains_arg $ engine_arg $ profile_arg $ trace_arg)
 
 let cholesky_cmd =
   Cmd.v (Cmd.info "cholesky" ~doc:"Emit specialized Cholesky C code")

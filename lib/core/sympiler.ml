@@ -18,6 +18,30 @@ module Codegen_supernodal = Codegen_supernodal
 module Plan_cache = Plan_cache
 module Trace = Sympiler_trace.Trace
 module Runtime = Sympiler_runtime
+module Native = Sympiler_native.Native
+module Native_engine = Native_engine
+
+(* The execution engine of a plan. [`Ocaml] interprets the compiled plan
+   with the library executors; [`Native] compiles the family's emitted C
+   into a shared object at plan time (cached on disk, see
+   [Sympiler_native.Native]) and dispatches every [execute_ip] to the
+   loaded symbol; [`Native_novec] is the bench's ablation arm — the same
+   C with the vectorize annotations stripped and the compiler's
+   vectorizer off. When no C compiler is available the native engines
+   degrade to [`Ocaml] with a one-time note (the plan still works). *)
+type engine = [ `Ocaml | `Native | `Native_novec ]
+
+let native_mode : engine -> Native_engine.mode option = function
+  | `Ocaml -> None
+  | `Native -> Some Native_engine.Vec
+  | `Native_novec -> Some Native_engine.Novec
+
+(* The four §3.3 factor kernels share one native shape: [int]-returning C
+   from [Codegen_static] whose non-negative return is the failing pivot
+   index (re-raised per family), input values in b0, factor storage after. *)
+let static_native_exec mode ~family ~kname ~(pattern : Csc.t) ~sizes source =
+  Native_engine.load ~mode ~pattern_key:(Csc.pattern_hash pattern) ~family
+    ~kname ~nargs:(Array.length sizes) ~int_return:true ~sizes source
 
 (* Wall-clock timing for the [symbolic_seconds] report fields, also fed to
    the profiling layer's "symbolic" scope (reentrant, so the inspectors'
@@ -182,7 +206,7 @@ module type KERNEL = sig
   val cache_stats : unit -> Plan_cache.stats
   val cache_clear : unit -> unit
   val symbolic_seconds : t -> float
-  val plan : ?ndomains:int -> t -> plan
+  val plan : ?ndomains:int -> ?engine:engine -> t -> plan
   val execute_ip : plan -> input -> output
   val c_code : t -> string
 end
@@ -352,7 +376,36 @@ module Trisolve = struct
         (* permuted-b scratch of an ordered plan: fixed (permuted) indices,
            values refreshed by each execute *)
     ord_x : float array option; (* natural-order output buffer *)
+    native : Native_engine.exec option;
+        (* compiled-C executor: b0 = Lx (filled at plan time), b1 = x,
+           b2 = tmp when VS-Block added one *)
   }
+
+  (* The emitted C binds L's values as a runtime parameter, so the plan
+     loads them into the Lx buffer once — same binding time as the OCaml
+     executor, whose compiled plan captured [t.l]'s values at compile. *)
+  let native_exec (mode : Native_engine.mode) (t : t) :
+      Native_engine.exec option =
+    let b =
+      {
+        Vector.n = t.l.Csc.ncols;
+        indices = t.b_pattern;
+        values = Array.map (fun _ -> 1.0) t.b_pattern;
+      }
+    in
+    let r = Sympiler_ir.Pipeline.trisolve t.l b in
+    let nargs = List.length r.Sympiler_ir.Pipeline.kernel.Sympiler_ir.Ast.params in
+    match
+      Native_engine.load ~mode ~pattern_key:(Csc.pattern_hash t.l)
+        ~family:"trisolve" ~kname:"trisolve" ~nargs ~int_return:false
+        ~sizes:
+          [| Csc.nnz t.l; t.l.Csc.ncols; r.Sympiler_ir.Pipeline.tmp_size |]
+        r.Sympiler_ir.Pipeline.c_code
+    with
+    | None -> None
+    | Some e ->
+        Native_engine.blit_in t.l.Csc.values e.Native_engine.b0;
+        Some e
 
   (* [~ndomains] switches the plan to the level-set executor on the
      persistent domain pool; the levelization (one more inspection set) is
@@ -360,7 +413,7 @@ module Trisolve = struct
      goes through the level schedule, so results are bitwise-identical
      across [ndomains]; they may differ in operation order (hence in last
      bits) from the reach-set executor of a plain plan. *)
-  let plan ?ndomains (t : t) : plan =
+  let plan ?ndomains ?(engine : engine = `Ocaml) (t : t) : plan =
     let par =
       match ndomains with
       | None -> None
@@ -369,6 +422,11 @@ module Trisolve = struct
             (Prof.time "symbolic" (fun () ->
                  Trisolve_parallel.make_plan ~ndomains:nd
                    (Trisolve_parallel.compile t.l)))
+    in
+    let native =
+      match native_mode engine with
+      | None -> None
+      | Some mode -> native_exec mode t
     in
     let ord_b, ord_x =
       match t.ord.o_perm with
@@ -382,13 +440,40 @@ module Trisolve = struct
               },
             Some (Array.make t.l.Csc.ncols 0.0) )
     in
-    { handle = t; p = Trisolve_sympiler.make_plan t.compiled; par; ord_b; ord_x }
+    {
+      handle = t;
+      p = Trisolve_sympiler.make_plan t.compiled;
+      par;
+      ord_b;
+      ord_x;
+      native;
+    }
 
-  (* The inner executor dispatch shared by the natural and ordered paths. *)
+  (* The inner executor dispatch shared by the natural and ordered paths.
+     A native plan zeroes the dense x buffer and scatters b into it — the
+     same per-call work [Trisolve_sympiler.solve_ip] does on its plan
+     array — then blits the solution into the OCaml plan's buffer so the
+     returned view is the same array whichever engine ran. *)
   let run_inner (p : plan) (b : Vector.sparse) : float array =
-    match p.par with
-    | Some pp -> Trisolve_parallel.solve_ip_sparse pp b
-    | None -> Trisolve_sympiler.solve_ip p.p b
+    match p.native with
+    | Some e ->
+        (* The solution's nonzero set is exactly the reach-set (pruned
+           supernode columns compute exact FP zeros), so resetting and
+           copying out only reach entries is sound — and keeps the native
+           per-call cost O(|reach|), below the OCaml executor's O(n)
+           scatter reset. *)
+        let xb = e.Native_engine.b1 in
+        let reach = p.handle.reach in
+        Native_engine.fill0_at xb reach;
+        Native_engine.scatter xb b.Vector.indices b.Vector.values;
+        ignore (Native_engine.call e : int);
+        let x = p.p.Trisolve_sympiler.x in
+        Native_engine.gather xb reach x;
+        x
+    | None -> (
+        match p.par with
+        | Some pp -> Trisolve_parallel.solve_ip_sparse pp b
+        | None -> Trisolve_sympiler.solve_ip p.p b)
 
   let execute_ip (p : plan) (b : Vector.sparse) : float array =
     Prof.start "numeric";
@@ -669,7 +754,31 @@ module Cholesky = struct
     par : Cholesky_parallel.plan option;
     scratch : Csc.t option;
         (* ordered plans gather natural-order values in here *)
+    native : Native_engine.exec option;
+        (* compiled-C executor: b0 = Ax, b1 = Lx, b2 = f (simplicial
+           accumulator; it self-restores to zero after every column) *)
   }
+
+  (* Both emitted variants fully (re)write Lx each call — the supernodal
+     driver zeroes its panels, the simplicial kernel assigns every entry
+     from the self-restoring f — so only Ax needs refreshing per call. *)
+  let native_exec (mode : Native_engine.mode) (t : t) :
+      Native_engine.exec option =
+    let n = t.pattern.Csc.ncols in
+    let kname, source, fsize =
+      match t.supernodal with
+      | Some c -> ("cholesky_supernodal", Codegen_supernodal.to_c c t.pattern, 0)
+      | None ->
+          ( "cholesky",
+            (Sympiler_ir.Pipeline.cholesky t.pattern).Sympiler_ir.Pipeline
+            .c_code,
+            n )
+    in
+    let nargs = if fsize > 0 then 3 else 2 in
+    Native_engine.load ~mode ~pattern_key:(Csc.pattern_hash t.pattern)
+      ~family:"cholesky" ~kname ~nargs ~int_return:false
+      ~sizes:[| Csc.nnz t.pattern; t.nnz_l; fsize |]
+      source
 
   (* [~ndomains] on a supernodal handle: levelize the already-compiled
      supernode DAG (plan-time inspection, no re-analysis) and run levels
@@ -678,8 +787,13 @@ module Cholesky = struct
      one, so factors are bitwise-identical for any domain count. The
      simplicial column code has no level schedule — [ndomains] is
      ignored there. *)
-  let plan ?ndomains (t : t) : plan =
+  let plan ?ndomains ?(engine : engine = `Ocaml) (t : t) : plan =
     let scratch = ordering_scratch t.ord t.pattern in
+    let native =
+      match native_mode engine with
+      | None -> None
+      | Some mode -> native_exec mode t
+    in
     match (ndomains, t.supernodal) with
     | Some nd, Some c ->
         let lp =
@@ -687,7 +801,7 @@ module Cholesky = struct
               Cholesky_parallel.make_plan ~ndomains:nd
                 (Cholesky_parallel.levelize c))
         in
-        { handle = t; sup = None; simp = None; par = Some lp; scratch }
+        { handle = t; sup = None; simp = None; par = Some lp; scratch; native }
     | _ -> (
         match (t.supernodal, t.simplicial) with
         | Some c, _ ->
@@ -697,6 +811,7 @@ module Cholesky = struct
               simp = None;
               par = None;
               scratch;
+              native;
             }
         | None, Some d ->
             {
@@ -705,8 +820,17 @@ module Cholesky = struct
               simp = Some (Cholesky_ref.Decoupled.make_plan d);
               par = None;
               scratch;
+              native;
             }
         | None, None -> assert false)
+
+  (* The plan's factor view: refreshed in place by each [refactor_ip]. *)
+  let plan_factor (p : plan) : Csc.t =
+    match (p.sup, p.simp, p.par) with
+    | Some sp, _, _ -> sp.Cholesky_supernodal.Sympiler.l
+    | None, Some sp, _ -> sp.Cholesky_ref.Decoupled.l
+    | None, None, Some pp -> pp.Cholesky_parallel.l
+    | None, None, None -> assert false
 
   let refactor_ip (p : plan) (a_lower : Csc.t) : unit =
     Prof.start "numeric";
@@ -719,23 +843,22 @@ module Cholesky = struct
                p.handle.ord.o_map a_lower.Csc.values s;
              s
        in
-       match (p.sup, p.simp, p.par) with
-       | Some sp, _, _ -> Cholesky_supernodal.Sympiler.factor_ip sp a_lower
-       | None, Some sp, _ -> Cholesky_ref.Decoupled.factor_ip sp a_lower
-       | None, None, Some pp -> Cholesky_parallel.factor_ip pp a_lower
-       | None, None, None -> assert false
+       match p.native with
+       | Some e ->
+           Native_engine.blit_in a_lower.Csc.values e.Native_engine.b0;
+           ignore (Native_engine.call e : int);
+           Native_engine.blit_out e.Native_engine.b1
+             (plan_factor p).Csc.values
+       | None -> (
+           match (p.sup, p.simp, p.par) with
+           | Some sp, _, _ -> Cholesky_supernodal.Sympiler.factor_ip sp a_lower
+           | None, Some sp, _ -> Cholesky_ref.Decoupled.factor_ip sp a_lower
+           | None, None, Some pp -> Cholesky_parallel.factor_ip pp a_lower
+           | None, None, None -> assert false)
      with e ->
        Prof.stop "numeric";
        raise e);
     Prof.stop "numeric"
-
-  (* The plan's factor view: refreshed in place by each [refactor_ip]. *)
-  let plan_factor (p : plan) : Csc.t =
-    match (p.sup, p.simp, p.par) with
-    | Some sp, _, _ -> sp.Cholesky_supernodal.Sympiler.l
-    | None, Some sp, _ -> sp.Cholesky_ref.Decoupled.l
-    | None, None, Some pp -> pp.Cholesky_parallel.l
-    | None, None, None -> assert false
 
   let execute_ip (p : plan) (a_lower : Csc.t) : Csc.t =
     refactor_ip p a_lower;
@@ -780,7 +903,14 @@ module Ldlt = struct
     ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : K.plan; scratch : Csc.t option }
+  type plan = {
+    handle : t;
+    p : K.plan;
+    scratch : Csc.t option;
+    native : Native_engine.exec option;
+        (* b0 = Ax (lower values), b1 = Lx, b2 = D *)
+  }
+
   type input = Csc.t
   type output = K.factors
 
@@ -819,12 +949,19 @@ module Ldlt = struct
   let cache_clear () = Plan_cache.clear default_cache
   let symbolic_seconds (t : t) = t.symbolic_seconds
 
-  let plan ?ndomains:_ (t : t) : plan =
-    {
-      handle = t;
-      p = K.make_plan t.compiled;
-      scratch = ordering_scratch t.ord t.pattern;
-    }
+  let plan ?ndomains:_ ?(engine : engine = `Ocaml) (t : t) : plan =
+    let p = K.make_plan t.compiled in
+    let native =
+      match native_mode engine with
+      | None -> None
+      | Some mode ->
+          static_native_exec mode ~family:"ldlt" ~kname:"ldlt_factor"
+            ~pattern:t.pattern
+            ~sizes:
+              [| Csc.nnz t.pattern; Array.length p.K.lx; t.pattern.Csc.ncols |]
+            (Codegen_static.ldlt t.compiled)
+    in
+    { handle = t; p; scratch = ordering_scratch t.ord t.pattern; native }
 
   let execute_ip (p : plan) (a_lower : input) : output =
     Prof.start "numeric";
@@ -837,7 +974,16 @@ module Ldlt = struct
                a_lower.Csc.values s;
              s
        in
-       K.factor_ip p.p a_lower
+       match p.native with
+       | Some e ->
+           Native_engine.blit_in a_lower.Csc.values e.Native_engine.b0;
+           let rc = Native_engine.call e in
+           if rc >= 0 then raise (K.Zero_pivot rc);
+           (* The plan's factor views alias [lx] / [d], so blitting the
+              kernel buffers back makes [p.p.K.f] the result either way. *)
+           Native_engine.blit_out e.Native_engine.b1 p.p.K.lx;
+           Native_engine.blit_out e.Native_engine.b2 p.p.K.f.K.d
+       | None -> K.factor_ip p.p a_lower
      with e ->
        Prof.stop "numeric";
        raise e);
@@ -867,7 +1013,13 @@ module Lu = struct
     ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : K.Sympiler.plan; scratch : Csc.t option }
+  type plan = {
+    handle : t;
+    p : K.Sympiler.plan;
+    scratch : Csc.t option;
+    native : Native_engine.exec option; (* b0 = Ax, b1 = Lx, b2 = Ux *)
+  }
+
   type input = Csc.t
   type output = K.factors
 
@@ -902,12 +1054,23 @@ module Lu = struct
   let cache_clear () = Plan_cache.clear default_cache
   let symbolic_seconds (t : t) = t.symbolic_seconds
 
-  let plan ?ndomains:_ (t : t) : plan =
-    {
-      handle = t;
-      p = K.Sympiler.make_plan t.compiled;
-      scratch = ordering_scratch t.ord t.pattern;
-    }
+  let plan ?ndomains:_ ?(engine : engine = `Ocaml) (t : t) : plan =
+    let p = K.Sympiler.make_plan t.compiled in
+    let native =
+      match native_mode engine with
+      | None -> None
+      | Some mode ->
+          static_native_exec mode ~family:"lu" ~kname:"lu_factor"
+            ~pattern:t.pattern
+            ~sizes:
+              [|
+                Csc.nnz t.pattern;
+                Array.length p.K.Sympiler.lx;
+                Array.length p.K.Sympiler.ux;
+              |]
+            (Codegen_static.lu t.compiled t.pattern)
+    in
+    { handle = t; p; scratch = ordering_scratch t.ord t.pattern; native }
 
   let execute_ip (p : plan) (a : input) : output =
     Prof.start "numeric";
@@ -920,7 +1083,14 @@ module Lu = struct
                a.Csc.values s;
              s
        in
-       K.Sympiler.factor_ip p.p a
+       match p.native with
+       | Some e ->
+           Native_engine.blit_in a.Csc.values e.Native_engine.b0;
+           let rc = Native_engine.call e in
+           if rc >= 0 then raise (K.Zero_pivot rc);
+           Native_engine.blit_out e.Native_engine.b1 p.p.K.Sympiler.lx;
+           Native_engine.blit_out e.Native_engine.b2 p.p.K.Sympiler.ux
+       | None -> K.Sympiler.factor_ip p.p a
      with e ->
        Prof.stop "numeric";
        raise e);
@@ -949,7 +1119,13 @@ module Ic0 = struct
     ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : K.plan; scratch : Csc.t option }
+  type plan = {
+    handle : t;
+    p : K.plan;
+    scratch : Csc.t option;
+    native : Native_engine.exec option; (* b0 = Ax (lower values), b1 = Lx *)
+  }
+
   type input = Csc.t
   type output = Csc.t
 
@@ -988,12 +1164,18 @@ module Ic0 = struct
   let cache_clear () = Plan_cache.clear default_cache
   let symbolic_seconds (t : t) = t.symbolic_seconds
 
-  let plan ?ndomains:_ (t : t) : plan =
-    {
-      handle = t;
-      p = K.make_plan t.compiled;
-      scratch = ordering_scratch t.ord t.pattern;
-    }
+  let plan ?ndomains:_ ?(engine : engine = `Ocaml) (t : t) : plan =
+    let p = K.make_plan t.compiled in
+    let native =
+      match native_mode engine with
+      | None -> None
+      | Some mode ->
+          static_native_exec mode ~family:"ic0" ~kname:"ic0_factor"
+            ~pattern:t.pattern
+            ~sizes:[| Csc.nnz t.pattern; Array.length p.K.lx |]
+            (Codegen_static.ic0 t.compiled)
+    in
+    { handle = t; p; scratch = ordering_scratch t.ord t.pattern; native }
 
   let execute_ip (p : plan) (a_lower : input) : output =
     Prof.start "numeric";
@@ -1006,7 +1188,13 @@ module Ic0 = struct
                a_lower.Csc.values s;
              s
        in
-       K.factor_ip p.p a_lower
+       match p.native with
+       | Some e ->
+           Native_engine.blit_in a_lower.Csc.values e.Native_engine.b0;
+           let rc = Native_engine.call e in
+           if rc >= 0 then raise (K.Not_positive_definite rc);
+           Native_engine.blit_out e.Native_engine.b1 p.p.K.lx
+       | None -> K.factor_ip p.p a_lower
      with e ->
        Prof.stop "numeric";
        raise e);
@@ -1035,7 +1223,14 @@ module Ilu0 = struct
     ord : applied_ordering;
   }
 
-  type plan = { handle : t; p : K.plan; scratch : Csc.t option }
+  type plan = {
+    handle : t;
+    p : K.plan;
+    scratch : Csc.t option;
+    native : Native_engine.exec option;
+        (* b0 = Ax (CSC values), b1 = factor values (CSR order) *)
+  }
+
   type input = Csc.t
   type output = K.factors
 
@@ -1069,12 +1264,18 @@ module Ilu0 = struct
   let cache_clear () = Plan_cache.clear default_cache
   let symbolic_seconds (t : t) = t.symbolic_seconds
 
-  let plan ?ndomains:_ (t : t) : plan =
-    {
-      handle = t;
-      p = K.make_plan t.compiled;
-      scratch = ordering_scratch t.ord t.pattern;
-    }
+  let plan ?ndomains:_ ?(engine : engine = `Ocaml) (t : t) : plan =
+    let p = K.make_plan t.compiled in
+    let native =
+      match native_mode engine with
+      | None -> None
+      | Some mode ->
+          static_native_exec mode ~family:"ilu0" ~kname:"ilu0_factor"
+            ~pattern:t.pattern
+            ~sizes:[| Csc.nnz t.pattern; Array.length p.K.f.K.values |]
+            (Codegen_static.ilu0 t.compiled)
+    in
+    { handle = t; p; scratch = ordering_scratch t.ord t.pattern; native }
 
   let execute_ip (p : plan) (a : input) : output =
     Prof.start "numeric";
@@ -1087,7 +1288,13 @@ module Ilu0 = struct
                a.Csc.values s;
              s
        in
-       K.factor_ip p.p a
+       match p.native with
+       | Some e ->
+           Native_engine.blit_in a.Csc.values e.Native_engine.b0;
+           let rc = Native_engine.call e in
+           if rc >= 0 then raise (K.Zero_pivot rc);
+           Native_engine.blit_out e.Native_engine.b1 p.p.K.f.K.values
+       | None -> K.factor_ip p.p a
      with e ->
        Prof.stop "numeric";
        raise e);

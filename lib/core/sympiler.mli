@@ -32,6 +32,34 @@ module Runtime = Sympiler_runtime
     every [?ndomains] argument, re-exported for sizing control
     ([Pool.default_size], the [SYMPILER_NDOMAINS] override) and shutdown. *)
 
+module Native = Sympiler_native.Native
+(** The native kernel engine behind every [?engine:`Native] argument
+    (re-exported): compiles emitted C to a shared object with the system C
+    compiler and loads it through [dlopen]. See {!Native.stats},
+    {!Native.cc}, and the [SYMPILER_CC] / [SYMPILER_NATIVE_CACHE]
+    overrides. *)
+
+module Native_engine = Native_engine
+(** Facade-side glue for the native engine (uniform [sympiler_entry] ABI
+    wrapper, vectorize-hint stripping, plan-owned argument buffers). *)
+
+type engine = [ `Ocaml | `Native | `Native_novec ]
+(** Which executor a plan runs its numeric phase on.
+
+    - [`Ocaml] (the default): the interpreted-by-OCaml executors, exactly
+      as before.
+    - [`Native]: the family's emitted C — the same code [c_code] returns —
+      compiled with the system C compiler at plan time, loaded via
+      [dlopen], and dispatched through a fixed no-allocation trampoline.
+      Compiled objects are cached on disk keyed by pattern, source, flags,
+      and compiler identity, so steady state never re-invokes the
+      compiler. When no C compiler is available the plan silently falls
+      back to [`Ocaml] (one-time note on stderr; counted in
+      {!Native.stats}).
+    - [`Native_novec]: the ablation arm — the same C with the vectorize
+      annotations ([#pragma GCC ivdep], [restrict]) stripped and
+      auto-vectorization disabled, isolating what the annotations buy. *)
+
 type ordering = [ `Natural | `Rcm | `Amd | `Min_degree | `Given of Perm.t ]
 (** The fill-reducing ordering request of a compilation: ordering is a
     symbolic-stage decision, so the permutation is computed once at compile
@@ -65,7 +93,10 @@ type applied_ordering = {
       request is part of the cache key.
     - [plan] allocates the numeric workspaces once; [?ndomains] requests
       the level-parallel executor on the persistent domain pool where one
-      exists (Trisolve, supernodal Cholesky) and is ignored elsewhere.
+      exists (Trisolve, supernodal Cholesky) and is ignored elsewhere;
+      [?engine] selects the executor (see {!type:engine}) — a native
+      request takes precedence over [?ndomains], and falls back to the
+      OCaml executor when no C compiler is available.
     - [execute_ip] is the steady-state numeric phase: no symbolic work,
       zero allocation, results written into plan-owned storage (the
       returned [output] is a view valid until the next call on the same
@@ -109,7 +140,7 @@ module type KERNEL = sig
   val symbolic_seconds : t -> float
   (** One-time inspection + planning cost of this handle. *)
 
-  val plan : ?ndomains:int -> t -> plan
+  val plan : ?ndomains:int -> ?engine:engine -> t -> plan
   val execute_ip : plan -> input -> output
   val c_code : t -> string
 end
@@ -208,6 +239,9 @@ module Trisolve : sig
         (** ordered plans: the permuted-b scratch (fixed indices, values
             refreshed per execute) *)
     ord_x : float array option;  (** ordered plans: natural-order output *)
+    native : Native_engine.exec option;
+        (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
+            the compiled-C executor (b0 = Lx, b1 = x, b2 = tmp) *)
   }
   (** Reusable numeric workspaces for the compile-once / execute-many
       regime. *)
@@ -215,14 +249,16 @@ module Trisolve : sig
   type input = Vector.sparse
   type output = float array
 
-  val plan : ?ndomains:int -> t -> plan
+  val plan : ?ndomains:int -> ?engine:engine -> t -> plan
   (** Without [ndomains]: the sequential reach-set executor. With
       [ndomains] (any value, including 1): the level-set executor on the
       persistent domain pool — levelization happens here, at plan time,
       and results are bitwise-identical across all [ndomains] (though the
       level schedule's operation order differs from the reach-set
       executor's). [ndomains] defaults the pool sizing rule to
-      {!Runtime.Pool.default_size} semantics; see that module. *)
+      {!Runtime.Pool.default_size} semantics; see that module. [?engine]
+      selects the executor ({!type:engine}); a loaded native kernel takes
+      precedence over [ndomains]. *)
 
   val execute_ip : plan -> Vector.sparse -> float array
   (** Solve into the plan's buffer (valid until the next call on the same
@@ -336,6 +372,10 @@ module Cholesky : sig
             executor (supernodal handles only) *)
     scratch : Csc.t option;
         (** ordered plans gather natural-order input values in here *)
+    native : Native_engine.exec option;
+        (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
+            the compiled-C executor (b0 = Ax, b1 = Lx, b2 = simplicial
+            accumulator) *)
   }
   (** Reusable numeric workspaces (factor storage + scratch) for the
       compile-once / execute-many regime; which side is populated follows
@@ -344,13 +384,14 @@ module Cholesky : sig
   type input = Csc.t
   type output = Csc.t
 
-  val plan : ?ndomains:int -> t -> plan
+  val plan : ?ndomains:int -> ?engine:engine -> t -> plan
   (** Without [ndomains]: the sequential executor of the handle's variant.
       With [ndomains] on a supernodal handle: the level-parallel executor
       on the persistent domain pool (the supernode DAG is levelized here,
       at plan time); factors are bitwise-identical across all [ndomains].
       [ndomains] is ignored for simplicial handles (column code has no
-      level schedule). *)
+      level schedule). [?engine] selects the executor ({!type:engine}); a
+      loaded native kernel takes precedence over [ndomains]. *)
 
   val execute_ip : plan -> Csc.t -> Csc.t
   (** Numeric factorization into the plan's storage; returns the plan's
@@ -391,6 +432,9 @@ module Ldlt : sig
     p : Sympiler_kernels.Ldlt.plan;
     scratch : Csc.t option;
         (** ordered plans gather natural-order input values in here *)
+    native : Native_engine.exec option;
+        (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
+            the compiled-C executor (b0 = Ax, b1 = Lx, b2 = D) *)
   }
 
   type input = Csc.t
@@ -420,8 +464,9 @@ module Ldlt : sig
   val cache_clear : unit -> unit
   val symbolic_seconds : t -> float
 
-  val plan : ?ndomains:int -> t -> plan
-  (** [?ndomains] accepted and ignored (sequential executor). *)
+  val plan : ?ndomains:int -> ?engine:engine -> t -> plan
+  (** [?ndomains] accepted and ignored (sequential executor). [?engine]
+      selects the executor ({!type:engine}). *)
 
   val execute_ip : plan -> input -> output
   (** Factorize into the plan's storage; raises
@@ -455,6 +500,9 @@ module Lu : sig
     p : Sympiler_kernels.Lu.Sympiler.plan;
     scratch : Csc.t option;
         (** ordered plans gather natural-order input values in here *)
+    native : Native_engine.exec option;
+        (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
+            the compiled-C executor (b0 = Ax, b1 = Lx, b2 = Ux) *)
   }
 
   type input = Csc.t
@@ -484,8 +532,9 @@ module Lu : sig
   val cache_clear : unit -> unit
   val symbolic_seconds : t -> float
 
-  val plan : ?ndomains:int -> t -> plan
-  (** [?ndomains] accepted and ignored (sequential executor). *)
+  val plan : ?ndomains:int -> ?engine:engine -> t -> plan
+  (** [?ndomains] accepted and ignored (sequential executor). [?engine]
+      selects the executor ({!type:engine}). *)
 
   val execute_ip : plan -> input -> output
   (** Factorize into the plan's storage; raises
@@ -515,6 +564,9 @@ module Ic0 : sig
     p : Sympiler_kernels.Ic0.plan;
     scratch : Csc.t option;
         (** ordered plans gather natural-order input values in here *)
+    native : Native_engine.exec option;
+        (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
+            the compiled-C executor (b0 = Ax, b1 = Lx) *)
   }
 
   type input = Csc.t
@@ -544,8 +596,9 @@ module Ic0 : sig
   val cache_clear : unit -> unit
   val symbolic_seconds : t -> float
 
-  val plan : ?ndomains:int -> t -> plan
-  (** [?ndomains] accepted and ignored (sequential executor). *)
+  val plan : ?ndomains:int -> ?engine:engine -> t -> plan
+  (** [?ndomains] accepted and ignored (sequential executor). [?engine]
+      selects the executor ({!type:engine}). *)
 
   val execute_ip : plan -> input -> output
   (** Factorize into the plan's storage; the returned factor view is
@@ -576,6 +629,10 @@ module Ilu0 : sig
     p : Sympiler_kernels.Ilu0.plan;
     scratch : Csc.t option;
         (** ordered plans gather natural-order input values in here *)
+    native : Native_engine.exec option;
+        (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
+            the compiled-C executor (b0 = Ax in CSC order, b1 = factor
+            values in CSR order) *)
   }
 
   type input = Csc.t
@@ -605,8 +662,9 @@ module Ilu0 : sig
   val cache_clear : unit -> unit
   val symbolic_seconds : t -> float
 
-  val plan : ?ndomains:int -> t -> plan
-  (** [?ndomains] accepted and ignored (sequential executor). *)
+  val plan : ?ndomains:int -> ?engine:engine -> t -> plan
+  (** [?ndomains] accepted and ignored (sequential executor). [?engine]
+      selects the executor ({!type:engine}). *)
 
   val execute_ip : plan -> input -> output
   (** Factorize into the plan's storage; raises

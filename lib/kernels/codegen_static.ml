@@ -46,7 +46,8 @@ let ldlt (c : Ldlt.compiled) : string =
 static double y[N > 0 ? N : 1];
 /* ax: values of lower(A); lx: values of L; d: the diagonal.
    Returns -1 on success, k on a zero pivot at column k. */
-int ldlt_factor(const double *ax, double *lx, double *d) {
+int ldlt_factor(const double *restrict ax, double *restrict lx,
+                double *restrict d) {
   for (int i = 0; i < N; i++) { nzcount[i] = 0; y[i] = 0.0; }
   for (int k = 0; k < N; k++) {
     double dk = 0.0;
@@ -60,6 +61,8 @@ int ldlt_factor(const double *ax, double *lx, double *d) {
       double yj = y[j];
       y[j] = 0.0;
       double lkj = yj / d[j];
+      /* row indices within a column are distinct: the scatter is safe */
+#pragma GCC ivdep
       for (int p = lp[j] + 1; p < lp[j] + nzcount[j]; p++)
         y[li[p]] -= lx[p] * yj;
       dk -= lkj * yj;
@@ -90,7 +93,8 @@ let lu (c : Lu.Sympiler.compiled) (a : Csc.t) : string =
     {|static double x[N > 0 ? N : 1];
 /* ax: values of A (CSC, the compiled pattern); lx/ux: values of L/U.
    Returns -1 on success, j on a zero pivot at column j. */
-int lu_factor(const double *ax, double *lx, double *ux) {
+int lu_factor(const double *restrict ax, double *restrict lx,
+              double *restrict ux) {
   for (int i = 0; i < N; i++) x[i] = 0.0;
   for (int j = 0; j < N; j++) {
     for (int q = ap[j]; q < ap[j + 1]; q++) x[ai[q]] = ax[q];
@@ -101,6 +105,8 @@ int lu_factor(const double *ax, double *lx, double *ux) {
       ux[p] = xk;
       x[k] = 0.0;
       if (xk != 0.0)
+        /* row indices within a column are distinct: the scatter is safe */
+#pragma GCC ivdep
         for (int q = lp[k] + 1; q < lp[k + 1]; q++) x[li[q]] -= lx[q] * xk;
     }
     double ujj = x[j];
@@ -108,6 +114,7 @@ int lu_factor(const double *ax, double *lx, double *ux) {
     ux[uhi] = ujj;
     x[j] = 0.0;
     lx[lp[j]] = 1.0;
+#pragma GCC ivdep
     for (int q = lp[j] + 1; q < lp[j + 1]; q++) {
       lx[q] = x[li[q]] / ujj;
       x[li[q]] = 0.0;
@@ -131,7 +138,8 @@ let ic0 (c : Ic0.compiled) : string =
 static int pos[N > 0 ? N : 1];
 /* ax: values of lower(A); lx: values of the IC(0) factor (same pattern).
    Returns -1 on success, j when the pivot at column j is not positive. */
-int ic0_factor(const double *ax, double *lx) {
+int ic0_factor(const double *restrict ax, double *restrict lx) {
+#pragma GCC ivdep
   for (int q = 0; q < lp[N]; q++) lx[q] = ax[q];
   for (int i = 0; i < N; i++) pos[i] = -1;
   for (int j = 0; j < N; j++) {
@@ -140,6 +148,8 @@ int ic0_factor(const double *ax, double *lx) {
       int r = rc[q];
       double ljr = lx[rq[q]];
       if (ljr != 0.0)
+        /* pos[] positions within a column are distinct: the scatter is safe */
+#pragma GCC ivdep
         for (int t = rq[q]; t < lp[r + 1]; t++)
           if (pos[li[t]] >= 0) lx[pos[li[t]]] -= lx[t] * ljr;
     }
@@ -147,6 +157,7 @@ int ic0_factor(const double *ax, double *lx) {
     if (dj <= 0.0) return j;
     double s = sqrt(dj);
     lx[lp[j]] = s;
+#pragma GCC ivdep
     for (int p = lp[j] + 1; p < lp[j + 1]; p++) lx[p] /= s;
     for (int p = lp[j]; p < lp[j + 1]; p++) pos[li[p]] = -1;
   }
@@ -166,7 +177,8 @@ let ilu0 (c : Ilu0.compiled) : string =
     {|static int pos[N > 0 ? N : 1];
 /* ax: values of A (CSC, the compiled pattern); v: CSR values of L\U.
    Returns -1 on success, k on a zero pivot in row k. */
-int ilu0_factor(const double *ax, double *v) {
+int ilu0_factor(const double *restrict ax, double *restrict v) {
+#pragma GCC ivdep
   for (int q = 0; q < rp[N]; q++) v[q] = ax[cmap[q]];
   for (int i = 0; i < N; i++) pos[i] = -1;
   for (int i = 0; i < N; i++) {
@@ -178,6 +190,8 @@ int ilu0_factor(const double *ax, double *v) {
         if (piv == 0.0) return k;
         double lik = v[p] / piv;
         v[p] = lik;
+        /* pos[] positions within a row are distinct: the scatter is safe */
+#pragma GCC ivdep
         for (int q = dg[k] + 1; q < rp[k + 1]; q++)
           if (pos[ci[q]] >= 0) v[pos[ci[q]]] -= lik * v[q];
       }

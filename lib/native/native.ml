@@ -1,0 +1,309 @@
+(* Native kernel engine: cc -> .so -> dlopen/dlsym, with a two-tier cache.
+ *
+ * Tier 1 is an in-process table from cache key to the already-resolved
+ * [kernel] record — a hit costs one Hashtbl lookup and returns the same
+ * physical record (the handle-identity tests rely on this). Tier 2 is an
+ * on-disk directory of shared objects named by the key, so a fresh
+ * process (or [clear_memory_cache]) pays only dlopen + dlsym, never the
+ * compiler. The key folds the caller's pattern/options fingerprint with
+ * the source text, entry name, cflags, and compiler identity, so any
+ * input that could change the machine code changes the file name.
+ *
+ * Shared objects are never dlclosed: a [kernel] stays callable for the
+ * life of the process even after [clear_memory_cache], and leaking a
+ * handful of mapped .so files is cheaper than proving no plan still
+ * holds a function pointer into one. *)
+
+module Prof = Sympiler_prof.Prof
+module Trace = Sympiler_trace.Trace
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type origin = Compiled | Disk_cache | Memory_cache
+
+type kernel = {
+  fn : nativeint;
+  so_path : string;
+  origin : origin;
+  compile_seconds : float;
+}
+
+type stats = {
+  compiles : int;
+  disk_hits : int;
+  memory_hits : int;
+  fallbacks : int;
+}
+
+external dlopen_so : string -> nativeint = "sympiler_native_dlopen"
+external dlsym_fn : nativeint -> string -> nativeint = "sympiler_native_dlsym"
+
+external call_fn : nativeint -> buf -> buf -> buf -> buf -> int
+  = "sympiler_native_call"
+[@@noalloc]
+
+let dummy : buf = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 1
+let call k b0 b1 b2 b3 = call_fn k.fn b0 b1 b2 b3
+
+(* ---------------------------- Bookkeeping ----------------------------- *)
+
+let lock = Mutex.create ()
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let n_compiles = ref 0
+let n_disk_hits = ref 0
+let n_memory_hits = ref 0
+let n_fallbacks = ref 0
+let fallback_noted = ref false
+
+let stats () =
+  with_lock (fun () ->
+      {
+        compiles = !n_compiles;
+        disk_hits = !n_disk_hits;
+        memory_hits = !n_memory_hits;
+        fallbacks = !n_fallbacks;
+      })
+
+let note_so_hit () =
+  if Prof.enabled () then
+    Prof.(counters.native_so_hits <- counters.native_so_hits + 1)
+
+let note_compile () =
+  if Prof.enabled () then
+    Prof.(counters.native_compiles <- counters.native_compiles + 1)
+
+(* The fallback counter always bumps (it is how tests observe the engine
+   declining), but the human-facing note prints once per process: a run
+   on a compiler-less machine should say so, not repeat it per plan. *)
+let note_fallback reason =
+  incr n_fallbacks;
+  if Prof.enabled () then
+    Prof.(counters.native_fallbacks <- counters.native_fallbacks + 1);
+  Trace.instant ~attrs:[ ("reason", Trace.Str reason) ] "native.fallback";
+  if not !fallback_noted then begin
+    fallback_noted := true;
+    Printf.eprintf
+      "sympiler: native engine unavailable (%s); using OCaml executor\n%!"
+      reason
+  end
+
+(* --------------------------- Compiler probe --------------------------- *)
+
+(* No unix library in the closure, so there is no access(2) probe: treat
+   any existing non-directory as a candidate and let the compile step
+   surface permission errors. For PATH search this matches what the shell
+   finds in practice. *)
+let file_exists_nondir path =
+  Sys.file_exists path && not (try Sys.is_directory path with Sys_error _ -> false)
+
+let path_sep = if Sys.win32 then ';' else ':'
+
+let search_path name =
+  if String.contains name '/' then
+    if file_exists_nondir name then Some name else None
+  else
+    match Sys.getenv_opt "PATH" with
+    | None -> None
+    | Some path ->
+        String.split_on_char path_sep path
+        |> List.find_map (fun dir ->
+               if dir = "" then None
+               else
+                 let candidate = Filename.concat dir name in
+                 if file_exists_nondir candidate then Some candidate else None)
+
+(* Re-read the environment on every call: the fallback tests flip
+   SYMPILER_CC mid-process and must see the change immediately. *)
+let cc () =
+  match Sys.getenv_opt "SYMPILER_CC" with
+  | Some override when String.trim override <> "" -> search_path override
+  | Some _ | None ->
+      List.find_map search_path [ "cc"; "gcc"; "clang" ]
+
+let available () = cc () <> None
+
+(* Compiler identity is path + first line of --version, memoized per path
+   (the subprocess is too slow for per-load). A compiler upgrade changes
+   the line, changes every key, and naturally invalidates the disk cache. *)
+let identity_tbl : (string, string) Hashtbl.t = Hashtbl.create 4
+
+let quote = Filename.quote
+
+let first_line_of_file path =
+  try
+    In_channel.with_open_text path (fun ic ->
+        match In_channel.input_line ic with Some l -> l | None -> "")
+  with Sys_error _ -> ""
+
+let compiler_identity path =
+  with_lock (fun () ->
+      match Hashtbl.find_opt identity_tbl path with
+      | Some id -> id
+      | None ->
+          let tmp = Filename.temp_file "sympiler-ccid" ".txt" in
+          let cmd =
+            Printf.sprintf "%s --version > %s 2>/dev/null" (quote path)
+              (quote tmp)
+          in
+          let version =
+            if Sys.command cmd = 0 then first_line_of_file tmp else ""
+          in
+          (try Sys.remove tmp with Sys_error _ -> ());
+          let id = path ^ " | " ^ version in
+          Hashtbl.replace identity_tbl path id;
+          id)
+
+(* ----------------------------- Disk cache ----------------------------- *)
+
+let mkdir_p dir =
+  let rec aux dir =
+    if not (Sys.file_exists dir) then begin
+      aux (Filename.dirname dir);
+      try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+    end
+  in
+  aux dir
+
+let cache_dir () =
+  let dir =
+    match Sys.getenv_opt "SYMPILER_NATIVE_CACHE" with
+    | Some d when d <> "" -> d
+    | _ -> (
+        match Sys.getenv_opt "XDG_CACHE_HOME" with
+        | Some d when d <> "" -> Filename.concat d "sympiler-native"
+        | _ -> (
+            match Sys.getenv_opt "HOME" with
+            | Some h when h <> "" ->
+                Filename.concat (Filename.concat h ".cache") "sympiler-native"
+            | _ -> Filename.concat (Filename.get_temp_dir_name ()) "sympiler-native"))
+  in
+  mkdir_p dir;
+  dir
+
+(* FNV-1a over strings, folded into the caller's fingerprint. Stable
+   across runs (unlike Hashtbl.hash's implementation freedom guarantees
+   we don't want to rely on for on-disk names). *)
+let fnv1a_fold h s =
+  let h = ref (Int64.of_int h) in
+  let prime = 0x100000001b3L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  Int64.to_int !h land max_int
+
+let default_cflags =
+  [ "-O3"; "-march=native"; "-ffp-contract=off"; "-fPIC"; "-shared" ]
+
+let cache_key ~key ~entry ~cflags ~ccid source =
+  let h = fnv1a_fold (key land max_int) source in
+  let h = fnv1a_fold h entry in
+  let h = List.fold_left fnv1a_fold h cflags in
+  fnv1a_fold h ccid
+
+(* ------------------------------- Loading ------------------------------ *)
+
+let memory_cache : (string, kernel) Hashtbl.t = Hashtbl.create 16
+let clear_memory_cache () = with_lock (fun () -> Hashtbl.reset memory_cache)
+
+let reset_stats () =
+  with_lock (fun () ->
+      n_compiles := 0;
+      n_disk_hits := 0;
+      n_memory_hits := 0;
+      n_fallbacks := 0)
+
+let resolve so_path entry =
+  let handle = dlopen_so so_path in
+  dlsym_fn handle entry
+
+let run_compile ~cc_path ~cflags ~src_path ~out_path =
+  let log_path = out_path ^ ".log" in
+  let cmd flags =
+    Printf.sprintf "%s %s -o %s %s > %s 2>&1" (quote cc_path)
+      (String.concat " " (List.map quote flags))
+      (quote out_path) (quote src_path) (quote log_path)
+  in
+  let rc = Sys.command (cmd cflags) in
+  let rc =
+    (* -march=native can fail on exotic hosts/emulators; retry portable. *)
+    if rc <> 0 && List.mem "-march=native" cflags then
+      Sys.command (cmd (List.filter (fun f -> f <> "-march=native") cflags))
+    else rc
+  in
+  if rc = 0 then begin
+    (try Sys.remove log_path with Sys_error _ -> ());
+    Ok ()
+  end
+  else
+    Error
+      (Printf.sprintf "cc exited %d (%s)" rc
+         (first_line_of_file log_path))
+
+let compile_and_load ~cc_path ~cflags ~entry ~hexkey source =
+  let dir = cache_dir () in
+  let so_path = Filename.concat dir (hexkey ^ ".so") in
+  if Sys.file_exists so_path then begin
+    let t0 = Prof.now_seconds () in
+    let fn = resolve so_path entry in
+    let dt = Prof.now_seconds () -. t0 in
+    incr n_disk_hits;
+    note_so_hit ();
+    Ok { fn; so_path; origin = Disk_cache; compile_seconds = dt }
+  end
+  else begin
+    let src_path = Filename.concat dir (hexkey ^ ".c") in
+    (* Compile to a process-unique temp name and rename into place, so
+       concurrent processes racing on the same key never dlopen a
+       half-written object. rename is atomic within the directory. *)
+    let tmp_out =
+      Filename.concat dir
+        (Printf.sprintf ".%s.%d.tmp.so" hexkey (Stdlib.abs (Hashtbl.hash dir)))
+    in
+    let t0 = Prof.now_seconds () in
+    Out_channel.with_open_text src_path (fun oc ->
+        Out_channel.output_string oc source);
+    match run_compile ~cc_path ~cflags ~src_path ~out_path:tmp_out with
+    | Error _ as e ->
+        (try Sys.remove tmp_out with Sys_error _ -> ());
+        e
+    | Ok () ->
+        (try Sys.rename tmp_out so_path
+         with Sys_error _ -> (try Sys.remove tmp_out with Sys_error _ -> ()));
+        let fn = resolve so_path entry in
+        let dt = Prof.now_seconds () -. t0 in
+        incr n_compiles;
+        note_compile ();
+        Ok { fn; so_path; origin = Compiled; compile_seconds = dt }
+  end
+
+let load ?(cflags = default_cflags) ~key ~entry source =
+  match cc () with
+  | None ->
+      with_lock (fun () -> note_fallback "no C compiler found");
+      None
+  | Some cc_path ->
+      let ccid = compiler_identity cc_path in
+      let hexkey =
+        Printf.sprintf "%016x" (cache_key ~key ~entry ~cflags ~ccid source)
+      in
+      with_lock (fun () ->
+          match Hashtbl.find_opt memory_cache hexkey with
+          | Some k ->
+              incr n_memory_hits;
+              note_so_hit ();
+              Some k
+          | None -> (
+              match
+                try compile_and_load ~cc_path ~cflags ~entry ~hexkey source
+                with Failure msg -> Error msg
+              with
+              | Ok k ->
+                  Hashtbl.replace memory_cache hexkey k;
+                  Some k
+              | Error msg ->
+                  note_fallback msg;
+                  None))

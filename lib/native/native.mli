@@ -1,0 +1,99 @@
+(** The native kernel engine: compile Sympiler-emitted C into a shared
+    object, resolve its uniform entry point through [dlopen]/[dlsym], and
+    cache compiled objects on disk so a steady-state cache hit never
+    re-invokes the C compiler.
+
+    This module is deliberately family-agnostic: it knows nothing about
+    trisolve or Cholesky, only about "a C translation unit exporting
+
+    {[ int sympiler_entry(double *b0, double *b1, double *b2, double *b3); ]}
+
+    compiled with the configured flags". The per-family glue (which
+    emitted source, which buffer goes in which slot, how a non-negative
+    return maps to a pivot exception) lives in the facade's
+    [Native_engine]. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The only data type that crosses the FFI: a C-layout float64 Bigarray.
+    Its payload lives outside the OCaml heap, so the stub can hand the raw
+    pointer to the kernel without pinning. *)
+
+type origin =
+  | Compiled  (** the C compiler ran for this load *)
+  | Disk_cache  (** a previously compiled [.so] was dlopened, no compile *)
+  | Memory_cache  (** the already-loaded kernel was returned, no dlopen *)
+
+type kernel = {
+  fn : nativeint;  (** resolved [sympiler_entry] function pointer *)
+  so_path : string;  (** the shared object backing [fn] *)
+  origin : origin;  (** how the {e first} load of this key was served *)
+  compile_seconds : float;
+      (** wall-clock cost of cc + dlopen + dlsym for that first load
+          ([Compiled]), or of dlopen + dlsym alone ([Disk_cache]) *)
+}
+
+type stats = {
+  compiles : int;  (** loads that ran the C compiler *)
+  disk_hits : int;  (** loads served by dlopening a cached [.so] *)
+  memory_hits : int;  (** loads served from the in-process kernel table *)
+  fallbacks : int;  (** loads that returned [None] *)
+}
+
+val cc : unit -> string option
+(** The C compiler the engine would use: [$SYMPILER_CC] when set (even a
+    bare command name; [None] when it names nothing executable — the hook
+    for forcing fallback in tests), otherwise the first of [cc], [gcc],
+    [clang] found on [$PATH]. Re-read on every call, so tests can flip the
+    environment. *)
+
+val available : unit -> bool
+(** [cc () <> None]. *)
+
+val compiler_identity : string -> string
+(** Version-stamped identity of one compiler executable (path plus the
+    first line of [--version]), memoized per path. Part of every cache
+    key: upgrading the compiler invalidates the on-disk objects. *)
+
+val cache_dir : unit -> string
+(** The on-disk object cache: [$SYMPILER_NATIVE_CACHE] when set, else
+    [$XDG_CACHE_HOME/sympiler-native], else [$HOME/.cache/sympiler-native],
+    else [<tmpdir>/sympiler-native]. Created on demand. *)
+
+val default_cflags : string list
+(** [-O3 -march=native -ffp-contract=off -fPIC -shared]: full optimization
+    with FMA contraction disabled, so the compiled kernel performs exactly
+    the emitted operation sequence and factors stay bit-comparable to the
+    OCaml executors. *)
+
+val load :
+  ?cflags:string list -> key:int -> entry:string -> string -> kernel option
+(** [load ~key ~entry source] returns the entry point of [source] compiled
+    as a shared object, or [None] when no C compiler is available or the
+    compile/load failed (each such fallback bumps a counter and emits a
+    one-time note; callers are expected to fall back to the OCaml
+    executor).
+
+    The cache key folds [key] (the caller's pattern/options fingerprint,
+    e.g. a {!Sympiler_sparse.Csc.pattern_hash}) with a content hash of
+    [source], [entry], [cflags], and {!compiler_identity} — so any change
+    to the emitted code, the flags, or the toolchain compiles a fresh
+    object, while an identical configuration is served from cache:
+    first from the in-process table (no dlopen), then from the on-disk
+    [.so] (no compile). *)
+
+val call : kernel -> buf -> buf -> buf -> buf -> int
+(** Invoke the kernel on the raw data of four buffers (pass {!dummy} for
+    unused slots). Allocation-free. *)
+
+val dummy : buf
+(** A shared 1-element buffer for unused trampoline slots. *)
+
+val stats : unit -> stats
+
+val reset_stats : unit -> unit
+(** Zero the counters (tests). *)
+
+val clear_memory_cache : unit -> unit
+(** Drop the in-process kernel table, forcing the next [load] of each key
+    back to the on-disk cache (tests of the disk tier). Already-resolved
+    kernels stay valid: shared objects are never dlclosed. *)

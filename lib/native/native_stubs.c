@@ -1,0 +1,66 @@
+/* Hand-written dlopen/dlsym bridge for the native kernel engine.
+ *
+ * The switch has no ctypes, so this stub is the whole FFI surface: three
+ * externals. Loading returns raw handles/function pointers as nativeint;
+ * the call trampoline receives up to four float64 Bigarray buffers and
+ * invokes the resolved kernel on their data pointers.
+ *
+ * Every generated kernel is compiled behind one uniform entry point,
+ *
+ *   int sympiler_entry(double *b0, double *b1, double *b2, double *b3);
+ *
+ * appended to the emitted translation unit (see Native_engine), so a
+ * single trampoline signature serves all six kernel families. Kernels
+ * returning void are wrapped to return -1 ("no pivot failure"); the
+ * factorization kernels return the failing column index, which the OCaml
+ * side re-raises as the family's own exception.
+ *
+ * sympiler_native_call is declared [@@noalloc]: it allocates nothing and
+ * never calls back into the runtime, so the GC cannot move the Bigarray
+ * payloads (which live outside the OCaml heap anyway) during the call.
+ */
+
+#include <dlfcn.h>
+#include <stdint.h>
+
+#include <caml/alloc.h>
+#include <caml/bigarray.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+typedef int (*sympiler_kernel_fn)(double *, double *, double *, double *);
+
+CAMLprim value sympiler_native_dlopen(value vpath)
+{
+  CAMLparam1(vpath);
+  void *handle = dlopen(String_val(vpath), RTLD_NOW | RTLD_LOCAL);
+  if (handle == NULL) {
+    const char *err = dlerror();
+    caml_failwith(err == NULL ? "dlopen failed" : err);
+  }
+  CAMLreturn(caml_copy_nativeint((intnat)handle));
+}
+
+CAMLprim value sympiler_native_dlsym(value vhandle, value vname)
+{
+  CAMLparam2(vhandle, vname);
+  void *handle = (void *)Nativeint_val(vhandle);
+  /* Clear any stale error so a NULL-valued symbol is distinguishable. */
+  (void)dlerror();
+  void *fn = dlsym(handle, String_val(vname));
+  if (fn == NULL) {
+    const char *err = dlerror();
+    caml_failwith(err == NULL ? "dlsym returned NULL" : err);
+  }
+  CAMLreturn(caml_copy_nativeint((intnat)fn));
+}
+
+CAMLprim value sympiler_native_call(value vfn, value b0, value b1, value b2,
+                                    value b3)
+{
+  sympiler_kernel_fn fn = (sympiler_kernel_fn)Nativeint_val(vfn);
+  int rc = fn((double *)Caml_ba_data_val(b0), (double *)Caml_ba_data_val(b1),
+              (double *)Caml_ba_data_val(b2), (double *)Caml_ba_data_val(b3));
+  return Val_int(rc);
+}

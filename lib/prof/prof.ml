@@ -37,6 +37,12 @@ type counters = {
   mutable pool_imbalance_pct : int;
       (** worst per-dispatch imbalance, max/mean worker time as an integer
           percentage (100 = perfectly balanced; 0 = never measured) *)
+  mutable native_compiles : int;
+      (** generated-C kernels compiled to .so by the native engine *)
+  mutable native_so_hits : int;
+      (** native loads served from the memory/disk .so cache *)
+  mutable native_fallbacks : int;
+      (** native requests that fell back to the OCaml executor *)
 }
 
 let counters =
@@ -55,6 +61,9 @@ let counters =
     pool_tasks = 0;
     pool_max_workers = 0;
     pool_imbalance_pct = 0;
+    native_compiles = 0;
+    native_so_hits = 0;
+    native_fallbacks = 0;
   }
 
 let avg_supernode_width () =
@@ -151,6 +160,9 @@ let reset () =
   counters.pool_tasks <- 0;
   counters.pool_max_workers <- 0;
   counters.pool_imbalance_pct <- 0;
+  counters.native_compiles <- 0;
+  counters.native_so_hits <- 0;
+  counters.native_fallbacks <- 0;
   Hashtbl.reset scopes_tbl
 
 (* ------------------------------ Emitters ------------------------------ *)
@@ -237,6 +249,9 @@ let counters_json () =
       ("pool_tasks", Json.Int counters.pool_tasks);
       ("pool_max_workers", Json.Int counters.pool_max_workers);
       ("pool_imbalance_pct", Json.Int counters.pool_imbalance_pct);
+      ("native_compiles", Json.Int counters.native_compiles);
+      ("native_so_hits", Json.Int counters.native_so_hits);
+      ("native_fallbacks", Json.Int counters.native_fallbacks);
     ]
 
 let phases_json () =
@@ -275,6 +290,9 @@ let table () =
       ("pool_tasks", string_of_int counters.pool_tasks);
       ("pool_max_workers", string_of_int counters.pool_max_workers);
       ("pool_imbalance_pct", string_of_int counters.pool_imbalance_pct);
+      ("native_compiles", string_of_int counters.native_compiles);
+      ("native_so_hits", string_of_int counters.native_so_hits);
+      ("native_fallbacks", string_of_int counters.native_fallbacks);
     ]
   in
   (* Name-column width follows the longest name present, so long scopes

@@ -41,6 +41,15 @@ type counters = {
   mutable pool_imbalance_pct : int;
       (** worst per-dispatch level imbalance, max/mean worker time as an
           integer percentage (100 = perfectly balanced; 0 = not measured) *)
+  mutable native_compiles : int;
+      (** generated-C kernels compiled to a shared object by the native
+          engine (cache misses that ran the C compiler) *)
+  mutable native_so_hits : int;
+      (** native-engine loads served from the in-memory or on-disk .so
+          cache without re-invoking the compiler *)
+  mutable native_fallbacks : int;
+      (** native-engine requests that fell back to the OCaml executor
+          (no C compiler, compile failure, or dlopen failure) *)
 }
 
 val counters : counters

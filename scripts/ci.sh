@@ -4,6 +4,29 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== C compiler check =="
+# The gcc round-trip tests and the native backend need a C compiler. The
+# test suite skips those groups visibly when none exists, but CI must not
+# silently lose that coverage: require cc/gcc/clang (or $SYMPILER_CC)
+# unless SYMPILER_ALLOW_NO_CC=1 explicitly waives it — then the waived
+# gates print an explicit "skipped: no cc" line instead of passing.
+have_cc=1
+if [ -n "${SYMPILER_CC:-}" ]; then
+  command -v "$SYMPILER_CC" > /dev/null 2>&1 || have_cc=0
+else
+  command -v cc > /dev/null 2>&1 || command -v gcc > /dev/null 2>&1 \
+    || command -v clang > /dev/null 2>&1 || have_cc=0
+fi
+if [ "$have_cc" = "0" ]; then
+  if [ "${SYMPILER_ALLOW_NO_CC:-0}" = "1" ]; then
+    echo "skipped: no cc (SYMPILER_ALLOW_NO_CC=1 set; round-trip and native gates will skip)"
+  else
+    echo "FAIL: no C compiler (cc/gcc/clang on PATH, or \$SYMPILER_CC)." >&2
+    echo "      Set SYMPILER_ALLOW_NO_CC=1 to waive explicitly." >&2
+    exit 1
+  fi
+fi
+
 echo "== dune build =="
 dune build
 
@@ -40,6 +63,31 @@ grep -q '"steady_not_slower":true' BENCH_steady.json || {
   echo "FAIL: steady-state slower than first call in BENCH_steady.json" >&2
   exit 1
 }
+
+echo "== native backend gate =="
+# Compiled-C executors must race the OCaml ones without losing: the native
+# bench section gates native-not-slower on trisolve and Cholesky, the
+# .so-cache reload (a cache hit must not re-invoke the C compiler), and
+# zero allocation per native call.
+if [ "$have_cc" = "1" ]; then
+  dune exec bench/main.exe -- --quick --only native
+  for verdict in native_not_slower_trisolve native_not_slower_cholesky \
+    cache_hit_no_recompile native_zero_alloc; do
+    grep -q "\"$verdict\":true" BENCH_native.json || {
+      echo "FAIL: $verdict is false in BENCH_native.json" >&2
+      exit 1
+    }
+  done
+else
+  # Still run the section: it must degrade to an explicit skip marker,
+  # never to a silently-green verdict.
+  dune exec bench/main.exe -- --quick --only native
+  grep -q '"skipped":"no cc"' BENCH_native.json || {
+    echo "FAIL: native section without a compiler must write the skip marker" >&2
+    exit 1
+  }
+  echo "skipped: no cc"
+fi
 
 echo "== tracing-disabled overhead gate =="
 # Structured tracing must be free when off: the trace bench section

@@ -166,3 +166,34 @@ let arb_lower_with_rhs =
 
 let qtest ?(count = 100) name arb law =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* ---- process / filesystem helpers ---- *)
+
+(* Skip visibly (alcotest reports "SKIP") when [cmd] is not on PATH, so a
+   missing toolchain can never silently hollow out a round-trip test. *)
+let require_cmd cmd =
+  if Sys.command (Printf.sprintf "command -v %s > /dev/null 2>&1" cmd) <> 0
+  then Alcotest.skip ()
+
+(* mkdtemp-style temp directory. [Filename.temp_file] creates a regular
+   file; retry on the (astronomically unlikely) race where the name is
+   taken between remove and mkdir. *)
+let rec make_temp_dir () =
+  let path = Filename.temp_file "sympiler" ".dir" in
+  Sys.remove path;
+  try
+    Sys.mkdir path 0o700;
+    path
+  with Sys_error _ -> make_temp_dir ()
+
+let with_temp_dir f =
+  let dir = make_temp_dir () in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun entry -> try Sys.remove (Filename.concat dir entry) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ()
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () -> f dir)

@@ -14,5 +14,6 @@ let () =
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
       ("ordering-stage", Test_ordering.suite);
+      ("native", Test_native.suite);
       ("regressions", Test_regressions.suite);
     ]

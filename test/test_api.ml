@@ -75,8 +75,8 @@ let test_cholesky_c_code_supernodal () =
 
 (* Compile the emitted supernodal C with gcc and compare factors. *)
 let test_supernodal_c_gcc_roundtrip () =
-  if Sys.command "which gcc > /dev/null 2>&1" <> 0 then ()
-  else begin
+  Helpers.require_cmd "gcc";
+  begin
     let a = Generators.clique_chain ~seed:3 ~n:40 ~clique:6 ~overlap:2 () in
     let al = Csc.lower a in
     let c = Cholesky_supernodal.Sympiler.compile al in
@@ -102,25 +102,21 @@ let test_supernodal_c_gcc_roundtrip () =
          \  return 0;\n\
           }\n"
          nnz_l);
-    let dir = Filename.temp_file "sympiler" "" in
-    Sys.remove dir;
-    Unix.mkdir dir 0o755;
-    let cfile = Filename.concat dir "chol.c" in
-    let exe = Filename.concat dir "chol" in
-    Out_channel.with_open_text cfile (fun oc ->
-        Out_channel.output_string oc (Buffer.contents buf));
-    let rc =
-      Sys.command (Printf.sprintf "gcc -O2 -o %s %s -lm 2>/dev/null" exe cfile)
-    in
-    Alcotest.(check int) "gcc compiles supernodal C" 0 rc;
-    let ic = Unix.open_process_in exe in
-    let got = Array.init nnz_l (fun _ -> float_of_string (input_line ic)) in
-    ignore (Unix.close_process_in ic);
-    Sys.remove cfile;
-    Sys.remove exe;
-    Unix.rmdir dir;
-    Helpers.check_close ~eps:1e-12 "C factor matches OCaml executor"
-      expected.Csc.values got
+    Helpers.with_temp_dir (fun dir ->
+        let cfile = Filename.concat dir "chol.c" in
+        let exe = Filename.concat dir "chol" in
+        Out_channel.with_open_text cfile (fun oc ->
+            Out_channel.output_string oc (Buffer.contents buf));
+        let rc =
+          Sys.command
+            (Printf.sprintf "gcc -O2 -o %s %s -lm 2>/dev/null" exe cfile)
+        in
+        Alcotest.(check int) "gcc compiles supernodal C" 0 rc;
+        let ic = Unix.open_process_in exe in
+        let got = Array.init nnz_l (fun _ -> float_of_string (input_line ic)) in
+        ignore (Unix.close_process_in ic);
+        Helpers.check_close ~eps:1e-12 "C factor matches OCaml executor"
+          expected.Csc.values got)
   end
 
 let test_suite_prepared_small () =

@@ -324,7 +324,7 @@ let test_c_emission_structure () =
       "static const int pruneSet";
       "static const int blockSet";
       "static const int Lp";
-      "void trisolve(double *Lx, double *x";
+      "void trisolve(double *restrict Lx, double *restrict x";
       "#pragma GCC ivdep";
     ]
 
@@ -335,12 +335,17 @@ let test_c_emission_cholesky () =
   List.iter
     (fun marker ->
       Alcotest.(check bool) ("contains " ^ marker) true (contains_sub c marker))
-    [ "void cholesky(double *Ax, double *Lx, double *f)"; "rowPos"; "sqrt(" ]
+    [
+      "void cholesky(double *restrict Ax, double *restrict Lx, double *restrict \
+       f)";
+      "rowPos";
+      "sqrt(";
+    ]
 
 (* gcc round-trip: compile the generated trisolve and compare outputs. *)
 let test_gcc_roundtrip () =
-  if Sys.command "which gcc > /dev/null 2>&1" <> 0 then ()
-  else begin
+  Helpers.require_cmd "gcc";
+  begin
     let l = Generators.random_lower ~seed:31 ~n:40 ~density:0.15 () in
     let b = Generators.sparse_rhs ~seed:32 ~n:40 ~fill:0.1 () in
     let r = Pipeline.trisolve l b in
@@ -366,31 +371,28 @@ let test_gcc_roundtrip () =
       \  for (int i = 0; i < 40; i++) printf(\"%.17g\\n\", xv[i]);\n\
       \  return 0;\n\
        }\n";
-    let dir = Filename.temp_file "sympiler" "" in
-    Sys.remove dir;
-    Unix.mkdir dir 0o755;
-    let cfile = Filename.concat dir "t.c" in
-    let exe = Filename.concat dir "t" in
-    Out_channel.with_open_text cfile (fun oc ->
-        Out_channel.output_string oc (Buffer.contents buf));
-    let rc =
-      Sys.command (Printf.sprintf "gcc -O2 -o %s %s -lm 2>/dev/null" exe cfile)
-    in
-    Alcotest.(check int) "gcc compiles generated code" 0 rc;
-    let ic = Unix.open_process_in exe in
-    let got = Array.init 40 (fun _ -> float_of_string (input_line ic)) in
-    ignore (Unix.close_process_in ic);
-    Sys.remove cfile;
-    Sys.remove exe;
-    Unix.rmdir dir;
-    Helpers.check_close ~eps:1e-12 "gcc output matches interpreter" expected got
+    Helpers.with_temp_dir (fun dir ->
+        let cfile = Filename.concat dir "t.c" in
+        let exe = Filename.concat dir "t" in
+        Out_channel.with_open_text cfile (fun oc ->
+            Out_channel.output_string oc (Buffer.contents buf));
+        let rc =
+          Sys.command
+            (Printf.sprintf "gcc -O2 -o %s %s -lm 2>/dev/null" exe cfile)
+        in
+        Alcotest.(check int) "gcc compiles generated code" 0 rc;
+        let ic = Unix.open_process_in exe in
+        let got = Array.init 40 (fun _ -> float_of_string (input_line ic)) in
+        ignore (Unix.close_process_in ic);
+        Helpers.check_close ~eps:1e-12 "gcc output matches interpreter" expected
+          got)
   end
 
 (* Same round-trip but on a supernode-rich factor, so the emitted C
    exercises the VS-Block loops (dense diagonal solve + buffered GEMV). *)
 let test_gcc_roundtrip_blocked () =
-  if Sys.command "which gcc > /dev/null 2>&1" <> 0 then ()
-  else begin
+  Helpers.require_cmd "gcc";
+  begin
     let a = Generators.clique_chain ~seed:51 ~n:48 ~clique:8 ~overlap:2 () in
     let al = Csc.lower a in
     let l = Sympiler_kernels.Cholesky_ref.factor_simple al in
@@ -430,24 +432,21 @@ int main(void) {
     Buffer.add_string buf
       (Printf.sprintf
          "  for (int i = 0; i < %d; i++) printf(\"%%.17g\\n\", xv[i]);\n  return 0;\n}\n" n);
-    let dir = Filename.temp_file "sympiler" "" in
-    Sys.remove dir;
-    Unix.mkdir dir 0o755;
-    let cfile = Filename.concat dir "tb.c" in
-    let exe = Filename.concat dir "tb" in
-    Out_channel.with_open_text cfile (fun oc ->
-        Out_channel.output_string oc (Buffer.contents buf));
-    let rc =
-      Sys.command (Printf.sprintf "gcc -O2 -o %s %s -lm 2>/dev/null" exe cfile)
-    in
-    Alcotest.(check int) "gcc compiles blocked code" 0 rc;
-    let ic = Unix.open_process_in exe in
-    let got = Array.init n (fun _ -> float_of_string (input_line ic)) in
-    ignore (Unix.close_process_in ic);
-    Sys.remove cfile;
-    Sys.remove exe;
-    Unix.rmdir dir;
-    Helpers.check_close ~eps:1e-12 "blocked C matches interpreter" expected got
+    Helpers.with_temp_dir (fun dir ->
+        let cfile = Filename.concat dir "tb.c" in
+        let exe = Filename.concat dir "tb" in
+        Out_channel.with_open_text cfile (fun oc ->
+            Out_channel.output_string oc (Buffer.contents buf));
+        let rc =
+          Sys.command
+            (Printf.sprintf "gcc -O2 -o %s %s -lm 2>/dev/null" exe cfile)
+        in
+        Alcotest.(check int) "gcc compiles blocked code" 0 rc;
+        let ic = Unix.open_process_in exe in
+        let got = Array.init n (fun _ -> float_of_string (input_line ic)) in
+        ignore (Unix.close_process_in ic);
+        Helpers.check_close ~eps:1e-12 "blocked C matches interpreter" expected
+          got)
   end
 
 let suite =
