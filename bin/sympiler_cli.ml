@@ -78,6 +78,26 @@ let with_trace trace f =
          if d = 0 then "" else Printf.sprintf ", %d dropped" d);
       r
 
+(* With --metrics FILE, run [f] with the metrics registry collecting and
+   write a snapshot afterwards — OpenMetrics text exposition by default,
+   the JSON snapshot when FILE ends in .json. Available on every
+   subcommand, composing with --profile and --trace. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      Sympiler.Metrics.enable ();
+      let r = f () in
+      let body =
+        if Filename.check_suffix path ".json" then
+          Sympiler_prof.Prof.Json.to_string (Sympiler.Metrics.to_json ())
+        else Sympiler.Metrics.to_openmetrics ()
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc body);
+      Printf.eprintf "wrote %s (%d bytes)\n" path (String.length body);
+      r
+
 let output o s =
   match o with
   | None -> print_string s
@@ -87,7 +107,8 @@ let output o s =
 
 (* ---- analyze ---- *)
 
-let analyze matrix problem ordering profile trace =
+let analyze matrix problem ordering profile trace metrics =
+  with_metrics metrics @@ fun () ->
   with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
@@ -118,7 +139,8 @@ let analyze matrix problem ordering profile trace =
 
 (* ---- cholesky codegen ---- *)
 
-let cholesky matrix problem ordering out profile trace =
+let cholesky matrix problem ordering out profile trace metrics =
+  with_metrics metrics @@ fun () ->
   with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
@@ -137,7 +159,8 @@ let cholesky matrix problem ordering out profile trace =
 
 (* ---- trisolve codegen ---- *)
 
-let trisolve matrix problem rhs_fill out profile trace =
+let trisolve matrix problem rhs_fill out profile trace metrics =
+  with_metrics metrics @@ fun () ->
   with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
   let a = load ~matrix ~problem in
@@ -165,9 +188,15 @@ let trisolve matrix problem rhs_fill out profile trace =
    refactorizations into the same plan, reporting steady-state time per
    call, the GC minor-heap words each call allocates (0 = allocation-free),
    and the compilation cache's behaviour on a recompile. *)
-let steady matrix problem ordering repeat ndomains engine profile trace =
+let steady matrix problem ordering repeat ndomains engine profile trace metrics
+    =
+  with_metrics metrics @@ fun () ->
   with_trace trace @@ fun () ->
   with_profile profile @@ fun () ->
+  (* Per-call percentiles come from the plan's latency histogram, so the
+     registry collects for the duration of the loop even without
+     --metrics. *)
+  Sympiler.Metrics.enable ();
   let now = Sympiler_prof.Prof.now_seconds in
   let a = load ~matrix ~problem in
   let al = Csc.lower a in
@@ -213,6 +242,12 @@ let steady matrix problem ordering repeat ndomains engine profile trace =
     (first *. 1e3);
   Printf.printf "steady state     : %.3f ms/call over %d calls\n"
     (per_call *. 1e3) reps;
+  let lat = Sympiler.Cholesky.plan_latency p in
+  Printf.printf "latency p50/p99  : %.3f / %.3f ms (max %.3f ms, %d recorded)\n"
+    (lat.Sympiler.Metrics.p50 *. 1e3)
+    (lat.Sympiler.Metrics.p99 *. 1e3)
+    (lat.Sympiler.Metrics.max *. 1e3)
+    lat.Sympiler.Metrics.count;
   Printf.printf "minor words/call : %d%s\n" words
     (if words = 0 then " (allocation-free)" else "");
   Printf.printf "recompile hit    : %b (cache %d hits / %d misses)\n"
@@ -231,7 +266,8 @@ let steady matrix problem ordering repeat ndomains engine profile trace =
    histograms, level sets, the transformation decision log, and predicted
    vs executed flops (one numeric execution runs under profiling so the
    executed counter is populated). *)
-let explain matrix problem kernel ordering rhs_fill json trace =
+let explain matrix problem kernel ordering rhs_fill json trace metrics =
+  with_metrics metrics @@ fun () ->
   with_trace trace @@ fun () ->
   let a = load ~matrix ~problem in
   let was_on = Sympiler_prof.Prof.enabled () in
@@ -277,6 +313,41 @@ let explain matrix problem kernel ordering rhs_fill json trace =
   if not was_on then Sympiler_prof.Prof.disable ();
   if json then print_endline (Sympiler.Explain.to_json report)
   else print_string (Sympiler.Explain.to_table report);
+  0
+
+(* ---- stats ---- *)
+
+(* Run a representative compile-once / execute-many workload (a cached
+   Cholesky compile, [repeat] in-place refactorizations, then a triangular
+   solve plan driven the same way) with the metrics registry on, and print
+   the resulting snapshot: an aligned table by default, the OpenMetrics
+   text exposition, or the JSON snapshot. *)
+let stats matrix problem ordering repeat ndomains engine format trace =
+  with_trace trace @@ fun () ->
+  Sympiler.Metrics.enable ();
+  let a = load ~matrix ~problem in
+  let al = Csc.lower a in
+  let ord = ordering_of_flag ordering in
+  let reps = max 1 repeat in
+  let h = Sympiler.Cholesky.compile_cached ~ordering:ord al in
+  let p = Sympiler.Cholesky.plan ?ndomains ~engine h in
+  for _ = 1 to reps do
+    Sympiler.Cholesky.refactor_ip p al
+  done;
+  let l = Sympiler.Cholesky.factor h al in
+  let b = Generators.sparse_rhs ~seed:1 ~n:l.Csc.ncols ~fill:0.03 () in
+  let ts = Sympiler.Trisolve.compile (l, b) in
+  let tp = Sympiler.Trisolve.plan ?ndomains ~engine ts in
+  for _ = 1 to reps do
+    ignore (Sympiler.Trisolve.execute_ip tp b)
+  done;
+  Sympiler.Metrics.sample_process ();
+  (match format with
+  | `Table -> print_string (Sympiler.Metrics.to_table ())
+  | `Json ->
+      print_endline
+        (Sympiler_prof.Prof.Json.to_string (Sympiler.Metrics.to_json ()))
+  | `Openmetrics -> print_string (Sympiler.Metrics.to_openmetrics ()));
   0
 
 (* ---- cmdliner wiring ---- *)
@@ -361,6 +432,34 @@ let trace_arg =
         ~doc:"Write a Chrome trace-event JSON (Perfetto-loadable) to $(docv)"
         ~docv:"FILE")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ]
+        ~doc:
+          "Collect runtime metrics during the command and write a snapshot \
+           to $(docv): OpenMetrics text exposition, or the JSON snapshot \
+           when $(docv) ends in .json"
+        ~docv:"FILE")
+
+let format_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("table", `Table);
+             ("json", `Json);
+             ("openmetrics", `Openmetrics);
+           ])
+        `Table
+    & info [ "format"; "f" ]
+        ~doc:
+          "Output format: $(b,table) (default), $(b,json), or \
+           $(b,openmetrics)"
+        ~docv:"FMT")
+
 let kernel_arg =
   Arg.(
     value
@@ -375,7 +474,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Report symbolic analysis of a matrix")
     Term.(
       const analyze $ matrix_arg $ problem_arg $ ordering_arg $ profile_arg
-      $ trace_arg)
+      $ trace_arg $ metrics_arg)
 
 let steady_cmd =
   Cmd.v
@@ -385,19 +484,19 @@ let steady_cmd =
           plan (compile once, execute many)")
     Term.(
       const steady $ matrix_arg $ problem_arg $ ordering_arg $ repeat_arg
-      $ ndomains_arg $ engine_arg $ profile_arg $ trace_arg)
+      $ ndomains_arg $ engine_arg $ profile_arg $ trace_arg $ metrics_arg)
 
 let cholesky_cmd =
   Cmd.v (Cmd.info "cholesky" ~doc:"Emit specialized Cholesky C code")
     Term.(
       const cholesky $ matrix_arg $ problem_arg $ ordering_arg $ out_arg
-      $ profile_arg $ trace_arg)
+      $ profile_arg $ trace_arg $ metrics_arg)
 
 let trisolve_cmd =
   Cmd.v (Cmd.info "trisolve" ~doc:"Emit specialized triangular-solve C code")
     Term.(
       const trisolve $ matrix_arg $ problem_arg $ rhs_fill_arg $ out_arg
-      $ profile_arg $ trace_arg)
+      $ profile_arg $ trace_arg $ metrics_arg)
 
 let explain_cmd =
   Cmd.v
@@ -407,11 +506,29 @@ let explain_cmd =
           transformation decision log, predicted vs executed flops")
     Term.(
       const explain $ matrix_arg $ problem_arg $ kernel_arg $ ordering_arg
-      $ rhs_fill_arg $ json_arg $ trace_arg)
+      $ rhs_fill_arg $ json_arg $ trace_arg $ metrics_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a representative compile-once / execute-many workload with \
+          metrics collection on and print the registry snapshot (table, \
+          JSON, or OpenMetrics)")
+    Term.(
+      const stats $ matrix_arg $ problem_arg $ ordering_arg $ repeat_arg
+      $ ndomains_arg $ engine_arg $ format_arg $ trace_arg)
 
 let () =
   let doc = "Sympiler: sparsity-specific code generation for sparse kernels" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "sympiler_cli" ~doc)
-          [ analyze_cmd; cholesky_cmd; trisolve_cmd; steady_cmd; explain_cmd ]))
+          [
+            analyze_cmd;
+            cholesky_cmd;
+            trisolve_cmd;
+            steady_cmd;
+            explain_cmd;
+            stats_cmd;
+          ]))

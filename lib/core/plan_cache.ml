@@ -1,5 +1,16 @@
 open Sympiler_sparse
 open Sympiler_prof
+module Metrics = Sympiler_metrics.Metrics
+
+(* Serving metrics: all caches share one labeled family, since per-cache
+   identity is not meaningful across plan lifetimes. *)
+let m_hits = Metrics.counter "sympiler_plan_cache_hits" ~help:"Plan-cache lookups served"
+
+let m_misses =
+  Metrics.counter "sympiler_plan_cache_misses" ~help:"Plan-cache lookups that compiled"
+
+let m_evictions =
+  Metrics.counter "sympiler_plan_cache_evictions" ~help:"LRU entries evicted"
 
 (* Pattern-keyed compilation cache (LRU). Sympiler's economics rest on the
    compile-once / execute-many regime: the symbolic phase is the expensive
@@ -32,19 +43,20 @@ type 'a t = {
   mutable tick : int; (* logical clock for LRU ordering *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
-type stats = { hits : int; misses : int; length : int }
+type stats = { hits : int; misses : int; evictions : int; length : int }
 
 let create ?(capacity = 32) () =
   if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
-  { capacity; entries = []; tick = 0; hits = 0; misses = 0 }
+  { capacity; entries = []; tick = 0; hits = 0; misses = 0; evictions = 0 }
 
 let length t = List.length t.entries
 let clear t = t.entries <- []
 
 let stats (c : 'a t) : stats =
-  { hits = c.hits; misses = c.misses; length = length c }
+  { hits = c.hits; misses = c.misses; evictions = c.evictions; length = length c }
 
 let extra_equal (a : int array) (b : int array) =
   Array.length a = Array.length b
@@ -72,7 +84,9 @@ let evict_lru t =
           (fun acc e -> if e.last_use < acc.last_use then e else acc)
           e0 rest
       in
-      t.entries <- List.filter (fun e -> e != oldest) t.entries
+      t.entries <- List.filter (fun e -> e != oldest) t.entries;
+      t.evictions <- t.evictions + 1;
+      Metrics.inc m_evictions 1
 
 (* [extra] is hashed together with the pattern so differently-configured
    compilations of the same structure coexist as distinct entries. *)
@@ -83,16 +97,20 @@ let find_or_compile t ~pattern ?(extra = [||]) compile =
   | Some e ->
       e.last_use <- t.tick;
       t.hits <- t.hits + 1;
-      if Prof.enabled () then
-        Prof.counters.Prof.cache_hits <- Prof.counters.Prof.cache_hits + 1;
+      Metrics.inc m_hits 1;
+      (if Prof.enabled () then
+         let c = Prof.cell () in
+         c.Prof.cache_hits <- c.Prof.cache_hits + 1);
       (* Tag the caller's enclosing span (e.g. "compile_cached.cholesky")
          so traces show which compilations were free. *)
       Sympiler_trace.Trace.set_attr "cache" (Sympiler_trace.Trace.Str "hit");
       e.value
   | None ->
       t.misses <- t.misses + 1;
-      if Prof.enabled () then
-        Prof.counters.Prof.cache_misses <- Prof.counters.Prof.cache_misses + 1;
+      Metrics.inc m_misses 1;
+      (if Prof.enabled () then
+         let c = Prof.cell () in
+         c.Prof.cache_misses <- c.Prof.cache_misses + 1);
       Sympiler_trace.Trace.set_attr "cache" (Sympiler_trace.Trace.Str "miss");
       let value = compile () in
       if List.length t.entries >= t.capacity then evict_lru t;

@@ -10,7 +10,7 @@ open Sympiler_sparse
 
 type 'a t
 
-type stats = { hits : int; misses : int; length : int }
+type stats = { hits : int; misses : int; evictions : int; length : int }
 
 val create : ?capacity:int -> unit -> 'a t
 (** [capacity] (default 32) bounds the number of cached handles; the

@@ -17,6 +17,7 @@ module Suite = Suite
 module Codegen_supernodal = Codegen_supernodal
 module Plan_cache = Plan_cache
 module Trace = Sympiler_trace.Trace
+module Metrics = Sympiler_metrics.Metrics
 module Runtime = Sympiler_runtime
 module Native = Sympiler_native.Native
 module Native_engine = Native_engine
@@ -51,6 +52,42 @@ let time_symbolic f =
   let t0 = Prof.now_seconds () in
   let r = Prof.time "symbolic" f in
   (r, Prof.now_seconds () -. t0)
+
+(* ------------------------ Plan-lifecycle metrics ------------------------ *)
+
+(* Latency distributions for the two halves of the compile-once /
+   execute-many economics: what one symbolic compile costs, and what one
+   steady-state numeric call costs, labeled by the dimensions a serving
+   process wants to slice on. Registration happens on compile/plan paths
+   (it locks and allocates); the handles live in plan records so the
+   per-call hot path is a guarded [observe]. *)
+
+let observe_compile ~family ~ordering seconds =
+  if Metrics.enabled () then
+    Metrics.observe
+      (Metrics.histogram "sympiler_compile_seconds"
+         ~help:"Symbolic compile latency (ordering + inspection + codegen)"
+         ~labels:[ ("family", family); ("ordering", ordering) ])
+      seconds
+
+(* The label reports the engine that will actually execute — a native
+   request that degraded to the OCaml executor (no C compiler) says so. *)
+let engine_label (native : Native_engine.exec option) (engine : engine) =
+  match (native, engine) with
+  | Some _, `Native -> "native"
+  | Some _, `Native_novec -> "native-novec"
+  | _ -> "ocaml"
+
+let execute_hist ~family ~op ~engine ~ordering =
+  Metrics.histogram "sympiler_execute_seconds"
+    ~help:"Numeric execution latency per call (factor_ip / solve_ip)"
+    ~labels:
+      [
+        ("engine", engine);
+        ("family", family);
+        ("op", op);
+        ("ordering", ordering);
+      ]
 
 (* Optional-argument encoding for cache fingerprints: configurations must
    map to distinct integers, including "not given" vs "given the default
@@ -208,6 +245,11 @@ module type KERNEL = sig
   val symbolic_seconds : t -> float
   val plan : ?ndomains:int -> ?engine:engine -> t -> plan
   val execute_ip : plan -> input -> output
+
+  val plan_latency : plan -> Metrics.histogram_snapshot
+  (** Snapshot of the plan's [sympiler_execute_seconds] histogram (shared
+      across plans with the same family × op × engine × ordering). *)
+
   val c_code : t -> string
 end
 
@@ -281,6 +323,8 @@ module Trisolve = struct
       time_symbolic (fun () ->
           Trisolve_sympiler.compile ?vs_block_threshold ?max_width l b)
     in
+    observe_compile ~family:"trisolve" ~ordering:ord.o_name
+      (symbolic_seconds +. ord_seconds);
     {
       l;
       b_pattern = b.Vector.indices;
@@ -379,6 +423,7 @@ module Trisolve = struct
     native : Native_engine.exec option;
         (* compiled-C executor: b0 = Lx (filled at plan time), b1 = x,
            b2 = tmp when VS-Block added one *)
+    m_exec : Metrics.histogram; (* per-call solve latency *)
   }
 
   (* The emitted C binds L's values as a runtime parameter, so the plan
@@ -447,6 +492,9 @@ module Trisolve = struct
       ord_b;
       ord_x;
       native;
+      m_exec =
+        execute_hist ~family:"trisolve" ~op:"solve"
+          ~engine:(engine_label native engine) ~ordering:t.ord.o_name;
     }
 
   (* The inner executor dispatch shared by the natural and ordered paths.
@@ -475,7 +523,7 @@ module Trisolve = struct
         | Some pp -> Trisolve_parallel.solve_ip_sparse pp b
         | None -> Trisolve_sympiler.solve_ip p.p b)
 
-  let execute_ip (p : plan) (b : Vector.sparse) : float array =
+  let execute_ip_raw (p : plan) (b : Vector.sparse) : float array =
     Prof.start "numeric";
     let r =
       try
@@ -507,6 +555,16 @@ module Trisolve = struct
     Prof.stop "numeric";
     r
 
+  let execute_ip (p : plan) (b : Vector.sparse) : float array =
+    if Metrics.enabled () then begin
+      let t0 = Prof.now_seconds () in
+      let r = execute_ip_raw p b in
+      Metrics.observe p.m_exec (Prof.now_seconds () -. t0);
+      r
+    end
+    else execute_ip_raw p b
+
+  let plan_latency (p : plan) = Metrics.snapshot p.m_exec
   let solve_plan = execute_ip
 
   (* Generated C source implementing the same specialized solve
@@ -668,6 +726,8 @@ module Cholesky = struct
             (None, Some d, flops, nnz_l, decisions))
     in
     let variant = if sup = None then Simplicial else variant in
+    observe_compile ~family:"cholesky" ~ordering:ord.o_name
+      (symbolic_seconds +. ord_seconds);
     {
       variant;
       supernodal = sup;
@@ -757,6 +817,7 @@ module Cholesky = struct
     native : Native_engine.exec option;
         (* compiled-C executor: b0 = Ax, b1 = Lx, b2 = f (simplicial
            accumulator; it self-restores to zero after every column) *)
+    m_exec : Metrics.histogram; (* per-call refactorization latency *)
   }
 
   (* Both emitted variants fully (re)write Lx each call — the supernodal
@@ -794,6 +855,10 @@ module Cholesky = struct
       | None -> None
       | Some mode -> native_exec mode t
     in
+    let m_exec =
+      execute_hist ~family:"cholesky" ~op:"factor"
+        ~engine:(engine_label native engine) ~ordering:t.ord.o_name
+    in
     match (ndomains, t.supernodal) with
     | Some nd, Some c ->
         let lp =
@@ -801,7 +866,15 @@ module Cholesky = struct
               Cholesky_parallel.make_plan ~ndomains:nd
                 (Cholesky_parallel.levelize c))
         in
-        { handle = t; sup = None; simp = None; par = Some lp; scratch; native }
+        {
+          handle = t;
+          sup = None;
+          simp = None;
+          par = Some lp;
+          scratch;
+          native;
+          m_exec;
+        }
     | _ -> (
         match (t.supernodal, t.simplicial) with
         | Some c, _ ->
@@ -812,6 +885,7 @@ module Cholesky = struct
               par = None;
               scratch;
               native;
+              m_exec;
             }
         | None, Some d ->
             {
@@ -821,6 +895,7 @@ module Cholesky = struct
               par = None;
               scratch;
               native;
+              m_exec;
             }
         | None, None -> assert false)
 
@@ -832,7 +907,7 @@ module Cholesky = struct
     | None, None, Some pp -> pp.Cholesky_parallel.l
     | None, None, None -> assert false
 
-  let refactor_ip (p : plan) (a_lower : Csc.t) : unit =
+  let refactor_ip_raw (p : plan) (a_lower : Csc.t) : unit =
     Prof.start "numeric";
     (try
        let a_lower =
@@ -859,6 +934,16 @@ module Cholesky = struct
        Prof.stop "numeric";
        raise e);
     Prof.stop "numeric"
+
+  let refactor_ip (p : plan) (a_lower : Csc.t) : unit =
+    if Metrics.enabled () then begin
+      let t0 = Prof.now_seconds () in
+      refactor_ip_raw p a_lower;
+      Metrics.observe p.m_exec (Prof.now_seconds () -. t0)
+    end
+    else refactor_ip_raw p a_lower
+
+  let plan_latency (p : plan) = Metrics.snapshot p.m_exec
 
   let execute_ip (p : plan) (a_lower : Csc.t) : Csc.t =
     refactor_ip p a_lower;
@@ -909,6 +994,7 @@ module Ldlt = struct
     scratch : Csc.t option;
     native : Native_engine.exec option;
         (* b0 = Ax (lower values), b1 = Lx, b2 = D *)
+    m_exec : Metrics.histogram; (* per-call factorization latency *)
   }
 
   type input = Csc.t
@@ -929,6 +1015,8 @@ module Ldlt = struct
     let compiled, symbolic_seconds =
       time_symbolic (fun () -> K.compile a_lower)
     in
+    observe_compile ~family:"ldlt" ~ordering:ord.o_name
+      (symbolic_seconds +. ord_seconds);
     {
       compiled;
       pattern = a_lower;
@@ -961,9 +1049,17 @@ module Ldlt = struct
               [| Csc.nnz t.pattern; Array.length p.K.lx; t.pattern.Csc.ncols |]
             (Codegen_static.ldlt t.compiled)
     in
-    { handle = t; p; scratch = ordering_scratch t.ord t.pattern; native }
+    {
+      handle = t;
+      p;
+      scratch = ordering_scratch t.ord t.pattern;
+      native;
+      m_exec =
+        execute_hist ~family:"ldlt" ~op:"factor"
+          ~engine:(engine_label native engine) ~ordering:t.ord.o_name;
+    }
 
-  let execute_ip (p : plan) (a_lower : input) : output =
+  let execute_ip_raw (p : plan) (a_lower : input) : output =
     Prof.start "numeric";
     (try
        let a_lower =
@@ -990,6 +1086,16 @@ module Ldlt = struct
     Prof.stop "numeric";
     p.p.K.f
 
+  let execute_ip (p : plan) (a_lower : input) : output =
+    if Metrics.enabled () then begin
+      let t0 = Prof.now_seconds () in
+      let r = execute_ip_raw p a_lower in
+      Metrics.observe p.m_exec (Prof.now_seconds () -. t0);
+      r
+    end
+    else execute_ip_raw p a_lower
+
+  let plan_latency (p : plan) = Metrics.snapshot p.m_exec
   let factor_ip = execute_ip
 
   let factor (t : t) (a_lower : Csc.t) : output =
@@ -1018,6 +1124,7 @@ module Lu = struct
     p : K.Sympiler.plan;
     scratch : Csc.t option;
     native : Native_engine.exec option; (* b0 = Ax, b1 = Lx, b2 = Ux *)
+    m_exec : Metrics.histogram; (* per-call factorization latency *)
   }
 
   type input = Csc.t
@@ -1033,6 +1140,8 @@ module Lu = struct
     let compiled, symbolic_seconds =
       time_symbolic (fun () -> K.Sympiler.compile a)
     in
+    observe_compile ~family:"lu" ~ordering:ord.o_name
+      (symbolic_seconds +. ord_seconds);
     {
       compiled;
       pattern = a;
@@ -1070,9 +1179,17 @@ module Lu = struct
               |]
             (Codegen_static.lu t.compiled t.pattern)
     in
-    { handle = t; p; scratch = ordering_scratch t.ord t.pattern; native }
+    {
+      handle = t;
+      p;
+      scratch = ordering_scratch t.ord t.pattern;
+      native;
+      m_exec =
+        execute_hist ~family:"lu" ~op:"factor"
+          ~engine:(engine_label native engine) ~ordering:t.ord.o_name;
+    }
 
-  let execute_ip (p : plan) (a : input) : output =
+  let execute_ip_raw (p : plan) (a : input) : output =
     Prof.start "numeric";
     (try
        let a =
@@ -1097,6 +1214,16 @@ module Lu = struct
     Prof.stop "numeric";
     p.p.K.Sympiler.f
 
+  let execute_ip (p : plan) (a : input) : output =
+    if Metrics.enabled () then begin
+      let t0 = Prof.now_seconds () in
+      let r = execute_ip_raw p a in
+      Metrics.observe p.m_exec (Prof.now_seconds () -. t0);
+      r
+    end
+    else execute_ip_raw p a
+
+  let plan_latency (p : plan) = Metrics.snapshot p.m_exec
   let factor_ip = execute_ip
 
   let factor (t : t) (a : Csc.t) : output =
@@ -1124,6 +1251,7 @@ module Ic0 = struct
     p : K.plan;
     scratch : Csc.t option;
     native : Native_engine.exec option; (* b0 = Ax (lower values), b1 = Lx *)
+    m_exec : Metrics.histogram; (* per-call factorization latency *)
   }
 
   type input = Csc.t
@@ -1144,6 +1272,8 @@ module Ic0 = struct
     let compiled, symbolic_seconds =
       time_symbolic (fun () -> K.compile a_lower)
     in
+    observe_compile ~family:"ic0" ~ordering:ord.o_name
+      (symbolic_seconds +. ord_seconds);
     {
       compiled;
       pattern = a_lower;
@@ -1175,9 +1305,17 @@ module Ic0 = struct
             ~sizes:[| Csc.nnz t.pattern; Array.length p.K.lx |]
             (Codegen_static.ic0 t.compiled)
     in
-    { handle = t; p; scratch = ordering_scratch t.ord t.pattern; native }
+    {
+      handle = t;
+      p;
+      scratch = ordering_scratch t.ord t.pattern;
+      native;
+      m_exec =
+        execute_hist ~family:"ic0" ~op:"factor"
+          ~engine:(engine_label native engine) ~ordering:t.ord.o_name;
+    }
 
-  let execute_ip (p : plan) (a_lower : input) : output =
+  let execute_ip_raw (p : plan) (a_lower : input) : output =
     Prof.start "numeric";
     (try
        let a_lower =
@@ -1201,6 +1339,16 @@ module Ic0 = struct
     Prof.stop "numeric";
     p.p.K.l
 
+  let execute_ip (p : plan) (a_lower : input) : output =
+    if Metrics.enabled () then begin
+      let t0 = Prof.now_seconds () in
+      let r = execute_ip_raw p a_lower in
+      Metrics.observe p.m_exec (Prof.now_seconds () -. t0);
+      r
+    end
+    else execute_ip_raw p a_lower
+
+  let plan_latency (p : plan) = Metrics.snapshot p.m_exec
   let factor_ip = execute_ip
 
   let factor (t : t) (a_lower : Csc.t) : output =
@@ -1229,6 +1377,7 @@ module Ilu0 = struct
     scratch : Csc.t option;
     native : Native_engine.exec option;
         (* b0 = Ax (CSC values), b1 = factor values (CSR order) *)
+    m_exec : Metrics.histogram; (* per-call factorization latency *)
   }
 
   type input = Csc.t
@@ -1244,6 +1393,8 @@ module Ilu0 = struct
     let compiled, symbolic_seconds =
       time_symbolic (fun () -> K.compile a)
     in
+    observe_compile ~family:"ilu0" ~ordering:ord.o_name
+      (symbolic_seconds +. ord_seconds);
     {
       compiled;
       pattern = a;
@@ -1275,9 +1426,17 @@ module Ilu0 = struct
             ~sizes:[| Csc.nnz t.pattern; Array.length p.K.f.K.values |]
             (Codegen_static.ilu0 t.compiled)
     in
-    { handle = t; p; scratch = ordering_scratch t.ord t.pattern; native }
+    {
+      handle = t;
+      p;
+      scratch = ordering_scratch t.ord t.pattern;
+      native;
+      m_exec =
+        execute_hist ~family:"ilu0" ~op:"factor"
+          ~engine:(engine_label native engine) ~ordering:t.ord.o_name;
+    }
 
-  let execute_ip (p : plan) (a : input) : output =
+  let execute_ip_raw (p : plan) (a : input) : output =
     Prof.start "numeric";
     (try
        let a =
@@ -1301,6 +1460,16 @@ module Ilu0 = struct
     Prof.stop "numeric";
     p.p.K.f
 
+  let execute_ip (p : plan) (a : input) : output =
+    if Metrics.enabled () then begin
+      let t0 = Prof.now_seconds () in
+      let r = execute_ip_raw p a in
+      Metrics.observe p.m_exec (Prof.now_seconds () -. t0);
+      r
+    end
+    else execute_ip_raw p a
+
+  let plan_latency (p : plan) = Metrics.snapshot p.m_exec
   let factor_ip = execute_ip
 
   let factor (t : t) (a : Csc.t) : output =

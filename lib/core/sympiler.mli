@@ -27,6 +27,16 @@ module Trace = Sympiler_trace.Trace
     (re-exported for convenience): enable with [Trace.enable ()], export
     with [Trace.to_chrome_json] / [Trace.to_folded]. *)
 
+module Metrics = Sympiler_metrics.Metrics
+(** Serving-grade metrics (re-exported): a domain-safe labeled registry of
+    counters, gauges, and latency histograms, populated by the plan
+    lifecycle ([sympiler_compile_seconds], [sympiler_execute_seconds]),
+    the plan cache, the native engine, and the domain pool. Enable with
+    [Metrics.enable ()] or [SYMPILER_METRICS=1]; export with
+    [Metrics.to_openmetrics] / [to_json] / [to_table]. See DESIGN.md for
+    the prof (phase timers) / trace (spans) / metrics (distributions)
+    division of labor. *)
+
 module Runtime = Sympiler_runtime
 (** The persistent domain-pool parallel runtime ({!Runtime.Pool}) behind
     every [?ndomains] argument, re-exported for sizing control
@@ -142,6 +152,13 @@ module type KERNEL = sig
 
   val plan : ?ndomains:int -> ?engine:engine -> t -> plan
   val execute_ip : plan -> input -> output
+
+  val plan_latency : plan -> Metrics.histogram_snapshot
+  (** Snapshot of the plan's per-call execution-latency histogram
+      ([sympiler_execute_seconds], shared across plans with the same
+      family × op × engine × ordering labels): exact count/sum/max,
+    bucket-resolution p50/p90/p99. All zeros until {!Metrics.enable}. *)
+
   val c_code : t -> string
 end
 
@@ -242,6 +259,8 @@ module Trisolve : sig
     native : Native_engine.exec option;
         (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
             the compiled-C executor (b0 = Lx, b1 = x, b2 = tmp) *)
+    m_exec : Metrics.histogram;
+        (** the plan's [sympiler_execute_seconds] latency series *)
   }
   (** Reusable numeric workspaces for the compile-once / execute-many
       regime. *)
@@ -266,6 +285,10 @@ module Trisolve : sig
 
   val solve_plan : plan -> Vector.sparse -> float array
   (** Alias of {!execute_ip} (pre-unification name). *)
+
+  val plan_latency : plan -> Metrics.histogram_snapshot
+  (** Per-call solve-latency distribution of this plan's metric series
+      (see {!KERNEL.plan_latency}). *)
 
   val c_code : t -> string
   (** Specialized C implementing the same solve (VS-Block + VI-Prune +
@@ -376,6 +399,8 @@ module Cholesky : sig
         (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
             the compiled-C executor (b0 = Ax, b1 = Lx, b2 = simplicial
             accumulator) *)
+    m_exec : Metrics.histogram;
+        (** the plan's [sympiler_execute_seconds] latency series *)
   }
   (** Reusable numeric workspaces (factor storage + scratch) for the
       compile-once / execute-many regime; which side is populated follows
@@ -400,6 +425,10 @@ module Cholesky : sig
 
   val refactor_ip : plan -> Csc.t -> unit
   (** {!execute_ip} without the view (pre-unification name). *)
+
+  val plan_latency : plan -> Metrics.histogram_snapshot
+  (** Per-call refactorization-latency distribution of this plan's metric
+      series (see {!KERNEL.plan_latency}). *)
 
   val plan_factor : plan -> Csc.t
   (** The plan's factor view, refreshed in place by each {!refactor_ip}
@@ -435,6 +464,8 @@ module Ldlt : sig
     native : Native_engine.exec option;
         (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
             the compiled-C executor (b0 = Ax, b1 = Lx, b2 = D) *)
+    m_exec : Metrics.histogram;
+        (** the plan's [sympiler_execute_seconds] latency series *)
   }
 
   type input = Csc.t
@@ -476,6 +507,10 @@ module Ldlt : sig
   val factor_ip : plan -> input -> output
   (** Alias of {!execute_ip}. *)
 
+  val plan_latency : plan -> Metrics.histogram_snapshot
+  (** Per-call factorization-latency distribution of this plan's metric
+      series (see {!KERNEL.plan_latency}). *)
+
   val factor : t -> Csc.t -> output
   (** One-shot: fresh factors per call. *)
 
@@ -503,6 +538,8 @@ module Lu : sig
     native : Native_engine.exec option;
         (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
             the compiled-C executor (b0 = Ax, b1 = Lx, b2 = Ux) *)
+    m_exec : Metrics.histogram;
+        (** the plan's [sympiler_execute_seconds] latency series *)
   }
 
   type input = Csc.t
@@ -544,6 +581,10 @@ module Lu : sig
   val factor_ip : plan -> input -> output
   (** Alias of {!execute_ip}. *)
 
+  val plan_latency : plan -> Metrics.histogram_snapshot
+  (** Per-call factorization-latency distribution of this plan's metric
+      series (see {!KERNEL.plan_latency}). *)
+
   val factor : t -> Csc.t -> output
   val c_code : t -> string
 end
@@ -567,6 +608,8 @@ module Ic0 : sig
     native : Native_engine.exec option;
         (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
             the compiled-C executor (b0 = Ax, b1 = Lx) *)
+    m_exec : Metrics.histogram;
+        (** the plan's [sympiler_execute_seconds] latency series *)
   }
 
   type input = Csc.t
@@ -609,6 +652,10 @@ module Ic0 : sig
   val factor_ip : plan -> input -> output
   (** Alias of {!execute_ip}. *)
 
+  val plan_latency : plan -> Metrics.histogram_snapshot
+  (** Per-call factorization-latency distribution of this plan's metric
+      series (see {!KERNEL.plan_latency}). *)
+
   val factor : t -> Csc.t -> output
   val c_code : t -> string
 end
@@ -633,6 +680,8 @@ module Ilu0 : sig
         (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
             the compiled-C executor (b0 = Ax in CSC order, b1 = factor
             values in CSR order) *)
+    m_exec : Metrics.histogram;
+        (** the plan's [sympiler_execute_seconds] latency series *)
   }
 
   type input = Csc.t
@@ -673,6 +722,10 @@ module Ilu0 : sig
 
   val factor_ip : plan -> input -> output
   (** Alias of {!execute_ip}. *)
+
+  val plan_latency : plan -> Metrics.histogram_snapshot
+  (** Per-call factorization-latency distribution of this plan's metric
+      series (see {!KERNEL.plan_latency}). *)
 
   val factor : t -> Csc.t -> output
   val c_code : t -> string

@@ -90,7 +90,7 @@ let factor (c : compiled) (a_lower : Csc.t) : Csc.t =
     done
   done;
   if Prof.enabled () then begin
-    let k = Prof.counters in
+    let k = Prof.cell () in
     k.Prof.flops <- k.Prof.flops + int_of_float c.flops;
     k.Prof.nnz_touched <- k.Prof.nnz_touched + lp.(n)
   end;

@@ -208,7 +208,7 @@ module Decoupled = struct
       nzcount.(k) <- 1
     done;
     if Sympiler_prof.Prof.enabled () then begin
-      let k = Sympiler_prof.Prof.counters in
+      let k = Sympiler_prof.Prof.cell () in
       k.Sympiler_prof.Prof.flops <-
         k.Sympiler_prof.Prof.flops + int_of_float c.flops;
       k.Sympiler_prof.Prof.nnz_touched <-

@@ -262,7 +262,7 @@ let max_update_buf an =
 
 let record_factor an =
   if Prof.enabled () then begin
-    let k = Prof.counters in
+    let k = Prof.cell () in
     k.Prof.flops <- k.Prof.flops + int_of_float an.flops;
     k.Prof.nnz_touched <- k.Prof.nnz_touched + an.nnz_l
   end

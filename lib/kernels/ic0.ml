@@ -121,7 +121,7 @@ let factor_ip_body (p : plan) (a_lower : Csc.t) : unit =
     (* Structure-driven operation count: updates attempted per prune-set
        column plus the sqrt/divide pass (the IC(0) dropping rule makes the
        exact executed count value-dependent; this is its pattern bound). *)
-    let k = Prof.counters in
+    let k = Prof.cell () in
     let fl = ref 0 in
     for j = 0 to n - 1 do
       for q = c.row_ptr.(j) to c.row_ptr.(j + 1) - 1 do

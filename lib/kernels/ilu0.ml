@@ -99,7 +99,7 @@ let factor_ip_body (p : plan) (a : Csc.t) : unit =
   if Prof.enabled () then begin
     (* Pattern bound, as for IC(0): per row, each eliminating k < i costs a
        divide plus up to 2*|U(k, k+1:)| update ops. *)
-    let k = Prof.counters in
+    let k = Prof.cell () in
     let fl = ref 0 in
     for i = 0 to c.n - 1 do
       for p = c.rowptr.(i) to c.rowptr.(i + 1) - 1 do

@@ -150,7 +150,7 @@ module Sympiler = struct
       done
     done;
     if Prof.enabled () then begin
-      let k = Prof.counters in
+      let k = Prof.cell () in
       k.Prof.flops <- k.Prof.flops + int_of_float c.flops;
       k.Prof.nnz_touched <-
         k.Prof.nnz_touched + c.l_colptr.(n) + c.u_colptr.(n)

@@ -145,7 +145,7 @@ let compile (l : Csc.t) : compiled =
     done
   done;
   if Prof.enabled () then begin
-    let c = Prof.counters in
+    let c = Prof.cell () in
     c.Prof.levels <- c.Prof.levels + nlevels;
     let maxw = ref 0 in
     for lv = 0 to nlevels - 1 do
@@ -181,7 +181,7 @@ let solve_level_sequential (c : compiled) (x : float array) ~lo ~hi =
 (* The dense-RHS solve visits every column: 2*nnz - n flops. *)
 let record_solve (c : compiled) =
   if Prof.enabled () then begin
-    let k = Prof.counters in
+    let k = Prof.cell () in
     let n = c.l.Csc.ncols in
     let nnz = c.l.Csc.colptr.(n) in
     k.Prof.flops <- k.Prof.flops + ((2 * nnz) - n);

@@ -22,7 +22,7 @@ let naive_ip (l : Csc.t) (x : float array) =
     done
   done;
   if Prof.enabled () then begin
-    let c = Prof.counters in
+    let c = Prof.cell () in
     let nnz = lp.(n) in
     c.Prof.flops <- c.Prof.flops + ((2 * nnz) - n);
     c.Prof.nnz_touched <- c.Prof.nnz_touched + nnz
@@ -48,7 +48,7 @@ let library_ip_counted (l : Csc.t) (x : float array) =
       nnz := !nnz + cn
     end
   done;
-  let c = Prof.counters in
+  let c = Prof.cell () in
   c.Prof.flops <- c.Prof.flops + !flops;
   c.Prof.nnz_touched <- c.Prof.nnz_touched + !nnz
 
@@ -81,7 +81,7 @@ let decoupled_ip (l : Csc.t) (reach : int array) (x : float array) =
     done
   done;
   if Prof.enabled () then begin
-    let c = Prof.counters in
+    let c = Prof.cell () in
     let nnz = ref 0 in
     Array.iter (fun j -> nnz := !nnz + (lp.(j + 1) - lp.(j))) reach;
     c.Prof.flops <- c.Prof.flops + ((2 * !nnz) - Array.length reach);

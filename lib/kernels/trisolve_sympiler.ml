@@ -98,7 +98,7 @@ let compile ?(vs_block_threshold = 1.6) ?(waste_threshold = 0.1) ?max_width
   done;
   if Prof.enabled () then begin
     (* VI-Prune inspection removed the columns outside the reach-set. *)
-    let c = Prof.counters in
+    let c = Prof.cell () in
     c.Prof.iters_pruned <-
       c.Prof.iters_pruned + (l.Csc.ncols - Array.length reach)
   end;
@@ -200,7 +200,7 @@ let process_supernode_specialized c x s =
    iteration, and only when profiling is enabled. *)
 let record_solve c =
   if Prof.enabled () then begin
-    let k = Prof.counters in
+    let k = Prof.cell () in
     let fl = int_of_float c.flops in
     k.Prof.flops <- k.Prof.flops + fl;
     k.Prof.nnz_touched <- k.Prof.nnz_touched + ((fl + Array.length c.reach) / 2)

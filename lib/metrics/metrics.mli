@@ -1,0 +1,148 @@
+(** Serving-grade metrics: a domain-safe labeled registry of counters,
+    gauges, and latency histograms, with OpenMetrics / JSON / table
+    exporters.
+
+    Division of labor across the three observability layers:
+    - {b prof} answers "where did this process spend its time" — reentrant
+      phase timers and kernel work counters, one global snapshot.
+    - {b trace} answers "what happened, in order" — per-call spans in a
+      ring buffer, exported to Chrome/folded formats.
+    - {b metrics} (this module) answers "how is the system behaving over
+      many calls" — monotonic aggregates and latency {e distributions}
+      (p50/p99), labeled by dimension, cheap enough to leave on in a
+      serving process and exposable in the standard Prometheus /
+      OpenMetrics text format.
+
+    Contracts, matching prof/trace:
+    - Disabled (the default) costs a single boolean load per recording
+      site and allocates nothing.
+    - Enabled hot paths ({!inc}, {!observe}) are one atomic fetch-and-add
+      on a per-domain sharded cell plus integer arithmetic — no
+      allocation, no locks. Cells are aggregated at read time.
+    - Registration ({!counter} / {!gauge} / {!histogram}) takes a lock and
+      allocates; do it once at plan/startup time and keep the handle.
+
+    [SYMPILER_METRICS=1] in the environment enables collection at program
+    start. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations and handles survive). *)
+
+(** {1 Registration}
+
+    A metric is identified by its name plus its sorted label set;
+    registering the same identity twice returns the same handle.
+    Names must match [[a-zA-Z_:][a-zA-Z0-9_:]*]; label names must match
+    [[a-zA-Z_][a-zA-Z0-9_]*]. Label values are arbitrary UTF-8 (escaped
+    on export). Raises [Invalid_argument] on a malformed name or when the
+    same identity is re-registered as a different metric kind. *)
+
+type counter
+type gauge
+type histogram
+
+val counter :
+  ?help:string -> ?labels:(string * string) list -> string -> counter
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  ?help:string -> ?labels:(string * string) list -> string -> histogram
+(** Histogram values are {e seconds}; internally they are recorded as
+    integer nanoseconds into log-linear (HDR-style) buckets: exact below
+    16 ns, then 16 sub-buckets per power of two (≤ 6.25% relative width),
+    saturating at ~2.3 h. Count, sum, and max are exact; percentiles are
+    exact to one bucket. *)
+
+(** {1 Recording (hot paths)} *)
+
+val inc : counter -> int -> unit
+(** Add [n] (>= 0) to a counter: one boolean load when disabled, one
+    atomic fetch-and-add when enabled. Never allocates. *)
+
+val set : gauge -> float -> unit
+(** Set a gauge to the given value (last write wins across domains).
+    Gauges are sample-time instruments, not hot-path ones: setting one
+    may allocate a boxed float. *)
+
+val observe : histogram -> float -> unit
+(** Record a latency in seconds: bucket + sum + max updates, all atomic
+    fetch-and-add / compare-and-set on integers. Never allocates.
+    Negative and non-finite values are dropped. *)
+
+val observe_ns : histogram -> int -> unit
+(** Same, with the value already in integer nanoseconds. *)
+
+(** {1 Reading} *)
+
+val counter_value : counter -> int
+(** Sum over the per-domain cells. *)
+
+val gauge_value : gauge -> float
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;  (** seconds, exact (integer-ns accumulation) *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;  (** seconds, exact *)
+}
+
+val snapshot : histogram -> histogram_snapshot
+
+val percentile : histogram -> float -> float
+(** [percentile h q] for [q] in [0,1]: the upper bound (in seconds) of
+    the bucket holding the nearest-rank [q]-quantile; [0.] when empty. *)
+
+(** {1 Bucket geometry} (exposed for tests and the bench oracle) *)
+
+val bucket_of_ns : int -> int
+(** Bucket index of an integer-nanosecond value (saturating). *)
+
+val bucket_upper_ns : int -> int
+(** Inclusive upper bound of bucket [i], in nanoseconds. *)
+
+val n_buckets : int
+
+(** {1 Process gauges} *)
+
+val sample_process : unit -> unit
+(** Refresh the built-in process gauges: [process_gc_minor_words],
+    [process_gc_major_words], [process_gc_compactions], and
+    [process_vm_hwm_kb] (from /proc/self/status; absent on platforms
+    without procfs). Called automatically by the exporters below. *)
+
+(** {1 Exporters}
+
+    All exporters aggregate the sharded cells at call time; they allocate
+    freely and take the registry lock, so they belong on scrape/report
+    paths, not hot paths. Metrics are emitted sorted by name then label
+    set, so output is deterministic. *)
+
+val to_openmetrics : unit -> string
+(** OpenMetrics 1.0 text exposition: [# TYPE]/[# HELP] metadata, counters
+    as [name_total], histograms as cumulative [name_bucket{le="..."}]
+    series over a decade ladder plus [+Inf], [name_sum], [name_count];
+    terminated by [# EOF]. Label values are escaped per the spec. *)
+
+val to_json : unit -> Sympiler_prof.Prof.Json.t
+(** [{"counters":[...],"gauges":[...],"histograms":[...]}] with per-metric
+    name, labels, and values (histograms include count/sum/percentiles). *)
+
+val to_table : unit -> string
+(** Aligned human-readable table: one row per counter/gauge, and
+    count/p50/p99/max columns per histogram. *)
+
+(** {1 OpenMetrics conformance lint} (used by tests, bench, and CI)
+
+    A small structural checker for the exposition format produced above:
+    metric-name and label-name grammar, label-value escaping, cumulative
+    non-decreasing [_bucket] series ending in [le="+Inf"] that matches
+    [_count], and a final [# EOF]. *)
+
+val lint_openmetrics : string -> (unit, string) result

@@ -16,6 +16,7 @@
 
 module Prof = Sympiler_prof.Prof
 module Trace = Sympiler_trace.Trace
+module Metrics = Sympiler_metrics.Metrics
 
 type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
@@ -67,21 +68,50 @@ let stats () =
         fallbacks = !n_fallbacks;
       })
 
+(* Serving metrics: where native loads were served from, how long the C
+   compiler took, and how often the engine declined. *)
+let m_cc_seconds =
+  Metrics.histogram "sympiler_native_cc_seconds"
+    ~help:"Wall time of one generated-C compile (write, cc, dlopen)"
+
+let m_loads_memory =
+  Metrics.counter "sympiler_native_loads" ~labels:[ ("source", "memory") ]
+    ~help:"Native kernel loads by serving source"
+
+let m_loads_disk =
+  Metrics.counter "sympiler_native_loads" ~labels:[ ("source", "disk") ]
+    ~help:"Native kernel loads by serving source"
+
+let m_compiles =
+  Metrics.counter "sympiler_native_compiles" ~help:"Generated-C kernels compiled to .so"
+
+let m_fallbacks =
+  Metrics.counter "sympiler_native_fallbacks"
+    ~help:"Native requests that fell back to the OCaml executor"
+
 let note_so_hit () =
-  if Prof.enabled () then
-    Prof.(counters.native_so_hits <- counters.native_so_hits + 1)
+  if Prof.enabled () then begin
+    let c = Prof.cell () in
+    c.Prof.native_so_hits <- c.Prof.native_so_hits + 1
+  end
 
 let note_compile () =
-  if Prof.enabled () then
-    Prof.(counters.native_compiles <- counters.native_compiles + 1)
+  Metrics.inc m_compiles 1;
+  if Prof.enabled () then begin
+    let c = Prof.cell () in
+    c.Prof.native_compiles <- c.Prof.native_compiles + 1
+  end
 
 (* The fallback counter always bumps (it is how tests observe the engine
    declining), but the human-facing note prints once per process: a run
    on a compiler-less machine should say so, not repeat it per plan. *)
 let note_fallback reason =
   incr n_fallbacks;
-  if Prof.enabled () then
-    Prof.(counters.native_fallbacks <- counters.native_fallbacks + 1);
+  Metrics.inc m_fallbacks 1;
+  (if Prof.enabled () then begin
+     let c = Prof.cell () in
+     c.Prof.native_fallbacks <- c.Prof.native_fallbacks + 1
+   end);
   Trace.instant ~attrs:[ ("reason", Trace.Str reason) ] "native.fallback";
   if not !fallback_noted then begin
     fallback_noted := true;
@@ -252,6 +282,7 @@ let compile_and_load ~cc_path ~cflags ~entry ~hexkey source =
     let dt = Prof.now_seconds () -. t0 in
     incr n_disk_hits;
     note_so_hit ();
+    Metrics.inc m_loads_disk 1;
     Ok { fn; so_path; origin = Disk_cache; compile_seconds = dt }
   end
   else begin
@@ -277,6 +308,7 @@ let compile_and_load ~cc_path ~cflags ~entry ~hexkey source =
         let dt = Prof.now_seconds () -. t0 in
         incr n_compiles;
         note_compile ();
+        Metrics.observe m_cc_seconds dt;
         Ok { fn; so_path; origin = Compiled; compile_seconds = dt }
   end
 
@@ -295,6 +327,7 @@ let load ?(cflags = default_cflags) ~key ~entry source =
           | Some k ->
               incr n_memory_hits;
               note_so_hit ();
+              Metrics.inc m_loads_memory 1;
               Some k
           | None -> (
               match

@@ -45,7 +45,7 @@ type counters = {
       (** native requests that fell back to the OCaml executor *)
 }
 
-let counters =
+let fresh_counters () =
   {
     flops = 0;
     nnz_touched = 0;
@@ -65,6 +65,79 @@ let counters =
     native_so_hits = 0;
     native_fallbacks = 0;
   }
+
+let counters = fresh_counters ()
+
+(* Per-domain counter cells. The global [counters] record is the main
+   domain's cell; every other domain (pool workers) lazily gets a private
+   cell on first use, registered here so {!merge_cells} can fold it back
+   into the global record at a quiescent point — the pool calls it right
+   after its completion barrier, when all workers are parked. Worker-side
+   bumps through {!cell} therefore never race the main domain, and totals
+   are exact instead of lossy (plain [mutable int] read-modify-write from
+   several domains drops updates). *)
+
+let zero_counters (c : counters) =
+  c.flops <- 0;
+  c.nnz_touched <- 0;
+  c.iters_pruned <- 0;
+  c.supernodes <- 0;
+  c.supernode_cols <- 0;
+  c.levels <- 0;
+  c.max_level_width <- 0;
+  c.cache_hits <- 0;
+  c.cache_misses <- 0;
+  c.orderings <- 0;
+  c.pool_runs <- 0;
+  c.pool_tasks <- 0;
+  c.pool_max_workers <- 0;
+  c.pool_imbalance_pct <- 0;
+  c.native_compiles <- 0;
+  c.native_so_hits <- 0;
+  c.native_fallbacks <- 0
+
+let cells_lock = Mutex.create ()
+let worker_cells : counters list ref = ref []
+
+let cell_key : counters Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let c = fresh_counters () in
+      Mutex.lock cells_lock;
+      worker_cells := c :: !worker_cells;
+      Mutex.unlock cells_lock;
+      c)
+
+(* Pin the main domain's cell to the global record, so main-domain bumps
+   through [cell ()] are indistinguishable from direct field updates. *)
+let () = Domain.DLS.set cell_key counters
+
+let cell () = Domain.DLS.get cell_key
+
+let merge_cells () =
+  Mutex.lock cells_lock;
+  List.iter
+    (fun (c : counters) ->
+      counters.flops <- counters.flops + c.flops;
+      counters.nnz_touched <- counters.nnz_touched + c.nnz_touched;
+      counters.iters_pruned <- counters.iters_pruned + c.iters_pruned;
+      counters.supernodes <- counters.supernodes + c.supernodes;
+      counters.supernode_cols <- counters.supernode_cols + c.supernode_cols;
+      counters.levels <- counters.levels + c.levels;
+      counters.max_level_width <- max counters.max_level_width c.max_level_width;
+      counters.cache_hits <- counters.cache_hits + c.cache_hits;
+      counters.cache_misses <- counters.cache_misses + c.cache_misses;
+      counters.orderings <- counters.orderings + c.orderings;
+      counters.pool_runs <- counters.pool_runs + c.pool_runs;
+      counters.pool_tasks <- counters.pool_tasks + c.pool_tasks;
+      counters.pool_max_workers <- max counters.pool_max_workers c.pool_max_workers;
+      counters.pool_imbalance_pct <-
+        max counters.pool_imbalance_pct c.pool_imbalance_pct;
+      counters.native_compiles <- counters.native_compiles + c.native_compiles;
+      counters.native_so_hits <- counters.native_so_hits + c.native_so_hits;
+      counters.native_fallbacks <- counters.native_fallbacks + c.native_fallbacks;
+      zero_counters c)
+    !worker_cells;
+  Mutex.unlock cells_lock
 
 let avg_supernode_width () =
   if counters.supernodes = 0 then 0.0
@@ -146,23 +219,10 @@ let scopes () =
   |> List.sort compare
 
 let reset () =
-  counters.flops <- 0;
-  counters.nnz_touched <- 0;
-  counters.iters_pruned <- 0;
-  counters.supernodes <- 0;
-  counters.supernode_cols <- 0;
-  counters.levels <- 0;
-  counters.max_level_width <- 0;
-  counters.cache_hits <- 0;
-  counters.cache_misses <- 0;
-  counters.orderings <- 0;
-  counters.pool_runs <- 0;
-  counters.pool_tasks <- 0;
-  counters.pool_max_workers <- 0;
-  counters.pool_imbalance_pct <- 0;
-  counters.native_compiles <- 0;
-  counters.native_so_hits <- 0;
-  counters.native_fallbacks <- 0;
+  zero_counters counters;
+  Mutex.lock cells_lock;
+  List.iter zero_counters !worker_cells;
+  Mutex.unlock cells_lock;
   Hashtbl.reset scopes_tbl
 
 (* ------------------------------ Emitters ------------------------------ *)
@@ -229,6 +289,181 @@ module Json = struct
     let buf = Buffer.create 256 in
     emit buf t;
     Buffer.contents buf
+
+  (* Recursive-descent parser for the subset of JSON the emitter above
+     produces (which is all of JSON minus exotic number forms). Added for
+     the perf-regression gate, which must read committed BENCH_*.json
+     baselines back. *)
+
+  exception Parse_error of string
+
+  let of_string (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then s.[!pos] else '\x00' in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        incr pos
+      done
+    in
+    let expect c =
+      if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" lit)
+    in
+    let utf8_add buf code =
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+              advance ();
+              (if !pos >= n then fail "dangling escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char buf '"'; advance ()
+                 | '\\' -> Buffer.add_char buf '\\'; advance ()
+                 | '/' -> Buffer.add_char buf '/'; advance ()
+                 | 'n' -> Buffer.add_char buf '\n'; advance ()
+                 | 't' -> Buffer.add_char buf '\t'; advance ()
+                 | 'r' -> Buffer.add_char buf '\r'; advance ()
+                 | 'b' -> Buffer.add_char buf '\b'; advance ()
+                 | 'f' -> Buffer.add_char buf '\012'; advance ()
+                 | 'u' ->
+                     if !pos + 4 >= n then fail "truncated \\u escape";
+                     let hex = String.sub s (!pos + 1) 4 in
+                     (match int_of_string_opt ("0x" ^ hex) with
+                     | None -> fail "invalid \\u escape"
+                     | Some code ->
+                         utf8_add buf code;
+                         pos := !pos + 5)
+                 | c -> fail (Printf.sprintf "invalid escape '\\%c'" c));
+              go ()
+          | c ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = '-' then advance ();
+      let is_float = ref false in
+      let continue = ref true in
+      while !continue && !pos < n do
+        match s.[!pos] with
+        | '0' .. '9' -> advance ()
+        | '.' | 'e' | 'E' | '+' | '-' ->
+            is_float := true;
+            advance ()
+        | _ -> continue := false
+      done;
+      let text = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" text)
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt text with
+            | Some f -> Float f
+            | None -> fail (Printf.sprintf "bad number %S" text))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let kvs = ref [] in
+            let continue = ref true in
+            while !continue do
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              kvs := (k, v) :: !kvs;
+              skip_ws ();
+              match peek () with
+              | ',' -> advance ()
+              | '}' ->
+                  advance ();
+                  continue := false
+              | _ -> fail "expected ',' or '}'"
+            done;
+            Obj (List.rev !kvs)
+          end
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let xs = ref [] in
+            let continue = ref true in
+            while !continue do
+              let v = parse_value () in
+              xs := v :: !xs;
+              skip_ws ();
+              match peek () with
+              | ',' -> advance ()
+              | ']' ->
+                  advance ();
+                  continue := false
+              | _ -> fail "expected ',' or ']'"
+            done;
+            List (List.rev !xs)
+          end
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | '-' | '0' .. '9' -> parse_number ()
+      | _ -> fail "unexpected character"
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing content";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
 end
 
 let counters_json () =

@@ -55,6 +55,23 @@ type counters = {
 val counters : counters
 val avg_supernode_width : unit -> float
 
+val cell : unit -> counters
+(** The calling domain's counter cell. On the main domain this {e is} the
+    global {!counters} record; on any other domain (pool workers) it is a
+    private per-domain cell, so bumps through [cell ()] never race across
+    domains. Worker cells are folded back into {!counters} by
+    {!merge_cells}. Kernel recording sites must bump through [cell ()],
+    never through {!counters} directly, because plain [mutable int]
+    read-modify-write from several domains silently drops updates. *)
+
+val merge_cells : unit -> unit
+(** Fold every worker-domain cell into the global {!counters} record and
+    zero the cells. Sum for accumulating fields; [max] for
+    [max_level_width], [pool_max_workers], and [pool_imbalance_pct].
+    Called by {!Sympiler_runtime.Pool.run} after its completion barrier,
+    when all workers are parked — so totals observed from the main domain
+    are exact. Safe to call from the main domain at any quiescent point. *)
+
 (** {1 Phase timers}
 
     Named scopes over the monotonic clock. Scopes are reentrant: nested
@@ -102,6 +119,11 @@ module Json : sig
     | Obj of (string * t) list
 
   val to_string : t -> string
+
+  val of_string : string -> (t, string) result
+  (** Parse a JSON document (the full language; numbers without [.]/[e]
+      parse as [Int], others as [Float]). Used by the perf-regression
+      gate to read committed [BENCH_*.json] baselines. *)
 end
 
 val counters_json : unit -> Json.t

@@ -1,6 +1,25 @@
 open Sympiler_prof
+module Metrics = Sympiler_metrics.Metrics
 
 let max_domains = 64
+
+(* Serving metrics for the pool: dispatch latency distribution, tasks
+   executed, and the imbalance of the most recent measured dispatch.
+   Registered once at module init; recording is a no-op until
+   [Metrics.enable]. *)
+let m_dispatch =
+  Metrics.histogram "sympiler_pool_dispatch_seconds"
+    ~help:"Wall time of one Pool.run dispatch (publish to barrier)"
+
+let m_runs =
+  Metrics.counter "sympiler_pool_runs" ~help:"Parallel dispatches through the pool"
+
+let m_tasks =
+  Metrics.counter "sympiler_pool_tasks" ~help:"Worker tasks executed across dispatches"
+
+let m_imbalance =
+  Metrics.gauge "sympiler_pool_imbalance_pct"
+    ~help:"Imbalance of the last measured dispatch (max/mean worker time, %)"
 
 (* Bounded spin before parking: long enough to catch the common "next level
    dispatched immediately" case without burning a timeslice when the
@@ -144,7 +163,8 @@ let record_dispatch nworkers =
     let pct =
       int_of_float (100.0 *. !mx *. float_of_int nworkers /. !sum +. 0.5)
     in
-    if pct > k.Prof.pool_imbalance_pct then k.Prof.pool_imbalance_pct <- pct
+    if pct > k.Prof.pool_imbalance_pct then k.Prof.pool_imbalance_pct <- pct;
+    Metrics.set m_imbalance (float_of_int pct)
   end
 
 let run ~nworkers task =
@@ -153,6 +173,7 @@ let run ~nworkers task =
   else begin
     ensure nw;
     Sympiler_trace.Trace.begin_span "pool.run";
+    let t_dispatch = if Metrics.enabled () then Prof.now_seconds () else 0.0 in
     st.task <- task;
     st.nactive <- nw;
     st.failed <- None;
@@ -186,7 +207,17 @@ let run ~nworkers task =
       Mutex.unlock st.m
     end;
     st.task <- noop_task (* do not root the plan between dispatches *);
-    if Prof.enabled () then record_dispatch nw;
+    (* All workers are parked past the barrier: the quiescent point where
+       worker-domain Prof cells can be folded into the global record. *)
+    if Prof.enabled () then begin
+      record_dispatch nw;
+      Prof.merge_cells ()
+    end;
+    if Metrics.enabled () then begin
+      Metrics.observe m_dispatch (Prof.now_seconds () -. t_dispatch);
+      Metrics.inc m_runs 1;
+      Metrics.inc m_tasks nw
+    end;
     Sympiler_trace.Trace.end_span ();
     match caller_failed with
     | Some e -> raise e

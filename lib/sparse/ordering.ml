@@ -7,8 +7,10 @@
 
 let bump_counter () =
   let open Sympiler_prof in
-  if Prof.enabled () then
-    Prof.counters.Prof.orderings <- Prof.counters.Prof.orderings + 1
+  if Prof.enabled () then begin
+    let c = Prof.cell () in
+    c.Prof.orderings <- c.Prof.orderings + 1
+  end
 
 (* CSR adjacency (excluding self loops) of the symmetric pattern: vertex
    [v]'s neighbors are [ind.(ptr.(v) .. ptr.(v+1)-1)], ascending. Since the

@@ -57,7 +57,7 @@ let detect ?(max_width = max_int) ~mergeable n =
   if Sympiler_prof.Prof.enabled () then begin
     (* VS-Block statistics: one block-set detection's supernode count and
        covered columns (avg width = cols / supernodes in the aggregate). *)
-    let c = Sympiler_prof.Prof.counters in
+    let c = Sympiler_prof.Prof.cell () in
     c.Sympiler_prof.Prof.supernodes <-
       c.Sympiler_prof.Prof.supernodes + nsuper t;
     c.Sympiler_prof.Prof.supernode_cols <- c.Sympiler_prof.Prof.supernode_cols + n

@@ -130,6 +130,34 @@ for verdict in amd_fill_within_tolerance amd_beats_natural_on_meshes \
   }
 done
 
+echo "== metrics gate =="
+# The labeled metrics registry must be serving-grade: enabling it costs
+# <= 2% on the steady refactor path, histogram percentiles track a
+# sorted-array oracle to one bucket, 4 domains lose no increments, the
+# enabled record path allocates nothing, and the OpenMetrics exposition
+# passes the conformance linter. The bench section precomputes one
+# verdict over all five.
+dune exec bench/main.exe -- --quick --only metrics
+grep -q '"verdict":true' BENCH_metrics.json || {
+  echo "FAIL: metrics verdict is false in BENCH_metrics.json" >&2
+  exit 1
+}
+
+echo "== perf_gate smoke =="
+# The perf-regression gate itself must work: a self-comparison passes,
+# and a synthetically inflated copy (every latency field x3) fails.
+scripts/perf_gate check BENCH_metrics.json BENCH_metrics.json || {
+  echo "FAIL: perf_gate rejects a self-comparison" >&2
+  exit 1
+}
+scripts/perf_gate inflate BENCH_metrics.json 3.0 _build/BENCH_inflated.json
+if scripts/perf_gate check BENCH_metrics.json _build/BENCH_inflated.json \
+  > /dev/null 2>&1; then
+  echo "FAIL: perf_gate accepted a 3x latency regression" >&2
+  exit 1
+fi
+echo "perf_gate smoke: ok"
+
 echo "== ordered explain smoke =="
 # `explain --ordering amd --json` must report the selected ordering and
 # the natural-ordering baseline columns on two suite matrices.

@@ -11,6 +11,7 @@ let () =
       ("ir", Test_ir.suite);
       ("api", Test_api.suite);
       ("prof", Test_prof.suite);
+      ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
       ("ordering-stage", Test_ordering.suite);

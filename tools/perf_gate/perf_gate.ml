@@ -1,0 +1,158 @@
+(* Perf-regression gate over the committed BENCH_*.json baselines.
+
+     perf_gate check BASELINE CURRENT [--tolerance T]
+     perf_gate inflate FILE FACTOR OUT
+
+   `check` walks the two documents in parallel and fails (exit 1) on:
+     - a schema_version mismatch (baselines from another schema are not
+       comparable; regenerate instead of comparing);
+     - any boolean that was true in the baseline and is false now —
+       verdicts and per-gate flags must never flip off;
+     - any latency field (name ending in `_seconds` or `_ns`, or named
+       `overhead_fraction`) whose current value exceeds the baseline by
+       more than the relative tolerance T (default 0.25, i.e. +25%);
+     - any allocation field (name containing `words`) that grew beyond
+       the baseline plus a small absolute slack;
+     - a baseline field or list element missing from the current file.
+   Fields that are faster/smaller than the baseline, provenance strings
+   (git_commit, generated_utc), and non-perf data never fail the gate.
+
+   `inflate` multiplies every latency field by FACTOR and writes the
+   result — a synthetic regression for exercising the gate itself (the
+   ci.sh smoke checks that `check base inflated` exits non-zero). *)
+
+module Json = Sympiler_prof.Prof.Json
+
+let tolerance = ref 0.25
+let failures : string list ref = ref []
+let fail path msg = failures := Printf.sprintf "%s: %s" path msg :: !failures
+
+let is_latency_field name =
+  let ends_with suf =
+    let nl = String.length name and sl = String.length suf in
+    nl >= sl && String.sub name (nl - sl) sl = suf
+  in
+  ends_with "_seconds" || ends_with "_ns" || name = "overhead_fraction"
+
+let contains_words name =
+  let n = String.length name in
+  let rec go i =
+    i + 5 <= n && (String.sub name i 5 = "words" || go (i + 1))
+  in
+  go 0
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+(* Allocation counts are exact in principle but a few words of noise show
+   up when a measurement loop straddles GC bookkeeping; allow that much. *)
+let words_slack = 16.0
+
+let rec check path (base : Json.t) (cur : Json.t) =
+  match (base, cur) with
+  | Json.Obj bs, Json.Obj cs ->
+      List.iter
+        (fun (k, bv) ->
+          let p = if path = "" then k else path ^ "." ^ k in
+          match List.assoc_opt k cs with
+          | None -> fail p "present in baseline, missing in current"
+          | Some cv -> check_field p k bv cv)
+        bs
+  | Json.List bs, Json.List cs ->
+      if List.length bs <> List.length cs then
+        fail path
+          (Printf.sprintf "list length changed: %d -> %d" (List.length bs)
+             (List.length cs))
+      else
+        List.iteri
+          (fun i (bv, cv) -> check (Printf.sprintf "%s[%d]" path i) bv cv)
+          (List.combine bs cs)
+  | Json.Bool true, Json.Bool false -> fail path "verdict flipped true -> false"
+  | _ -> ()
+
+and check_field path key bv cv =
+  match (bv, cv) with
+  | Json.Int b, Json.Int c when key = "schema_version" ->
+      if b <> c then
+        fail path (Printf.sprintf "schema_version mismatch: %d vs %d" b c)
+  | _ when is_latency_field key -> (
+      match (number bv, number cv) with
+      | Some b, Some c ->
+          if b > 0.0 && c > b *. (1.0 +. !tolerance) then
+            fail path
+              (Printf.sprintf "regressed %.3e -> %.3e (+%.1f%%, tolerance %.0f%%)"
+                 b c
+                 ((c /. b -. 1.0) *. 100.0)
+                 (!tolerance *. 100.0))
+      | _ -> check path bv cv)
+  | _ when contains_words key -> (
+      match (number bv, number cv) with
+      | Some b, Some c ->
+          if c > b +. words_slack then
+            fail path (Printf.sprintf "allocation grew %.0f -> %.0f words" b c)
+      | _ -> check path bv cv)
+  | _ -> check path bv cv
+
+let read_doc file =
+  let s = In_channel.with_open_text file In_channel.input_all in
+  match Json.of_string s with
+  | Ok d -> d
+  | Error e ->
+      Printf.eprintf "perf_gate: %s: parse error: %s\n" file e;
+      exit 2
+
+let rec inflate factor = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             match (is_latency_field k, number v) with
+             | true, Some f -> (k, Json.Float (f *. factor))
+             | _ -> (k, inflate factor v))
+           fields)
+  | Json.List l -> Json.List (List.map (inflate factor) l)
+  | other -> other
+
+let usage () =
+  prerr_endline
+    "usage: perf_gate check BASELINE CURRENT [--tolerance T]\n\
+    \       perf_gate inflate FILE FACTOR OUT";
+  exit 2
+
+let () =
+  let argv = Sys.argv in
+  if Array.length argv < 2 then usage ();
+  match argv.(1) with
+  | "check" ->
+      if Array.length argv < 4 then usage ();
+      let rest = Array.sub argv 4 (Array.length argv - 4) in
+      Array.iteri
+        (fun i a ->
+          if a = "--tolerance" then
+            if i + 1 < Array.length rest then
+              tolerance := float_of_string rest.(i + 1)
+            else usage ())
+        rest;
+      let base = read_doc argv.(2) and cur = read_doc argv.(3) in
+      check "" base cur;
+      if !failures = [] then
+        Printf.printf "perf_gate: %s vs %s: ok (tolerance %.0f%%)\n" argv.(2)
+          argv.(3)
+          (!tolerance *. 100.0)
+      else begin
+        Printf.eprintf "perf_gate: %s vs %s: %d regression(s):\n" argv.(2)
+          argv.(3)
+          (List.length !failures);
+        List.iter (Printf.eprintf "  %s\n") (List.rev !failures);
+        exit 1
+      end
+  | "inflate" ->
+      if Array.length argv < 5 then usage ();
+      let doc = read_doc argv.(2) in
+      let factor = float_of_string argv.(3) in
+      Out_channel.with_open_text argv.(4) (fun oc ->
+          Out_channel.output_string oc (Json.to_string (inflate factor doc));
+          Out_channel.output_char oc '\n')
+  | _ -> usage ()
