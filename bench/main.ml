@@ -11,8 +11,11 @@ open Sympiler_prof
    a minimum wall-clock window). `--bechamel` instead runs one
    Bechamel.Test.make per experiment. `--quick` shrinks the measurement
    window, `--only SECTION` runs one section (phases, steady, native,
-   trace, parallel, ordering, metrics, table2, fig6, fig7, fig8, fig9,
-   intro, ablation-threshold, ablation-lowlevel, extensions, large).
+   trace, parallel, ordering, metrics, pipeline, table2, fig6, fig7,
+   fig8, fig9, intro, ablation-threshold, ablation-lowlevel, extensions,
+   large). The `pipeline` section writes BENCH_pipeline.json: fused vs
+   staged whole-DAG apply latency, allocation, bitwise identity, and the
+   shared-analysis ledger.
    The `metrics` section gates the labeled-registry layer (enabled
    overhead <= 2%, percentile fidelity, cross-domain exactness,
    allocation-freedom, OpenMetrics conformance) and writes
@@ -716,19 +719,19 @@ let steady () =
            phase) + plan creation + first in-place factorization. *)
         let al = d.p.Sympiler.Suite.a_lower in
         let t0 = Prof.now_seconds () in
-        let h = Sympiler.Cholesky.compile_cached ~cache:chol_cache al in
+        let h = Sympiler.Cholesky.compile ~cache:chol_cache al in
         let cp = Sympiler.Cholesky.plan h in
-        Sympiler.Cholesky.refactor_ip cp al;
+        ignore (Sympiler.Cholesky.execute_ip cp al);
         let chol_first = Prof.now_seconds () -. t0 in
         let chol_steady =
-          measure (fun () -> Sympiler.Cholesky.refactor_ip cp al)
+          measure (fun () -> ignore (Sympiler.Cholesky.execute_ip cp al))
         in
         let chol_words =
-          minor_words_per_call (fun () -> Sympiler.Cholesky.refactor_ip cp al)
+          minor_words_per_call (fun () -> ignore (Sympiler.Cholesky.execute_ip cp al))
         in
         (* Recompiling the same structure must hit and return the same
            handle, with no symbolic work. *)
-        let h' = Sympiler.Cholesky.compile_cached ~cache:chol_cache al in
+        let h' = Sympiler.Cholesky.compile ~cache:chol_cache al in
         assert (h' == h);
         let variant =
           match h.Sympiler.Cholesky.variant with
@@ -738,18 +741,18 @@ let steady () =
         (* Trisolve: same protocol against the plan-owned solution buffer. *)
         let l = d.l_factor and b = d.rhs in
         let t0 = Prof.now_seconds () in
-        let th = Sympiler.Trisolve.compile_cached ~cache:tri_cache (l, b) in
+        let th = Sympiler.Trisolve.compile ~cache:tri_cache (l, b) in
         let tp = Sympiler.Trisolve.plan th in
-        ignore (Sympiler.Trisolve.solve_plan tp b);
+        ignore (Sympiler.Trisolve.execute_ip tp b);
         let tri_first = Prof.now_seconds () -. t0 in
         let tri_steady =
-          measure (fun () -> ignore (Sympiler.Trisolve.solve_plan tp b))
+          measure (fun () -> ignore (Sympiler.Trisolve.execute_ip tp b))
         in
         let tri_words =
           minor_words_per_call (fun () ->
-              ignore (Sympiler.Trisolve.solve_plan tp b))
+              ignore (Sympiler.Trisolve.execute_ip tp b))
         in
-        let th' = Sympiler.Trisolve.compile_cached ~cache:tri_cache (l, b) in
+        let th' = Sympiler.Trisolve.compile ~cache:tri_cache (l, b) in
         assert (th' == th);
         all_zero := !all_zero && chol_words = 0 && tri_words = 0;
         not_slower :=
@@ -935,13 +938,13 @@ let native_bench () =
                   let p = Sympiler.Trisolve.plan ~engine th in
                   ( (fun () ->
                       ignore
-                        (Sympiler.Trisolve.solve_plan p d.rhs : float array)),
+                        (Sympiler.Trisolve.execute_ip p d.rhs : float array)),
                     p.Sympiler.Trisolve.native ))
           in
           let chol =
             bench_family ~id ~name "cholesky" (fun engine ->
                   let p = Sympiler.Cholesky.plan ~engine ch in
-                  ( (fun () -> Sympiler.Cholesky.refactor_ip p al),
+                  ( (fun () -> ignore (Sympiler.Cholesky.execute_ip p al)),
                     p.Sympiler.Cholesky.native ))
           in
           let ldlt =
@@ -1074,16 +1077,16 @@ let trace_bench () =
         let al = d.p.Sympiler.Suite.a_lower in
         let h = Sympiler.Cholesky.compile al in
         let p = Sympiler.Cholesky.plan h in
-        Sympiler.Cholesky.refactor_ip p al;
-        let t_off = measure (fun () -> Sympiler.Cholesky.refactor_ip p al) in
+        ignore (Sympiler.Cholesky.execute_ip p al);
+        let t_off = measure (fun () -> ignore (Sympiler.Cholesky.execute_ip p al)) in
         (* Count the spans one steady call emits, then time the traced
            path (ring wraparound during [measure] is fine: slots are
            recycled, the dropped counter just advances). *)
         Trace.enable ();
         Trace.reset ();
-        Sympiler.Cholesky.refactor_ip p al;
+        ignore (Sympiler.Cholesky.execute_ip p al);
         let spans_per_call = Trace.span_count () in
-        let t_on = measure (fun () -> Sympiler.Cholesky.refactor_ip p al) in
+        let t_on = measure (fun () -> ignore (Sympiler.Cholesky.execute_ip p al)) in
         let chrome = Trace.to_chrome_json () in
         let folded = Trace.to_folded () in
         Trace.disable ();
@@ -1508,13 +1511,15 @@ let ordering_bench () =
      steady-state allocation freedom and bitwise identity against a
      manually pre-permuted compile. *)
   let al = (Sympiler.Suite.problem 2).Sympiler.Suite.a_lower in
-  let h = Sympiler.Cholesky.compile ~ordering:`Amd al in
+  let h = Sympiler.Cholesky.compile
+      ~opts:(Sympiler.Options.make ~ordering:`Amd ())
+      al in
   let p = Sympiler.Cholesky.plan h in
   let l_ordered = Sympiler.Cholesky.execute_ip p al in
   let gc_loops = if quick then 10 else 50 in
   let w0 = Gc.minor_words () in
   for _ = 1 to gc_loops do
-    Sympiler.Cholesky.refactor_ip p al
+    ignore (Sympiler.Cholesky.execute_ip p al)
   done;
   let words =
     int_of_float ((Gc.minor_words () -. w0) /. float_of_int gc_loops)
@@ -1676,11 +1681,11 @@ let large () =
         (* Compile shares the analysis just timed; its own cost (transpose
            map, supernode detection, strategy selection) is what remains. *)
         let t0 = Prof.now_seconds () in
-        let h = Sympiler.Cholesky.compile ~fill al in
+        let h = Sympiler.Cholesky.compile ~opts:(Sympiler.Options.make ~fill ()) al in
         let compile_s = Prof.now_seconds () -. t0 in
         let plan = Sympiler.Cholesky.plan h in
         let factor_s =
-          time_min reps (fun () -> Sympiler.Cholesky.refactor_ip plan al)
+          time_min reps (fun () -> ignore (Sympiler.Cholesky.execute_ip plan al))
         in
         let l = Sympiler.Cholesky.plan_factor plan in
         let x_true = Array.make n 1.0 in
@@ -1781,15 +1786,15 @@ let metrics_bench () =
   let al = d.p.Sympiler.Suite.a_lower in
   let h = Sympiler.Cholesky.compile al in
   let p = Sympiler.Cholesky.plan h in
-  Sympiler.Cholesky.refactor_ip p al;
+  ignore (Sympiler.Cholesky.execute_ip p al);
   let t0 = Prof.now_seconds () in
-  Sympiler.Cholesky.refactor_ip p al;
+  ignore (Sympiler.Cholesky.execute_ip p al);
   let once = Prof.now_seconds () -. t0 in
   let inner = max 1 (int_of_float (min_window /. Float.max once 1e-7)) in
   let time_loop () =
     let t0 = Prof.now_seconds () in
     for _ = 1 to inner do
-      Sympiler.Cholesky.refactor_ip p al
+      ignore (Sympiler.Cholesky.execute_ip p al)
     done;
     (Prof.now_seconds () -. t0) /. float_of_int inner
   in
@@ -1965,6 +1970,104 @@ let metrics_bench () =
     \ BENCH_metrics.json)\n"
 
 (* ---------------------------------------------------------------- *)
+(* Pipeline fusion: whole solver DAGs compiled through one shared
+   symbolic analysis. Gates the fused executor's contract on suite
+   problems: fused apply not slower than the staged baseline, zero
+   steady-state allocation, bitwise-identical results, and the shared
+   analysis ledger (every artifact computed at most once). Writes
+   BENCH_pipeline.json; scripts/ci.sh greps the verdicts. *)
+
+let pipeline_bench () =
+  let module Pl = Sympiler.Pipeline in
+  header "Pipeline fusion: fused vs staged solver DAGs";
+  let pids = if quick then [ 1; 2; 5 ] else [ 1; 2; 5; 8; 9 ] in
+  Printf.printf "%-15s %9s %12s %12s %8s %6s %9s\n" "problem" "n" "fused"
+    "staged" "speedup" "alloc" "bitwise";
+  let rows = ref [] in
+  let all_not_slower = ref true in
+  let all_zero_alloc = ref true in
+  let all_bitwise = ref true in
+  let all_shared = ref true in
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let al = d.p.Sympiler.Suite.a_lower in
+      let n = al.Csc.ncols in
+      let t = Pl.compile (Pl.factor_solve `Cholesky) al in
+      let p = Pl.plan t in
+      Pl.factor_ip p al;
+      let b = Array.init n (fun i -> sin (0.01 *. float_of_int i)) in
+      let xf = Array.copy (Pl.execute_ip p b) in
+      let bitwise = xf = Pl.staged_execute_ip p b in
+      let fused_s = measure (fun () -> ignore (Pl.execute_ip p b)) in
+      let staged_s = measure (fun () -> ignore (Pl.staged_execute_ip p b)) in
+      (* per-call minor-heap delta of the fused apply (two warmups ran) *)
+      let k = 20 in
+      let w0 = Gc.minor_words () in
+      for _ = 1 to k do
+        ignore (Pl.execute_ip p b)
+      done;
+      let words =
+        int_of_float ((Gc.minor_words () -. w0) /. float_of_int k)
+      in
+      let shared =
+        List.for_all (fun (_, v) -> v <= 1) (Pl.analysis_runs t)
+      in
+      let speedup = staged_s /. Float.max fused_s 1e-12 in
+      (* 5% noise tolerance: fusion must never lose, modulo jitter *)
+      let not_slower = fused_s <= staged_s *. 1.05 in
+      all_not_slower := !all_not_slower && not_slower;
+      all_zero_alloc := !all_zero_alloc && words = 0;
+      all_bitwise := !all_bitwise && bitwise;
+      all_shared := !all_shared && shared;
+      Printf.printf "%-15s %9d %10.1fus %10.1fus %7.2fx %6d %9b\n"
+        d.p.Sympiler.Suite.name n (fused_s *. 1e6) (staged_s *. 1e6) speedup
+        words bitwise;
+      rows :=
+        Prof.Json.Obj
+          [
+            ("name", Prof.Json.Str d.p.Sympiler.Suite.name);
+            ("n", Prof.Json.Int n);
+            ("nnz", Prof.Json.Int (Csc.nnz al));
+            ("fused_seconds", Prof.Json.Float fused_s);
+            ("staged_seconds", Prof.Json.Float staged_s);
+            ("speedup", Prof.Json.Float speedup);
+            ("minor_words_per_apply", Prof.Json.Int words);
+            ("bitwise", Prof.Json.Bool bitwise);
+            ("analysis_shared", Prof.Json.Bool shared);
+            ("fused_boundaries", Prof.Json.Int (Pl.fused_boundaries t));
+            ("symbolic_seconds", Prof.Json.Float (Pl.symbolic_seconds t));
+          ]
+        :: !rows)
+    pids;
+  let verdict =
+    !all_not_slower && !all_zero_alloc && !all_bitwise && !all_shared
+  in
+  Printf.printf
+    "fused_not_slower=%b pipeline_zero_alloc=%b fused_bitwise_identical=%b \
+     analysis_shared=%b verdict=%b\n"
+    !all_not_slower !all_zero_alloc !all_bitwise !all_shared verdict;
+  let doc =
+    Prof.Json.Obj
+      [
+        ("bench", Prof.Json.Str "pipeline");
+        ("quick", Prof.Json.Bool quick);
+        ("problems", Prof.Json.List (List.rev !rows));
+        ("fused_not_slower", Prof.Json.Bool !all_not_slower);
+        ("pipeline_zero_alloc", Prof.Json.Bool !all_zero_alloc);
+        ("fused_bitwise_identical", Prof.Json.Bool !all_bitwise);
+        ("analysis_shared", Prof.Json.Bool !all_shared);
+        ("verdict", Prof.Json.Bool verdict);
+      ]
+  in
+  write_bench "BENCH_pipeline.json" doc;
+  section_note
+    "(the staged baseline runs the same stage bodies with per-stage\n\
+    \ copy-in/copy-out - what N independently compiled plans would do;\n\
+    \ fusion removes the copies and the L/L^T boundary, so it must never\n\
+    \ lose. Full data written to BENCH_pipeline.json)\n"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel variant: one Test.make per experiment. *)
 
 let bechamel_tests () =
@@ -2048,6 +2151,7 @@ let () =
     if run_section "parallel" then parallel_bench ();
     if run_section "ordering" then ordering_bench ();
     if run_section "metrics" then metrics_bench ();
+    if run_section "pipeline" then pipeline_bench ();
     if run_section "table2" then table2 ();
     if run_section "fig6" then fig6 ();
     if run_section "fig7" then fig7 ();

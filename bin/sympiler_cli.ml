@@ -146,7 +146,9 @@ let cholesky matrix problem ordering out profile trace metrics =
   let a = load ~matrix ~problem in
   let al = Csc.lower a in
   let t =
-    Sympiler.Cholesky.compile ~ordering:(ordering_of_flag ordering) al
+    Sympiler.Cholesky.compile
+      ~opts:(Sympiler.Options.make ~ordering:(ordering_of_flag ordering) ())
+      al
   in
   Printf.eprintf "variant: %s, nnz(L)=%d, symbolic %.1f ms\n"
     (match t.Sympiler.Cholesky.variant with
@@ -202,21 +204,22 @@ let steady matrix problem ordering repeat ndomains engine profile trace metrics
   let al = Csc.lower a in
   let ord = ordering_of_flag ordering in
   let t0 = now () in
-  let h = Sympiler.Cholesky.compile_cached ~ordering:ord al in
+  let opts = Sympiler.Options.make ~ordering:ord ~cache:true () in
+  let h = Sympiler.Cholesky.compile ~opts al in
   let p = Sympiler.Cholesky.plan ?ndomains ~engine h in
-  Sympiler.Cholesky.refactor_ip p al;
+  ignore (Sympiler.Cholesky.execute_ip p al);
   let first = now () -. t0 in
   let reps = max 1 repeat in
   let w0 = Gc.minor_words () in
   let t0 = now () in
   for _ = 1 to reps do
-    Sympiler.Cholesky.refactor_ip p al
+    ignore (Sympiler.Cholesky.execute_ip p al)
   done;
   let per_call = (now () -. t0) /. float_of_int reps in
   let words =
     int_of_float ((Gc.minor_words () -. w0) /. float_of_int reps)
   in
-  let h' = Sympiler.Cholesky.compile_cached ~ordering:ord al in
+  let h' = Sympiler.Cholesky.compile ~opts al in
   let stats = Sympiler.Cholesky.cache_stats () in
   Printf.printf "n                : %d\n" a.Csc.ncols;
   Printf.printf "ordering         : %s\n" (ordering_flag_name ordering);
@@ -278,7 +281,10 @@ let explain matrix problem kernel ordering rhs_fill json trace metrics =
     | `Cholesky ->
         let al = Csc.lower a in
         let t =
-          Sympiler.Cholesky.compile ~ordering:(ordering_of_flag ordering) al
+          Sympiler.Cholesky.compile
+            ~opts:
+              (Sympiler.Options.make ~ordering:(ordering_of_flag ordering) ())
+            al
         in
         (* Populate the executed-flops counter; a numeric breakdown (e.g.
            indefinite values) still leaves the symbolic report valid. *)
@@ -315,6 +321,94 @@ let explain matrix problem kernel ordering rhs_fill json trace metrics =
   else print_string (Sympiler.Explain.to_table report);
   0
 
+(* ---- pipeline ---- *)
+
+(* Compile a whole solver DAG through one shared symbolic analysis and
+   drive the fused plan against the staged baseline: per-call time for
+   both executors, allocation per fused apply, bitwise identity, and the
+   analysis ledger. With -o, also emit the fused C kernel. *)
+
+let parse_stages (family : Sympiler.Pipeline.family option) (s : string) :
+    Sympiler.Pipeline.stage_spec list =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun t -> t <> "")
+  |> List.map (fun t ->
+         match (t, family) with
+         | "factor", Some f -> Sympiler.Pipeline.Factor f
+         | "factor", None ->
+             failwith "--stages factor requires --family (not none)"
+         | "lower", _ -> Sympiler.Pipeline.Lower_solve
+         | "diag", _ -> Sympiler.Pipeline.Diag_solve
+         | "upper", _ -> Sympiler.Pipeline.Upper_solve
+         | "solve", _ -> Sympiler.Pipeline.Solve
+         | "spmv", _ -> Sympiler.Pipeline.Spmv
+         | _ ->
+             failwith
+               (Printf.sprintf
+                  "unknown stage %S (factor, lower, diag, upper, solve, spmv)"
+                  t))
+
+let pipeline matrix problem family stages ordering repeat out profile trace
+    metrics =
+  with_metrics metrics @@ fun () ->
+  with_trace trace @@ fun () ->
+  with_profile profile @@ fun () ->
+  let module Pl = Sympiler.Pipeline in
+  let now = Sympiler_prof.Prof.now_seconds in
+  let a = load ~matrix ~problem in
+  let square =
+    match family with Some (`Lu | `Ilu0) -> true | _ -> false
+  in
+  let input = if square then a else Csc.lower a in
+  let dag = Pl.of_stages (parse_stages family stages) in
+  let t =
+    Pl.compile
+      ~opts:
+        (Sympiler.Options.make ~ordering:(ordering_of_flag ordering)
+           ~cache:true ())
+      dag input
+  in
+  print_string (Pl.describe t);
+  let p = Pl.plan t in
+  let has_factor =
+    List.exists
+      (function Pl.Factor _ -> true | _ -> false)
+      (Pl.dag_of t)
+  in
+  if has_factor then Pl.factor_ip p input;
+  let n = input.Csc.ncols in
+  let b = Array.init n (fun i -> sin (0.01 *. float_of_int i)) in
+  let xf = Array.copy (Pl.execute_ip p b) in
+  let bitwise = xf = Pl.staged_execute_ip p b in
+  let reps = max 1 repeat in
+  let time f =
+    let t0 = now () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (now () -. t0) /. float_of_int reps
+  in
+  let fused_s = time (fun () -> ignore (Pl.execute_ip p b)) in
+  let staged_s = time (fun () -> ignore (Pl.staged_execute_ip p b)) in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    ignore (Pl.execute_ip p b)
+  done;
+  let words = int_of_float ((Gc.minor_words () -. w0) /. float_of_int reps) in
+  Printf.printf "  %-22s %.3f ms/call over %d calls\n" "fused apply"
+    (fused_s *. 1e3) reps;
+  Printf.printf "  %-22s %.3f ms/call (%.2fx)\n" "staged baseline"
+    (staged_s *. 1e3)
+    (staged_s /. Float.max fused_s 1e-12);
+  Printf.printf "  %-22s %d%s\n" "minor words/apply" words
+    (if words = 0 then " (allocation-free)" else "");
+  Printf.printf "  %-22s %b\n" "fused == staged" bitwise;
+  (match out with
+  | None -> ()
+  | Some _ -> output out (Pl.c_code t));
+  if bitwise then 0 else 1
+
 (* ---- stats ---- *)
 
 (* Run a representative compile-once / execute-many workload (a cached
@@ -329,10 +423,14 @@ let stats matrix problem ordering repeat ndomains engine format trace =
   let al = Csc.lower a in
   let ord = ordering_of_flag ordering in
   let reps = max 1 repeat in
-  let h = Sympiler.Cholesky.compile_cached ~ordering:ord al in
+  let h =
+    Sympiler.Cholesky.compile
+      ~opts:(Sympiler.Options.make ~ordering:ord ~cache:true ())
+      al
+  in
   let p = Sympiler.Cholesky.plan ?ndomains ~engine h in
   for _ = 1 to reps do
-    Sympiler.Cholesky.refactor_ip p al
+    ignore (Sympiler.Cholesky.execute_ip p al)
   done;
   let l = Sympiler.Cholesky.factor h al in
   let b = Generators.sparse_rhs ~seed:1 ~n:l.Csc.ncols ~fill:0.03 () in
@@ -470,6 +568,37 @@ let json_arg =
   Arg.(
     value & flag & info [ "json" ] ~doc:"Emit the report as JSON on stdout")
 
+let family_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("cholesky", Some `Cholesky);
+             ("ldlt", Some `Ldlt);
+             ("lu", Some `Lu);
+             ("ic0", Some `Ic0);
+             ("ilu0", Some `Ilu0);
+             ("none", None);
+           ])
+        (Some `Cholesky)
+    & info [ "family" ]
+        ~doc:
+          "Factorization family resolving the DAG's factor and solve \
+           stages: cholesky (default), ldlt, lu, ic0, ilu0, or none (a \
+           factorless chain running on the triangular input itself)."
+        ~docv:"FAM")
+
+let stages_arg =
+  Arg.(
+    value
+    & opt string "factor,solve"
+    & info [ "stages" ]
+        ~doc:
+          "Comma-separated pipeline stages, execution order: factor, \
+           lower, diag, upper, solve, spmv (default factor,solve)."
+        ~docv:"STAGES")
+
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Report symbolic analysis of a matrix")
     Term.(
@@ -519,6 +648,18 @@ let stats_cmd =
       const stats $ matrix_arg $ problem_arg $ ordering_arg $ repeat_arg
       $ ndomains_arg $ engine_arg $ format_arg $ trace_arg)
 
+let pipeline_cmd =
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:
+         "Compile a whole solver DAG through one shared symbolic analysis \
+          and race the fused plan against the staged baseline (optionally \
+          emitting the fused C kernel with -o)")
+    Term.(
+      const pipeline $ matrix_arg $ problem_arg $ family_arg $ stages_arg
+      $ ordering_arg $ repeat_arg $ out_arg $ profile_arg $ trace_arg
+      $ metrics_arg)
+
 let () =
   let doc = "Sympiler: sparsity-specific code generation for sparse kernels" in
   exit
@@ -531,4 +672,5 @@ let () =
             steady_cmd;
             explain_cmd;
             stats_cmd;
+            pipeline_cmd;
           ]))

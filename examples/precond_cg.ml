@@ -5,10 +5,20 @@
    preconditioner's triangular-solve pattern is fixed across the whole run
    and Sympiler's one-time symbolic cost amortizes.
 
+   The preconditioner apply here is a compiled pipeline
+   ([Factor `Ic0 -> Solve]): one shared symbolic analysis serves the
+   factorization and both triangular sweeps, and the fused executor runs
+   the L and L^T solves as one pass with no intermediate vector. The
+   staged executor runs the same stage bodies with per-stage copies — so
+   the two CG runs must produce bitwise-identical residual trajectories,
+   and this example exits non-zero if they ever diverge (or if CG fails
+   to converge).
+
    Run with: dune exec examples/precond_cg.exe *)
 
 open Sympiler_sparse
 open Sympiler_kernels
+module Pl = Sympiler.Pipeline
 
 let max_iters = 2000
 let tol = 1e-8
@@ -19,15 +29,16 @@ let cg a b =
   let x = Array.make n 0.0 in
   let r = Array.copy b in
   let p = Array.copy r in
-  let rs = ref (Vector.dot r r) in
-  let b_norm = sqrt (Vector.dot b b) in
+  let ap = Array.make n 0.0 in
+  let rs = ref (Stages.dot r r) in
+  let b_norm = sqrt (Stages.dot b b) in
   let it = ref 0 in
   while sqrt !rs /. b_norm > tol && !it < max_iters do
-    let ap = Csc.spmv a p in
-    let alpha = !rs /. Vector.dot p ap in
-    Vector.axpy alpha p x;
-    Vector.axpy (-.alpha) ap r;
-    let rs' = Vector.dot r r in
+    Stages.spmv_into a p ap;
+    let alpha = !rs /. Stages.dot p ap in
+    (* x <- x + alpha p and r <- r - alpha Ap in one fused sweep *)
+    Stages.axpy2_ip ~alpha p ap x r;
+    let rs' = Stages.dot r r in
     let beta = rs' /. !rs in
     rs := rs';
     Array.iteri (fun i pi -> p.(i) <- r.(i) +. (beta *. pi)) p;
@@ -35,39 +46,38 @@ let cg a b =
   done;
   (!it, sqrt !rs /. b_norm)
 
-(* PCG with M = L L^T from IC(0); the two triangular solves per iteration
-   run on the numeric-only code (the factor's pattern is fixed). *)
-let pcg a l b =
+(* PCG with M = L L^T from IC(0), the preconditioner apply abstracted so
+   the fused and the staged pipeline executors run the same loop. Returns
+   (iterations, relative residual, residual trajectory). *)
+let pcg ~apply a b =
   let n = Array.length b in
-  let apply_m_inv r =
-    let z = Array.copy r in
-    Trisolve_ref.naive_ip l z;
-    Trisolve_ref.transpose_ip l z;
-    z
-  in
   let x = Array.make n 0.0 in
   let r = Array.copy b in
-  let z = apply_m_inv r in
-  let p = Array.copy z in
-  let rz = ref (Vector.dot r z) in
-  let b_norm = sqrt (Vector.dot b b) in
+  let p = Array.make n 0.0 in
+  let ap = Array.make n 0.0 in
+  let z0 = apply r in
+  Array.blit z0 0 p 0 n;
+  let rz = ref (Stages.dot r z0) in
+  let b_norm = sqrt (Stages.dot b b) in
   let it = ref 0 in
-  while sqrt (Vector.dot r r) /. b_norm > tol && !it < max_iters do
-    let ap = Csc.spmv a p in
-    let alpha = !rz /. Vector.dot p ap in
-    Vector.axpy alpha p x;
-    Vector.axpy (-.alpha) ap r;
-    let z = apply_m_inv r in
-    let rz' = Vector.dot r z in
+  let trajectory = ref [ sqrt (Stages.dot r r) /. b_norm ] in
+  while sqrt (Stages.dot r r) /. b_norm > tol && !it < max_iters do
+    Stages.spmv_into a p ap;
+    let alpha = !rz /. Stages.dot p ap in
+    Stages.axpy2_ip ~alpha p ap x r;
+    (* z is the plan-owned output buffer: consumed before the next apply *)
+    let z = apply r in
+    let rz' = Stages.dot r z in
     let beta = rz' /. !rz in
     rz := rz';
     Array.iteri (fun i pi -> p.(i) <- z.(i) +. (beta *. pi)) p;
-    incr it
+    incr it;
+    trajectory := (sqrt (Stages.dot r r) /. b_norm) :: !trajectory
   done;
-  (!it, sqrt (Vector.dot r r) /. b_norm)
+  (!it, sqrt (Stages.dot r r) /. b_norm, List.rev !trajectory)
 
 let () =
-  print_endline "== CG vs IC(0)-preconditioned CG ==";
+  print_endline "== CG vs IC(0)-preconditioned CG (pipeline apply) ==";
   (* An ill-conditioned-ish Poisson problem (small diagonal shift). *)
   let a = Generators.grid2d ~stencil:`Five ~shift:1e-4 80 80 in
   let a_lower = Csc.lower a in
@@ -77,19 +87,56 @@ let () =
   let t0 = Unix.gettimeofday () in
   let it_cg, res_cg = cg a b in
   let t_cg = Unix.gettimeofday () -. t0 in
-  Printf.printf "CG:   %4d iterations, residual %.2e, %.1f ms\n" it_cg res_cg
-    (t_cg *. 1e3);
+  Printf.printf "CG:           %4d iterations, residual %.2e, %.1f ms\n" it_cg
+    res_cg (t_cg *. 1e3);
+
+  (* One pipeline: the IC(0) factorization and both triangular sweeps
+     compiled through one shared symbolic analysis. *)
+  let t0 = Unix.gettimeofday () in
+  let t = Pl.compile (Pl.factor_solve `Ic0) a_lower in
+  let plan = Pl.plan t in
+  Pl.factor_ip plan a_lower;
+  let t_setup = Unix.gettimeofday () -. t0 in
 
   let t0 = Unix.gettimeofday () in
-  let ic = Ic0.compile a_lower in
-  let l = Ic0.factor ic a_lower in
-  let t_setup = Unix.gettimeofday () -. t0 in
+  let it_f, res_f, traj_f = pcg ~apply:(fun r -> Pl.execute_ip plan r) a b in
+  let t_fused = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "PCG (fused):  %4d iterations, residual %.2e, %.1f ms (+%.1f ms setup)\n"
+    it_f res_f (t_fused *. 1e3) (t_setup *. 1e3);
+
   let t0 = Unix.gettimeofday () in
-  let it_pcg, res_pcg = pcg a l b in
-  let t_pcg = Unix.gettimeofday () -. t0 in
-  Printf.printf "PCG:  %4d iterations, residual %.2e, %.1f ms (+%.1f ms IC0 setup)\n"
-    it_pcg res_pcg (t_pcg *. 1e3) (t_setup *. 1e3);
-  Printf.printf "iteration reduction: %.1fx\n"
-    (float_of_int it_cg /. float_of_int (max 1 it_pcg));
-  if it_pcg < it_cg then print_endline "OK: IC(0) preconditioning pays off"
-  else print_endline "UNEXPECTED: preconditioner did not help"
+  let it_s, res_s, traj_s =
+    pcg ~apply:(fun r -> Pl.staged_execute_ip plan r) a b
+  in
+  let t_staged = Unix.gettimeofday () -. t0 in
+  Printf.printf "PCG (staged): %4d iterations, residual %.2e, %.1f ms\n" it_s
+    res_s (t_staged *. 1e3);
+
+  Printf.printf
+    "iteration reduction: %.1fx (%d stage boundary fused per apply)\n"
+    (float_of_int it_cg /. float_of_int (max 1 it_f))
+    (Pl.fused_boundaries t);
+
+  let ok = ref true in
+  if traj_f = traj_s && it_f = it_s then
+    print_endline
+      "OK: fused and staged residual trajectories are bitwise-identical"
+  else begin
+    print_endline "FAIL: fused and staged trajectories diverged";
+    ok := false
+  end;
+  if res_f <= tol then
+    Printf.printf "OK: converged in %d iterations (|r|/|b| = %.2e <= %.0e)\n"
+      it_f res_f tol
+  else begin
+    Printf.printf "FAIL: no convergence after %d iterations (|r|/|b| = %.2e)\n"
+      it_f res_f;
+    ok := false
+  end;
+  if it_f < it_cg then print_endline "OK: IC(0) preconditioning pays off"
+  else begin
+    print_endline "FAIL: preconditioner did not help";
+    ok := false
+  end;
+  if not !ok then exit 1

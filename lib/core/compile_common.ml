@@ -1,0 +1,173 @@
+open Sympiler_sparse
+open Sympiler_prof
+
+(* Shared compile-time machinery of the facade and the pipeline layer:
+   ordering resolution and the baked gather maps, symbolic-phase timing,
+   and the plan-lifecycle metrics. Everything here used to live inside
+   sympiler.ml; the pipeline compiles DAGs of facade stages, so the
+   machinery is factored out where both can reach it without a cycle. *)
+
+module Trace = Sympiler_trace.Trace
+module Metrics = Sympiler_metrics.Metrics
+
+let native_mode : Options.engine -> Native_engine.mode option = function
+  | `Ocaml -> None
+  | `Native -> Some Native_engine.Vec
+  | `Native_novec -> Some Native_engine.Novec
+
+(* The four §3.3 factor kernels share one native shape: [int]-returning C
+   from [Codegen_static] whose non-negative return is the failing pivot
+   index (re-raised per family), input values in b0, factor storage after. *)
+let static_native_exec mode ~family ~kname ~(pattern : Csc.t) ~sizes source =
+  Native_engine.load ~mode ~pattern_key:(Csc.pattern_hash pattern) ~family
+    ~kname ~nargs:(Array.length sizes) ~int_return:true ~sizes source
+
+(* Wall-clock timing for the [symbolic_seconds] report fields, also fed to
+   the profiling layer's "symbolic" scope (reentrant, so the inspectors'
+   own "symbolic" spans nest without double counting). The monotonic clock
+   keeps the report immune to NTP slews. *)
+let time_symbolic f =
+  let t0 = Prof.now_seconds () in
+  let r = Prof.time "symbolic" f in
+  (r, Prof.now_seconds () -. t0)
+
+(* ------------------------ Plan-lifecycle metrics ------------------------ *)
+
+(* Latency distributions for the two halves of the compile-once /
+   execute-many economics: what one symbolic compile costs, and what one
+   steady-state numeric call costs, labeled by the dimensions a serving
+   process wants to slice on. Registration happens on compile/plan paths
+   (it locks and allocates); the handles live in plan records so the
+   per-call hot path is a guarded [observe]. *)
+
+let observe_compile ~family ~ordering seconds =
+  if Metrics.enabled () then
+    Metrics.observe
+      (Metrics.histogram "sympiler_compile_seconds"
+         ~help:"Symbolic compile latency (ordering + inspection + codegen)"
+         ~labels:[ ("family", family); ("ordering", ordering) ])
+      seconds
+
+(* The label reports the engine that will actually execute — a native
+   request that degraded to the OCaml executor (no C compiler) says so. *)
+let engine_label (native : Native_engine.exec option) (engine : Options.engine)
+    =
+  match (native, engine) with
+  | Some _, `Native -> "native"
+  | Some _, `Native_novec -> "native-novec"
+  | _ -> "ocaml"
+
+let execute_hist ~family ~op ~engine ~ordering =
+  Metrics.histogram "sympiler_execute_seconds"
+    ~help:"Numeric execution latency per call (factor_ip / solve_ip)"
+    ~labels:
+      [
+        ("engine", engine);
+        ("family", family);
+        ("op", op);
+        ("ordering", ordering);
+      ]
+
+(* Fingerprint encoders, re-exported so the facade's include keeps the
+   historical spellings in scope. *)
+let fp_option = Options.fp_option
+let fp_threshold = Options.fp_threshold
+let fp_ordering = Options.fp_ordering
+let append_fp_ordering = Options.append_fp_ordering
+let ordering_name = Options.ordering_name
+
+(* ----------------------- Fill-reducing orderings ----------------------- *)
+
+(* Ordering is a symbolic-stage decision: the permutation is computed once
+   at compile time, the symbolic analysis runs on P A P^T, and the plan
+   bakes P in — steady-state executions only gather values through a
+   precomputed map, so ordered plans stay allocation-free and produce
+   results bitwise-identical to manually pre-permuting the input. *)
+
+type applied_ordering = {
+  o_perm : Perm.t option;  (* None = natural (identity, no gather) *)
+  o_name : string;  (* "natural" | "rcm" | "amd" | "min-degree" | "given" *)
+  o_map : int array;
+      (* gather map: permuted entry [q] reads the natural input's
+         [values.(o_map.(q))]; [||] when natural *)
+}
+
+let natural_ordering = { o_perm = None; o_name = "natural"; o_map = [||] }
+
+(* Compute the requested permutation ([`Natural] is handled by callers
+   before getting here; [sym] is forced only by the graph algorithms). *)
+let resolve_ordering ~who (o : Options.ordering) (sym : Csc.t lazy_t) (n : int)
+    : Perm.t =
+  Trace.with_span "ordering"
+    ~attrs:[ ("n", Trace.Int n); ("algorithm", Trace.Str (ordering_name o)) ]
+  @@ fun () ->
+  match o with
+  | `Natural -> Perm.identity n
+  | `Rcm -> Ordering.rcm (Lazy.force sym)
+  | `Amd -> Ordering.amd (Lazy.force sym)
+  | `Min_degree -> Ordering.min_degree (Lazy.force sym)
+  | `Given p ->
+      if Array.length p <> n then
+        invalid_arg (who ^ ": `Given permutation length does not match n");
+      if not (Perm.is_valid p) then
+        invalid_arg (who ^ ": `Given is not a valid permutation of [0, n)");
+      Array.copy p
+
+(* Allocation-free gather of natural-order input values into the permuted
+   scratch a plan owns. *)
+let gather_values ~who (map : int array) (src : float array) (dst : Csc.t) =
+  if Array.length src <> Array.length map then
+    invalid_arg (who ^ ": input nnz does not match the compiled pattern");
+  let dv = dst.Csc.values in
+  for q = 0 to Array.length dv - 1 do
+    dv.(q) <- src.(map.(q))
+  done
+
+(* The permuted-input scratch of an ordered plan: shares the compiled
+   pattern's structure arrays, owns its values. *)
+let ordering_scratch (ord : applied_ordering) (pattern : Csc.t) : Csc.t option =
+  match ord.o_perm with
+  | None -> None
+  | Some _ -> Some { pattern with Csc.values = Array.make (Csc.nnz pattern) 0.0 }
+
+(* One-shot (allocating) version of the same gather, for the [factor]
+   convenience entry points. *)
+let ordered_input ~who (ord : applied_ordering) (pattern : Csc.t) (a : Csc.t) :
+    Csc.t =
+  match ord.o_perm with
+  | None -> a
+  | Some _ ->
+      let s = { pattern with Csc.values = Array.make (Csc.nnz pattern) 0.0 } in
+      gather_values ~who ord.o_map a.Csc.values s;
+      s
+
+(* Shared ordered-compile preamble for the symmetric families whose
+   compiled pattern is lower(A): resolve P on the symmetrized graph and
+   permute the lower pattern. *)
+let ordered_lower ~who (ordering : Options.ordering) (a_lower : Csc.t) :
+    Csc.t * applied_ordering =
+  match ordering with
+  | `Natural -> (a_lower, natural_ordering)
+  | o ->
+      let p =
+        resolve_ordering ~who o
+          (lazy (Csc.symmetrize_from_lower a_lower))
+          a_lower.Csc.ncols
+      in
+      let pl, map = Perm.permute_lower p a_lower in
+      (pl, { o_perm = Some p; o_name = ordering_name o; o_map = map })
+
+(* Same for the square-pattern families (LU, ILU(0)): the ordering graph
+   is the symmetrized pattern A + A^T. *)
+let ordered_square ~who (ordering : Options.ordering) (a : Csc.t) :
+    Csc.t * applied_ordering =
+  match ordering with
+  | `Natural -> (a, natural_ordering)
+  | o ->
+      let p =
+        resolve_ordering ~who o
+          (lazy (Csc.add a (Csc.transpose a)))
+          a.Csc.ncols
+      in
+      let pa, map = Perm.permute_pattern p a in
+      (pa, { o_perm = Some p; o_name = ordering_name o; o_map = map })

@@ -1,0 +1,72 @@
+open Sympiler_sparse
+
+(** Shared compile options: the one record every kernel family's [compile]
+    (and every {!Pipeline} stage) takes, replacing the pre-unification
+    [compile]/[compile_ext]/[compile_cached]/[compile_cached_ext] quartet.
+    Families consume the fields they understand and ignore the rest — the
+    documented price of one uniform signature. *)
+
+type ordering = [ `Natural | `Rcm | `Amd | `Min_degree | `Given of Perm.t ]
+(** Fill-reducing ordering request (see {!Sympiler.ordering} for the full
+    contract: computed once at compile time, baked into plans). *)
+
+type engine = [ `Ocaml | `Native | `Native_novec ]
+(** Plan execution engine (see {!Sympiler.engine}). *)
+
+type t = {
+  fill : Sympiler_symbolic.Fill_pattern.t option;
+      (** reuse a caller-provided fill analysis of the same pattern
+          (families without a fill analysis ignore it) *)
+  max_width : int option;
+      (** cap supernode width where supernodes exist *)
+  ordering : ordering;  (** default [`Natural] *)
+  cache : bool;
+      (** route the compile through the family's default
+          {!Plan_cache} (same effect as the retired [compile_cached]) *)
+  vs_block_threshold : float option;
+      (** minimum average supernode width for VS-Block to pay off;
+          [None] = the family's default (2.0 for Cholesky) *)
+  simplicial : bool;
+      (** force the simplicial Cholesky variant (was
+          [compile_ext ~variant:Simplicial]) *)
+  specialized : bool;
+      (** pattern-specialized codegen (Cholesky; default [true]) *)
+  vectorize : bool;
+      (** emit vectorize annotations in generated C (default [true]) *)
+}
+
+val default : t
+(** No fill reuse, no width cap, natural ordering, uncached, family-default
+    thresholds, supernodal, specialized, vectorized. *)
+
+val cached : t
+(** {!default} with [cache = true]. *)
+
+val make :
+  ?fill:Sympiler_symbolic.Fill_pattern.t ->
+  ?max_width:int ->
+  ?ordering:ordering ->
+  ?cache:bool ->
+  ?vs_block_threshold:float ->
+  ?simplicial:bool ->
+  ?specialized:bool ->
+  ?vectorize:bool ->
+  unit ->
+  t
+
+val ordering_name : ordering -> string
+(** "natural", "rcm", "amd", "min-degree", or "given". *)
+
+(** {2 Cache fingerprints}
+
+    Encoders mapping option configurations to distinct integer arrays for
+    {!Plan_cache} keys ("not given" is distinct from "given the default"). *)
+
+val fp_option : int option -> int
+val fp_threshold : float option -> int
+val fp_ordering : ordering option -> int array
+val append_fp_ordering : int array -> ordering option -> int array
+
+val fingerprint : t -> int array
+(** The record's cache key contribution. [fill] and [cache] are excluded:
+    neither changes the compiled artifact. *)

@@ -16,204 +16,22 @@ open Sympiler_prof
 module Suite = Suite
 module Codegen_supernodal = Codegen_supernodal
 module Plan_cache = Plan_cache
-module Trace = Sympiler_trace.Trace
-module Metrics = Sympiler_metrics.Metrics
 module Runtime = Sympiler_runtime
 module Native = Sympiler_native.Native
 module Native_engine = Native_engine
+module Options = Options
+module Pipeline = Pipeline
 
-(* The execution engine of a plan. [`Ocaml] interprets the compiled plan
-   with the library executors; [`Native] compiles the family's emitted C
-   into a shared object at plan time (cached on disk, see
-   [Sympiler_native.Native]) and dispatches every [execute_ip] to the
-   loaded symbol; [`Native_novec] is the bench's ablation arm — the same
-   C with the vectorize annotations stripped and the compiler's
-   vectorizer off. When no C compiler is available the native engines
-   degrade to [`Ocaml] with a one-time note (the plan still works). *)
-type engine = [ `Ocaml | `Native | `Native_novec ]
+(* The execution engine and fill-reducing-ordering requests live in
+   [Options] (the one shared compile-options record); the historical
+   spellings stay as aliases. *)
+type engine = Options.engine
+type ordering = Options.ordering
 
-let native_mode : engine -> Native_engine.mode option = function
-  | `Ocaml -> None
-  | `Native -> Some Native_engine.Vec
-  | `Native_novec -> Some Native_engine.Novec
-
-(* The four §3.3 factor kernels share one native shape: [int]-returning C
-   from [Codegen_static] whose non-negative return is the failing pivot
-   index (re-raised per family), input values in b0, factor storage after. *)
-let static_native_exec mode ~family ~kname ~(pattern : Csc.t) ~sizes source =
-  Native_engine.load ~mode ~pattern_key:(Csc.pattern_hash pattern) ~family
-    ~kname ~nargs:(Array.length sizes) ~int_return:true ~sizes source
-
-(* Wall-clock timing for the [symbolic_seconds] report fields, also fed to
-   the profiling layer's "symbolic" scope (reentrant, so the inspectors'
-   own "symbolic" spans nest without double counting). The monotonic clock
-   keeps the report immune to NTP slews. *)
-let time_symbolic f =
-  let t0 = Prof.now_seconds () in
-  let r = Prof.time "symbolic" f in
-  (r, Prof.now_seconds () -. t0)
-
-(* ------------------------ Plan-lifecycle metrics ------------------------ *)
-
-(* Latency distributions for the two halves of the compile-once /
-   execute-many economics: what one symbolic compile costs, and what one
-   steady-state numeric call costs, labeled by the dimensions a serving
-   process wants to slice on. Registration happens on compile/plan paths
-   (it locks and allocates); the handles live in plan records so the
-   per-call hot path is a guarded [observe]. *)
-
-let observe_compile ~family ~ordering seconds =
-  if Metrics.enabled () then
-    Metrics.observe
-      (Metrics.histogram "sympiler_compile_seconds"
-         ~help:"Symbolic compile latency (ordering + inspection + codegen)"
-         ~labels:[ ("family", family); ("ordering", ordering) ])
-      seconds
-
-(* The label reports the engine that will actually execute — a native
-   request that degraded to the OCaml executor (no C compiler) says so. *)
-let engine_label (native : Native_engine.exec option) (engine : engine) =
-  match (native, engine) with
-  | Some _, `Native -> "native"
-  | Some _, `Native_novec -> "native-novec"
-  | _ -> "ocaml"
-
-let execute_hist ~family ~op ~engine ~ordering =
-  Metrics.histogram "sympiler_execute_seconds"
-    ~help:"Numeric execution latency per call (factor_ip / solve_ip)"
-    ~labels:
-      [
-        ("engine", engine);
-        ("family", family);
-        ("op", op);
-        ("ordering", ordering);
-      ]
-
-(* Optional-argument encoding for cache fingerprints: configurations must
-   map to distinct integers, including "not given" vs "given the default
-   value" (the callee's default could change). *)
-let fp_option = function None -> min_int | Some w -> w
-
-let fp_threshold = function
-  | None -> min_int
-  | Some x -> int_of_float (x *. 1024.0)
-
-(* ----------------------- Fill-reducing orderings ----------------------- *)
-
-(* Ordering is a symbolic-stage decision: the permutation is computed once
-   at compile time, the symbolic analysis runs on P A P^T, and the plan
-   bakes P in — steady-state executions only gather values through a
-   precomputed map, so ordered plans stay allocation-free and produce
-   results bitwise-identical to manually pre-permuting the input. *)
-
-type ordering = [ `Natural | `Rcm | `Amd | `Min_degree | `Given of Perm.t ]
-
-type applied_ordering = {
-  o_perm : Perm.t option;  (* None = natural (identity, no gather) *)
-  o_name : string;  (* "natural" | "rcm" | "amd" | "min-degree" | "given" *)
-  o_map : int array;
-      (* gather map: permuted entry [q] reads the natural input's
-         [values.(o_map.(q))]; [||] when natural *)
-}
-
-let natural_ordering = { o_perm = None; o_name = "natural"; o_map = [||] }
-
-let ordering_name : ordering -> string = function
-  | `Natural -> "natural"
-  | `Rcm -> "rcm"
-  | `Amd -> "amd"
-  | `Min_degree -> "min-degree"
-  | `Given _ -> "given"
-
-(* Cache fingerprint: the ordering request is part of the compilation key
-   (a [`Given] permutation fingerprints by content). *)
-let fp_ordering : ordering option -> int array = function
-  | None | Some `Natural -> [| 0 |]
-  | Some `Rcm -> [| 1 |]
-  | Some `Amd -> [| 2 |]
-  | Some `Min_degree -> [| 3 |]
-  | Some (`Given p) -> Array.append [| 4; Array.length p |] p
-
-let append_fp_ordering extra ord = Array.append extra (fp_ordering ord)
-
-(* Compute the requested permutation ([`Natural] is handled by callers
-   before getting here; [sym] is forced only by the graph algorithms). *)
-let resolve_ordering ~who (o : ordering) (sym : Csc.t lazy_t) (n : int) :
-    Perm.t =
-  Trace.with_span "ordering"
-    ~attrs:[ ("n", Trace.Int n); ("algorithm", Trace.Str (ordering_name o)) ]
-  @@ fun () ->
-  match o with
-  | `Natural -> Perm.identity n
-  | `Rcm -> Ordering.rcm (Lazy.force sym)
-  | `Amd -> Ordering.amd (Lazy.force sym)
-  | `Min_degree -> Ordering.min_degree (Lazy.force sym)
-  | `Given p ->
-      if Array.length p <> n then
-        invalid_arg (who ^ ": `Given permutation length does not match n");
-      if not (Perm.is_valid p) then
-        invalid_arg (who ^ ": `Given is not a valid permutation of [0, n)");
-      Array.copy p
-
-(* Allocation-free gather of natural-order input values into the permuted
-   scratch a plan owns. *)
-let gather_values ~who (map : int array) (src : float array) (dst : Csc.t) =
-  if Array.length src <> Array.length map then
-    invalid_arg (who ^ ": input nnz does not match the compiled pattern");
-  let dv = dst.Csc.values in
-  for q = 0 to Array.length dv - 1 do
-    dv.(q) <- src.(map.(q))
-  done
-
-(* The permuted-input scratch of an ordered plan: shares the compiled
-   pattern's structure arrays, owns its values. *)
-let ordering_scratch (ord : applied_ordering) (pattern : Csc.t) : Csc.t option
-    =
-  match ord.o_perm with
-  | None -> None
-  | Some _ -> Some { pattern with Csc.values = Array.make (Csc.nnz pattern) 0.0 }
-
-(* One-shot (allocating) version of the same gather, for the [factor]
-   convenience entry points. *)
-let ordered_input ~who (ord : applied_ordering) (pattern : Csc.t) (a : Csc.t) :
-    Csc.t =
-  match ord.o_perm with
-  | None -> a
-  | Some _ ->
-      let s = { pattern with Csc.values = Array.make (Csc.nnz pattern) 0.0 } in
-      gather_values ~who ord.o_map a.Csc.values s;
-      s
-
-(* Shared ordered-compile preamble for the symmetric families whose
-   compiled pattern is lower(A): resolve P on the symmetrized graph and
-   permute the lower pattern. *)
-let ordered_lower ~who (ordering : ordering) (a_lower : Csc.t) :
-    Csc.t * applied_ordering =
-  match ordering with
-  | `Natural -> (a_lower, natural_ordering)
-  | o ->
-      let p =
-        resolve_ordering ~who o
-          (lazy (Csc.symmetrize_from_lower a_lower))
-          a_lower.Csc.ncols
-      in
-      let pl, map = Perm.permute_lower p a_lower in
-      (pl, { o_perm = Some p; o_name = ordering_name o; o_map = map })
-
-(* Same for the square-pattern families (LU, ILU(0)): the ordering graph
-   is the symmetrized pattern A + A^T. *)
-let ordered_square ~who (ordering : ordering) (a : Csc.t) :
-    Csc.t * applied_ordering =
-  match ordering with
-  | `Natural -> (a, natural_ordering)
-  | o ->
-      let p =
-        resolve_ordering ~who o
-          (lazy (Csc.add a (Csc.transpose a)))
-          a.Csc.ncols
-      in
-      let pa, map = Perm.permute_pattern p a in
-      (pa, { o_perm = Some p; o_name = ordering_name o; o_map = map })
+(* The compile-time machinery shared with the pipeline layer: ordering
+   resolution and the baked gather maps, symbolic-phase timing, the
+   plan-lifecycle metrics, and the fingerprint encoders. *)
+include Compile_common
 
 (* The uniform kernel lifecycle (see the interface for the contract); the
    per-family [module Check : KERNEL = ...] assertions live in the test
@@ -225,21 +43,7 @@ module type KERNEL = sig
   type input
   type output
 
-  val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t ->
-    ?max_width:int ->
-    ?ordering:ordering ->
-    pattern ->
-    t
-
-  val compile_cached :
-    ?cache:t Plan_cache.t ->
-    ?fill:Sympiler_symbolic.Fill_pattern.t ->
-    ?max_width:int ->
-    ?ordering:ordering ->
-    pattern ->
-    t
-
+  val compile : ?cache:t Plan_cache.t -> ?opts:Options.t -> pattern -> t
   val cache_stats : unit -> Plan_cache.stats
   val cache_clear : unit -> unit
   val symbolic_seconds : t -> float
@@ -279,7 +83,7 @@ module Trisolve = struct
      caller keeps natural-order vectors throughout. Orderings must keep
      P L P^T lower triangular (a dependence-respecting relabeling, e.g. a
      [`Given] etree postorder); anything else raises [Invalid_argument]. *)
-  let compile_ext ?vs_block_threshold ?max_width
+  let compile_internal ?vs_block_threshold ?max_width
       ?(ordering : ordering = `Natural) (l : Csc.t) (b : Vector.sparse) : t =
     if not (Csc.is_lower_triangular l) then
       invalid_arg "Sympiler.Trisolve.compile: L must be lower triangular";
@@ -337,36 +141,57 @@ module Trisolve = struct
       ord_b_map;
     }
 
-  (* The KERNEL spelling: the fill analysis has no meaning for a solve
-     (reach-sets are the inspection here), so [?fill] is accepted and
-     ignored — the price of one uniform signature. *)
-  let compile ?fill:_ ?max_width ?ordering ((l, b) : pattern) : t =
-    compile_ext ?max_width ?ordering l b
+  (* The unified KERNEL spelling: every compile option rides in the shared
+     [Options.t] record. Fields without a meaning for a solve ([fill] —
+     reach-sets are the inspection here; [simplicial]...) are accepted and
+     ignored — the documented price of one uniform signature. *)
+  let compile_opts (opts : Options.t) ((l, b) : pattern) : t =
+    compile_internal ?vs_block_threshold:opts.Options.vs_block_threshold
+      ?max_width:opts.Options.max_width ~ordering:opts.Options.ordering l b
 
   (* Compilation cache: keyed on L's structure plus the RHS pattern and
-     the compile options (the [extra] fingerprint) — a hit returns the
-     previously compiled handle, physically equal, with no symbolic work. *)
+     the option fingerprint — a hit returns the previously compiled
+     handle, physically equal, with no symbolic work. *)
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let cache_key vs_block_threshold max_width ordering (b : Vector.sparse) =
+  let cache_key (opts : Options.t) (b : Vector.sparse) =
     let nb = Array.length b.Vector.indices in
-    let extra = Array.make (3 + nb) 0 in
-    extra.(0) <- fp_threshold vs_block_threshold;
-    extra.(1) <- fp_option max_width;
-    extra.(2) <- b.Vector.n;
-    Array.blit b.Vector.indices 0 extra 3 nb;
-    append_fp_ordering extra ordering
+    let extra = Array.make (1 + nb) 0 in
+    extra.(0) <- b.Vector.n;
+    Array.blit b.Vector.indices 0 extra 1 nb;
+    Array.append extra (Options.fingerprint opts)
 
-  let compile_cached_ext ?(cache = default_cache) ?vs_block_threshold
-      ?max_width ?ordering (l : Csc.t) (b : Vector.sparse) : t =
-    Trace.with_span "compile_cached.trisolve" @@ fun () ->
-    Plan_cache.find_or_compile cache ~pattern:l
-      ~extra:(cache_key vs_block_threshold max_width ordering b)
-      (fun () -> compile_ext ?vs_block_threshold ?max_width ?ordering l b)
+  let compile ?cache ?(opts = Options.default) ((l, b) : pattern) : t =
+    match (cache, opts.Options.cache) with
+    | None, false -> compile_opts opts (l, b)
+    | _ ->
+        let c = Option.value cache ~default:default_cache in
+        Trace.with_span "compile_cached.trisolve" @@ fun () ->
+        Plan_cache.find_or_compile c ~pattern:l ~extra:(cache_key opts b)
+          (fun () -> compile_opts opts (l, b))
+
+  (* Pre-unification spellings, kept as thin aliases (deprecated in the
+     interface): everything they spelled as optional arguments is a field
+     of [Options.t] now. *)
+  let compile_ext ?vs_block_threshold ?max_width ?ordering (l : Csc.t)
+      (b : Vector.sparse) : t =
+    compile
+      ~opts:(Options.make ?vs_block_threshold ?max_width ?ordering ())
+      (l, b)
+
+  let compile_cached_ext ?cache ?vs_block_threshold ?max_width ?ordering
+      (l : Csc.t) (b : Vector.sparse) : t =
+    compile
+      ~cache:(Option.value cache ~default:default_cache)
+      ~opts:(Options.make ?vs_block_threshold ?max_width ?ordering ())
+      (l, b)
 
   let compile_cached ?cache ?fill:_ ?max_width ?ordering ((l, b) : pattern) : t
       =
-    compile_cached_ext ?cache ?max_width ?ordering l b
+    compile
+      ~cache:(Option.value cache ~default:default_cache)
+      ~opts:(Options.make ?max_width ?ordering ())
+      (l, b)
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
@@ -741,50 +566,57 @@ module Cholesky = struct
       ord;
     }
 
-  let compile ?fill ?max_width ?ordering (a_lower : pattern) : t =
-    compile_internal ?fill ~variant:Supernodal ~specialized:true
-      ~vs_block_threshold:2.0 ?max_width ?ordering a_lower
+  (* The unified KERNEL spelling: the variant request, the VS-Block
+     threshold, the width cap and the ordering all ride in the shared
+     [Options.t] record. *)
+  let compile_opts (opts : Options.t) (a_lower : pattern) : t =
+    compile_internal ?fill:opts.Options.fill
+      ~variant:(if opts.Options.simplicial then Simplicial else Supernodal)
+      ~specialized:opts.Options.specialized
+      ~vs_block_threshold:
+        (Option.value opts.Options.vs_block_threshold ~default:2.0)
+      ?max_width:opts.Options.max_width ~ordering:opts.Options.ordering a_lower
 
-  let compile_ext ?(variant = Supernodal) ?(specialized = true)
-      ?(vs_block_threshold = 2.0) ?fill ?max_width ?ordering (a_lower : Csc.t)
-      : t =
-    compile_internal ?fill ~variant ~specialized ~vs_block_threshold
-      ?max_width ?ordering a_lower
-
-  (* Compilation cache: keyed on lower(A)'s structure plus the compile
-     options — a hit returns the previously compiled handle, physically
-     equal, skipping the symbolic phase entirely. The uniform
-     [compile_cached] and the richer [compile_cached_ext] share one key
-     layout, so their default configurations hit the same entries. *)
+  (* Compilation cache: keyed on lower(A)'s structure plus the option
+     fingerprint — a hit returns the previously compiled handle, physically
+     equal, skipping the symbolic phase entirely. *)
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let cache_key variant specialized vs_block_threshold max_width ordering =
-    append_fp_ordering
-      [|
-        (match variant with Supernodal -> 0 | Simplicial -> 1);
-        (if specialized then 1 else 0);
-        fp_threshold (Some vs_block_threshold);
-        fp_option max_width;
-      |]
-      ordering
+  let compile ?cache ?(opts = Options.default) (a_lower : pattern) : t =
+    match (cache, opts.Options.cache) with
+    | None, false -> compile_opts opts a_lower
+    | _ ->
+        let c = Option.value cache ~default:default_cache in
+        Trace.with_span "compile_cached.cholesky" @@ fun () ->
+        Plan_cache.find_or_compile c ~pattern:a_lower
+          ~extra:(Options.fingerprint opts)
+          (fun () -> compile_opts opts a_lower)
 
-  let compile_cached_ext ?(cache = default_cache) ?(variant = Supernodal)
-      ?(specialized = true) ?(vs_block_threshold = 2.0) ?max_width ?ordering
-      (a_lower : Csc.t) : t =
-    Trace.with_span "compile_cached.cholesky" @@ fun () ->
-    Plan_cache.find_or_compile cache ~pattern:a_lower
-      ~extra:
-        (cache_key variant specialized vs_block_threshold max_width ordering)
-      (fun () ->
-        compile_ext ~variant ~specialized ~vs_block_threshold ?max_width
-          ?ordering a_lower)
+  (* Pre-unification spellings, kept as thin aliases (deprecated in the
+     interface). *)
+  let compile_ext ?(variant = Supernodal) ?specialized ?vs_block_threshold
+      ?fill ?max_width ?ordering (a_lower : Csc.t) : t =
+    compile
+      ~opts:
+        (Options.make ?fill ?max_width ?ordering ?vs_block_threshold
+           ~simplicial:(variant = Simplicial) ?specialized ())
+      a_lower
 
-  let compile_cached ?(cache = default_cache) ?fill ?max_width ?ordering
-      (a_lower : pattern) : t =
-    Trace.with_span "compile_cached.cholesky" @@ fun () ->
-    Plan_cache.find_or_compile cache ~pattern:a_lower
-      ~extra:(cache_key Supernodal true 2.0 max_width ordering)
-      (fun () -> compile ?fill ?max_width ?ordering a_lower)
+  let compile_cached_ext ?cache ?(variant = Supernodal) ?specialized
+      ?vs_block_threshold ?max_width ?ordering (a_lower : Csc.t) : t =
+    compile
+      ~cache:(Option.value cache ~default:default_cache)
+      ~opts:
+        (Options.make ?max_width ?ordering ?vs_block_threshold
+           ~simplicial:(variant = Simplicial) ?specialized ())
+      a_lower
+
+  let compile_cached ?cache ?fill ?max_width ?ordering (a_lower : pattern) : t
+      =
+    compile
+      ~cache:(Option.value cache ~default:default_cache)
+      ~opts:(Options.make ?fill ?max_width ?ordering ())
+      a_lower
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
@@ -1000,8 +832,7 @@ module Ldlt = struct
   type input = Csc.t
   type output = K.factors
 
-  let compile ?fill:_ ?max_width:_ ?(ordering : ordering = `Natural)
-      (a_lower : pattern) : t =
+  let compile_base ?(ordering : ordering = `Natural) (a_lower : pattern) : t =
     if not (Csc.is_lower_triangular a_lower) then
       invalid_arg "Sympiler.Ldlt.compile: pass lower(A)";
     let t0 = Prof.now_seconds () in
@@ -1026,12 +857,22 @@ module Ldlt = struct
 
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let compile_cached ?(cache = default_cache) ?fill ?max_width ?ordering
-      (a_lower : pattern) : t =
-    Trace.with_span "compile_cached.ldlt" @@ fun () ->
-    Plan_cache.find_or_compile cache ~pattern:a_lower
-      ~extra:(append_fp_ordering [| fp_option max_width |] ordering)
-      (fun () -> compile ?fill ?max_width ?ordering a_lower)
+  let compile ?cache ?(opts = Options.default) (a_lower : pattern) : t =
+    match (cache, opts.Options.cache) with
+    | None, false -> compile_base ~ordering:opts.Options.ordering a_lower
+    | _ ->
+        let c = Option.value cache ~default:default_cache in
+        Trace.with_span "compile_cached.ldlt" @@ fun () ->
+        Plan_cache.find_or_compile c ~pattern:a_lower
+          ~extra:(Options.fingerprint opts)
+          (fun () -> compile_base ~ordering:opts.Options.ordering a_lower)
+
+  let compile_cached ?cache ?fill ?max_width ?ordering (a_lower : pattern) : t
+      =
+    compile
+      ~cache:(Option.value cache ~default:default_cache)
+      ~opts:(Options.make ?fill ?max_width ?ordering ())
+      a_lower
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
@@ -1130,8 +971,7 @@ module Lu = struct
   type input = Csc.t
   type output = K.factors
 
-  let compile ?fill:_ ?max_width:_ ?(ordering : ordering = `Natural)
-      (a : pattern) : t =
+  let compile_base ?(ordering : ordering = `Natural) (a : pattern) : t =
     let t0 = Prof.now_seconds () in
     let a, ord = ordered_square ~who:"Sympiler.Lu.compile" ordering a in
     let ord_seconds = Prof.now_seconds () -. t0 in
@@ -1152,12 +992,21 @@ module Lu = struct
 
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let compile_cached ?(cache = default_cache) ?fill ?max_width ?ordering
-      (a : pattern) : t =
-    Trace.with_span "compile_cached.lu" @@ fun () ->
-    Plan_cache.find_or_compile cache ~pattern:a
-      ~extra:(append_fp_ordering [| fp_option max_width |] ordering)
-      (fun () -> compile ?fill ?max_width ?ordering a)
+  let compile ?cache ?(opts = Options.default) (a : pattern) : t =
+    match (cache, opts.Options.cache) with
+    | None, false -> compile_base ~ordering:opts.Options.ordering a
+    | _ ->
+        let c = Option.value cache ~default:default_cache in
+        Trace.with_span "compile_cached.lu" @@ fun () ->
+        Plan_cache.find_or_compile c ~pattern:a
+          ~extra:(Options.fingerprint opts)
+          (fun () -> compile_base ~ordering:opts.Options.ordering a)
+
+  let compile_cached ?cache ?fill ?max_width ?ordering (a : pattern) : t =
+    compile
+      ~cache:(Option.value cache ~default:default_cache)
+      ~opts:(Options.make ?fill ?max_width ?ordering ())
+      a
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
@@ -1257,8 +1106,7 @@ module Ic0 = struct
   type input = Csc.t
   type output = Csc.t
 
-  let compile ?fill:_ ?max_width:_ ?(ordering : ordering = `Natural)
-      (a_lower : pattern) : t =
+  let compile_base ?(ordering : ordering = `Natural) (a_lower : pattern) : t =
     if not (Csc.is_lower_triangular a_lower) then
       invalid_arg "Sympiler.Ic0.compile: pass lower(A)";
     let t0 = Prof.now_seconds () in
@@ -1283,12 +1131,22 @@ module Ic0 = struct
 
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let compile_cached ?(cache = default_cache) ?fill ?max_width ?ordering
-      (a_lower : pattern) : t =
-    Trace.with_span "compile_cached.ic0" @@ fun () ->
-    Plan_cache.find_or_compile cache ~pattern:a_lower
-      ~extra:(append_fp_ordering [| fp_option max_width |] ordering)
-      (fun () -> compile ?fill ?max_width ?ordering a_lower)
+  let compile ?cache ?(opts = Options.default) (a_lower : pattern) : t =
+    match (cache, opts.Options.cache) with
+    | None, false -> compile_base ~ordering:opts.Options.ordering a_lower
+    | _ ->
+        let c = Option.value cache ~default:default_cache in
+        Trace.with_span "compile_cached.ic0" @@ fun () ->
+        Plan_cache.find_or_compile c ~pattern:a_lower
+          ~extra:(Options.fingerprint opts)
+          (fun () -> compile_base ~ordering:opts.Options.ordering a_lower)
+
+  let compile_cached ?cache ?fill ?max_width ?ordering (a_lower : pattern) : t
+      =
+    compile
+      ~cache:(Option.value cache ~default:default_cache)
+      ~opts:(Options.make ?fill ?max_width ?ordering ())
+      a_lower
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache
@@ -1383,8 +1241,7 @@ module Ilu0 = struct
   type input = Csc.t
   type output = K.factors
 
-  let compile ?fill:_ ?max_width:_ ?(ordering : ordering = `Natural)
-      (a : pattern) : t =
+  let compile_base ?(ordering : ordering = `Natural) (a : pattern) : t =
     let t0 = Prof.now_seconds () in
     let a, ord = ordered_square ~who:"Sympiler.Ilu0.compile" ordering a in
     let ord_seconds = Prof.now_seconds () -. t0 in
@@ -1404,12 +1261,21 @@ module Ilu0 = struct
 
   let default_cache : t Plan_cache.t = Plan_cache.create ()
 
-  let compile_cached ?(cache = default_cache) ?fill ?max_width ?ordering
-      (a : pattern) : t =
-    Trace.with_span "compile_cached.ilu0" @@ fun () ->
-    Plan_cache.find_or_compile cache ~pattern:a
-      ~extra:(append_fp_ordering [| fp_option max_width |] ordering)
-      (fun () -> compile ?fill ?max_width ?ordering a)
+  let compile ?cache ?(opts = Options.default) (a : pattern) : t =
+    match (cache, opts.Options.cache) with
+    | None, false -> compile_base ~ordering:opts.Options.ordering a
+    | _ ->
+        let c = Option.value cache ~default:default_cache in
+        Trace.with_span "compile_cached.ilu0" @@ fun () ->
+        Plan_cache.find_or_compile c ~pattern:a
+          ~extra:(Options.fingerprint opts)
+          (fun () -> compile_base ~ordering:opts.Options.ordering a)
+
+  let compile_cached ?cache ?fill ?max_width ?ordering (a : pattern) : t =
+    compile
+      ~cache:(Option.value cache ~default:default_cache)
+      ~opts:(Options.make ?fill ?max_width ?ordering ())
+      a
 
   let cache_stats () = Plan_cache.stats default_cache
   let cache_clear () = Plan_cache.clear default_cache

@@ -8,9 +8,11 @@ open Sympiler_kernels
     (the quantity of Figures 8 and 9).
 
     Every kernel family conforms to the one {!KERNEL} signature, so the
-    compile → plan → execute-in-place lifecycle (and the optional-argument
-    spellings [?cache]/[?ndomains]/[?fill]/[?max_width]) is identical
-    across triangular solve, Cholesky, LDL^T, LU, IC(0), and ILU(0). *)
+    compile → plan → execute-in-place lifecycle is identical across
+    triangular solve, Cholesky, LDL^T, LU, IC(0), and ILU(0): one
+    [compile ?cache ?opts] per family, every knob riding in the shared
+    {!Options.t} record. Whole DAGs of stages compile through one shared
+    symbolic analysis via {!Pipeline}. *)
 
 module Suite = Suite
 (** The prepared Table 2 benchmark suite. *)
@@ -19,8 +21,28 @@ module Codegen_supernodal = Codegen_supernodal
 (** C emission for the supernodal Cholesky executor. *)
 
 module Plan_cache = Plan_cache
-(** Pattern-keyed LRU cache of compiled handles (see
-    {!Trisolve.compile_cached} and {!Cholesky.compile_cached}). *)
+(** Pattern-keyed LRU cache of compiled handles (see the [?cache] argument
+    of every family's [compile]). *)
+
+module Options = Options
+(** The shared compile-option record: every family's [compile] (and
+    {!Pipeline.compile}) takes one [?opts:Options.t], replacing the
+    pre-unification [compile]/[compile_ext]/[compile_cached]/
+    [compile_cached_ext] quartet. Families consume the fields they
+    understand and ignore the rest.
+
+    Migration: [compile_cached ?max_width ?ordering p] becomes
+    [compile ~opts:(Options.make ?max_width ?ordering ~cache:true ()) p];
+    [Cholesky.compile_ext ~variant:Simplicial] becomes
+    [compile ~opts:(Options.make ~simplicial:true ()) p];
+    [Trisolve.compile_ext ~vs_block_threshold] becomes
+    [compile ~opts:(Options.make ~vs_block_threshold ()) (l, b)]. *)
+
+module Pipeline = Pipeline
+(** Solver-pipeline fusion: compile a whole DAG of kernel stages through
+    one shared symbolic analysis into a single fused plan — one analysis,
+    one workspace, zero intermediate vectors, stage boundaries merged
+    where the schedule allows. *)
 
 module Trace = Sympiler_trace.Trace
 (** Structured trace spans over the whole compile/execute pipeline
@@ -92,15 +114,16 @@ type applied_ordering = {
 
 (** The uniform kernel lifecycle every family implements.
 
-    - [compile] runs the symbolic phase for one sparsity [pattern].
-      [?fill] reuses a caller-provided fill analysis (families that do not
-      consume one accept and ignore it — the cost of a uniform signature);
-      [?max_width] caps supernode width where supernodes exist;
-      [?ordering] selects the fill-reducing ordering applied before the
-      analysis (see {!type:ordering} — default [`Natural]).
-    - [compile_cached] is [compile] through a pattern-keyed {!Plan_cache}
-      (a module-wide default unless [?cache] is given); the ordering
-      request is part of the cache key.
+    - [compile] runs the symbolic phase for one sparsity [pattern]. Every
+      knob rides in [?opts] (the shared {!Options.t}): [opts.fill] reuses
+      a caller-provided fill analysis (families that do not consume one
+      ignore it — the cost of a uniform signature); [opts.max_width] caps
+      supernode width where supernodes exist; [opts.ordering] selects the
+      fill-reducing ordering applied before the analysis (see
+      {!type:ordering} — default [`Natural]). Passing [?cache] (or setting
+      [opts.cache], which uses the family's module-wide default cache)
+      routes the compile through a pattern-keyed {!Plan_cache}; the option
+      fingerprint is part of the cache key.
     - [plan] allocates the numeric workspaces once; [?ndomains] requests
       the level-parallel executor on the persistent domain pool where one
       exists (Trisolve, supernodal Cholesky) and is ignored elsewhere;
@@ -129,20 +152,7 @@ module type KERNEL = sig
   type output
   (** Result view over plan-owned storage. *)
 
-  val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t ->
-    ?max_width:int ->
-    ?ordering:ordering ->
-    pattern ->
-    t
-
-  val compile_cached :
-    ?cache:t Plan_cache.t ->
-    ?fill:Sympiler_symbolic.Fill_pattern.t ->
-    ?max_width:int ->
-    ?ordering:ordering ->
-    pattern ->
-    t
+  val compile : ?cache:t Plan_cache.t -> ?opts:Options.t -> pattern -> t
 
   val cache_stats : unit -> Plan_cache.stats
   val cache_clear : unit -> unit
@@ -183,22 +193,21 @@ module Trisolve : sig
         (** permuted-b entry [t] reads natural [b.values.(ord_b_map.(t))] *)
   }
 
-  val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t ->
-    ?max_width:int ->
-    ?ordering:ordering ->
-    pattern ->
-    t
+  val compile : ?cache:t Plan_cache.t -> ?opts:Options.t -> pattern -> t
   (** Symbolic inspection and inspector-guided planning for the patterns
       of [l] and [b]; numeric values are free to change afterwards.
-      [?fill] is accepted for {!KERNEL} uniformity and ignored (the solve
-      inspects reach-sets, not fill). [?ordering] relabels the system to
-      [P L P^T (P x) = P b] at compile time; the numeric entry points keep
-      taking natural-order [b] and returning natural-order [x]. The
-      ordering must keep [P L P^T] lower triangular (a
-      dependence-respecting relabeling such as an etree postorder via
-      [`Given]); raises [Invalid_argument] otherwise, or when [l] is not
-      lower triangular. *)
+      [opts.fill] is ignored (the solve inspects reach-sets, not fill);
+      [opts.vs_block_threshold] moves the VS-Block profitability bar.
+      [opts.ordering] relabels the system to [P L P^T (P x) = P b] at
+      compile time; the numeric entry points keep taking natural-order [b]
+      and returning natural-order [x]. The ordering must keep [P L P^T]
+      lower triangular (a dependence-respecting relabeling such as an
+      etree postorder via [`Given]); raises [Invalid_argument] otherwise,
+      or when [l] is not lower triangular. [?cache] (or [opts.cache],
+      which uses the module-wide default cache) routes the compile through
+      a pattern-keyed {!Plan_cache}: a hit (same structure of [l], same
+      RHS pattern, same option fingerprint) returns the earlier handle
+      physically equal, with no symbolic work. *)
 
   val compile_ext :
     ?vs_block_threshold:float ->
@@ -207,8 +216,8 @@ module Trisolve : sig
     Csc.t ->
     Vector.sparse ->
     t
-  (** {!compile} with the VS-Block profitability threshold exposed (the
-      pre-unification spelling, kept for existing callers). *)
+  [@@deprecated "use compile ~opts:(Options.make ?vs_block_threshold ())"]
+  (** @deprecated Pre-unification spelling; thin alias of {!compile}. *)
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
@@ -217,10 +226,9 @@ module Trisolve : sig
     ?ordering:ordering ->
     pattern ->
     t
-  (** [compile] through a pattern-keyed cache: a hit (same structure of
-      [l], same RHS pattern, same options — including [?ordering]) returns
-      the earlier handle physically equal, with no symbolic work. Uses a
-      module-wide default cache unless [cache] is given. *)
+  [@@deprecated "use compile ?cache (or opts.cache = true)"]
+  (** @deprecated Pre-unification spelling; thin alias of {!compile} with
+      caching forced on. *)
 
   val compile_cached_ext :
     ?cache:t Plan_cache.t ->
@@ -230,6 +238,8 @@ module Trisolve : sig
     Csc.t ->
     Vector.sparse ->
     t
+  [@@deprecated "use compile ?cache ~opts:(Options.make ...)"]
+  (** @deprecated Pre-unification spelling; thin alias of {!compile}. *)
 
   val cache_stats : unit -> Plan_cache.stats
   (** Hit/miss/length counters of the default cache. *)
@@ -284,7 +294,8 @@ module Trisolve : sig
       plan); zero allocation in steady state. *)
 
   val solve_plan : plan -> Vector.sparse -> float array
-  (** Alias of {!execute_ip} (pre-unification name). *)
+  [@@deprecated "use execute_ip"]
+  (** @deprecated Alias of {!execute_ip} (pre-unification name). *)
 
   val plan_latency : plan -> Metrics.histogram_snapshot
   (** Per-call solve-latency distribution of this plan's metric series
@@ -321,22 +332,23 @@ module Cholesky : sig
 
   type pattern = Csc.t
 
-  val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t ->
-    ?max_width:int ->
-    ?ordering:ordering ->
-    pattern ->
-    t
-  (** Compile for the pattern of lower-triangular [a_lower] with the
-      default strategy selection: the supernodal (VS-Block) variant when
-      the average supernode width reaches the paper's hand-tuned 2.0
-      threshold (§4.2), the simplicial (VI-Prune-only) code below it — as
-      Sympiler does for matrices 3,4,5,7. [?fill] reuses a caller-provided
-      fill analysis of the same (natural-order) pattern instead of
-      re-running it. [?ordering] runs the whole analysis on [P A P^T]; the
-      numeric entry points keep taking natural-order values and the
-      factor produced is that of the permuted matrix. Raises
-      [Invalid_argument] on non-lower-triangular input. *)
+  val compile : ?cache:t Plan_cache.t -> ?opts:Options.t -> pattern -> t
+  (** Compile for the pattern of lower-triangular [a_lower]. Default
+      strategy selection: the supernodal (VS-Block) variant when the
+      average supernode width reaches the paper's hand-tuned 2.0 threshold
+      (§4.2), the simplicial (VI-Prune-only) code below it — as Sympiler
+      does for matrices 3,4,5,7. Every knob rides in [?opts]:
+      [opts.simplicial] forces the simplicial variant,
+      [opts.vs_block_threshold] moves the selection bar,
+      [opts.specialized] toggles pattern-specialized codegen, [opts.fill]
+      reuses a caller-provided fill analysis of the same (natural-order)
+      pattern, [opts.ordering] runs the whole analysis on [P A P^T] (the
+      numeric entry points keep taking natural-order values; the factor
+      produced is that of the permuted matrix). [?cache] (or [opts.cache])
+      routes the compile through a pattern-keyed {!Plan_cache}: a hit
+      (same structure, same option fingerprint) returns the earlier
+      handle physically equal, skipping the symbolic phase entirely.
+      Raises [Invalid_argument] on non-lower-triangular input. *)
 
   val compile_ext :
     ?variant:variant ->
@@ -347,8 +359,10 @@ module Cholesky : sig
     ?ordering:ordering ->
     Csc.t ->
     t
-  (** {!compile} with the strategy knobs exposed: force a [variant], turn
-      off pattern specialization, or move the VS-Block threshold. *)
+  [@@deprecated
+    "use compile ~opts:(Options.make ~simplicial:... ?vs_block_threshold ())"]
+  (** @deprecated Pre-unification spelling; thin alias of {!compile}
+      ([~variant:Simplicial] maps to [Options.make ~simplicial:true]). *)
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
@@ -357,10 +371,9 @@ module Cholesky : sig
     ?ordering:ordering ->
     pattern ->
     t
-  (** [compile] through a pattern-keyed cache: a hit (same structure of
-      [a_lower], same options — including [?ordering]) returns the earlier
-      handle physically equal, skipping the symbolic phase entirely. Uses
-      a module-wide default cache unless [cache] is given. *)
+  [@@deprecated "use compile ?cache (or opts.cache = true)"]
+  (** @deprecated Pre-unification spelling; thin alias of {!compile} with
+      caching forced on. *)
 
   val compile_cached_ext :
     ?cache:t Plan_cache.t ->
@@ -371,6 +384,8 @@ module Cholesky : sig
     ?ordering:ordering ->
     Csc.t ->
     t
+  [@@deprecated "use compile ?cache ~opts:(Options.make ...)"]
+  (** @deprecated Pre-unification spelling; thin alias of {!compile}. *)
 
   val cache_stats : unit -> Plan_cache.stats
   (** Hit/miss/length counters of the default cache. *)
@@ -424,14 +439,15 @@ module Cholesky : sig
       next call on the same plan. Zero allocation in steady state. *)
 
   val refactor_ip : plan -> Csc.t -> unit
-  (** {!execute_ip} without the view (pre-unification name). *)
+  [@@deprecated "use execute_ip (or ignore its returned view)"]
+  (** @deprecated {!execute_ip} without the view (pre-unification name). *)
 
   val plan_latency : plan -> Metrics.histogram_snapshot
   (** Per-call refactorization-latency distribution of this plan's metric
       series (see {!KERNEL.plan_latency}). *)
 
   val plan_factor : plan -> Csc.t
-  (** The plan's factor view, refreshed in place by each {!refactor_ip}
+  (** The plan's factor view, refreshed in place by each {!execute_ip}
       (valid until the next call on the same plan). *)
 
   val solve : t -> Csc.t -> float array -> float array
@@ -471,17 +487,13 @@ module Ldlt : sig
   type input = Csc.t
   type output = Sympiler_kernels.Ldlt.factors
 
-  val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t ->
-    ?max_width:int ->
-    ?ordering:ordering ->
-    pattern ->
-    t
-  (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
-      ignored (the up-looking kernel is column-wise). [?ordering] compiles
-      for [P A P^T]; numeric entry points keep taking natural-order values
-      and return the permuted system's factors. Raises [Invalid_argument]
-      when the input is not lower triangular. *)
+  val compile : ?cache:t Plan_cache.t -> ?opts:Options.t -> pattern -> t
+  (** Only [opts.ordering] and [opts.cache] are consumed (the up-looking
+      kernel is column-wise; the other fields are ignored for {!KERNEL}
+      uniformity). [opts.ordering] compiles for [P A P^T]; numeric entry
+      points keep taking natural-order values and return the permuted
+      system's factors. Raises [Invalid_argument] when the input is not
+      lower triangular. *)
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
@@ -490,6 +502,9 @@ module Ldlt : sig
     ?ordering:ordering ->
     pattern ->
     t
+  [@@deprecated "use compile ?cache (or opts.cache = true)"]
+  (** @deprecated Pre-unification spelling; thin alias of {!compile} with
+      caching forced on. *)
 
   val cache_stats : unit -> Plan_cache.stats
   val cache_clear : unit -> unit
@@ -545,17 +560,13 @@ module Lu : sig
   type input = Csc.t
   type output = Sympiler_kernels.Lu.factors
 
-  val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t ->
-    ?max_width:int ->
-    ?ordering:ordering ->
-    pattern ->
-    t
-  (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
-      ignored (LU runs its own reach-set simulation over DG_L).
-      [?ordering] compiles for the symmetrically permuted [P A P^T] (the
-      ordering graph is [A + A^T]); no-pivoting LU must stay numerically
-      safe under the relabeling, as usual for this kernel. *)
+  val compile : ?cache:t Plan_cache.t -> ?opts:Options.t -> pattern -> t
+  (** Only [opts.ordering] and [opts.cache] are consumed (LU runs its own
+      reach-set simulation over DG_L; the other fields are ignored for
+      {!KERNEL} uniformity). [opts.ordering] compiles for the symmetrically
+      permuted [P A P^T] (the ordering graph is [A + A^T]); no-pivoting LU
+      must stay numerically safe under the relabeling, as usual for this
+      kernel. *)
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
@@ -564,6 +575,9 @@ module Lu : sig
     ?ordering:ordering ->
     pattern ->
     t
+  [@@deprecated "use compile ?cache (or opts.cache = true)"]
+  (** @deprecated Pre-unification spelling; thin alias of {!compile} with
+      caching forced on. *)
 
   val cache_stats : unit -> Plan_cache.stats
   val cache_clear : unit -> unit
@@ -615,17 +629,13 @@ module Ic0 : sig
   type input = Csc.t
   type output = Csc.t
 
-  val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t ->
-    ?max_width:int ->
-    ?ordering:ordering ->
-    pattern ->
-    t
-  (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
-      ignored (IC(0) keeps exactly the input pattern — no fill analysis).
-      [?ordering] compiles for [P A P^T]; note an incomplete factor's
-      quality (not just its cost) changes with the relabeling. Raises
-      [Invalid_argument] when the input is not lower triangular. *)
+  val compile : ?cache:t Plan_cache.t -> ?opts:Options.t -> pattern -> t
+  (** Only [opts.ordering] and [opts.cache] are consumed (IC(0) keeps
+      exactly the input pattern — no fill analysis; the other fields are
+      ignored for {!KERNEL} uniformity). [opts.ordering] compiles for
+      [P A P^T]; note an incomplete factor's quality (not just its cost)
+      changes with the relabeling. Raises [Invalid_argument] when the
+      input is not lower triangular. *)
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
@@ -634,6 +644,9 @@ module Ic0 : sig
     ?ordering:ordering ->
     pattern ->
     t
+  [@@deprecated "use compile ?cache (or opts.cache = true)"]
+  (** @deprecated Pre-unification spelling; thin alias of {!compile} with
+      caching forced on. *)
 
   val cache_stats : unit -> Plan_cache.stats
   val cache_clear : unit -> unit
@@ -687,17 +700,13 @@ module Ilu0 : sig
   type input = Csc.t
   type output = Sympiler_kernels.Ilu0.factors
 
-  val compile :
-    ?fill:Sympiler_symbolic.Fill_pattern.t ->
-    ?max_width:int ->
-    ?ordering:ordering ->
-    pattern ->
-    t
-  (** [?fill]/[?max_width] are accepted for {!KERNEL} uniformity and
-      ignored (ILU(0) keeps exactly A's pattern). [?ordering] compiles for
-      the symmetrically permuted [P A P^T] (ordering graph [A + A^T]).
-      Raises {!Sympiler_kernels.Ilu0.Zero_pivot} when a structural
-      diagonal entry is missing. *)
+  val compile : ?cache:t Plan_cache.t -> ?opts:Options.t -> pattern -> t
+  (** Only [opts.ordering] and [opts.cache] are consumed (ILU(0) keeps
+      exactly A's pattern; the other fields are ignored for {!KERNEL}
+      uniformity). [opts.ordering] compiles for the symmetrically permuted
+      [P A P^T] (ordering graph [A + A^T]). Raises
+      {!Sympiler_kernels.Ilu0.Zero_pivot} when a structural diagonal entry
+      is missing. *)
 
   val compile_cached :
     ?cache:t Plan_cache.t ->
@@ -706,6 +715,9 @@ module Ilu0 : sig
     ?ordering:ordering ->
     pattern ->
     t
+  [@@deprecated "use compile ?cache (or opts.cache = true)"]
+  (** @deprecated Pre-unification spelling; thin alias of {!compile} with
+      caching forced on. *)
 
   val cache_stats : unit -> Plan_cache.stats
   val cache_clear : unit -> unit

@@ -1,0 +1,256 @@
+open Sympiler_sparse
+open Ast
+
+(* Cross-stage fusion: build one AST kernel for a whole pipeline's vector
+   chain, so the emitted C crosses stage boundaries the way the compiled
+   plan does — one parameter list, shared constant sets, no intermediate
+   vectors between stages. The level schedule (one more inspection set,
+   computed once by the pipeline's shared analysis) drives both triangular
+   sweeps: forward substitution runs the levels ascending, the transposed
+   solve runs them descending, and the two sweeps sit in one kernel body
+   with no boundary between them.
+
+   Stage builders emit bodies over well-known names (Lx/Lp/Li/x for the
+   triangular factor, Avx/Afp/Afi/y for SpMV, D for the diagonal,
+   level_ptr/level_cols/fuse_meta for the schedule); [chain] concatenates
+   them into one flat scope and attaches the shared parameter list and
+   constant sets once. Each builder takes a [tag] so scalar/loop names
+   stay distinct inside that scope. *)
+
+let vec v = if v then [ Vectorize ] else []
+
+(* Forward substitution L x = x scheduled by levels: columns within a level
+   are independent, so the per-level column loop is the vectorizable
+   site. *)
+let lower_body ~vectorize ~tag : stmt list =
+  let lv = "lv" ^ tag and q = "q" ^ tag and j = "j" ^ tag and p = "p" ^ tag in
+  [
+    for_ lv (int_ 0) (Idx ("fuse_meta", int_ 0))
+      [
+        for_ ~annots:(vec vectorize) q
+          (Idx ("level_ptr", var lv))
+          (Idx ("level_ptr", var lv +: int_ 1))
+          [
+            Let (j, Idx ("level_cols", var q));
+            Update (Arr ("x", var j), Div, Load ("Lx", Idx ("Lp", var j)));
+            for_ p
+              (Idx ("Lp", var j) +: int_ 1)
+              (Idx ("Lp", var j +: int_ 1))
+              [
+                Update
+                  ( Arr ("x", Idx ("Li", var p)),
+                    Sub,
+                    Load ("Lx", var p) *: Load ("x", var j) );
+              ];
+          ];
+      ];
+  ]
+
+(* Transposed solve L^T x = x: the same levels run descending, columns
+   descending within each level (ascending loops with reversed indices —
+   the AST has no downward [For]). *)
+let ltrans_body ~vectorize ~tag : stmt list =
+  let lv = "lvt" ^ tag
+  and lvr = "lvr" ^ tag
+  and q = "qt" ^ tag
+  and j = "jt" ^ tag
+  and p = "pt" ^ tag
+  and s = "st" ^ tag in
+  [
+    for_ lv (int_ 0) (Idx ("fuse_meta", int_ 0))
+      [
+        Let (lvr, Idx ("fuse_meta", int_ 0) -: int_ 1 -: var lv);
+        for_ ~annots:(vec vectorize) q (int_ 0)
+          (Idx ("level_ptr", var lvr +: int_ 1) -: Idx ("level_ptr", var lvr))
+          [
+            Let
+              ( j,
+                Idx
+                  ( "level_cols",
+                    Idx ("level_ptr", var lvr +: int_ 1) -: int_ 1 -: var q ) );
+            Let (s, Load ("x", var j));
+            for_ p
+              (Idx ("Lp", var j) +: int_ 1)
+              (Idx ("Lp", var j +: int_ 1))
+              [
+                Update
+                  ( Scalar s,
+                    Sub,
+                    Load ("Lx", var p) *: Load ("x", Idx ("Li", var p)) );
+              ];
+            Assign (Arr ("x", var j), Var s /: Load ("Lx", Idx ("Lp", var j)));
+          ];
+      ];
+  ]
+
+(* Diagonal solve x /= D. *)
+let diag_body ~vectorize ~tag (n : int) : stmt list =
+  let i = "id" ^ tag in
+  [
+    for_ ~annots:(vec vectorize) i (int_ 0) (int_ n)
+      [ Update (Arr ("x", var i), Div, Load ("D", var i)) ];
+  ]
+
+(* y = A x then x <- y, expressed without an intermediate copy-back loop by
+   alternating would need ping-pong buffers; the emitted form computes y
+   and swaps by copying — still one kernel, one traversal for the product
+   and one for the swap. *)
+let spmv_body ~vectorize ~tag (n : int) : stmt list =
+  let i = "iy" ^ tag
+  and j = "jy" ^ tag
+  and p = "py" ^ tag
+  and xj = "xjy" ^ tag
+  and i2 = "iz" ^ tag in
+  [
+    for_ ~annots:(vec vectorize) i (int_ 0) (int_ n)
+      [ Assign (Arr ("y", var i), Float_lit 0.0) ];
+    for_ j (int_ 0) (int_ n)
+      [
+        Let (xj, Load ("x", var j));
+        for_ ~annots:(vec vectorize) p
+          (Idx ("Afp", var j))
+          (Idx ("Afp", var j +: int_ 1))
+          [
+            Update
+              (Arr ("y", Idx ("Afi", var p)), Add, Load ("Avx", var p) *: Var xj);
+          ];
+      ];
+    for_ ~annots:(vec vectorize) i2 (int_ 0) (int_ n)
+      [ Assign (Arr ("x", var i2), Load ("y", var i2)) ];
+  ]
+
+(* SpMV fused into the residual update: r = b - A x in one sweep, no
+   intermediate y = A x vector (the CG-loop fusion site). *)
+let residual_body ~vectorize ~tag (n : int) : stmt list =
+  let i = "ir" ^ tag and j = "jr" ^ tag and p = "pr" ^ tag in
+  let xj = "xjr" ^ tag in
+  [
+    for_ ~annots:(vec vectorize) i (int_ 0) (int_ n)
+      [ Assign (Arr ("r", var i), Load ("b", var i)) ];
+    for_ j (int_ 0) (int_ n)
+      [
+        Let (xj, Load ("x", var j));
+        for_ ~annots:(vec vectorize) p
+          (Idx ("Afp", var j))
+          (Idx ("Afp", var j +: int_ 1))
+          [
+            Update
+              (Arr ("r", Idx ("Afi", var p)), Sub, Load ("Avx", var p) *: Var xj);
+          ];
+      ];
+  ]
+
+(* Concatenate kernels into one fused kernel: union of parameters
+   (deduplicated by name; a name may not change type) and constant sets
+   (deduplicated when the contents agree), bodies back to back in one flat
+   scope. Raises [Invalid_argument] on a conflicting parameter type or
+   constant content — rename via [tag] first. *)
+let concat ~kname (ks : kernel list) : kernel =
+  let add_param acc (name, ty) =
+    match List.assoc_opt name acc with
+    | None -> acc @ [ (name, ty) ]
+    | Some ty' ->
+        if ty <> ty' then
+          invalid_arg
+            ("Fuse.concat: parameter " ^ name ^ " fused with two types")
+        else acc
+  in
+  let add_const acc (name, data) =
+    match List.assoc_opt name acc with
+    | None -> acc @ [ (name, data) ]
+    | Some data' ->
+        if data <> data' then
+          invalid_arg
+            ("Fuse.concat: constant " ^ name ^ " fused with two contents")
+        else acc
+  in
+  let params =
+    List.fold_left (fun acc k -> List.fold_left add_param acc k.params) [] ks
+  in
+  let consts =
+    List.fold_left (fun acc k -> List.fold_left add_const acc k.consts) [] ks
+  in
+  let body =
+    List.concat_map (fun k -> Comment ("stage: " ^ k.kname) :: k.body) ks
+  in
+  { kname; params; consts; body }
+
+(* One vector-chain stage, as the pipeline's fused C emission sees it. *)
+type stage =
+  | Lower  (** forward substitution on the chain's L *)
+  | Ltrans  (** transposed substitution on the chain's L *)
+  | Diag  (** x /= D (runtime parameter D) *)
+  | Spmv  (** x <- A x on the symmetrized full pattern *)
+  | Residual  (** r = b - A x (the fused CG residual update) *)
+
+(* Build the fused kernel for a whole chain: one body, one flat scope,
+   shared constants attached once. [full] is required when the chain
+   contains [Spmv] or [Residual]. *)
+let chain ?(vectorize = true) ~kname ~(level_ptr : int array)
+    ~(level_cols : int array) ?(full : Csc.t option) (l : Csc.t)
+    (stages : stage list) : kernel =
+  let n = l.Csc.ncols in
+  let needs_full = List.exists (fun s -> s = Spmv || s = Residual) stages in
+  let needs_diag = List.mem Diag stages in
+  let needs_spmv = List.mem Spmv stages in
+  let needs_res = List.mem Residual stages in
+  let full =
+    match (needs_full, full) with
+    | false, _ -> None
+    | true, Some a -> Some a
+    | true, None ->
+        invalid_arg "Fuse.chain: Spmv/Residual stage without a full pattern"
+  in
+  let bodies =
+    List.mapi
+      (fun i s ->
+        let tag = string_of_int i in
+        let body =
+          match s with
+          | Lower -> lower_body ~vectorize ~tag
+          | Ltrans -> ltrans_body ~vectorize ~tag
+          | Diag -> diag_body ~vectorize ~tag n
+          | Spmv -> spmv_body ~vectorize ~tag n
+          | Residual -> residual_body ~vectorize ~tag n
+        in
+        Comment
+          (Printf.sprintf "stage %d: %s" i
+             (match s with
+             | Lower -> "lower_solve"
+             | Ltrans -> "ltrans_solve"
+             | Diag -> "diag_solve"
+             | Spmv -> "spmv"
+             | Residual -> "residual"))
+        :: body)
+      stages
+  in
+  let params =
+    [ ("Lx", Float_array); ("x", Float_array) ]
+    @ (if needs_diag then [ ("D", Float_array) ] else [])
+    @ (if needs_full then [ ("Avx", Float_array) ] else [])
+    @ (if needs_spmv then [ ("y", Float_array) ] else [])
+    @ if needs_res then [ ("b", Float_array); ("r", Float_array) ] else []
+  in
+  let consts =
+    [
+      ("fuse_meta", [| Array.length level_ptr - 1 |]);
+      ("level_ptr", level_ptr);
+      ("level_cols", level_cols);
+      ("Lp", l.Csc.colptr);
+      ("Li", l.Csc.rowind);
+    ]
+    @
+    match full with
+    | None -> []
+    | Some a -> [ ("Afp", a.Csc.colptr); ("Afi", a.Csc.rowind) ]
+  in
+  { kname; params; consts; body = List.concat bodies }
+
+(* The minimum fusion the pipeline promises: the L and L^T trisolves of a
+   factor+solve pair merged into one level-scheduled pass — one kernel
+   [pipeline_apply(Lx, x)], forward levels then reversed levels, level
+   sets baked in as constants. *)
+let solve_pair ?(vectorize = true) ~(level_ptr : int array)
+    ~(level_cols : int array) (l : Csc.t) : kernel =
+  chain ~vectorize ~kname:"pipeline_apply" ~level_ptr ~level_cols l
+    [ Lower; Ltrans ]

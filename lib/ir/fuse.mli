@@ -1,0 +1,48 @@
+open Sympiler_sparse
+
+(** Cross-stage fusion: one AST kernel for a whole pipeline's vector chain,
+    so the emitted C crosses stage boundaries the way the compiled plan
+    does — one parameter list, shared constant sets, no intermediate
+    vectors between stages. The level schedule (computed once by the
+    pipeline's shared analysis) drives both triangular sweeps: forward
+    substitution runs the levels ascending, the transposed solve runs them
+    descending, in one kernel body with no boundary between them. *)
+
+type stage =
+  | Lower  (** forward substitution on the chain's L *)
+  | Ltrans  (** transposed substitution on the chain's L *)
+  | Diag  (** [x /= D] (runtime parameter D) *)
+  | Spmv  (** [x <- A x] on the symmetrized full pattern *)
+  | Residual  (** [r = b - A x] — SpMV fused into the residual update *)
+
+val chain :
+  ?vectorize:bool ->
+  kname:string ->
+  level_ptr:int array ->
+  level_cols:int array ->
+  ?full:Csc.t ->
+  Csc.t ->
+  stage list ->
+  Ast.kernel
+(** Fuse a stage chain over lower-triangular [l] into one kernel: bodies
+    back to back in one flat scope, parameters and constants attached
+    once. [?full] (the symmetrized full pattern) is required when the
+    chain contains [Spmv] or [Residual]; raises [Invalid_argument]
+    otherwise. *)
+
+val solve_pair :
+  ?vectorize:bool ->
+  level_ptr:int array ->
+  level_cols:int array ->
+  Csc.t ->
+  Ast.kernel
+(** The minimum promised fusion: L and L^T trisolves of a factor+solve
+    pair merged into one level-scheduled pass — kernel
+    [pipeline_apply(Lx, x)], forward levels then reversed levels, level
+    sets baked in as constants. *)
+
+val concat : kname:string -> Ast.kernel list -> Ast.kernel
+(** Concatenate kernels: union of parameters (deduplicated by name) and
+    constants (deduplicated when contents agree), bodies in one flat
+    scope. Raises [Invalid_argument] on a name fused with two types or two
+    contents. *)

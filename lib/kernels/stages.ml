@@ -1,0 +1,138 @@
+open Sympiler_sparse
+
+(* In-place stage executors over caller-owned workspaces: the numeric
+   bodies a compiled pipeline chains on its one shared vector buffer. Each
+   is a plain loop nest with no allocation and no dispatch — the pipeline
+   layer owns buffer placement, so fusing two stages is calling two of
+   these back to back on the same array (or one of the merged variants
+   below, which also removes the function boundary).
+
+   Operation order is canonical (ascending columns forward, descending
+   backward — the natural-order schedules of [Trisolve_ref]), so a fused
+   chain and a staged chain over the same factors produce bitwise-identical
+   results: fusion eliminates copies and dispatch, never reorders
+   floating-point arithmetic. *)
+
+(* Forward substitution L x = x for CSC lower-triangular L with the
+   diagonal stored first in each column (unit diagonals may be stored
+   explicitly; dividing by 1.0 is exact). Same loop as
+   [Trisolve_ref.naive_ip], without the profiling epilogue. *)
+let lower_ip (l : Csc.t) (x : float array) =
+  let n = l.Csc.ncols in
+  let lp = l.Csc.colptr and li = l.Csc.rowind and lx = l.Csc.values in
+  for j = 0 to n - 1 do
+    let xj = x.(j) /. lx.(lp.(j)) in
+    x.(j) <- xj;
+    for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+      x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. xj)
+    done
+  done
+
+(* Backward substitution L^T x = x from the same CSC L (column j of L is
+   row j of L^T, so the dot product reads one column). Same loop as
+   [Trisolve_ref.transpose_ip]. *)
+let ltrans_ip (l : Csc.t) (x : float array) =
+  let n = l.Csc.ncols in
+  let lp = l.Csc.colptr and li = l.Csc.rowind and lx = l.Csc.values in
+  for j = n - 1 downto 0 do
+    let s = ref x.(j) in
+    for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+      s := !s -. (lx.(p) *. x.(li.(p)))
+    done;
+    x.(j) <- !s /. lx.(lp.(j))
+  done
+
+(* The merged factor+solve pass: forward and transposed substitution in one
+   kernel body — the L / L^T stage boundary of a factor+solve pair fused
+   away (one call, one buffer, no intermediate vector). *)
+let solve_pair_ip (l : Csc.t) (x : float array) =
+  let n = l.Csc.ncols in
+  let lp = l.Csc.colptr and li = l.Csc.rowind and lx = l.Csc.values in
+  for j = 0 to n - 1 do
+    let xj = x.(j) /. lx.(lp.(j)) in
+    x.(j) <- xj;
+    for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+      x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. xj)
+    done
+  done;
+  for j = n - 1 downto 0 do
+    let s = ref x.(j) in
+    for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+      s := !s -. (lx.(p) *. x.(li.(p)))
+    done;
+    x.(j) <- !s /. lx.(lp.(j))
+  done
+
+(* Backward substitution U x = x for CSC upper-triangular U with the
+   diagonal stored last in each column (LU's U factor). *)
+let upper_ip (u : Csc.t) (x : float array) =
+  let n = u.Csc.ncols in
+  let up = u.Csc.colptr and ui = u.Csc.rowind and ux = u.Csc.values in
+  for j = n - 1 downto 0 do
+    let xj = x.(j) /. ux.(up.(j + 1) - 1) in
+    x.(j) <- xj;
+    for p = up.(j) to up.(j + 1) - 2 do
+      x.(ui.(p)) <- x.(ui.(p)) -. (ux.(p) *. xj)
+    done
+  done
+
+(* Diagonal solve D x = x (the middle stage of an LDL^T apply). *)
+let diag_ip (d : float array) (x : float array) =
+  for i = 0 to Array.length d - 1 do
+    x.(i) <- x.(i) /. d.(i)
+  done
+
+(* ILU(0) applies run on the combined CSR L\U factor (unit L left of each
+   diagonal position, U from it on): forward with implicit unit diagonal,
+   then backward. *)
+let csr_lower_unit_ip (c : Ilu0.compiled) (v : float array) (x : float array) =
+  let n = c.Ilu0.n in
+  let rp = c.Ilu0.rowptr and ci = c.Ilu0.colind and dg = c.Ilu0.diag in
+  for i = 0 to n - 1 do
+    let s = ref x.(i) in
+    for p = rp.(i) to dg.(i) - 1 do
+      s := !s -. (v.(p) *. x.(ci.(p)))
+    done;
+    x.(i) <- !s
+  done
+
+let csr_upper_ip (c : Ilu0.compiled) (v : float array) (x : float array) =
+  let n = c.Ilu0.n in
+  let rp = c.Ilu0.rowptr and ci = c.Ilu0.colind and dg = c.Ilu0.diag in
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for p = dg.(i) + 1 to rp.(i + 1) - 1 do
+      s := !s -. (v.(p) *. x.(ci.(p)))
+    done;
+    x.(i) <- !s /. v.(dg.(i))
+  done
+
+(* y <- A x, column-oriented (CSC): the SpMV stage. *)
+let spmv_into (a : Csc.t) (x : float array) (y : float array) =
+  let n = a.Csc.ncols in
+  let ap = a.Csc.colptr and ai = a.Csc.rowind and av = a.Csc.values in
+  Array.fill y 0 (Array.length y) 0.0;
+  for j = 0 to n - 1 do
+    let xj = x.(j) in
+    if xj <> 0.0 then
+      for p = ap.(j) to ap.(j + 1) - 1 do
+        y.(ai.(p)) <- y.(ai.(p)) +. (av.(p) *. xj)
+      done
+  done
+
+(* The fused CG vector updates: x <- x + alpha p and r <- r - alpha q in
+   one sweep (elementwise independent, so bitwise-identical to the two
+   separate loops it replaces — the fusion removes one full traversal). *)
+let axpy2_ip ~alpha (p : float array) (q : float array) (x : float array)
+    (r : float array) =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- x.(i) +. (alpha *. p.(i));
+    r.(i) <- r.(i) -. (alpha *. q.(i))
+  done
+
+let dot (a : float array) (b : float array) =
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s

@@ -1,0 +1,54 @@
+open Sympiler_sparse
+
+(** In-place stage executors over caller-owned workspaces: the numeric
+    bodies a compiled {!Sympiler.Pipeline} chains on its one shared vector
+    buffer. Plain loop nests — no allocation, no dispatch; the pipeline
+    layer owns buffer placement, so "fusing" two stages is calling two of
+    these back to back on the same array (or a merged variant, which also
+    removes the function boundary).
+
+    Operation order is canonical (ascending columns forward, descending
+    backward — the natural-order schedules of {!Trisolve_ref}), so a fused
+    chain and a staged chain over the same factors produce
+    bitwise-identical results: fusion eliminates copies and dispatch, never
+    reorders floating-point arithmetic. *)
+
+val lower_ip : Csc.t -> float array -> unit
+(** Forward substitution [L x = x], CSC lower-triangular, diagonal stored
+    first per column (explicitly stored unit diagonals are exact). *)
+
+val ltrans_ip : Csc.t -> float array -> unit
+(** Backward substitution [L^T x = x] from the same CSC [L]. *)
+
+val solve_pair_ip : Csc.t -> float array -> unit
+(** The merged pass: {!lower_ip} then {!ltrans_ip} in one kernel body —
+    the stage boundary of a factor+solve pair fused away. *)
+
+val upper_ip : Csc.t -> float array -> unit
+(** Backward substitution [U x = x], CSC upper-triangular, diagonal stored
+    last per column (LU's U factor). *)
+
+val diag_ip : float array -> float array -> unit
+(** Diagonal solve [D x = x] (the middle stage of an LDL^T apply). *)
+
+val csr_lower_unit_ip : Ilu0.compiled -> float array -> float array -> unit
+(** ILU(0) forward: unit-lower part of the combined CSR L\U factor. *)
+
+val csr_upper_ip : Ilu0.compiled -> float array -> float array -> unit
+(** ILU(0) backward: upper part of the combined CSR L\U factor. *)
+
+val spmv_into : Csc.t -> float array -> float array -> unit
+(** [spmv_into a x y]: [y <- A x], column-oriented. *)
+
+val axpy2_ip :
+  alpha:float ->
+  float array ->
+  float array ->
+  float array ->
+  float array ->
+  unit
+(** [axpy2_ip ~alpha p q x r]: the fused CG vector updates
+    [x <- x + alpha p] and [r <- r - alpha q] in one sweep
+    (bitwise-identical to the two loops it replaces). *)
+
+val dot : float array -> float array -> float

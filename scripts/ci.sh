@@ -143,11 +143,38 @@ grep -q '"verdict":true' BENCH_metrics.json || {
   exit 1
 }
 
+echo "== pipeline fusion gate =="
+# Whole-DAG pipelines: the fused executor must not be slower than the
+# staged baseline (same stage bodies, per-stage copies), must allocate
+# nothing per apply, must return bitwise-identical results, and the one
+# shared symbolic analysis must compute every artifact at most once.
+dune exec bench/main.exe -- --quick --only pipeline
+for verdict in fused_not_slower pipeline_zero_alloc \
+  fused_bitwise_identical analysis_shared verdict; do
+  grep -q "\"$verdict\":true" BENCH_pipeline.json || {
+    echo "FAIL: $verdict is false in BENCH_pipeline.json" >&2
+    exit 1
+  }
+done
+
+echo "== pipeline example gate =="
+# The PCG example exits non-zero unless it converges AND the fused and
+# staged residual trajectories are bitwise-identical.
+dune exec examples/precond_cg.exe > /dev/null || {
+  echo "FAIL: examples/precond_cg.exe (convergence or fused/staged divergence)" >&2
+  exit 1
+}
+echo "precond_cg: ok"
+
 echo "== perf_gate smoke =="
 # The perf-regression gate itself must work: a self-comparison passes,
 # and a synthetically inflated copy (every latency field x3) fails.
 scripts/perf_gate check BENCH_metrics.json BENCH_metrics.json || {
   echo "FAIL: perf_gate rejects a self-comparison" >&2
+  exit 1
+}
+scripts/perf_gate check BENCH_pipeline.json BENCH_pipeline.json || {
+  echo "FAIL: perf_gate rejects a pipeline self-comparison" >&2
   exit 1
 }
 scripts/perf_gate inflate BENCH_metrics.json 3.0 _build/BENCH_inflated.json

@@ -35,7 +35,7 @@ let () =
   let h = Sympiler.Cholesky.compile al in
   check "nnz(L) >= nnz(lower A)" (h.Sympiler.Cholesky.nnz_l >= Csc.nnz al);
   let plan = Sympiler.Cholesky.plan h in
-  Sympiler.Cholesky.refactor_ip plan al;
+  ignore (Sympiler.Cholesky.execute_ip plan al);
   let l = Sympiler.Cholesky.plan_factor plan in
   let x_true = Array.make n 1.0 in
   let b = Csc.spmv a x_true in
@@ -47,12 +47,12 @@ let () =
   check (Printf.sprintf "solve recovers ones (err %.2e)" !err) (!err < 1e-6);
 
   (* Steady-state refactorization must allocate nothing. *)
-  Sympiler.Cholesky.refactor_ip plan al;
-  Sympiler.Cholesky.refactor_ip plan al;
+  ignore (Sympiler.Cholesky.execute_ip plan al);
+  ignore (Sympiler.Cholesky.execute_ip plan al);
   let loops = 5 in
   let w0 = Gc.minor_words () in
   for _ = 1 to loops do
-    Sympiler.Cholesky.refactor_ip plan al
+    ignore (Sympiler.Cholesky.execute_ip plan al)
   done;
   let per_call =
     int_of_float ((Gc.minor_words () -. w0) /. float_of_int loops)
@@ -63,12 +63,14 @@ let () =
 
   (* Pool-parallel factors must be bitwise-identical to sequential ones. *)
   let hs =
-    Sympiler.Cholesky.compile_ext ~variant:Sympiler.Cholesky.Supernodal al
+    Sympiler.Cholesky.compile
+      ~opts:(Sympiler.Options.make ~vs_block_threshold:0.0 ())
+      al
   in
   let p_seq = Sympiler.Cholesky.plan hs in
   let p_par = Sympiler.Cholesky.plan ~ndomains:2 hs in
-  Sympiler.Cholesky.refactor_ip p_seq al;
-  Sympiler.Cholesky.refactor_ip p_par al;
+  ignore (Sympiler.Cholesky.execute_ip p_seq al);
+  ignore (Sympiler.Cholesky.execute_ip p_par al);
   let vs = (Sympiler.Cholesky.plan_factor p_seq).Csc.values in
   let vp = (Sympiler.Cholesky.plan_factor p_par).Csc.values in
   let same =

@@ -15,6 +15,7 @@ let () =
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
       ("ordering-stage", Test_ordering.suite);
+      ("pipeline", Test_pipeline.suite);
       ("native", Test_native.suite);
       ("regressions", Test_regressions.suite);
     ]

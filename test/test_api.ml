@@ -42,7 +42,14 @@ let test_cholesky_api_variants () =
   let oracle = Helpers.oracle_cholesky a in
   List.iter
     (fun variant ->
-      let t = Sympiler.Cholesky.compile_ext ~variant al in
+      let t =
+        Sympiler.Cholesky.compile
+          ~opts:
+            (Sympiler.Options.make
+               ~simplicial:(variant = Sympiler.Cholesky.Simplicial)
+               ())
+          al
+      in
       let l = Sympiler.Cholesky.factor t al in
       Alcotest.(check bool) "factor correct" true
         (Dense.max_abs_diff oracle (Dense.of_csc l) < 1e-7))
@@ -59,16 +66,28 @@ let test_cholesky_threshold_fallback () =
   (* Small-supernode matrix + huge threshold -> simplicial fallback, as the
      paper skips VS-Block for matrices 3,4,5,7. *)
   let al = Csc.lower (Generators.grid2d ~stencil:`Five 6 6) in
-  let t = Sympiler.Cholesky.compile_ext ~vs_block_threshold:1e9 al in
+  let t =
+    Sympiler.Cholesky.compile
+      ~opts:(Sympiler.Options.make ~vs_block_threshold:1e9 ())
+      al
+  in
   Alcotest.(check bool) "fell back to simplicial" true
     (t.Sympiler.Cholesky.variant = Sympiler.Cholesky.Simplicial);
-  let t2 = Sympiler.Cholesky.compile_ext ~vs_block_threshold:0.0 al in
+  let t2 =
+    Sympiler.Cholesky.compile
+      ~opts:(Sympiler.Options.make ~vs_block_threshold:0.0 ())
+      al
+  in
   Alcotest.(check bool) "supernodal when threshold 0" true
     (t2.Sympiler.Cholesky.variant = Sympiler.Cholesky.Supernodal)
 
 let test_cholesky_c_code_supernodal () =
   let al = Csc.lower (Generators.block_tridiagonal ~seed:4 ~nblocks:3 ~block:4 ()) in
-  let t = Sympiler.Cholesky.compile_ext ~vs_block_threshold:0.0 al in
+  let t =
+    Sympiler.Cholesky.compile
+      ~opts:(Sympiler.Options.make ~vs_block_threshold:0.0 ())
+      al
+  in
   let c = Sympiler.Cholesky.c_code t in
   Alcotest.(check bool) "supernodal C generated" true
     (String.length c > 500)

@@ -89,7 +89,11 @@ let test_trisolve_native_ordered () =
   let p =
     Sympiler_symbolic.Postorder.compute (Sympiler_symbolic.Etree.compute l)
   in
-  let t = Sympiler.Trisolve.compile ~ordering:(`Given p) (l, b) in
+  let t =
+    Sympiler.Trisolve.compile
+      ~opts:(Sympiler.Options.make ~ordering:(`Given p) ())
+      (l, b)
+  in
   let po = Sympiler.Trisolve.plan t in
   let pn = Sympiler.Trisolve.plan ~engine:`Native t in
   Alcotest.(check bool) "native loaded" true
@@ -117,10 +121,14 @@ let test_cholesky_native () =
   (* both variants forced on the same matrix *)
   let al = Csc.lower (Generators.block_tridiagonal ~seed:4 ~nblocks:5 ~block:6 ()) in
   cholesky_diff "forced supernodal"
-    (Sympiler.Cholesky.compile_ext ~vs_block_threshold:0.0 al)
+    (Sympiler.Cholesky.compile
+       ~opts:(Sympiler.Options.make ~vs_block_threshold:0.0 ())
+       al)
     al;
   cholesky_diff "forced simplicial"
-    (Sympiler.Cholesky.compile_ext ~variant:Sympiler.Cholesky.Simplicial al)
+    (Sympiler.Cholesky.compile
+       ~opts:(Sympiler.Options.make ~simplicial:true ())
+       al)
     al
 
 let test_ldlt_native () =

@@ -8,6 +8,10 @@ open Helpers
    manual pre-permutation across every kernel family, zero-allocation
    ordered steady state, cache keying, and `Given validation). *)
 
+(* Shorthand for the unified compile signature. *)
+let w o = Sympiler.Options.make ~ordering:o ()
+let wc o = Sympiler.Options.make ~ordering:o ~cache:true ()
+
 let orderings =
   [
     ("rcm", Ordering.rcm);
@@ -90,7 +94,7 @@ let permuted_lower p (al : Csc.t) : Csc.t =
 
 let test_bitwise_cholesky () =
   let al = Csc.lower (Generators.grid2d ~stencil:`Five 8 8) in
-  let h = Sympiler.Cholesky.compile ~ordering:`Amd al in
+  let h = Sympiler.Cholesky.compile ~opts:(w `Amd) al in
   let pl = permuted_lower (perm_of h.Sympiler.Cholesky.ord al.Csc.ncols) al in
   let manual =
     let hm = Sympiler.Cholesky.compile pl in
@@ -111,7 +115,7 @@ let test_bitwise_ldlt () =
   let al =
     Csc.lower (Generators.block_tridiagonal ~seed:4 ~nblocks:5 ~block:6 ())
   in
-  let h = Sympiler.Ldlt.compile ~ordering:`Amd al in
+  let h = Sympiler.Ldlt.compile ~opts:(w `Amd) al in
   let pl = permuted_lower (perm_of h.Sympiler.Ldlt.ord al.Csc.ncols) al in
   let manual = Sympiler.Ldlt.factor (Sympiler.Ldlt.compile pl) pl in
   let got = Sympiler.Ldlt.execute_ip (Sympiler.Ldlt.plan h) al in
@@ -125,7 +129,7 @@ let test_bitwise_ldlt () =
 
 let test_bitwise_ic0 () =
   let al = Csc.lower (Generators.grid2d ~stencil:`Nine 7 7) in
-  let h = Sympiler.Ic0.compile ~ordering:`Amd al in
+  let h = Sympiler.Ic0.compile ~opts:(w `Amd) al in
   let pl = permuted_lower (perm_of h.Sympiler.Ic0.ord al.Csc.ncols) al in
   let manual = Sympiler.Ic0.factor (Sympiler.Ic0.compile pl) pl in
   let got = Sympiler.Ic0.execute_ip (Sympiler.Ic0.plan h) al in
@@ -138,7 +142,7 @@ let permuted_full p (a : Csc.t) : Csc.t =
 
 let test_bitwise_lu () =
   let a = Generators.grid2d ~stencil:`Five 7 7 in
-  let h = Sympiler.Lu.compile ~ordering:`Amd a in
+  let h = Sympiler.Lu.compile ~opts:(w `Amd) a in
   let pa = permuted_full (perm_of h.Sympiler.Lu.ord a.Csc.ncols) a in
   let manual = Sympiler.Lu.factor (Sympiler.Lu.compile pa) pa in
   let got = Sympiler.Lu.execute_ip (Sympiler.Lu.plan h) a in
@@ -153,7 +157,7 @@ let test_bitwise_lu () =
 
 let test_bitwise_ilu0 () =
   let a = Generators.grid2d ~stencil:`Nine 6 6 in
-  let h = Sympiler.Ilu0.compile ~ordering:`Amd a in
+  let h = Sympiler.Ilu0.compile ~opts:(w `Amd) a in
   let pa = permuted_full (perm_of h.Sympiler.Ilu0.ord a.Csc.ncols) a in
   let manual = Sympiler.Ilu0.factor (Sympiler.Ilu0.compile pa) pa in
   let got = Sympiler.Ilu0.execute_ip (Sympiler.Ilu0.plan h) a in
@@ -167,7 +171,7 @@ let test_bitwise_trisolve_given () =
   let l = figure1_l in
   let b = { Vector.n = 10; indices = figure1_beta; values = [| 1.0; 2.0 |] } in
   let post = Postorder.compute (Etree.compute l) in
-  let h = Sympiler.Trisolve.compile ~ordering:(`Given post) (l, b) in
+  let h = Sympiler.Trisolve.compile ~opts:(w (`Given post)) (l, b) in
   let x_ord = Sympiler.Trisolve.solve h b in
   let x_plan = Sympiler.Trisolve.execute_ip (Sympiler.Trisolve.plan h) b in
   (* Manual pre-permutation of the whole system. *)
@@ -199,7 +203,7 @@ let test_trisolve_rejects_breaking_ordering () =
   let l = figure1_l in
   let b = { Vector.n = 10; indices = figure1_beta; values = [| 1.0; 1.0 |] } in
   let rev = Array.init 10 (fun k -> 9 - k) in
-  match Sympiler.Trisolve.compile ~ordering:(`Given rev) (l, b) with
+  match Sympiler.Trisolve.compile ~opts:(w (`Given rev)) (l, b) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "triangularity-breaking ordering accepted"
 
@@ -215,7 +219,7 @@ let test_ordered_cholesky_solve () =
       let x_nat = Sympiler.Cholesky.solve (Sympiler.Cholesky.compile al) al b in
       List.iter
         (fun (oname, o) ->
-          let h = Sympiler.Cholesky.compile ~ordering:o al in
+          let h = Sympiler.Cholesky.compile ~opts:(w o) al in
           let x = Sympiler.Cholesky.solve h al b in
           check_close ~eps:1e-6 (Printf.sprintf "%s %s" name oname) x_nat x)
         [ ("rcm", `Rcm); ("amd", `Amd); ("min-degree", `Min_degree) ])
@@ -236,7 +240,7 @@ let prop_ordered_solve =
         Sympiler.Cholesky.solve (Sympiler.Cholesky.compile al) al b
       in
       let x_amd =
-        Sympiler.Cholesky.solve (Sympiler.Cholesky.compile ~ordering:`Amd al) al b
+        Sympiler.Cholesky.solve (Sympiler.Cholesky.compile ~opts:(w `Amd) al) al b
       in
       close ~eps:1e-6 x_nat x_amd)
 
@@ -245,12 +249,12 @@ let prop_ordered_solve =
 let test_ordered_zero_alloc () =
   let al = Csc.lower (Generators.grid2d ~stencil:`Five 10 10) in
   let p =
-    Sympiler.Cholesky.plan (Sympiler.Cholesky.compile ~ordering:`Amd al)
+    Sympiler.Cholesky.plan (Sympiler.Cholesky.compile ~opts:(w `Amd) al)
   in
-  Sympiler.Cholesky.refactor_ip p al;
+  ignore (Sympiler.Cholesky.execute_ip p al);
   let w0 = Gc.minor_words () in
   for _ = 1 to 20 do
-    Sympiler.Cholesky.refactor_ip p al
+    ignore (Sympiler.Cholesky.execute_ip p al)
   done;
   let words = int_of_float (Gc.minor_words () -. w0) in
   Alcotest.(check int) "ordered cholesky minor words" 0 words;
@@ -260,7 +264,7 @@ let test_ordered_zero_alloc () =
   let post = Postorder.compute (Etree.compute l) in
   let tp =
     Sympiler.Trisolve.plan
-      (Sympiler.Trisolve.compile ~ordering:(`Given post) (l, b))
+      (Sympiler.Trisolve.compile ~opts:(w (`Given post)) (l, b))
   in
   ignore (Sympiler.Trisolve.execute_ip tp b);
   let w0 = Gc.minor_words () in
@@ -275,15 +279,15 @@ let test_ordered_zero_alloc () =
 let test_cache_keyed_on_ordering () =
   let al = Csc.lower (Generators.grid2d ~stencil:`Five 6 6) in
   Sympiler.Cholesky.cache_clear ();
-  let h_nat = Sympiler.Cholesky.compile_cached al in
-  let h_amd = Sympiler.Cholesky.compile_cached ~ordering:`Amd al in
+  let h_nat = Sympiler.Cholesky.compile ~opts:Sympiler.Options.cached al in
+  let h_amd = Sympiler.Cholesky.compile ~opts:(wc `Amd) al in
   Alcotest.(check bool) "natural vs amd distinct" false (h_nat == h_amd);
-  let h_amd' = Sympiler.Cholesky.compile_cached ~ordering:`Amd al in
+  let h_amd' = Sympiler.Cholesky.compile ~opts:(wc `Amd) al in
   Alcotest.(check bool) "amd hit physically equal" true (h_amd == h_amd');
   (* `Given with the same permutation AMD chose is a distinct key (the
      fingerprint spells out the permutation), but compiles fine. *)
   let p = perm_of h_amd.Sympiler.Cholesky.ord al.Csc.ncols in
-  let h_given = Sympiler.Cholesky.compile_cached ~ordering:(`Given p) al in
+  let h_given = Sympiler.Cholesky.compile ~opts:(wc (`Given p)) al in
   Alcotest.(check bool) "given vs amd distinct" false (h_amd == h_given);
   Alcotest.(check int)
     "given = amd analysis" h_amd.Sympiler.Cholesky.nnz_l
@@ -308,17 +312,17 @@ let test_given_validation () =
   List.iter
     (fun (pname, p) ->
       expect_invalid ("cholesky " ^ pname) (fun () ->
-          Sympiler.Cholesky.compile ~ordering:(`Given p) al);
+          Sympiler.Cholesky.compile ~opts:(w (`Given p)) al);
       expect_invalid ("ldlt " ^ pname) (fun () ->
-          Sympiler.Ldlt.compile ~ordering:(`Given p) al);
+          Sympiler.Ldlt.compile ~opts:(w (`Given p)) al);
       expect_invalid ("ic0 " ^ pname) (fun () ->
-          Sympiler.Ic0.compile ~ordering:(`Given p) al);
+          Sympiler.Ic0.compile ~opts:(w (`Given p)) al);
       expect_invalid ("lu " ^ pname) (fun () ->
-          Sympiler.Lu.compile ~ordering:(`Given p) a);
+          Sympiler.Lu.compile ~opts:(w (`Given p)) a);
       expect_invalid ("ilu0 " ^ pname) (fun () ->
-          Sympiler.Ilu0.compile ~ordering:(`Given p) a);
+          Sympiler.Ilu0.compile ~opts:(w (`Given p)) a);
       expect_invalid ("trisolve " ^ pname) (fun () ->
-          Sympiler.Trisolve.compile ~ordering:(`Given p) (al, b));
+          Sympiler.Trisolve.compile ~opts:(w (`Given p)) (al, b));
       expect_invalid ("symmetric_permute " ^ pname) (fun () ->
           Perm.symmetric_permute p a))
     bad_perms
@@ -326,37 +330,37 @@ let test_given_validation () =
 let test_degenerate_sizes () =
   (* 0x0 and 1x1 through the ordered path of every family. *)
   let z = Csc.zero ~nrows:0 ~ncols:0 in
-  let hz = Sympiler.Cholesky.compile ~ordering:(`Given [||]) z in
+  let hz = Sympiler.Cholesky.compile ~opts:(w (`Given [||])) z in
   Alcotest.(check int) "0x0 nnz_l" 0 hz.Sympiler.Cholesky.nnz_l;
   let one = Csc.of_dense [| [| 4.0 |] |] in
   let l1 =
     Sympiler.Cholesky.factor
-      (Sympiler.Cholesky.compile ~ordering:`Amd one)
+      (Sympiler.Cholesky.compile ~opts:(w `Amd) one)
       one
   in
   check_close "1x1 cholesky" [| 2.0 |] l1.Csc.values;
   let f1 =
     Sympiler.Ldlt.factor
-      (Sympiler.Ldlt.compile ~ordering:(`Given [| 0 |]) one)
+      (Sympiler.Ldlt.compile ~opts:(w (`Given [| 0 |])) one)
       one
   in
   check_close "1x1 ldlt d" [| 4.0 |] f1.Sympiler_kernels.Ldlt.d;
   let lu1 =
-    Sympiler.Lu.factor (Sympiler.Lu.compile ~ordering:`Rcm one) one
+    Sympiler.Lu.factor (Sympiler.Lu.compile ~opts:(w `Rcm) one) one
   in
   check_close "1x1 lu u" [| 4.0 |] lu1.Sympiler_kernels.Lu.u.Csc.values;
   let ic1 =
-    Sympiler.Ic0.factor (Sympiler.Ic0.compile ~ordering:`Min_degree one) one
+    Sympiler.Ic0.factor (Sympiler.Ic0.compile ~opts:(w `Min_degree) one) one
   in
   check_close "1x1 ic0" [| 2.0 |] ic1.Csc.values;
   let ilu1 =
-    Sympiler.Ilu0.factor (Sympiler.Ilu0.compile ~ordering:`Amd one) one
+    Sympiler.Ilu0.factor (Sympiler.Ilu0.compile ~opts:(w `Amd) one) one
   in
   check_close "1x1 ilu0" [| 4.0 |] ilu1.Sympiler_kernels.Ilu0.values;
   let b1 = { Vector.n = 1; indices = [| 0 |]; values = [| 3.0 |] } in
   let x1 =
     Sympiler.Trisolve.solve
-      (Sympiler.Trisolve.compile ~ordering:(`Given [| 0 |]) (one, b1))
+      (Sympiler.Trisolve.compile ~opts:(w (`Given [| 0 |])) (one, b1))
       b1
   in
   check_close "1x1 trisolve" [| 0.75 |] x1

@@ -272,7 +272,11 @@ let test_pool_prof_counters () =
 
 let test_facade_cholesky_ndomains () =
   let al = Csc.lower (Generators.grid2d ~stencil:`Five 12 12) in
-  let h = Sympiler.Cholesky.compile_ext ~vs_block_threshold:0.0 al in
+  let h =
+    Sympiler.Cholesky.compile
+      ~opts:(Sympiler.Options.make ~vs_block_threshold:0.0 ())
+      al
+  in
   let pseq = Sympiler.Cholesky.plan h in
   let p1 = Sympiler.Cholesky.plan ~ndomains:1 h in
   let p4 = Sympiler.Cholesky.plan ~ndomains:4 h in
@@ -289,7 +293,9 @@ let test_facade_cholesky_ndomains () =
 let test_facade_simplicial_ignores_ndomains () =
   let al = Csc.lower (Generators.grid2d ~stencil:`Five 8 8) in
   let h =
-    Sympiler.Cholesky.compile_ext ~variant:Sympiler.Cholesky.Simplicial al
+    Sympiler.Cholesky.compile
+      ~opts:(Sympiler.Options.make ~simplicial:true ())
+      al
   in
   let p = Sympiler.Cholesky.plan ~ndomains:4 h in
   let f = Sympiler.Cholesky.execute_ip p al in
@@ -323,8 +329,8 @@ let test_facade_ldlt () =
   Alcotest.(check bool) "ldlt c_code" true
     (String.length (Sympiler.Ldlt.c_code h) > 200);
   let cache = Sympiler.Plan_cache.create () in
-  let h1 = Sympiler.Ldlt.compile_cached ~cache al in
-  let h2 = Sympiler.Ldlt.compile_cached ~cache al in
+  let h1 = Sympiler.Ldlt.compile ~cache al in
+  let h2 = Sympiler.Ldlt.compile ~cache al in
   Alcotest.(check bool) "ldlt cache hit is physical" true (h1 == h2)
 
 let test_facade_lu () =
@@ -340,7 +346,7 @@ let test_facade_lu () =
     (String.length (Sympiler.Lu.c_code h) > 200);
   let cache = Sympiler.Plan_cache.create () in
   Alcotest.(check bool) "lu cache hit is physical" true
-    (Sympiler.Lu.compile_cached ~cache a == Sympiler.Lu.compile_cached ~cache a)
+    (Sympiler.Lu.compile ~cache a == Sympiler.Lu.compile ~cache a)
 
 let test_facade_ic0 () =
   let al =

@@ -136,7 +136,7 @@ let test_cholesky_parallel_plan_bitwise () =
       fresh.Csc.values p.Cholesky_parallel.l.Csc.values
   done
 
-(* Facade plans: refactor_ip refreshes the plan's factor view in place and
+(* Facade plans: execute_ip refreshes the plan's factor view in place and
    matches the one-shot facade factor. *)
 let test_facade_plan_bitwise () =
   let al = spd_lower () in
@@ -144,8 +144,8 @@ let test_facade_plan_bitwise () =
   let fresh = Sympiler.Cholesky.factor h al in
   let p = Sympiler.Cholesky.plan h in
   let view = Sympiler.Cholesky.plan_factor p in
-  Sympiler.Cholesky.refactor_ip p al;
-  bitwise "facade refactor_ip == factor" fresh.Csc.values view.Csc.values;
+  ignore (Sympiler.Cholesky.execute_ip p al);
+  bitwise "facade execute_ip == factor" fresh.Csc.values view.Csc.values;
   Alcotest.(check bool)
     "plan_factor view is stable" true
     (view == Sympiler.Cholesky.plan_factor p)
@@ -196,23 +196,24 @@ let test_zero_alloc_facade () =
   let h = Sympiler.Cholesky.compile al in
   let p = Sympiler.Cholesky.plan h in
   Alcotest.(check int)
-    "facade refactor_ip minor words/call" 0
-    (minor_words_per_call (fun () -> Sympiler.Cholesky.refactor_ip p al))
+    "facade execute_ip minor words/call" 0
+    (minor_words_per_call (fun () -> ignore (Sympiler.Cholesky.execute_ip p al)))
 
 (* ---- compilation cache ---- *)
 
 let test_cache_hit_physical_equality () =
   let cache = Sympiler.Plan_cache.create () in
   let al = spd_lower () in
-  let h1 = Sympiler.Cholesky.compile_cached ~cache al in
+  let h1 = Sympiler.Cholesky.compile ~cache al in
   (* Same structure, different values: still a hit. *)
   let al2 = Csc.map_values al (fun v -> v *. 2.0) in
-  let h2 = Sympiler.Cholesky.compile_cached ~cache al2 in
+  let h2 = Sympiler.Cholesky.compile ~cache al2 in
   Alcotest.(check bool) "hit returns the same handle" true (h1 == h2);
   (* Different options: a distinct entry. *)
   let h3 =
-    Sympiler.Cholesky.compile_cached_ext ~cache
-      ~variant:Sympiler.Cholesky.Simplicial al
+    Sympiler.Cholesky.compile ~cache
+      ~opts:(Sympiler.Options.make ~simplicial:true ())
+      al
   in
   Alcotest.(check bool) "different options miss" true (h3 != h1);
   let st = Sympiler.Plan_cache.stats cache in
@@ -225,10 +226,10 @@ let test_cache_hit_skips_symbolic () =
   let al = spd_lower () in
   Prof.reset ();
   Prof.enable ();
-  let h1 = Sympiler.Cholesky.compile_cached ~cache al in
+  let h1 = Sympiler.Cholesky.compile ~cache al in
   let entries_after_miss = Prof.scope_entries "symbolic" in
   let hits_before = Prof.counters.Prof.cache_hits in
-  let h2 = Sympiler.Cholesky.compile_cached ~cache al in
+  let h2 = Sympiler.Cholesky.compile ~cache al in
   let entries_after_hit = Prof.scope_entries "symbolic" in
   let hits_after = Prof.counters.Prof.cache_hits in
   Prof.disable ();
@@ -268,9 +269,9 @@ let test_trisolve_cache_keyed_on_rhs () =
   let l = Generators.random_lower ~seed:41 ~n:60 ~density:0.15 () in
   let b1 = Generators.sparse_rhs ~seed:42 ~n:60 ~fill:0.1 () in
   let b2 = Generators.sparse_rhs ~seed:43 ~n:60 ~fill:0.1 () in
-  let h1 = Sympiler.Trisolve.compile_cached ~cache (l, b1) in
-  let h1' = Sympiler.Trisolve.compile_cached ~cache (l, b1) in
-  let h2 = Sympiler.Trisolve.compile_cached ~cache (l, b2) in
+  let h1 = Sympiler.Trisolve.compile ~cache (l, b1) in
+  let h1' = Sympiler.Trisolve.compile ~cache (l, b1) in
+  let h2 = Sympiler.Trisolve.compile ~cache (l, b2) in
   Alcotest.(check bool) "same L + same RHS pattern hits" true (h1 == h1');
   Alcotest.(check bool) "same L + different RHS pattern misses" true
     (h2 != h1)
@@ -291,7 +292,7 @@ let test_empty_inputs_through_plans () =
   Cholesky_ref.Decoupled.factor_ip dp e;
   let h = Sympiler.Cholesky.compile e in
   let fp = Sympiler.Cholesky.plan h in
-  Sympiler.Cholesky.refactor_ip fp e;
+  ignore (Sympiler.Cholesky.execute_ip fp e);
   Alcotest.(check int) "0x0 factor view" 0
     (Sympiler.Cholesky.plan_factor fp).Csc.ncols;
   (* n > 0 with a structurally empty RHS: the reach-set is empty and the
@@ -327,7 +328,7 @@ let suite =
     Alcotest.test_case "zero alloc: simplicial" `Quick
       test_zero_alloc_simplicial;
     Alcotest.test_case "zero alloc: trisolve" `Quick test_zero_alloc_trisolve;
-    Alcotest.test_case "zero alloc: facade refactor_ip" `Quick
+    Alcotest.test_case "zero alloc: facade execute_ip" `Quick
       test_zero_alloc_facade;
     Alcotest.test_case "cache hit is physically equal" `Quick
       test_cache_hit_physical_equality;
