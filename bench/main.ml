@@ -15,7 +15,10 @@ open Sympiler_prof
    fig8, fig9, intro, ablation-threshold, ablation-lowlevel, extensions,
    large). The `pipeline` section writes BENCH_pipeline.json: fused vs
    staged whole-DAG apply latency, allocation, bitwise identity, and the
-   shared-analysis ledger.
+   shared-analysis ledger. The `updown` section writes BENCH_updown.json:
+   rank-1 update_ip latency against a full refactorization (and the
+   crossover rank), per-pair allocation, rollback and drift gates, the
+   incremental column refactorization, and the escalation path.
    The `metrics` section gates the labeled-registry layer (enabled
    overhead <= 2%, percentile fidelity, cross-domain exactness,
    allocation-freedom, OpenMetrics conformance) and writes
@@ -2068,6 +2071,198 @@ let pipeline_bench () =
     \ lose. Full data written to BENCH_pipeline.json)\n"
 
 (* ---------------------------------------------------------------- *)
+(* Rank-1 update/downdate in the plan world (the §3.3 rank-update
+   method): update_ip against a full refactorization and the resulting
+   crossover rank, residual drift over long canceling update/downdate
+   streams, rollback and allocation gates, the incremental column
+   refactorization, and the out-of-pattern escalation path. Writes
+   BENCH_updown.json; scripts/ci.sh greps the verdicts. *)
+
+let updown_bench () =
+  let module C = Sympiler.Cholesky in
+  header "Rank update/downdate: update_ip vs refactorization";
+  let pids = if quick then [ 1; 2; 5 ] else [ 1; 2; 5; 8; 9 ] in
+  Printf.printf "%-15s %9s %12s %12s %10s %6s %9s %10s\n" "problem" "n"
+    "update" "refactor" "crossover" "alloc" "rollback" "drift";
+  let rows = ref [] in
+  let all_faster = ref true in
+  let all_zero_alloc = ref true in
+  let all_rollback = ref true in
+  let all_drift = ref true in
+  let all_incr_bitwise = ref true in
+  List.iter
+    (fun id ->
+      let d = prob id in
+      let al = d.p.Sympiler.Suite.a_lower in
+      let n = al.Csc.ncols in
+      let t = C.compile al in
+      let p = C.plan t in
+      ignore (C.execute_ip p al : Csc.t);
+      let w = Rank_update.vector_like (C.plan_factor p) ~j:(n / 3) ~scale:0.2 in
+      let refactor_s = measure (fun () -> ignore (C.execute_ip p al)) in
+      (* a stream of pure updates only inflates the factor, so it can
+         never fail mid-measurement; downdates are timed as half of a
+         canceling pair for the same reason *)
+      let update_s = measure (fun () -> C.update_ip p ~sigma:0.5 w) in
+      ignore (C.execute_ip p al : Csc.t);
+      let pair_s =
+        measure (fun () ->
+            C.update_ip p ~sigma:0.5 w;
+            C.downdate_ip p ~sigma:0.5 w)
+      in
+      let downdate_s = Float.max (pair_s -. update_s) 0.0 in
+      (* per-pair minor-heap delta on the steady loop (warmups ran) *)
+      let k = 20 in
+      let w0 = Gc.minor_words () in
+      for _ = 1 to k do
+        C.update_ip p ~sigma:0.5 w;
+        C.downdate_ip p ~sigma:0.5 w
+      done;
+      let words = int_of_float ((Gc.minor_words () -. w0) /. float_of_int k) in
+      (* residual drift over a long canceling update/downdate stream *)
+      ignore (C.execute_ip p al : Csc.t);
+      let v0 = Array.copy (C.plan_factor p).Csc.values in
+      for _ = 1 to 200 do
+        C.update_ip p ~sigma:0.5 w;
+        C.downdate_ip p ~sigma:0.5 w
+      done;
+      let scale =
+        Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1.0 v0
+      in
+      let drift = ref 0.0 in
+      Array.iteri
+        (fun i v ->
+          drift :=
+            Float.max !drift
+              (Float.abs (v -. (C.plan_factor p).Csc.values.(i)) /. scale))
+        v0;
+      (* a rejected downdate must leave the factor bitwise intact *)
+      ignore (C.execute_ip p al : Csc.t);
+      let before = Array.copy (C.plan_factor p).Csc.values in
+      let rollback_ok =
+        (try
+           C.downdate_ip p ~sigma:1e9 w;
+           false
+         with Rank_update.Not_positive_definite _ -> true)
+        && before = (C.plan_factor p).Csc.values
+      in
+      (* incremental column refactorization on a simplicial plan:
+         alternate two inputs differing in one column so every timed
+         call recomputes the same localized row set (a repeated input
+         would diff to zero after the first call) *)
+      let ts = C.compile ~opts:(Sympiler.Options.make ~simplicial:true ()) al in
+      let ps = C.plan ts in
+      let ps2 = C.plan ts in
+      ignore (C.execute_ip ps al : Csc.t);
+      ignore (C.refactor_cols_ip ps al : int);
+      let al2 =
+        (* bump one diagonal entry: a localized change that can only
+           increase positive definiteness *)
+        let values = Array.copy al.Csc.values in
+        let c = n / 2 in
+        for q = al.Csc.colptr.(c) to al.Csc.colptr.(c + 1) - 1 do
+          if al.Csc.rowind.(q) = c then values.(q) <- values.(q) *. 1.5
+        done;
+        { al with Csc.values }
+      in
+      let incr_rows = C.refactor_cols_ip ps al2 in
+      ignore (C.execute_ip ps2 al2 : Csc.t);
+      let incr_bitwise =
+        (C.plan_factor ps).Csc.values = (C.plan_factor ps2).Csc.values
+      in
+      let incr_pair_s =
+        measure (fun () ->
+            ignore (C.refactor_cols_ip ps al : int);
+            ignore (C.refactor_cols_ip ps al2 : int))
+      in
+      let full_simp_s = measure (fun () -> ignore (C.execute_ip ps2 al2)) in
+      let crossover =
+        int_of_float (Float.ceil (refactor_s /. Float.max update_s 1e-12))
+      in
+      all_faster := !all_faster && update_s < refactor_s;
+      all_zero_alloc := !all_zero_alloc && words = 0;
+      all_rollback := !all_rollback && rollback_ok;
+      all_drift := !all_drift && !drift <= 1e-10;
+      all_incr_bitwise := !all_incr_bitwise && incr_bitwise;
+      Printf.printf "%-15s %9d %10.1fus %10.1fus %10d %6d %9b %10.1e\n"
+        d.p.Sympiler.Suite.name n (update_s *. 1e6) (refactor_s *. 1e6)
+        crossover words rollback_ok !drift;
+      rows :=
+        Prof.Json.Obj
+          [
+            ("name", Prof.Json.Str d.p.Sympiler.Suite.name);
+            ("n", Prof.Json.Int n);
+            ("nnz_l", Prof.Json.Int (Csc.nnz (C.plan_factor p)));
+            ("update_seconds", Prof.Json.Float update_s);
+            ("downdate_seconds", Prof.Json.Float downdate_s);
+            ("refactor_seconds", Prof.Json.Float refactor_s);
+            ("crossover_rank", Prof.Json.Int crossover);
+            ("updown_minor_words_per_pair", Prof.Json.Int words);
+            ("rollback_ok", Prof.Json.Bool rollback_ok);
+            ("drift_after_200_pairs", Prof.Json.Float !drift);
+            ("incremental_rows", Prof.Json.Int incr_rows);
+            ("incremental_seconds", Prof.Json.Float (incr_pair_s /. 2.0));
+            ("simplicial_refactor_seconds", Prof.Json.Float full_simp_s);
+            ("incremental_bitwise", Prof.Json.Bool incr_bitwise);
+          ]
+        :: !rows)
+    pids;
+  (* Escalation: an update coupling the two ends of a band can never fit
+     the factor pattern, so update_ip recompiles the plan in place; the
+     recompile goes through the default plan cache, so a repeated
+     escalation shape skips the symbolic phase. *)
+  let ab = Csc.lower (Generators.banded ~seed:11 ~n:40 ~band:2 ()) in
+  let wc = { Vector.n = 40; indices = [| 0; 39 |]; values = [| 1.0; -1.0 |] } in
+  let esc_once () =
+    let t = C.compile ab in
+    let p = C.plan t in
+    ignore (C.execute_ip p ab : Csc.t);
+    let t0 = Prof.now_seconds () in
+    C.update_ip p ~sigma:0.5 wc;
+    (Prof.now_seconds () -. t0, p.C.esc_map <> None)
+  in
+  let h0 = (C.cache_stats ()).Sympiler.Plan_cache.hits in
+  let esc1_s, esc1_ok = esc_once () in
+  let esc2_s, esc2_ok = esc_once () in
+  let esc_cache_hit = (C.cache_stats ()).Sympiler.Plan_cache.hits > h0 in
+  let verdict =
+    !all_faster && !all_zero_alloc && !all_rollback && !all_drift
+    && !all_incr_bitwise && esc1_ok && esc2_ok
+  in
+  Printf.printf
+    "update_faster_than_refactor_below_crossover=%b updown_zero_alloc=%b \
+     rollback_preserves_factor=%b drift_bounded=%b incremental_bitwise=%b \
+     escalation_cache_hit=%b verdict=%b\n"
+    !all_faster !all_zero_alloc !all_rollback !all_drift !all_incr_bitwise
+    esc_cache_hit verdict;
+  let doc =
+    Prof.Json.Obj
+      [
+        ("bench", Prof.Json.Str "updown");
+        ("quick", Prof.Json.Bool quick);
+        ("problems", Prof.Json.List (List.rev !rows));
+        ("escalation_first_seconds", Prof.Json.Float esc1_s);
+        ("escalation_second_seconds", Prof.Json.Float esc2_s);
+        ("escalation_cache_hit", Prof.Json.Bool esc_cache_hit);
+        ( "update_faster_than_refactor_below_crossover",
+          Prof.Json.Bool !all_faster );
+        ("updown_zero_alloc", Prof.Json.Bool !all_zero_alloc);
+        ("rollback_preserves_factor", Prof.Json.Bool !all_rollback);
+        ("drift_bounded", Prof.Json.Bool !all_drift);
+        ("incremental_bitwise", Prof.Json.Bool !all_incr_bitwise);
+        ("verdict", Prof.Json.Bool verdict);
+      ]
+  in
+  write_bench "BENCH_updown.json" doc;
+  section_note
+    "(update = one in-pattern rank-1 update through the plan facade;\n\
+    \ crossover = how many rank-1 updates fit in one refactorization;\n\
+    \ drift = max relative factor deviation after 200 canceling\n\
+    \ update/downdate pairs; incremental = refactor_cols_ip over a\n\
+    \ one-column change, bitwise vs the full simplicial refactor.\n\
+    \ Full data written to BENCH_updown.json)\n"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel variant: one Test.make per experiment. *)
 
 let bechamel_tests () =
@@ -2152,6 +2347,7 @@ let () =
     if run_section "ordering" then ordering_bench ();
     if run_section "metrics" then metrics_bench ();
     if run_section "pipeline" then pipeline_bench ();
+    if run_section "updown" then updown_bench ();
     if run_section "table2" then table2 ();
     if run_section "fig6" then fig6 ();
     if run_section "fig7" then fig7 ();

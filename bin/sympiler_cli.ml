@@ -8,6 +8,7 @@
      sympiler_cli analyze  --problem ecology2
      sympiler_cli steady   --problem ecology2 --repeat 100
      sympiler_cli steady   --problem ecology2 --ndomains 4
+     sympiler_cli updown   --problem ecology2 --repeat 200 --sigma 0.5
      sympiler_cli explain  --problem ecology2 --json
      sympiler_cli steady   --problem ecology2 --trace trace.json *)
 
@@ -409,6 +410,154 @@ let pipeline matrix problem family stages ordering repeat out profile trace
   | Some _ -> output out (Pl.c_code t));
   if bitwise then 0 else 1
 
+(* ---- rank update / downdate ---- *)
+
+(* Demonstrate first-class rank-1 update/downdate on a plan: one compile +
+   factor, then [repeat] canceling update/downdate pairs through
+   update_ip/downdate_ip, reporting the per-operation time against a full
+   refactorization (and the resulting crossover rank), allocation per
+   pair, factor drift over the stream, the memoized etree-path counters,
+   the rollback contract on a rejected downdate, and one incremental
+   column refactorization. *)
+let updown matrix problem ordering repeat sigma col profile trace metrics =
+  with_metrics metrics @@ fun () ->
+  with_trace trace @@ fun () ->
+  with_profile profile @@ fun () ->
+  let module C = Sympiler.Cholesky in
+  let now = Sympiler_prof.Prof.now_seconds in
+  let a = load ~matrix ~problem in
+  let al = Csc.lower a in
+  let n = al.Csc.ncols in
+  let ord = ordering_of_flag ordering in
+  let h =
+    C.compile ~opts:(Sympiler.Options.make ~ordering:ord ~cache:true ()) al
+  in
+  let p = C.plan h in
+  ignore (C.execute_ip p al);
+  let l = C.plan_factor p in
+  let j = match col with Some j -> j | None -> n / 3 in
+  if j < 0 || j >= n then failwith "--col out of range";
+  (* update_ip takes w in natural order; build a legal one from factor
+     column j (pattern subset holds by construction), mapping its pattern
+     back through the ordering when one was applied. *)
+  let w =
+    let lo = l.Csc.colptr.(j) and hi = l.Csc.colptr.(j + 1) in
+    match h.C.ord.Sympiler.o_perm with
+    | None -> Sympiler_kernels.Rank_update.vector_like l ~j ~scale:0.2
+    | Some perm ->
+        let pairs =
+          Array.init (hi - lo) (fun k ->
+              (perm.(l.Csc.rowind.(lo + k)), 0.2 *. l.Csc.values.(lo + k)))
+        in
+        Array.sort compare pairs;
+        {
+          Vector.n;
+          indices = Array.map fst pairs;
+          values = Array.map snd pairs;
+        }
+  in
+  let reps = max 1 repeat in
+  (* Partial applications fix ?sigma once: the option cell is built here,
+     not per call, keeping the timed loop allocation-free. *)
+  let update = C.update_ip p ~sigma in
+  let downdate = C.downdate_ip p ~sigma in
+  (* warm the path table, then time the canceling pair stream (profiling
+     untouched: counter bumps would show up in the allocation figure) *)
+  update w;
+  downdate w;
+  let v0 = Array.copy l.Csc.values in
+  let w0 = Gc.minor_words () in
+  let t0 = now () in
+  for _ = 1 to reps do
+    update w;
+    downdate w
+  done;
+  let pair_s = (now () -. t0) /. float_of_int reps in
+  let words =
+    int_of_float ((Gc.minor_words () -. w0) /. float_of_int reps)
+  in
+  let drift =
+    let scale =
+      Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1.0 v0
+    in
+    let d = ref 0.0 in
+    Array.iteri
+      (fun i v ->
+        d := Float.max !d (Float.abs (v -. l.Csc.values.(i)) /. scale))
+      v0;
+    !d
+  in
+  let refactor_s =
+    let t0 = now () in
+    for _ = 1 to reps do
+      ignore (C.execute_ip p al)
+    done;
+    (now () -. t0) /. float_of_int reps
+  in
+  (* a short profiled stream exposes the per-jmin path memoization: the
+     path was computed once during warmup, so every profiled pair hits *)
+  let was_on = Sympiler_prof.Prof.enabled () in
+  Sympiler_prof.Prof.enable ();
+  let c = Sympiler_prof.Prof.counters in
+  let h0 = c.Sympiler_prof.Prof.updown_path_hits
+  and m0 = c.Sympiler_prof.Prof.updown_path_misses
+  and e0 = c.Sympiler_prof.Prof.updown_escalations in
+  for _ = 1 to 10 do
+    update w;
+    downdate w
+  done;
+  let path_hits = c.Sympiler_prof.Prof.updown_path_hits - h0
+  and path_misses = c.Sympiler_prof.Prof.updown_path_misses - m0
+  and escalations = c.Sympiler_prof.Prof.updown_escalations - e0 in
+  if not was_on then Sympiler_prof.Prof.disable ();
+  (* rollback contract: a downdate violent enough to destroy positive
+     definiteness must raise and leave the factor bitwise intact *)
+  let before = Array.copy l.Csc.values in
+  let rollback_ok =
+    (try
+       C.downdate_ip p ~sigma:1e9 w;
+       false
+     with Sympiler_kernels.Rank_update.Not_positive_definite _ -> true)
+    && before = l.Csc.values
+  in
+  (* one incremental refactorization: bump a diagonal entry and recompute
+     only the rows its etree path reaches *)
+  ignore (C.execute_ip p al);
+  ignore (C.refactor_cols_ip p al);
+  let al2 =
+    let values = Array.copy al.Csc.values in
+    let c = n / 2 in
+    for q = al.Csc.colptr.(c) to al.Csc.colptr.(c + 1) - 1 do
+      if al.Csc.rowind.(q) = c then values.(q) <- values.(q) *. 1.5
+    done;
+    { al with Csc.values }
+  in
+  let incr_rows = C.refactor_cols_ip p al2 in
+  Printf.printf "n                : %d\n" n;
+  Printf.printf "ordering         : %s\n" (ordering_flag_name ordering);
+  Printf.printf "nnz(L)           : %d\n" h.C.nnz_l;
+  Printf.printf "update column    : %d (|w| = %d, sigma = %g)\n" j
+    (Array.length w.Vector.indices)
+    sigma;
+  Printf.printf "update+downdate  : %.3f us/pair over %d pairs\n"
+    (pair_s *. 1e6) reps;
+  Printf.printf "refactorization  : %.3f us/call\n" (refactor_s *. 1e6);
+  Printf.printf "crossover rank   : %.0f updates per refactorization\n"
+    (Float.ceil (refactor_s /. Float.max (pair_s /. 2.0) 1e-12));
+  Printf.printf "minor words/pair : %d%s\n" words
+    (if words = 0 then " (allocation-free)" else "");
+  Printf.printf "drift (%d pairs) : %.2e (relative)\n" reps drift;
+  Printf.printf
+    "path table       : %d hits / %d misses, %d escalations (10 profiled \
+     pairs)\n"
+    path_hits path_misses escalations;
+  Printf.printf "rollback intact  : %b (rejected downdate left L bitwise)\n"
+    rollback_ok;
+  Printf.printf "incremental      : %d of %d rows recomputed for one \
+                 diagonal bump\n"
+    incr_rows n;
+  if rollback_ok then 0 else 1
+
 (* ---- stats ---- *)
 
 (* Run a representative compile-once / execute-many workload (a cached
@@ -558,6 +707,24 @@ let format_arg =
            $(b,openmetrics)"
         ~docv:"FMT")
 
+let sigma_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "sigma" ]
+        ~doc:"Rank-1 coefficient: each pair applies A +/- $(docv) w w^T"
+        ~docv:"S")
+
+let col_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "col" ]
+        ~doc:
+          "Factor column whose pattern seeds the update vector (default \
+           n/3); its pattern subset makes the update legal by \
+           construction."
+        ~docv:"J")
+
 let kernel_arg =
   Arg.(
     value
@@ -637,6 +804,18 @@ let explain_cmd =
       const explain $ matrix_arg $ problem_arg $ kernel_arg $ ordering_arg
       $ rhs_fill_arg $ json_arg $ trace_arg $ metrics_arg)
 
+let updown_cmd =
+  Cmd.v
+    (Cmd.info "updown"
+       ~doc:
+         "Drive rank-1 update/downdate through a reusable plan: canceling \
+          update/downdate pairs against a full refactorization, the \
+          crossover rank, allocation, drift, path-table counters, and the \
+          rollback contract")
+    Term.(
+      const updown $ matrix_arg $ problem_arg $ ordering_arg $ repeat_arg
+      $ sigma_arg $ col_arg $ profile_arg $ trace_arg $ metrics_arg)
+
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
@@ -670,6 +849,7 @@ let () =
             cholesky_cmd;
             trisolve_cmd;
             steady_cmd;
+            updown_cmd;
             explain_cmd;
             stats_cmd;
             pipeline_cmd;

@@ -57,6 +57,134 @@ module type KERNEL = sig
   val c_code : t -> string
 end
 
+(* ------------- rank-update (updown) shared facade machinery ------------ *)
+
+(* Gather a natural-order sparse update vector into an ordered plan's
+   compiled index space: map every index through [pinv], tandem-insertion
+   sort the plan-owned buffers (update vectors are short — typically the
+   pattern of one factor column — so the quadratic sort never shows), and
+   reject malformed input. Returns the entry count. Zero allocation. *)
+let permute_sorted_w ~who (pinv : int array) (wi_buf : int array)
+    (wv_buf : float array) (w : Vector.sparse) : int =
+  let wi = w.Vector.indices and wv = w.Vector.values in
+  let len = Array.length wi in
+  let n = Array.length pinv in
+  for k = 0 to len - 1 do
+    let i = wi.(k) in
+    if i < 0 || i >= n then invalid_arg (who ^ ": w index out of range");
+    wi_buf.(k) <- pinv.(i);
+    wv_buf.(k) <- wv.(k)
+  done;
+  for k = 1 to len - 1 do
+    let ki = wi_buf.(k) and kv = wv_buf.(k) in
+    let t = ref (k - 1) in
+    while !t >= 0 && wi_buf.(!t) > ki do
+      wi_buf.(!t + 1) <- wi_buf.(!t);
+      wv_buf.(!t + 1) <- wv_buf.(!t);
+      decr t
+    done;
+    wi_buf.(!t + 1) <- ki;
+    wv_buf.(!t + 1) <- kv
+  done;
+  for k = 1 to len - 1 do
+    if wi_buf.(k - 1) = wi_buf.(k) then
+      invalid_arg (who ^ ": w indices must be unique")
+  done;
+  len
+
+(* Allocation-free gather through a [-1]-extended map: escalated plans keep
+   accepting inputs with the original natural pattern, and the pattern
+   entries the escalation added that the input does not have are structural
+   zeros. *)
+let gather_esc ~who ~(expect : int) (map : int array) (src : float array)
+    (dst : Csc.t) : unit =
+  if Array.length src <> expect then
+    invalid_arg (who ^ ": input nnz does not match the compiled pattern");
+  let dv = dst.Csc.values in
+  for q = 0 to Array.length dv - 1 do
+    let s = map.(q) in
+    dv.(q) <- (if s < 0 then 0.0 else src.(s))
+  done
+
+(* Extend an input gather map across a pattern growth: entry [q] of the new
+   pattern reads where the matching old-pattern entry read ([old_q]), or
+   [-1] when the old pattern lacks it. Merge scan per column. *)
+let extend_input_map ~(old_pattern : Csc.t) ~(old_q : int -> int)
+    (np : Csc.t) : int array =
+  let map = Array.make (Csc.nnz np) (-1) in
+  for j = 0 to np.Csc.ncols - 1 do
+    let op = ref old_pattern.Csc.colptr.(j) in
+    let ohi = old_pattern.Csc.colptr.(j + 1) in
+    for q = np.Csc.colptr.(j) to np.Csc.colptr.(j + 1) - 1 do
+      let i = np.Csc.rowind.(q) in
+      while !op < ohi && old_pattern.Csc.rowind.(!op) < i do
+        incr op
+      done;
+      if !op < ohi && old_pattern.Csc.rowind.(!op) = i then
+        map.(q) <- old_q !op
+    done
+  done;
+  map
+
+(* lower(M + sigma w w^T) with the union pattern kept structurally: every
+   entry of [m] survives (even under exact cancellation — future refactors
+   gather real input values through these positions), and the w-clique
+   entries merge in. [wi] holds [len] sorted indices. *)
+let clique_union (m : Csc.t) ~(sigma : float) (wi : int array)
+    (wv : float array) (len : int) : Csc.t =
+  let n = m.Csc.ncols in
+  let inw = Array.make n (-1) in
+  for k = 0 to len - 1 do
+    inw.(wi.(k)) <- k
+  done;
+  let colptr = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    let base = m.Csc.colptr.(j + 1) - m.Csc.colptr.(j) in
+    let extra = ref 0 in
+    let k = inw.(j) in
+    if k >= 0 then
+      for t = k to len - 1 do
+        if not (Csc.mem m wi.(t) j) then incr extra
+      done;
+    colptr.(j + 1) <- base + !extra
+  done;
+  for j = 0 to n - 1 do
+    colptr.(j + 1) <- colptr.(j + 1) + colptr.(j)
+  done;
+  let nnz = colptr.(n) in
+  let rowind = Array.make nnz 0 in
+  let values = Array.make nnz 0.0 in
+  for j = 0 to n - 1 do
+    let q = ref colptr.(j) in
+    let mp = ref m.Csc.colptr.(j) in
+    let mhi = m.Csc.colptr.(j + 1) in
+    let k0 = inw.(j) in
+    let t = ref (if k0 >= 0 then k0 else len) in
+    let wj = if k0 >= 0 then wv.(k0) else 0.0 in
+    while !mp < mhi || !t < len do
+      let mi = if !mp < mhi then m.Csc.rowind.(!mp) else max_int in
+      let ci = if !t < len then wi.(!t) else max_int in
+      if mi < ci then begin
+        rowind.(!q) <- mi;
+        values.(!q) <- m.Csc.values.(!mp);
+        incr mp
+      end
+      else if ci < mi then begin
+        rowind.(!q) <- ci;
+        values.(!q) <- sigma *. wv.(!t) *. wj;
+        incr t
+      end
+      else begin
+        rowind.(!q) <- mi;
+        values.(!q) <- m.Csc.values.(!mp) +. (sigma *. wv.(!t) *. wj);
+        incr mp;
+        incr t
+      end;
+      incr q
+    done
+  done;
+  Csc.create ~nrows:n ~ncols:n ~colptr ~rowind ~values
+
 module Trisolve = struct
   type pattern = Csc.t * Vector.sparse
 
@@ -635,21 +763,39 @@ module Cholesky = struct
     | None, Some d -> Cholesky_ref.Decoupled.factor d a_lower
     | None, None -> assert false
 
+  (* Rank-update state, built lazily on the first [update_ip] /
+     [refactor_cols_ip] call: the kernel plan (scatter workspace, rollback
+     snapshot, memoized path table, incremental-refactor inspectors) plus
+     the ordered-gather buffers that carry a natural-order update vector
+     into compiled order without allocating. *)
+  type updown = {
+    rk : Rank_update.plan;
+    up_pinv : int array; (* inverse permutation; [||] on natural plans *)
+    up_wi : int array; (* permuted+sorted update indices *)
+    up_wv : float array; (* matching values *)
+  }
+
   (* Plans: allocate the factor storage and numeric scratch once, then
      refactorize repeatedly with zero steady-state allocation.
      [Prof.start]/[stop] rather than [Prof.time] keeps even the profiled
-     path closure-free. *)
+     path closure-free. The engine fields are mutable solely for the
+     escalation path of [update_ip], which recompiles the plan in place
+     when an update needs entries the factor pattern lacks. *)
   type plan = {
-    handle : t;
-    sup : Cholesky_supernodal.Sympiler.plan option;
-    simp : Cholesky_ref.Decoupled.plan option;
-    par : Cholesky_parallel.plan option;
-    scratch : Csc.t option;
+    mutable handle : t;
+    mutable sup : Cholesky_supernodal.Sympiler.plan option;
+    mutable simp : Cholesky_ref.Decoupled.plan option;
+    mutable par : Cholesky_parallel.plan option;
+    mutable scratch : Csc.t option;
         (* ordered plans gather natural-order values in here *)
-    native : Native_engine.exec option;
+    mutable native : Native_engine.exec option;
         (* compiled-C executor: b0 = Ax, b1 = Lx, b2 = f (simplicial
            accumulator; it self-restores to zero after every column) *)
     m_exec : Metrics.histogram; (* per-call refactorization latency *)
+    mutable ru : updown option; (* lazy rank-update state *)
+    mutable esc_map : int array option;
+        (* after escalation: gather map from natural input nnz to the
+           escalated pattern, -1 = structural zero *)
   }
 
   (* Both emitted variants fully (re)write Lx each call — the supernodal
@@ -706,6 +852,8 @@ module Cholesky = struct
           scratch;
           native;
           m_exec;
+          ru = None;
+          esc_map = None;
         }
     | _ -> (
         match (t.supernodal, t.simplicial) with
@@ -718,6 +866,8 @@ module Cholesky = struct
               scratch;
               native;
               m_exec;
+              ru = None;
+              esc_map = None;
             }
         | None, Some d ->
             {
@@ -728,6 +878,8 @@ module Cholesky = struct
               scratch;
               native;
               m_exec;
+              ru = None;
+              esc_map = None;
             }
         | None, None -> assert false)
 
@@ -739,29 +891,45 @@ module Cholesky = struct
     | None, None, Some pp -> pp.Cholesky_parallel.l
     | None, None, None -> assert false
 
+  (* Bring caller values into compiled order. Escalated plans gather
+     through the -1-extended map (callers keep passing the original
+     natural pattern; the escalation's extra entries are structural
+     zeros); ordered plans through the baked permutation map; natural
+     plans pass through. *)
+  let gathered_input ~who (p : plan) (a_lower : Csc.t) : Csc.t =
+    match (p.esc_map, p.scratch) with
+    | Some em, Some s ->
+        gather_esc ~who ~expect:(Csc.nnz p.handle.natural_pattern) em
+          a_lower.Csc.values s;
+        s
+    | Some _, None -> assert false (* escalation always installs scratch *)
+    | None, Some s ->
+        gather_values ~who p.handle.ord.o_map a_lower.Csc.values s;
+        s
+    | None, None -> a_lower
+
   let refactor_ip_raw (p : plan) (a_lower : Csc.t) : unit =
     Prof.start "numeric";
     (try
        let a_lower =
-         match p.scratch with
-         | None -> a_lower
-         | Some s ->
-             gather_values ~who:"Sympiler.Cholesky.execute_ip"
-               p.handle.ord.o_map a_lower.Csc.values s;
-             s
+         gathered_input ~who:"Sympiler.Cholesky.execute_ip" p a_lower
        in
-       match p.native with
-       | Some e ->
-           Native_engine.blit_in a_lower.Csc.values e.Native_engine.b0;
-           ignore (Native_engine.call e : int);
-           Native_engine.blit_out e.Native_engine.b1
-             (plan_factor p).Csc.values
-       | None -> (
-           match (p.sup, p.simp, p.par) with
-           | Some sp, _, _ -> Cholesky_supernodal.Sympiler.factor_ip sp a_lower
-           | None, Some sp, _ -> Cholesky_ref.Decoupled.factor_ip sp a_lower
-           | None, None, Some pp -> Cholesky_parallel.factor_ip pp a_lower
-           | None, None, None -> assert false)
+       (match p.native with
+        | Some e ->
+            Native_engine.blit_in a_lower.Csc.values e.Native_engine.b0;
+            ignore (Native_engine.call e : int);
+            Native_engine.blit_out e.Native_engine.b1
+              (plan_factor p).Csc.values
+        | None -> (
+            match (p.sup, p.simp, p.par) with
+            | Some sp, _, _ -> Cholesky_supernodal.Sympiler.factor_ip sp a_lower
+            | None, Some sp, _ -> Cholesky_ref.Decoupled.factor_ip sp a_lower
+            | None, None, Some pp -> Cholesky_parallel.factor_ip pp a_lower
+            | None, None, None -> assert false));
+       (* keep the incremental-refactor diff baseline fresh *)
+       match p.ru with
+       | Some st -> Rank_update.note_refactor st.rk a_lower.Csc.values
+       | None -> ()
      with e ->
        Prof.stop "numeric";
        raise e);
@@ -780,6 +948,169 @@ module Cholesky = struct
   let execute_ip (p : plan) (a_lower : Csc.t) : Csc.t =
     refactor_ip p a_lower;
     plan_factor p
+
+  (* ----------------------- rank update / downdate ----------------------- *)
+
+  (* Lazy updown state: built on the first [update_ip] /
+     [refactor_cols_ip]. The kernel plan borrows the plan's factor view,
+     so updates and refactors stay coherent without copying. *)
+  let ru_state (p : plan) : updown =
+    match p.ru with
+    | Some st -> st
+    | None ->
+        let st =
+          Prof.time "symbolic" (fun () ->
+              let n = p.handle.pattern.Csc.ncols in
+              {
+                rk =
+                  Rank_update.make_plan ~a_pattern:p.handle.pattern
+                    (plan_factor p);
+                up_pinv =
+                  (match p.handle.ord.o_perm with
+                  | Some pm -> Perm.inverse pm
+                  | None -> [||]);
+                up_wi = Array.make (max 1 n) 0;
+                up_wv = Array.make (max 1 n) 0.0;
+              })
+        in
+        p.ru <- Some st;
+        st
+
+  (* Escalation: the update needs entries the factor pattern lacks (the
+     precondition is tight — a violation always means structural growth),
+     so recompile in place. The plan's current matrix lower(L L^T) is
+     recovered from the factor, the update's clique merged in, and the
+     result compiled through the default cache (a repeated escalation
+     pattern hits it). The new engine is built and factored BEFORE any
+     field swaps, so a failed escalation (e.g. a downdate that leaves the
+     matrix indefinite) leaves the plan exactly as it was. [wi]/[wv] are
+     sorted, compiled-order, [len] entries. *)
+  let escalate (p : plan) ~(neg : bool) ~(sigma : float) (wi : int array)
+      (wv : float array) (len : int) : unit =
+    Trace.with_span "updown.escalate"
+      ~attrs:[ ("len", Trace.Int len) ]
+    @@ fun () ->
+    let sigma = if neg then -.sigma else sigma in
+    let st = match p.ru with Some st -> st | None -> assert false in
+    let m = Rank_update.current_matrix st.rk in
+    let a_esc = clique_union m ~sigma wi wv len in
+    let t' = compile ~cache:default_cache a_esc in
+    let t_new =
+      {
+        t' with
+        ord = p.handle.ord;
+        natural_pattern = p.handle.natural_pattern;
+      }
+    in
+    let sup', simp' =
+      match (t'.supernodal, t'.simplicial) with
+      | Some c, _ -> (Some (Cholesky_supernodal.Sympiler.make_plan c), None)
+      | None, Some d -> (None, Some (Cholesky_ref.Decoupled.make_plan d))
+      | None, None -> assert false
+    in
+    (* Numeric phase on the escalated input; raises (plan untouched) if
+       the updated matrix is not positive definite. *)
+    (match (sup', simp') with
+    | Some sp, _ -> Cholesky_supernodal.Sympiler.factor_ip sp a_esc
+    | None, Some sp -> Cholesky_ref.Decoupled.factor_ip sp a_esc
+    | None, None -> assert false);
+    let old_q =
+      match p.esc_map with
+      | Some em -> fun q -> em.(q)
+      | None -> (
+          match p.handle.ord.o_perm with
+          | Some _ ->
+              let map = p.handle.ord.o_map in
+              fun q -> map.(q)
+          | None -> fun q -> q)
+    in
+    let em =
+      extend_input_map ~old_pattern:p.handle.pattern ~old_q t_new.pattern
+    in
+    p.handle <- t_new;
+    p.sup <- sup';
+    p.simp <- simp';
+    p.par <- None;
+    p.native <- None;
+    p.scratch <-
+      Some
+        {
+          t_new.pattern with
+          Csc.values = Array.make (Csc.nnz t_new.pattern) 0.0;
+        };
+    p.esc_map <- Some em;
+    p.ru <- None;
+    if Prof.enabled () then begin
+      let k = Prof.cell () in
+      k.Prof.updown_escalations <- k.Prof.updown_escalations + 1
+    end
+
+  (* In-place rank-1 update of the plan's factor: L L^T becomes
+     A + sigma w w^T. [w] is in natural order; ordered plans gather it
+     through the inverse permutation into plan-owned buffers (steady-state
+     calls allocate nothing). An update outside the factor pattern
+     escalates (recompiles the plan in place with the augmented pattern) —
+     after it, the plan still accepts inputs with the original natural
+     pattern. A rejected downdate rolls the factor back and re-raises
+     [Rank_update.Not_positive_definite]. *)
+  (* [neg] carries the downdate direction as a flag so the sign flip never
+     boxes a fresh float on the zero-alloc path. *)
+  let updown_body (p : plan) ~(neg : bool) ~(sigma : float) (w : Vector.sparse)
+      : unit =
+    let len = Array.length w.Vector.indices in
+    if len > 0 && sigma <> 0.0 then begin
+      let st = ru_state p in
+      match p.handle.ord.o_perm with
+      | None -> (
+          try Rank_update.update_vec st.rk ~neg ~sigma w
+          with Rank_update.Pattern_violation _ ->
+            escalate p ~neg ~sigma w.Vector.indices w.Vector.values len)
+      | Some _ ->
+          if w.Vector.n <> p.handle.pattern.Csc.ncols then
+            invalid_arg "Sympiler.Cholesky.update_ip: dimension mismatch";
+          let len =
+            permute_sorted_w ~who:"Sympiler.Cholesky.update_ip" st.up_pinv
+              st.up_wi st.up_wv w
+          in
+          (try
+             Rank_update.update_raw st.rk ~neg ~sigma st.up_wi st.up_wv len
+           with Rank_update.Pattern_violation _ ->
+             escalate p ~neg ~sigma st.up_wi st.up_wv len)
+    end
+
+  let update_ip (p : plan) ?(sigma = 1.0) (w : Vector.sparse) : unit =
+    updown_body p ~neg:false ~sigma w
+
+  let downdate_ip (p : plan) ?(sigma = 1.0) (w : Vector.sparse) : unit =
+    updown_body p ~neg:true ~sigma w
+
+  (* Incremental refactorization: recompute only the factor rows whose
+     values can change under the new input (changed input columns, closed
+     over their etree paths). Needs a baseline from a prior full
+     [refactor_ip] that rank updates have not invalidated — otherwise it
+     transparently falls back to the full refactor. Returns the number of
+     rows recomputed. *)
+  let refactor_cols_ip (p : plan) (a_lower : Csc.t) : int =
+    let st = ru_state p in
+    if not (Rank_update.prev_valid st.rk) then begin
+      refactor_ip p a_lower;
+      p.handle.pattern.Csc.ncols
+    end
+    else begin
+      Prof.start "numeric";
+      let nrows =
+        try
+          let a =
+            gathered_input ~who:"Sympiler.Cholesky.refactor_cols_ip" p a_lower
+          in
+          Rank_update.refactor_cols_ip st.rk a.Csc.values
+        with e ->
+          Prof.stop "numeric";
+          raise e
+      in
+      Prof.stop "numeric";
+      nrows
+    end
 
   (* Solve A x = b: numeric factorization + two triangular solves. On an
      ordered handle the permuted system (P A P^T)(P x) = P b is solved and
@@ -820,6 +1151,14 @@ module Ldlt = struct
     ord : applied_ordering;
   }
 
+  (* Rank-update state (GGMS C1), built lazily on the first [update_ip]. *)
+  type updown = {
+    lk : Rank_update.ldlt_plan;
+    up_pinv : int array; (* inverse permutation; [||] on natural plans *)
+    up_wi : int array;
+    up_wv : float array;
+  }
+
   type plan = {
     handle : t;
     p : K.plan;
@@ -827,6 +1166,7 @@ module Ldlt = struct
     native : Native_engine.exec option;
         (* b0 = Ax (lower values), b1 = Lx, b2 = D *)
     m_exec : Metrics.histogram; (* per-call factorization latency *)
+    mutable ru : updown option; (* lazy rank-update state *)
   }
 
   type input = Csc.t
@@ -898,6 +1238,7 @@ module Ldlt = struct
       m_exec =
         execute_hist ~family:"ldlt" ~op:"factor"
           ~engine:(engine_label native engine) ~ordering:t.ord.o_name;
+      ru = None;
     }
 
   let execute_ip_raw (p : plan) (a_lower : input) : output =
@@ -938,6 +1279,57 @@ module Ldlt = struct
 
   let plan_latency (p : plan) = Metrics.snapshot p.m_exec
   let factor_ip = execute_ip
+
+  let ru_state (p : plan) : updown =
+    match p.ru with
+    | Some st -> st
+    | None ->
+        let st =
+          Prof.time "symbolic" (fun () ->
+              let n = p.handle.pattern.Csc.ncols in
+              {
+                lk = Rank_update.make_ldlt_plan p.p.K.f.K.l p.p.K.f.K.d;
+                up_pinv =
+                  (match p.handle.ord.o_perm with
+                  | Some pm -> Perm.inverse pm
+                  | None -> [||]);
+                up_wi = Array.make (max 1 n) 0;
+                up_wv = Array.make (max 1 n) 0.0;
+              })
+        in
+        p.ru <- Some st;
+        st
+
+  (* In-place rank-1 update of the plan's factors (GGMS C1): L D L^T
+     becomes A + sigma w w^T. [w] is natural-order; ordered plans gather
+     through the inverse permutation. No escalation path here — an update
+     outside the factor pattern raises [Rank_update.Pattern_violation] and
+     the caller recompiles (the Cholesky facade automates this; LDL^T's
+     indefinite inputs make the escalated matrix's signature ambiguous, so
+     the decision stays with the caller). A zero updated pivot raises
+     [Sympiler_kernels.Ldlt.Zero_pivot] with the factors rolled back. *)
+  let updown_body (p : plan) ~(neg : bool) ~(sigma : float) (w : Vector.sparse)
+      : unit =
+    let len = Array.length w.Vector.indices in
+    if len > 0 && sigma <> 0.0 then begin
+      let st = ru_state p in
+      match p.handle.ord.o_perm with
+      | None -> Rank_update.ldlt_update_vec st.lk ~neg ~sigma w
+      | Some _ ->
+          if w.Vector.n <> p.handle.pattern.Csc.ncols then
+            invalid_arg "Sympiler.Ldlt.update_ip: dimension mismatch";
+          let len =
+            permute_sorted_w ~who:"Sympiler.Ldlt.update_ip" st.up_pinv
+              st.up_wi st.up_wv w
+          in
+          Rank_update.ldlt_update_raw st.lk ~neg ~sigma st.up_wi st.up_wv len
+    end
+
+  let update_ip (p : plan) ?(sigma = 1.0) (w : Vector.sparse) : unit =
+    updown_body p ~neg:false ~sigma w
+
+  let downdate_ip (p : plan) ?(sigma = 1.0) (w : Vector.sparse) : unit =
+    updown_body p ~neg:true ~sigma w
 
   let factor (t : t) (a_lower : Csc.t) : output =
     Prof.time "numeric" (fun () ->

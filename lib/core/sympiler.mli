@@ -401,25 +401,38 @@ module Cholesky : sig
       yields. Allocates a fresh factor per call; use a {!plan} for
       allocation-free steady state. *)
 
+  type updown
+  (** Lazily-built rank-update state: the kernel plan (scatter workspace,
+      rollback snapshot, memoized etree-path table, incremental-refactor
+      inspectors) plus the ordered-gather buffers. *)
+
   type plan = {
-    handle : t;
-    sup : Cholesky_supernodal.Sympiler.plan option;
-    simp : Cholesky_ref.Decoupled.plan option;
-    par : Cholesky_parallel.plan option;
+    mutable handle : t;
+    mutable sup : Cholesky_supernodal.Sympiler.plan option;
+    mutable simp : Cholesky_ref.Decoupled.plan option;
+    mutable par : Cholesky_parallel.plan option;
         (** populated when [plan ~ndomains] requested the level-parallel
             executor (supernodal handles only) *)
-    scratch : Csc.t option;
+    mutable scratch : Csc.t option;
         (** ordered plans gather natural-order input values in here *)
-    native : Native_engine.exec option;
+    mutable native : Native_engine.exec option;
         (** populated when [plan ~engine:`Native]/[`Native_novec] loaded
             the compiled-C executor (b0 = Ax, b1 = Lx, b2 = simplicial
             accumulator) *)
     m_exec : Metrics.histogram;
         (** the plan's [sympiler_execute_seconds] latency series *)
+    mutable ru : updown option;  (** lazy rank-update state *)
+    mutable esc_map : int array option;
+        (** after an {!update_ip} escalation: gather map from the original
+            natural input nnz to the escalated pattern ([-1] = structural
+            zero) *)
   }
   (** Reusable numeric workspaces (factor storage + scratch) for the
       compile-once / execute-many regime; which side is populated follows
-      the handle's [variant] and the [ndomains] request. *)
+      the handle's [variant] and the [ndomains] request. The engine fields
+      are mutable solely for {!update_ip}'s escalation path, which
+      recompiles the plan in place when an update needs entries the factor
+      pattern lacks. *)
 
   type input = Csc.t
   type output = Csc.t
@@ -450,6 +463,41 @@ module Cholesky : sig
   (** The plan's factor view, refreshed in place by each {!execute_ip}
       (valid until the next call on the same plan). *)
 
+  val update_ip : plan -> ?sigma:float -> Vector.sparse -> unit
+  (** In-place rank-1 update of the plan's factor: [L L^T] becomes
+      [A + sigma w w^T] (default [sigma = 1.]) along the §3.3 etree path,
+      without refactoring. [w] is in {e natural} order; ordered plans
+      gather it through the inverse permutation into plan-owned buffers.
+      Steady-state calls (memoized path, in-pattern update) allocate
+      nothing.
+
+      An update outside the factor pattern {e escalates}: the plan is
+      recompiled in place over the augmented pattern
+      (lower(L L^T) + the update clique, through the default cache) and
+      factored — after it the plan still accepts inputs with the original
+      natural pattern ([esc_map] supplies the structural zeros), but
+      [ndomains]/[engine] requests are dropped back to the sequential
+      OCaml executor.
+
+      Raises [Invalid_argument] on malformed [w] (unsorted, duplicate or
+      out-of-range indices — previously silent corruption), and
+      [Rank_update.Not_positive_definite] on a rejected downdate, with
+      the factor rolled back to its pre-call values. *)
+
+  val downdate_ip : plan -> ?sigma:float -> Vector.sparse -> unit
+  (** [update_ip ~sigma:(-. sigma)]: [A - sigma w w^T]. *)
+
+  val refactor_cols_ip : plan -> Csc.t -> int
+  (** Incremental refactorization: diff the input values against the plan's
+      recorded baseline (the last full {!execute_ip}) and recompute only
+      the factor rows reachable from the changed input columns (etree path
+      closure). Returns the number of rows recomputed. Falls back to a
+      full refactor (returning [n]) when no valid baseline exists — before
+      any full refactor, or after a rank update (the factor then belongs
+      to a different matrix). On simplicial plans the recomputed rows are
+      bitwise what a full up-looking refactor produces; on supernodal
+      plans agreement is to rounding (different operation order). *)
+
   val solve : t -> Csc.t -> float array -> float array
   (** [A x = b]: numeric factorization + two triangular solves. On an
       ordered handle the permuted system is solved and [x] returned in
@@ -472,6 +520,9 @@ module Ldlt : sig
     ord : applied_ordering;
   }
 
+  type updown
+  (** Lazily-built rank-update state (GGMS C1 recurrence). *)
+
   type plan = {
     handle : t;
     p : Sympiler_kernels.Ldlt.plan;
@@ -482,6 +533,7 @@ module Ldlt : sig
             the compiled-C executor (b0 = Ax, b1 = Lx, b2 = D) *)
     m_exec : Metrics.histogram;
         (** the plan's [sympiler_execute_seconds] latency series *)
+    mutable ru : updown option;  (** lazy rank-update state *)
   }
 
   type input = Csc.t
@@ -525,6 +577,25 @@ module Ldlt : sig
   val plan_latency : plan -> Metrics.histogram_snapshot
   (** Per-call factorization-latency distribution of this plan's metric
       series (see {!KERNEL.plan_latency}). *)
+
+  val update_ip : plan -> ?sigma:float -> Vector.sparse -> unit
+  (** In-place rank-1 update of the plan's factors: [L D L^T] becomes
+      [A + sigma w w^T] (default [sigma = 1.]) via the
+      Gill–Golub–Murray–Saunders C1 recurrence — no square roots, update
+      and downdate share one code path, indefinite pivots allowed. [w] is
+      in natural order; ordered plans gather it through the inverse
+      permutation. Steady-state calls allocate nothing.
+
+      Unlike {!Cholesky.update_ip} there is no escalation path: an update
+      outside the factor pattern raises [Rank_update.Pattern_violation]
+      (factors untouched) and the caller recompiles — with indefinite
+      inputs the escalated matrix's signature is ambiguous, so the
+      decision stays with the caller. Raises
+      [Sympiler_kernels.Ldlt.Zero_pivot] on an exactly-zero updated pivot,
+      with the factors rolled back; [Invalid_argument] on malformed [w]. *)
+
+  val downdate_ip : plan -> ?sigma:float -> Vector.sparse -> unit
+  (** [update_ip ~sigma:(-. sigma)]: [A - sigma w w^T]. *)
 
   val factor : t -> Csc.t -> output
   (** One-shot: fresh factors per call. *)

@@ -43,6 +43,12 @@ type counters = {
       (** native loads served from the memory/disk .so cache *)
   mutable native_fallbacks : int;
       (** native requests that fell back to the OCaml executor *)
+  mutable updown_path_hits : int;
+      (** rank-update etree paths served from the memoized table *)
+  mutable updown_path_misses : int;
+      (** rank-update etree paths computed (first use of a jmin) *)
+  mutable updown_escalations : int;
+      (** rank updates that outgrew the factor pattern and recompiled *)
 }
 
 let fresh_counters () =
@@ -64,6 +70,9 @@ let fresh_counters () =
     native_compiles = 0;
     native_so_hits = 0;
     native_fallbacks = 0;
+    updown_path_hits = 0;
+    updown_path_misses = 0;
+    updown_escalations = 0;
   }
 
 let counters = fresh_counters ()
@@ -94,7 +103,10 @@ let zero_counters (c : counters) =
   c.pool_imbalance_pct <- 0;
   c.native_compiles <- 0;
   c.native_so_hits <- 0;
-  c.native_fallbacks <- 0
+  c.native_fallbacks <- 0;
+  c.updown_path_hits <- 0;
+  c.updown_path_misses <- 0;
+  c.updown_escalations <- 0
 
 let cells_lock = Mutex.create ()
 let worker_cells : counters list ref = ref []
@@ -135,6 +147,11 @@ let merge_cells () =
       counters.native_compiles <- counters.native_compiles + c.native_compiles;
       counters.native_so_hits <- counters.native_so_hits + c.native_so_hits;
       counters.native_fallbacks <- counters.native_fallbacks + c.native_fallbacks;
+      counters.updown_path_hits <- counters.updown_path_hits + c.updown_path_hits;
+      counters.updown_path_misses <-
+        counters.updown_path_misses + c.updown_path_misses;
+      counters.updown_escalations <-
+        counters.updown_escalations + c.updown_escalations;
       zero_counters c)
     !worker_cells;
   Mutex.unlock cells_lock
@@ -487,6 +504,9 @@ let counters_json () =
       ("native_compiles", Json.Int counters.native_compiles);
       ("native_so_hits", Json.Int counters.native_so_hits);
       ("native_fallbacks", Json.Int counters.native_fallbacks);
+      ("updown_path_hits", Json.Int counters.updown_path_hits);
+      ("updown_path_misses", Json.Int counters.updown_path_misses);
+      ("updown_escalations", Json.Int counters.updown_escalations);
     ]
 
 let phases_json () =
@@ -528,6 +548,9 @@ let table () =
       ("native_compiles", string_of_int counters.native_compiles);
       ("native_so_hits", string_of_int counters.native_so_hits);
       ("native_fallbacks", string_of_int counters.native_fallbacks);
+      ("updown_path_hits", string_of_int counters.updown_path_hits);
+      ("updown_path_misses", string_of_int counters.updown_path_misses);
+      ("updown_escalations", string_of_int counters.updown_escalations);
     ]
   in
   (* Name-column width follows the longest name present, so long scopes

@@ -50,6 +50,13 @@ type counters = {
   mutable native_fallbacks : int;
       (** native-engine requests that fell back to the OCaml executor
           (no C compiler, compile failure, or dlopen failure) *)
+  mutable updown_path_hits : int;
+      (** rank-update etree paths served from the memoized per-jmin table *)
+  mutable updown_path_misses : int;
+      (** rank-update etree paths computed fresh (first use of a jmin) *)
+  mutable updown_escalations : int;
+      (** rank updates whose pattern outgrew the factor and forced a
+          recompile of the augmented pattern (facade escalation path) *)
 }
 
 val counters : counters

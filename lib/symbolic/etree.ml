@@ -66,6 +66,61 @@ let roots (parent : int array) : int list =
   Array.iteri (fun j p -> if p = -1 then acc := j :: !acc) parent;
   List.rev !acc
 
+(* Path from [j] to its root, inclusive, in ascending (child-to-root)
+   order — the inspection set of the §3.3 rank-update method: an update
+   whose first nonzero is [j] touches exactly these columns. *)
+let path_to_root (parent : int array) (j : int) : int array =
+  if j < 0 || j >= Array.length parent then
+    invalid_arg "Etree.path_to_root: node out of range";
+  let len = ref 0 in
+  let i = ref j in
+  while !i >= 0 do
+    incr len;
+    i := parent.(!i)
+  done;
+  let path = Array.make !len 0 in
+  let i = ref j in
+  for t = 0 to !len - 1 do
+    path.(t) <- !i;
+    i := parent.(!i)
+  done;
+  path
+
+(* Memoized per-node path table. Paths are computed on first use and
+   cached ([paths.(j)] is [[||]] until then — a real path always contains
+   [j] itself, so the empty array is a free "unset" sentinel). Steady-state
+   lookups are a single array read: the symbolic phase of a repeated rank
+   update collapses to a table hit, which is what lets the numeric update
+   run allocation-free. [hits]/[misses] let callers feed the profiling
+   layer without the table depending on it. *)
+type path_table = {
+  pt_parent : int array;
+  pt_paths : int array array;
+  mutable pt_hits : int;
+  mutable pt_misses : int;
+}
+
+let make_path_table (parent : int array) : path_table =
+  {
+    pt_parent = parent;
+    pt_paths = Array.make (Array.length parent) [||];
+    pt_hits = 0;
+    pt_misses = 0;
+  }
+
+let path (tbl : path_table) (j : int) : int array =
+  let p = tbl.pt_paths.(j) in
+  if Array.length p > 0 then begin
+    tbl.pt_hits <- tbl.pt_hits + 1;
+    p
+  end
+  else begin
+    tbl.pt_misses <- tbl.pt_misses + 1;
+    let p = path_to_root tbl.pt_parent j in
+    tbl.pt_paths.(j) <- p;
+    p
+  end
+
 (* Depth of each node (roots have depth 0). Iterative: a band matrix's
    etree is a single path, so at 10^6 columns the obvious memoized
    recursion is 10^6 frames deep — it must climb with an explicit stack.

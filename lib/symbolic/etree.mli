@@ -26,3 +26,26 @@ val roots : int array -> int list
 
 val depths : int array -> int array
 (** Depth of each node; roots have depth 0. *)
+
+val path_to_root : int array -> int -> int array
+(** [path_to_root parent j]: the nodes from [j] to its root, inclusive, in
+    child-to-root order — the inspection set of the §3.3 rank-update
+    method. Raises [Invalid_argument] when [j] is out of range. *)
+
+type path_table = {
+  pt_parent : int array;
+  pt_paths : int array array;  (** [[||]] = not yet computed *)
+  mutable pt_hits : int;  (** lookups served from the table *)
+  mutable pt_misses : int;  (** lookups that computed (and cached) a path *)
+}
+(** Memoized per-node path table: the symbolic phase of a {e repeated}
+    rank update is a single array read. *)
+
+val make_path_table : int array -> path_table
+(** A table over [parent] with every path unset. O(n) allocation, no
+    paths computed up front. *)
+
+val path : path_table -> int -> int array
+(** The (cached) path from a node to its root; allocates only on the
+    first lookup of each node. The returned array is shared — callers
+    must not mutate it. *)

@@ -157,6 +157,22 @@ for verdict in fused_not_slower pipeline_zero_alloc \
   }
 done
 
+echo "== rank update/downdate gate =="
+# First-class update/downdate on plans: an in-pattern rank-1 update must
+# beat a full refactorization on every suite problem (that is the whole
+# point of the §3.3 method), the steady update/downdate pair must
+# allocate nothing, and a rejected downdate must leave the factor
+# bitwise intact. The drift, incremental-bitwise and escalation gates
+# fold into the overall verdict.
+dune exec bench/main.exe -- --quick --only updown
+for verdict in update_faster_than_refactor_below_crossover \
+  updown_zero_alloc rollback_preserves_factor verdict; do
+  grep -q "\"$verdict\":true" BENCH_updown.json || {
+    echo "FAIL: $verdict is false in BENCH_updown.json" >&2
+    exit 1
+  }
+done
+
 echo "== pipeline example gate =="
 # The PCG example exits non-zero unless it converges AND the fused and
 # staged residual trajectories are bitwise-identical.
@@ -175,6 +191,10 @@ scripts/perf_gate check BENCH_metrics.json BENCH_metrics.json || {
 }
 scripts/perf_gate check BENCH_pipeline.json BENCH_pipeline.json || {
   echo "FAIL: perf_gate rejects a pipeline self-comparison" >&2
+  exit 1
+}
+scripts/perf_gate check BENCH_updown.json BENCH_updown.json || {
+  echo "FAIL: perf_gate rejects an updown self-comparison" >&2
   exit 1
 }
 scripts/perf_gate inflate BENCH_metrics.json 3.0 _build/BENCH_inflated.json

@@ -17,5 +17,6 @@ let () =
       ("ordering-stage", Test_ordering.suite);
       ("pipeline", Test_pipeline.suite);
       ("native", Test_native.suite);
+      ("updown", Test_updown.suite);
       ("regressions", Test_regressions.suite);
     ]
